@@ -1,0 +1,29 @@
+//! Ablation benches: time the design-choice sweeps from DESIGN.md §4.
+//! The *results* of the ablations are printed by `repro ablation-*`; these
+//! benches track their cost so the sweeps stay usable interactively.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pscp_core::{Lab, LabConfig};
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("buffer_sizing", |b| {
+        let mut lab = Lab::new(LabConfig::small(17));
+        lab.service();
+        b.iter(|| black_box(pscp_bench::ablation_buffer(&mut lab, 3).len()))
+    });
+    group.bench_function("visibility_caps", |b| {
+        let lab = Lab::new(LabConfig::small(18));
+        b.iter(|| black_box(pscp_bench::ablation_visibility(&lab).len()))
+    });
+    group.bench_function("picture_cache", |b| {
+        let mut lab = Lab::new(LabConfig::small(19));
+        lab.service();
+        b.iter(|| black_box(pscp_bench::ablation_cache(&mut lab, 3).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! Component performance benches: the hot paths of the simulation —
+//! protocol (de)framing, TS mux/demux, the encoder, and the statistics
+//! kernels. These guard against regressions that would make paper-scale
+//! figure regeneration impractically slow.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pscp_media::bitstream::{FrameKind, FramePayload};
+use pscp_media::content::{ContentClass, ContentProcess};
+use pscp_media::encoder::{Encoder, EncoderConfig};
+use pscp_media::flv::VideoTag;
+use pscp_media::ts::{demux_segment, TsMuxer, TsUnit};
+use pscp_proto::json;
+use pscp_proto::rtmp::{Chunker, Dechunker, Message};
+use pscp_simnet::{Link, RngFactory, SimDuration, SimTime};
+use pscp_stats::{welch_t_test, Ecdf};
+
+fn frame(pts: u32, size: usize) -> FramePayload {
+    FramePayload {
+        kind: if pts.is_multiple_of(1200) { FrameKind::I } else { FrameKind::P },
+        qp: 30,
+        width: 320,
+        height: 568,
+        pts_ms: pts,
+        ntp_s: None,
+        size,
+    }
+}
+
+fn bench_rtmp_chunking(c: &mut Criterion) {
+    // One second of video: 30 frames of ~1 kB.
+    let msgs: Vec<Message> = (0..30u32)
+        .map(|i| Message::video(i * 33, VideoTag::for_frame(frame(i * 33, 1000)).encode()))
+        .collect();
+    let bytes: usize = msgs.iter().map(|m| m.payload.len()).sum();
+    let mut group = c.benchmark_group("rtmp");
+    group.throughput(Throughput::Bytes(bytes as u64));
+    group.bench_function("chunk+dechunk 1s of video", |b| {
+        b.iter(|| {
+            let mut chunker = Chunker::new();
+            let wire = chunker.encode_all(&msgs);
+            let mut d = Dechunker::new();
+            d.feed(&wire).unwrap();
+            black_box(d.pop_all().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_ts(c: &mut Criterion) {
+    let units: Vec<TsUnit> = (0..108u32)
+        .map(|i| TsUnit::Video { pts_ms: i * 33, data: frame(i * 33, 1200).encode() })
+        .collect();
+    let mut mux = TsMuxer::new();
+    let segment = mux.mux_segment(&units);
+    let mut group = c.benchmark_group("mpegts");
+    group.throughput(Throughput::Bytes(segment.len() as u64));
+    group.bench_function("mux 3.6s segment", |b| {
+        b.iter(|| {
+            let mut mux = TsMuxer::new();
+            black_box(mux.mux_segment(&units).len())
+        })
+    });
+    group.bench_function("demux 3.6s segment", |b| {
+        b.iter(|| black_box(demux_segment(&segment).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_encoder(c: &mut Criterion) {
+    c.bench_function("encoder 60s of video", |b| {
+        b.iter(|| {
+            let mut rng = RngFactory::new(1).stream("bench");
+            let content = ContentProcess::new(ContentClass::Indoor, &mut rng);
+            let mut enc = Encoder::new(EncoderConfig::default(), content);
+            let mut total = 0usize;
+            for i in 0..1800 {
+                if let Some(f) = enc.next_frame(i as f64 / 30.0, &mut rng) {
+                    total += f.size();
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+fn bench_json(c: &mut Criterion) {
+    let doc = {
+        let items: Vec<String> = (0..100)
+            .map(|i| format!(r#"{{"id":"brdcst{i:07}","lat":41.2,"lng":28.9,"n":{i}}}"#))
+            .collect();
+        format!(r#"{{"broadcasts":[{}]}}"#, items.join(","))
+    };
+    let mut group = c.benchmark_group("json");
+    group.throughput(Throughput::Bytes(doc.len() as u64));
+    group.bench_function("parse map-feed response", |b| {
+        b.iter(|| black_box(json::parse(&doc).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_link(c: &mut Criterion) {
+    c.bench_function("link enqueue 1000 packets", |b| {
+        b.iter(|| {
+            let mut link = Link::unbounded(10e6, SimDuration::from_millis(20));
+            let mut t = SimTime::ZERO;
+            for i in 0..1000 {
+                t += SimDuration::from_micros(100);
+                black_box(link.enqueue(t, 1448 - (i % 3)));
+            }
+        })
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = RngFactory::new(2).stream("stats-bench");
+    let data: Vec<f64> =
+        (0..10_000).map(|_| pscp_simnet::dist::lognormal(&mut rng, 0.0, 1.0)).collect();
+    c.bench_function("ecdf build 10k samples", |b| {
+        b.iter(|| black_box(Ecdf::new(&data).unwrap().len()))
+    });
+    let a = &data[..5000];
+    let b2 = &data[5000..];
+    c.bench_function("welch t-test 2x5k", |b| {
+        b.iter(|| black_box(welch_t_test(a, b2).unwrap().p_value))
+    });
+}
+
+fn bench_tls(c: &mut Criterion) {
+    use pscp_proto::tls::TlsChannel;
+    let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+    let mut group = c.benchmark_group("tls");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("seal+open 100kB", |b| {
+        b.iter(|| {
+            let mut tx = TlsChannel::new(42);
+            let mut rx = TlsChannel::new(42);
+            let wire = tx.seal(&payload);
+            black_box(rx.open_all(&wire).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_session(c: &mut Criterion) {
+    use pscp_client::rtmp_session;
+    use pscp_client::session::SessionConfig;
+    use pscp_media::audio::AudioBitrate;
+    use pscp_media::content::ContentClass;
+    use pscp_simnet::GeoPoint;
+    use pscp_workload::broadcast::{Broadcast, BroadcastId, DeviceProfile};
+    let broadcast = Broadcast {
+        id: BroadcastId(5),
+        location: GeoPoint::new(41.01, 28.98),
+        city: "Istanbul",
+        start: SimTime::from_secs(100),
+        duration: SimDuration::from_secs(1800),
+        content: ContentClass::Indoor,
+        device: DeviceProfile::Modern,
+        audio: AudioBitrate::Kbps32,
+        avg_viewers: 25.0,
+        replay_available: true,
+        private: false,
+        location_public: true,
+        viewer_seed: 5,
+        target_bitrate_bps: 300_000.0,
+    };
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.bench_function("rtmp 60s end-to-end", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let rngs = RngFactory::new(i).child("bench-session");
+            black_box(
+                rtmp_session::run(
+                    &broadcast,
+                    SimTime::from_secs(400),
+                    &SessionConfig::default(),
+                    &rngs,
+                )
+                .capture
+                .total_bytes(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rtmp_chunking,
+    bench_ts,
+    bench_encoder,
+    bench_json,
+    bench_link,
+    bench_stats,
+    bench_tls,
+    bench_session
+);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! One bench per paper figure/table: measures how long each experiment
+//! takes to regenerate at small scale. Beyond performance tracking, this
+//! doubles as a continuously-exercised guarantee that every figure still
+//! regenerates (criterion runs each body several times).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pscp_core::{experiments, Lab, LabConfig};
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for exp in experiments::all() {
+        // The session-dataset experiments share a memoized dataset inside a
+        // Lab; to measure each experiment honestly we give each its own lab
+        // but keep it OUTSIDE the timed body (criterion measures the
+        // experiment, not world generation).
+        let mut lab = Lab::new(LabConfig::small(606));
+        // Warm the memoized dataset for dataset-backed experiments.
+        let _ = (exp.run)(&mut lab);
+        group.bench_function(exp.id, |b| {
+            b.iter(|| black_box((exp.run)(&mut lab).render().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,200 @@
+//! `repro` — regenerate the paper's figures and tables.
+//!
+//! ```text
+//! repro list                      # show all experiment ids
+//! repro all                       # run every experiment
+//! repro fig5 table-usage          # run specific experiments
+//! repro --scale medium all        # bigger datasets (slower)
+//! repro --seed 7 fig3a            # different world
+//! repro ablation-buffer           # design-choice ablations (DESIGN.md §4)
+//! repro ablation-visibility
+//! repro ablation-cache
+//! repro ablation-threshold
+//! repro --scale medium experiments-md > EXPERIMENTS.md   # regenerate the record
+//! repro --scale medium export <dir>   # CSV dumps for external plotting
+//! ```
+
+use pscp_core::{experiments, Lab};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = "small".to_string();
+    let mut seed: u64 = 2016;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => scale = it.next().unwrap_or_else(|| usage("missing scale value")),
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("bad seed value"))
+            }
+            "--help" | "-h" => usage(""),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        usage("no experiments given");
+    }
+    if let Some(pos) = targets.iter().position(|t| t == "export") {
+        let dir = targets
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| "export".to_string());
+        let config = pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e));
+        export_csvs(&mut Lab::new(config), &dir);
+        return;
+    }
+    if targets.iter().any(|t| t == "experiments-md") {
+        write_experiments_md(&mut Lab::new(
+            pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e)),
+        ), &scale, seed);
+        return;
+    }
+    if targets.iter().any(|t| t == "list") {
+        println!("{:<16} {:<18} title", "id", "paper artifact");
+        println!("{}", "-".repeat(90));
+        for exp in experiments::all() {
+            println!("{:<16} {:<18} {}", exp.id, exp.paper_ref, exp.title);
+        }
+        for ab in [
+            "ablation-buffer",
+            "ablation-visibility",
+            "ablation-cache",
+            "ablation-threshold",
+            "ablation-mtu",
+        ]
+        {
+            println!("{:<16} {:<18} design-choice ablation study", ab, "DESIGN.md §4");
+        }
+        return;
+    }
+    let config = pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e));
+    let mut lab = Lab::new(config);
+    let ids: Vec<String> = if targets.iter().any(|t| t == "all") {
+        experiments::all().iter().map(|e| e.id.to_string()).collect()
+    } else {
+        targets
+    };
+    for id in ids {
+        match id.as_str() {
+            "ablation-buffer" => {
+                banner(&id, "player buffer sizing");
+                println!("{}", pscp_bench::ablation_buffer(&mut lab, 12));
+            }
+            "ablation-visibility" => {
+                banner(&id, "map visibility caps");
+                println!("{}", pscp_bench::ablation_visibility(&lab));
+            }
+            "ablation-cache" => {
+                banner(&id, "profile picture caching");
+                println!("{}", pscp_bench::ablation_cache(&mut lab, 8));
+            }
+            "ablation-threshold" => {
+                banner(&id, "HLS viewer threshold");
+                println!("{}", pscp_bench::ablation_threshold(seed, 20));
+            }
+            "ablation-mtu" => {
+                banner(&id, "network packet granularity");
+                println!("{}", pscp_bench::ablation_mtu(seed, 10));
+            }
+            _ => match experiments::by_id(&id) {
+                Some(exp) => {
+                    banner(exp.id, exp.title);
+                    println!("reproduces: {}", exp.paper_ref);
+                    let started = std::time::Instant::now();
+                    let figure = (exp.run)(&mut lab);
+                    println!("(generated in {:.1} s)\n", started.elapsed().as_secs_f64());
+                    println!("{}", figure.render());
+                }
+                None => {
+                    eprintln!("unknown experiment '{id}' — try `repro list`");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+}
+
+/// Writes sessions.csv and observations.csv into `dir`.
+fn export_csvs(lab: &mut Lab, dir: &str) {
+    std::fs::create_dir_all(dir).expect("create export dir");
+    let dataset = lab.session_dataset();
+    let sessions = pscp_qoe::export::sessions_csv(&dataset);
+    let sessions_path = format!("{dir}/sessions.csv");
+    std::fs::write(&sessions_path, sessions).expect("write sessions.csv");
+    println!("wrote {sessions_path} ({} sessions)", dataset.len());
+    let crawl = lab.targeted_crawl_at(12.0);
+    let ended = crawl.ended_broadcasts();
+    let obs = pscp_qoe::export::observations_csv(ended.iter().copied());
+    let obs_path = format!("{dir}/observations.csv");
+    std::fs::write(&obs_path, obs).expect("write observations.csv");
+    println!("wrote {obs_path} ({} broadcasts)", ended.len());
+}
+
+/// Renders the whole EXPERIMENTS.md record to stdout: per-artifact sections
+/// with the paper's claim and the regenerated data.
+fn write_experiments_md(lab: &mut Lab, scale: &str, seed: u64) {
+    println!("# EXPERIMENTS — paper vs. reproduction\n");
+    println!(
+        "Generated by `repro --scale {scale} --seed {seed} experiments-md`. \
+         Regenerate after any model change. Absolute numbers are not expected \
+         to match a 2016 production service measured from Finland; the *shape* \
+         of each result — who wins, by what factor, where the knees fall — is \
+         the reproduction target (see DESIGN.md §1 for the substitution \
+         table).\n"
+    );
+    for exp in experiments::all() {
+        println!("## {} — `{}`\n", exp.paper_ref, exp.id);
+        println!("{}\n", exp.title);
+        let started = std::time::Instant::now();
+        let figure = (exp.run)(lab);
+        println!("```text");
+        print!("{}", figure.render());
+        println!("```");
+        println!(
+            "\n*Regenerated in {:.1} s with `repro --scale {scale} --seed {seed} {}`.*\n",
+            started.elapsed().as_secs_f64(),
+            exp.id
+        );
+    }
+    println!("## Known deviations and their causes\n");
+    println!("{}", KNOWN_DEVIATIONS.trim());
+}
+
+/// Documented gaps between the paper's numbers and the reproduction.
+const KNOWN_DEVIATIONS: &str = r#"
+* **Observed broadcast counts** scale with the configured population window
+  and crawl length; the paper's ~220K came from four 4–10 h crawls against
+  the production service. Use `--scale paper` for the closest comparison.
+* **Viewed-broadcast average duration** lands below the paper's 13 min at
+  small scales because short crawl windows truncate the long tail (only
+  broadcasts that *end during the crawl* count, §4) — the same estimator
+  bias the paper had, amplified by shorter windows.
+* **Fig 7 vs §5.3 body text**: the paper's own running text quotes
+  1537/2102 mW (app on) and 2742/3599 mW (chat on) while its Figure 7 bars
+  read 1673/2159 and 4169/4540. The power model is calibrated to the
+  figure; the discrepancy is the paper's, not the model's.
+* **Audio bitrate** is reported as a mean across streams (the paper lists
+  the two discrete encoder settings, 32 and 64 kbps; the mean falls between
+  them according to the 60/40 population mix).
+* **HLS stall counts** benefit additionally from the closed-form TCP fetch
+  model, which cannot reproduce self-induced congestion oscillations; the
+  direction (HLS stalls rarer than RTMP) matches §5.1.
+"#;
+
+fn banner(id: &str, title: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("== {id}: {title}");
+    println!("{}", "=".repeat(78));
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}\n");
+    }
+    eprintln!("usage: repro [--scale small|medium|paper] [--seed N] <ids...|all|list>");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}

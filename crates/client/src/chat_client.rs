@@ -1,0 +1,237 @@
+//! Client-side chat traffic.
+//!
+//! §5.1: "the JSON encoded chat messages are received even when chat is
+//! off, but when the chat is on, image downloads from Amazon S3 servers
+//! appear in the traffic. The reason is that the app downloads profile
+//! pictures of chatting users and displays them next to their messages ...
+//! We also noticed that some pictures were downloaded multiple times, which
+//! indicates that the app does not cache them." Both behaviours (and the
+//! cache the app *should* have had) are modeled here. The session drivers
+//! merge these events into the shared bottleneck link in time order, so
+//! heavy chat genuinely crowds out video — the paper's explanation for the
+//! 2 Mbps QoE boundary.
+
+use crate::session::SessionConfig;
+use pscp_media::capture::{Capture, FlowKind};
+use pscp_proto::http::Response;
+use pscp_proto::ws::Frame;
+use pscp_service::chat::{ChatConfig, ChatRoom};
+use pscp_simnet::link::MTU_BYTES;
+use pscp_simnet::{Link, SimTime, WallClock};
+use pscp_workload::broadcast::Broadcast;
+use rand::rngs::StdRng;
+
+/// One chat-related downstream transmission.
+#[derive(Debug, Clone)]
+pub struct ChatSend {
+    /// Server-side send instant.
+    pub at: SimTime,
+    /// Which flow it belongs to.
+    pub kind: FlowKind,
+    /// Wire bytes (WS frame or HTTP response).
+    pub bytes: Vec<u8>,
+}
+
+/// Produces the chat-related sends of one session, in time order.
+///
+/// WS JSON messages always flow; picture downloads only when the chat pane
+/// is on, deduplicated only if `picture_cache` is set.
+pub fn events(
+    broadcast: &Broadcast,
+    from: SimTime,
+    to: SimTime,
+    config: &SessionConfig,
+    rng: &mut StdRng,
+) -> Vec<ChatSend> {
+    let mut room = ChatRoom::new(ChatConfig::default());
+    let viewers = broadcast.viewers_at(from);
+    let messages = room.messages_between(from, to, viewers, rng);
+    let mut out = Vec::with_capacity(messages.len() * 2);
+    let mut cached: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for msg in messages {
+        let frame = Frame::text(msg.to_json().to_json());
+        out.push(ChatSend { at: msg.at, kind: FlowKind::Chat, bytes: frame.encode(None) });
+        if !config.chat_on {
+            continue;
+        }
+        if let Some(pic) = &msg.picture {
+            if config.picture_cache && cached.contains(&pic.url) {
+                continue;
+            }
+            cached.insert(pic.url.clone());
+            let resp = Response::ok_bytes("image/jpeg", vec![0xD8; pic.bytes]);
+            out.push(ChatSend { at: msg.at, kind: FlowKind::PictureHttp, bytes: resp.encode() });
+        }
+    }
+    // Hearts: tiny batched pushes on the same WebSocket (§3's emoticons).
+    for heart in room.hearts_between(from, to, viewers, rng) {
+        let body = format!("{{\"kind\":\"heart\",\"n\":{}}}", heart.count);
+        debug_assert!(body.len() >= heart.wire_len().saturating_sub(4));
+        let frame = Frame::text(body);
+        out.push(ChatSend { at: heart.at, kind: FlowKind::Chat, bytes: frame.encode(None) });
+    }
+    // The merge in the session driver sorts by time; keep this list sorted
+    // too for the dedicated-link path.
+    out.sort_by_key(|e| e.at);
+    out
+}
+
+/// Legacy path used by sessions whose chat travels on a dedicated link
+/// (the HLS fetch path models its video transfer in closed form): plays
+/// the [`events`] through `link` and records them into `capture`.
+#[allow(clippy::too_many_arguments)]
+pub fn generate(
+    broadcast: &Broadcast,
+    from: SimTime,
+    to: SimTime,
+    config: &SessionConfig,
+    link: &mut Link,
+    capture_clock: &WallClock,
+    capture: &mut Capture,
+    rng: &mut StdRng,
+) {
+    let sends = events(broadcast, from, to, config, rng);
+    if sends.is_empty() {
+        return;
+    }
+    let ws_flow = capture.open_flow(FlowKind::Chat, "chatman.periscope.tv");
+    let pic_flow = config
+        .chat_on
+        .then(|| capture.open_flow(FlowKind::PictureHttp, "s3.amazonaws.com"));
+    for send in sends {
+        let flow = match send.kind {
+            FlowKind::Chat => ws_flow,
+            FlowKind::PictureHttp => match pic_flow {
+                Some(f) => f,
+                None => continue,
+            },
+            _ => continue,
+        };
+        for chunk in send.bytes.chunks(MTU_BYTES) {
+            if let Some(arr) = link.enqueue(send.at, chunk.len()).time() {
+                let wall = capture_clock.read(arr, rng);
+                capture.record(flow, arr, wall, chunk.to_vec());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_media::audio::AudioBitrate;
+    use pscp_media::content::ContentClass;
+    use pscp_simnet::{GeoPoint, RngFactory, SimDuration};
+    use pscp_workload::broadcast::{BroadcastId, DeviceProfile};
+
+    fn broadcast(viewers: f64) -> Broadcast {
+        Broadcast {
+            id: BroadcastId(1),
+            location: GeoPoint::new(0.0, 0.0),
+            city: "x",
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(3600),
+            content: ContentClass::Indoor,
+            device: DeviceProfile::Modern,
+            audio: AudioBitrate::Kbps32,
+            avg_viewers: viewers,
+            replay_available: false,
+            private: false,
+            location_public: true,
+            viewer_seed: 5,
+            target_bitrate_bps: 300_000.0,
+        }
+    }
+
+    fn session_config(chat_on: bool, cache: bool) -> SessionConfig {
+        SessionConfig { chat_on, picture_cache: cache, ..Default::default() }
+    }
+
+    fn run(chat_on: bool, cache: bool, viewers: f64) -> Capture {
+        let mut capture = Capture::new();
+        let mut link = Link::unbounded(100e6, SimDuration::from_millis(10));
+        let clock = WallClock::perfect();
+        let mut rng = RngFactory::new(2).stream("chat-client-test");
+        generate(
+            &broadcast(viewers),
+            SimTime::from_secs(10),
+            SimTime::from_secs(70),
+            &session_config(chat_on, cache),
+            &mut link,
+            &clock,
+            &mut capture,
+            &mut rng,
+        );
+        capture
+    }
+
+    #[test]
+    fn chat_off_still_receives_json_but_no_pictures() {
+        let cap = run(false, false, 80.0);
+        assert!(cap.flow_of_kind(FlowKind::Chat).unwrap().byte_count() > 500);
+        assert!(cap.flow_of_kind(FlowKind::PictureHttp).is_none());
+    }
+
+    #[test]
+    fn chat_on_downloads_pictures() {
+        let cap = run(true, false, 80.0);
+        let pics = cap.flow_of_kind(FlowKind::PictureHttp).unwrap();
+        assert!(pics.byte_count() > 20_000, "bytes={}", pics.byte_count());
+        // Pictures dominate the chat JSON by an order of magnitude.
+        assert!(pics.byte_count() > 10 * cap.flow_of_kind(FlowKind::Chat).unwrap().byte_count());
+    }
+
+    #[test]
+    fn cache_cuts_picture_traffic() {
+        let uncached = run(true, false, 120.0);
+        let cached = run(true, true, 120.0);
+        let bytes = |c: &Capture| {
+            c.flow_of_kind(FlowKind::PictureHttp).map(|f| f.byte_count()).unwrap_or(0)
+        };
+        assert!(
+            bytes(&cached) < bytes(&uncached),
+            "cached={} uncached={}",
+            bytes(&cached),
+            bytes(&uncached)
+        );
+    }
+
+    #[test]
+    fn no_viewers_no_chat() {
+        let cap = run(true, false, 0.0);
+        assert!(cap.flows.is_empty());
+    }
+
+    #[test]
+    fn events_are_time_ordered() {
+        let mut rng = RngFactory::new(3).stream("chat-events");
+        let sends = events(
+            &broadcast(60.0),
+            SimTime::from_secs(5),
+            SimTime::from_secs(65),
+            &session_config(true, false),
+            &mut rng,
+        );
+        assert!(!sends.is_empty());
+        for w in sends.windows(2) {
+            assert!(w[1].at >= w[0].at);
+        }
+        assert!(sends.iter().any(|s| s.kind == FlowKind::PictureHttp));
+    }
+
+    #[test]
+    fn ws_frames_decode() {
+        let cap = run(false, false, 50.0);
+        let flow = cap.flow_of_kind(FlowKind::Chat).unwrap();
+        let stream = flow.byte_stream();
+        let mut pos = 0;
+        let mut n = 0;
+        while pos < stream.len() {
+            let (frame, used) = Frame::decode(&stream[pos..]).unwrap();
+            assert!(frame.as_text().unwrap().contains("\"kind\":\"chat\""));
+            pos += used;
+            n += 1;
+        }
+        assert!(n > 0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Viewer devices and the tethered network setup.
+//!
+//! §2: "we used two different phones: Samsung Galaxy S3 and S4. The phones
+//! were located in Finland and connected to the Internet by means of
+//! reverse tethering through a USB connection to a Linux desktop machine
+//! providing them with over 100Mbps of available bandwidth both up and down
+//! stream. In some experiments, we imposed artificial bandwidth limits with
+//! the tc command." §5's Welch t-tests found the two phones differ only in
+//! achieved frame rate.
+
+use pscp_simnet::{GeoPoint, SimDuration};
+
+/// The measurement phones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ViewerDevice {
+    /// Samsung Galaxy S3 — older SoC, renders at a lower achieved rate.
+    GalaxyS3,
+    /// Samsung Galaxy S4.
+    GalaxyS4,
+}
+
+impl ViewerDevice {
+    /// Maximum frame rate the device sustains while decoding + displaying.
+    /// This is the *only* QoE-relevant difference between the two phones
+    /// (the paper's t-test result E16).
+    pub fn render_fps_cap(self) -> f64 {
+        match self {
+            ViewerDevice::GalaxyS3 => 26.0,
+            ViewerDevice::GalaxyS4 => 30.0,
+        }
+    }
+
+    /// Display name used in dataset labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ViewerDevice::GalaxyS3 => "Galaxy S3",
+            ViewerDevice::GalaxyS4 => "Galaxy S4",
+        }
+    }
+}
+
+/// The viewer-side network path.
+#[derive(Debug, Clone)]
+pub struct NetworkSetup {
+    /// Viewer location (Finland in the paper).
+    pub location: GeoPoint,
+    /// Tether/access capacity in bits/second (>100 Mbps in the paper).
+    pub access_bps: f64,
+    /// Optional `tc` bandwidth limit in bits/second, applied on the Linux
+    /// host in front of the phone.
+    pub tc_limit_bps: Option<f64>,
+    /// Last-mile round-trip time (USB tether + campus network).
+    pub access_rtt: SimDuration,
+    /// Packet size the path carries (the network-granularity knob of the
+    /// `ablation-mtu` study; 1448 = Ethernet MSS).
+    pub mtu: usize,
+}
+
+impl NetworkSetup {
+    /// The paper's unthrottled setup in Finland.
+    pub fn finland_unlimited() -> Self {
+        NetworkSetup {
+            location: GeoPoint::new(60.19, 24.83), // Aalto campus
+            access_bps: 100e6,
+            tc_limit_bps: None,
+            access_rtt: SimDuration::from_millis(4),
+            mtu: 1448,
+        }
+    }
+
+    /// Same, with a `tc` limit in Mbps (the Fig 3b/4 sweep points).
+    pub fn finland_limited(mbps: f64) -> Self {
+        assert!(mbps > 0.0);
+        NetworkSetup { tc_limit_bps: Some(mbps * 1e6), ..Self::finland_unlimited() }
+    }
+
+    /// Effective bottleneck rate of the viewer path.
+    pub fn bottleneck_bps(&self) -> f64 {
+        match self.tc_limit_bps {
+            Some(limit) => limit.min(self.access_bps),
+            None => self.access_bps,
+        }
+    }
+
+    /// End-to-end RTT to a server at `server_loc`.
+    pub fn rtt_to(&self, server_loc: &GeoPoint) -> SimDuration {
+        // Propagation each way plus the access RTT.
+        self.location.propagation_to(server_loc) * 2 + self.access_rtt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn devices_differ_only_in_fps() {
+        assert!(ViewerDevice::GalaxyS3.render_fps_cap() < ViewerDevice::GalaxyS4.render_fps_cap());
+        assert_eq!(ViewerDevice::GalaxyS3.name(), "Galaxy S3");
+    }
+
+    #[test]
+    fn unlimited_bottleneck_is_access() {
+        let n = NetworkSetup::finland_unlimited();
+        assert_eq!(n.bottleneck_bps(), 100e6);
+    }
+
+    #[test]
+    fn tc_limit_overrides() {
+        let n = NetworkSetup::finland_limited(2.0);
+        assert_eq!(n.bottleneck_bps(), 2e6);
+    }
+
+    #[test]
+    fn rtt_scales_with_distance() {
+        let n = NetworkSetup::finland_unlimited();
+        let frankfurt = GeoPoint::new(50.11, 8.68);
+        let california = GeoPoint::new(37.35, -121.96);
+        assert!(n.rtt_to(&california) > n.rtt_to(&frankfurt));
+        assert!(n.rtt_to(&frankfurt).as_millis() >= 10);
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! The mobile viewing client and the automated measurement harness.
+//!
+//! §2 of the paper describes the setup this crate reproduces: Galaxy S3/S4
+//! phones reverse-tethered to a Linux desktop with >100 Mbps connectivity,
+//! optional `tc` bandwidth limits, a script pushing the "Teleport" button to
+//! watch a random broadcast for exactly 60 seconds while tcpdump captures
+//! traffic and a mitmproxy tap records playbackMeta uploads.
+//!
+//! * [`device`] — viewer phone profiles and the tethered network path;
+//! * [`player`] — the playback buffer model: join time, stalls, playback
+//!   latency (the quantities of Figures 3–4);
+//! * [`uplink`] — the *broadcaster's* mobile uplink, whose glitches are what
+//!   make even unthrottled viewers stall occasionally (Fig 3a);
+//! * [`rtmp_session`] / [`hls_session`] — end-to-end session simulation
+//!   producing wire-accurate captures;
+//! * [`replay_session`] — VOD playback of recorded broadcasts (§5.3's
+//!   "Video on (not live)" scenario);
+//! * [`chat_client`] — chat-on traffic: WebSocket messages plus uncached
+//!   profile-picture downloads (§5.1's 0.5 → 3.5 Mbps blow-up);
+//! * [`teleport`] — the automation loop generating a session dataset.
+
+pub mod chat_client;
+pub mod device;
+pub mod hls_session;
+pub mod player;
+pub mod replay_session;
+pub mod rtmp_session;
+pub mod session;
+pub mod teleport;
+pub mod uplink;
+
+pub use device::{NetworkSetup, ViewerDevice};
+pub use player::{PlayerConfig, PlayerLog};
+pub use session::{SessionConfig, SessionOutcome};
+pub use teleport::{Teleport, TeleportConfig};

@@ -1,0 +1,237 @@
+//! The Teleport automation: the paper's session-dataset generator.
+//!
+//! §2: "The app has a 'Teleport' button which takes the user directly to a
+//! randomly selected live broadcast. Automation was achieved with a script
+//! that sends tap events ... to push the Teleport button, wait for 60s,
+//! push the close button, push the 'home' button and repeat all over
+//! again."
+//!
+//! Teleport selection is popularity-weighted: the paper's dataset contains
+//! 1796 RTMP and 1586 HLS sessions even though broadcasts above the ~100
+//! viewer HLS threshold are a small *fraction* of all broadcasts — a
+//! uniformly random pick would almost never land on one, so the feature
+//! must bias toward broadcasts where viewers actually are. Weighting by
+//! current viewer count reproduces the observed RTMP/HLS session split.
+//!
+//! Sessions are mutually independent (each is a fresh app launch against
+//! its own broadcast), so the dataset generator samples join times across
+//! the whole population window rather than strictly sequentially — the
+//! paper's weeks of wall-clock collection compressed into one simulated
+//! window.
+
+use crate::device::ViewerDevice;
+use crate::session::{SessionConfig, SessionOutcome};
+use crate::{hls_session, rtmp_session};
+use pscp_service::select::Protocol;
+use pscp_service::PeriscopeService;
+use pscp_simnet::{dist, RngFactory, SimDuration, SimTime};
+use pscp_workload::broadcast::Broadcast;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Dataset generation settings.
+#[derive(Debug, Clone)]
+pub struct TeleportConfig {
+    /// Number of sessions to run.
+    pub sessions: usize,
+    /// Base session configuration (network limits, chat, players).
+    pub session: SessionConfig,
+    /// Alternate between the S3 and S4 phones, as the paper did.
+    pub alternate_devices: bool,
+    /// How many sessions *per protocol* keep their full packet capture.
+    /// Captures are several MB each; paper-scale datasets would not fit in
+    /// memory otherwise. Sessions beyond the cap keep every scalar metric
+    /// but an empty capture.
+    pub keep_captures_per_protocol: usize,
+}
+
+impl Default for TeleportConfig {
+    fn default() -> Self {
+        TeleportConfig {
+            sessions: 100,
+            session: SessionConfig::default(),
+            alternate_devices: true,
+            keep_captures_per_protocol: usize::MAX,
+        }
+    }
+}
+
+/// The Teleport driver.
+pub struct Teleport<'a> {
+    service: &'a PeriscopeService,
+    rngs: RngFactory,
+}
+
+impl<'a> Teleport<'a> {
+    /// Creates a driver against a service.
+    pub fn new(service: &'a PeriscopeService, rngs: RngFactory) -> Self {
+        Teleport { service, rngs: rngs.child("teleport") }
+    }
+
+    /// Picks a random live broadcast at `now`, weighted by current viewers
+    /// (plus one, so zero-viewer broadcasts remain reachable — the paper
+    /// did land on unpopular streams).
+    pub fn pick(&self, now: SimTime, rng: &mut StdRng) -> Option<&'a Broadcast> {
+        let live: Vec<&Broadcast> = self
+            .service
+            .population
+            .live_at(now)
+            .into_iter()
+            .filter(|b| !b.private)
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let weights: Vec<f64> =
+            live.iter().map(|b| b.viewers_at(now) as f64 + 1.0).collect();
+        Some(live[dist::categorical(rng, &weights)])
+    }
+
+    /// Runs one session at `join_at` against a picked broadcast, letting
+    /// the service choose the protocol (accessVideo semantics).
+    pub fn run_one(
+        &self,
+        broadcast: &Broadcast,
+        join_at: SimTime,
+        config: &SessionConfig,
+        session_idx: u64,
+    ) -> SessionOutcome {
+        let access = self
+            .service
+            .access_video(broadcast.id, &config.network.location, join_at)
+            .expect("picked broadcast is live");
+        let rngs = self.rngs.child(&format!("session/{session_idx}"));
+        match access.protocol {
+            Protocol::Rtmp => rtmp_session::run(broadcast, join_at, config, &rngs),
+            Protocol::Hls => hls_session::run(broadcast, join_at, config, &rngs),
+        }
+    }
+
+    /// Generates a whole dataset.
+    pub fn run_dataset(&self, config: &TeleportConfig) -> Vec<SessionOutcome> {
+        let mut rng = self.rngs.stream("dataset");
+        let window = self.service.population.config.window;
+        let margin = config.session.watch + SimDuration::from_secs(40);
+        let latest = window.saturating_sub(margin).as_secs_f64().max(60.0);
+        let mut out = Vec::with_capacity(config.sessions);
+        let mut kept: std::collections::HashMap<Protocol, usize> =
+            std::collections::HashMap::new();
+        for i in 0..config.sessions {
+            // Join somewhere inside the window, away from the edges.
+            let t = 30.0 + rng.gen::<f64>() * latest;
+            let join_at = SimTime::from_micros((t * 1e6) as u64);
+            let Some(broadcast) = self.pick(join_at, &mut rng) else {
+                continue;
+            };
+            let mut session = config.session.clone();
+            if config.alternate_devices {
+                session.device = if i % 2 == 0 {
+                    ViewerDevice::GalaxyS4
+                } else {
+                    ViewerDevice::GalaxyS3
+                };
+            }
+            let mut outcome = self.run_one(broadcast, join_at, &session, i as u64);
+            let slot = kept.entry(outcome.protocol).or_insert(0);
+            if *slot >= config.keep_captures_per_protocol {
+                outcome.capture = pscp_media::capture::Capture::new();
+            } else {
+                *slot += 1;
+            }
+            out.push(outcome);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_service::ServiceConfig;
+    use pscp_workload::population::{Population, PopulationConfig};
+
+    fn service() -> PeriscopeService {
+        let pop = Population::generate(PopulationConfig::medium(), &RngFactory::new(61));
+        PeriscopeService::new(pop, ServiceConfig::default())
+    }
+
+    #[test]
+    fn pick_prefers_popular() {
+        let svc = service();
+        let tp = Teleport::new(&svc, RngFactory::new(7));
+        let mut rng = RngFactory::new(7).stream("pick-test");
+        let now = SimTime::from_secs(3600);
+        let mut viewer_sum = 0u64;
+        let n = 200;
+        for _ in 0..n {
+            let b = tp.pick(now, &mut rng).unwrap();
+            viewer_sum += b.viewers_at(now) as u64;
+        }
+        let mean_picked = viewer_sum as f64 / n as f64;
+        // Population mean viewers is ~8; popularity weighting should pull
+        // the picked mean far above it.
+        assert!(mean_picked > 30.0, "mean_picked={mean_picked}");
+    }
+
+    #[test]
+    fn dataset_mixes_protocols() {
+        let svc = service();
+        let tp = Teleport::new(&svc, RngFactory::new(8));
+        let cfg = TeleportConfig { sessions: 30, ..Default::default() };
+        let outcomes = tp.run_dataset(&cfg);
+        assert!(outcomes.len() >= 28, "n={}", outcomes.len());
+        let hls = outcomes.iter().filter(|o| o.protocol == Protocol::Hls).count();
+        let rtmp = outcomes.len() - hls;
+        // Both protocols appear (paper: 1796 RTMP vs 1586 HLS).
+        assert!(hls >= 3, "hls={hls}");
+        assert!(rtmp >= 3, "rtmp={rtmp}");
+    }
+
+    #[test]
+    fn dataset_alternates_devices() {
+        let svc = service();
+        let tp = Teleport::new(&svc, RngFactory::new(9));
+        let cfg = TeleportConfig { sessions: 10, ..Default::default() };
+        let outcomes = tp.run_dataset(&cfg);
+        assert!(outcomes.iter().any(|o| o.device == ViewerDevice::GalaxyS3));
+        assert!(outcomes.iter().any(|o| o.device == ViewerDevice::GalaxyS4));
+    }
+
+    #[test]
+    fn hls_sessions_watch_popular_broadcasts() {
+        let svc = service();
+        let tp = Teleport::new(&svc, RngFactory::new(10));
+        let cfg = TeleportConfig { sessions: 40, ..Default::default() };
+        let outcomes = tp.run_dataset(&cfg);
+        let avg = |proto: Protocol| {
+            let xs: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.protocol == proto)
+                .map(|o| o.viewers_at_join as f64)
+                .collect();
+            if xs.is_empty() {
+                return 0.0;
+            }
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let hls_avg = avg(Protocol::Hls);
+        let rtmp_avg = avg(Protocol::Rtmp);
+        if hls_avg > 0.0 && rtmp_avg > 0.0 {
+            assert!(hls_avg > rtmp_avg, "hls={hls_avg} rtmp={rtmp_avg}");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let svc = service();
+        let run = || {
+            let tp = Teleport::new(&svc, RngFactory::new(11));
+            let cfg = TeleportConfig { sessions: 5, ..Default::default() };
+            tp.run_dataset(&cfg)
+                .iter()
+                .map(|o| (o.broadcast_id, o.capture.total_bytes()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,254 @@
+//! The figure/table data model and its text renderer.
+//!
+//! Experiments return [`FigureData`]; the `repro` binary renders it as
+//! aligned text, which is what EXPERIMENTS.md records. No plotting
+//! dependency — series are printed as tables that plot directly in any
+//! external tool.
+
+use pscp_stats::table::{fnum, TextTable};
+
+/// One renderable experiment output.
+#[derive(Debug, Clone)]
+pub enum FigureData {
+    /// One or more CDF curves (x vs cumulative fraction).
+    Cdf {
+        /// Axis label for x.
+        x_label: String,
+        /// (series label, sampled (x, F(x)) points).
+        series: Vec<(String, Vec<(f64, f64)>)>,
+    },
+    /// Boxplots over labeled groups.
+    Boxplots {
+        /// Label of the grouping axis.
+        group_label: String,
+        /// Metric name.
+        metric: String,
+        /// (group, n, q1, median, q3, whisker_low, whisker_high).
+        groups: Vec<BoxRow>,
+    },
+    /// Grouped bars (e.g. WiFi/LTE per scenario).
+    Bars {
+        /// Bar-group axis label.
+        group_label: String,
+        /// Names of the bars within each group.
+        bar_names: Vec<String>,
+        /// (group, values aligned with `bar_names`).
+        groups: Vec<(String, Vec<f64>)>,
+    },
+    /// Scatter points, optionally multi-series.
+    Scatter {
+        /// Axis labels.
+        x_label: String,
+        /// Y axis label.
+        y_label: String,
+        /// (series label, points).
+        series: Vec<(String, Vec<(f64, f64)>)>,
+    },
+    /// A free-form key/value statistics table.
+    Table {
+        /// Column headers.
+        columns: Vec<String>,
+        /// Row cells.
+        rows: Vec<Vec<String>>,
+    },
+}
+
+/// One boxplot row.
+#[derive(Debug, Clone)]
+pub struct BoxRow {
+    /// Group label (e.g. bandwidth limit).
+    pub group: String,
+    /// Samples in the group.
+    pub n: usize,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lower whisker.
+    pub whisker_low: f64,
+    /// Upper whisker.
+    pub whisker_high: f64,
+}
+
+impl From<(&str, &pscp_stats::BoxplotSummary)> for BoxRow {
+    fn from((group, s): (&str, &pscp_stats::BoxplotSummary)) -> Self {
+        BoxRow {
+            group: group.to_string(),
+            n: s.n,
+            q1: s.q1,
+            median: s.median,
+            q3: s.q3,
+            whisker_low: s.whisker_low,
+            whisker_high: s.whisker_high,
+        }
+    }
+}
+
+impl FigureData {
+    /// Renders the figure as text.
+    pub fn render(&self) -> String {
+        match self {
+            FigureData::Cdf { x_label, series } => {
+                let mut t = TextTable::new(["series", x_label.as_str(), "F(x)"]);
+                for (label, points) in series {
+                    for (x, f) in points {
+                        t.row([label.clone(), fnum(*x, 4), fnum(*f, 3)]);
+                    }
+                }
+                t.render()
+            }
+            FigureData::Boxplots { group_label, metric, groups } => {
+                let mut t = TextTable::new([
+                    group_label.as_str(),
+                    "n",
+                    "whisker_low",
+                    "q1",
+                    "median",
+                    "q3",
+                    "whisker_high",
+                ]);
+                for g in groups {
+                    t.row([
+                        g.group.clone(),
+                        g.n.to_string(),
+                        fnum(g.whisker_low, 3),
+                        fnum(g.q1, 3),
+                        fnum(g.median, 3),
+                        fnum(g.q3, 3),
+                        fnum(g.whisker_high, 3),
+                    ]);
+                }
+                format!("metric: {metric}\n{}", t.render())
+            }
+            FigureData::Bars { group_label, bar_names, groups } => {
+                let mut header = vec![group_label.clone()];
+                header.extend(bar_names.iter().cloned());
+                let mut t = TextTable::new(header);
+                for (g, values) in groups {
+                    let mut row = vec![g.clone()];
+                    row.extend(values.iter().map(|v| fnum(*v, 0)));
+                    t.row(row);
+                }
+                t.render()
+            }
+            FigureData::Scatter { x_label, y_label, series } => {
+                let mut t = TextTable::new(["series", x_label.as_str(), y_label.as_str()]);
+                for (label, points) in series {
+                    for (x, y) in points {
+                        t.row([label.clone(), fnum(*x, 4), fnum(*y, 3)]);
+                    }
+                }
+                t.render()
+            }
+            FigureData::Table { columns, rows } => {
+                let mut t = TextTable::new(columns.iter().map(String::as_str));
+                for row in rows {
+                    t.row(row.clone());
+                }
+                t.render()
+            }
+        }
+    }
+
+    /// Convenience: extracts a named CDF series.
+    pub fn cdf_series(&self, name: &str) -> Option<&[(f64, f64)]> {
+        match self {
+            FigureData::Cdf { series, .. } => series
+                .iter()
+                .find(|(label, _)| label == name)
+                .map(|(_, pts)| pts.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Convenience: looks up a table cell by row key (first column).
+    pub fn table_value(&self, row_key: &str) -> Option<&str> {
+        match self {
+            FigureData::Table { rows, .. } => rows
+                .iter()
+                .find(|r| r.first().map(String::as_str) == Some(row_key))
+                .and_then(|r| r.get(1))
+                .map(String::as_str),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_renders_and_queries() {
+        let f = FigureData::Cdf {
+            x_label: "latency (s)".to_string(),
+            series: vec![
+                ("RTMP".to_string(), vec![(0.1, 0.5), (0.3, 1.0)]),
+                ("HLS".to_string(), vec![(5.0, 0.5)]),
+            ],
+        };
+        let text = f.render();
+        assert!(text.contains("RTMP"));
+        assert!(text.contains("latency (s)"));
+        assert_eq!(f.cdf_series("HLS").unwrap().len(), 1);
+        assert!(f.cdf_series("missing").is_none());
+    }
+
+    #[test]
+    fn table_renders_and_queries() {
+        let f = FigureData::Table {
+            columns: vec!["stat".to_string(), "value".to_string()],
+            rows: vec![
+                vec!["median duration (min)".to_string(), "4.1".to_string()],
+                vec!["zero-viewer fraction".to_string(), "0.12".to_string()],
+            ],
+        };
+        assert_eq!(f.table_value("zero-viewer fraction"), Some("0.12"));
+        assert!(f.render().contains("median duration"));
+        assert!(f.table_value("nope").is_none());
+    }
+
+    #[test]
+    fn boxplots_render() {
+        let f = FigureData::Boxplots {
+            group_label: "bandwidth (Mbps)".to_string(),
+            metric: "stall ratio".to_string(),
+            groups: vec![BoxRow {
+                group: "2".to_string(),
+                n: 30,
+                q1: 0.0,
+                median: 0.05,
+                q3: 0.2,
+                whisker_low: 0.0,
+                whisker_high: 0.4,
+            }],
+        };
+        let text = f.render();
+        assert!(text.contains("stall ratio"));
+        assert!(text.contains("0.050"));
+    }
+
+    #[test]
+    fn bars_render() {
+        let f = FigureData::Bars {
+            group_label: "scenario".to_string(),
+            bar_names: vec!["WiFi".to_string(), "LTE".to_string()],
+            groups: vec![("Home screen".to_string(), vec![1067.0, 1006.0])],
+        };
+        let text = f.render();
+        assert!(text.contains("WiFi"));
+        assert!(text.contains("1067"));
+    }
+
+    #[test]
+    fn scatter_renders() {
+        let f = FigureData::Scatter {
+            x_label: "bitrate".to_string(),
+            y_label: "qp".to_string(),
+            series: vec![("all".to_string(), vec![(0.3, 30.0)])],
+        };
+        assert!(f.render().contains("30.000"));
+    }
+}

@@ -1,0 +1,270 @@
+//! The Lab: one object wiring population → service → crawler/client →
+//! analysis, with memoized expensive artifacts.
+
+use pscp_client::session::SessionConfig;
+use pscp_client::device::NetworkSetup;
+use pscp_client::{Teleport, TeleportConfig};
+use pscp_crawler::deep::DeepCrawlConfig;
+use pscp_crawler::targeted::TargetedCrawlConfig;
+use pscp_crawler::{DeepCrawl, TargetedCrawl};
+use pscp_qoe::SessionDataset;
+use pscp_service::{PeriscopeService, ServiceConfig};
+use pscp_simnet::{RngFactory, SimDuration, SimTime};
+use pscp_workload::population::{Population, PopulationConfig};
+
+/// Experiment scale: how much data to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-fast configurations for tests and examples.
+    Small,
+    /// Paper-sized datasets (minutes of wall time to generate).
+    Paper,
+}
+
+/// Lab configuration.
+#[derive(Debug, Clone)]
+pub struct LabConfig {
+    /// Master seed: everything derives from it.
+    pub seed: u64,
+    /// Scale preset.
+    pub scale: Scale,
+    /// Population settings.
+    pub population: PopulationConfig,
+    /// Service settings.
+    pub service: ServiceConfig,
+    /// Unlimited-bandwidth sessions to run for the QoE dataset.
+    pub sessions_unlimited: usize,
+    /// Sessions per bandwidth-limit sweep point.
+    pub sessions_per_limit: usize,
+    /// Bandwidth-limit sweep points in Mbps (the paper's 0.5–10).
+    pub limits_mbps: Vec<f64>,
+}
+
+impl LabConfig {
+    /// Fast configuration for tests/examples.
+    pub fn small(seed: u64) -> LabConfig {
+        LabConfig {
+            seed,
+            scale: Scale::Small,
+            population: PopulationConfig::small(),
+            service: ServiceConfig::default(),
+            sessions_unlimited: 30,
+            sessions_per_limit: 6,
+            limits_mbps: vec![0.5, 2.0, 6.0],
+        }
+    }
+
+    /// Paper-scale configuration: §5's "4615 sessions in total: 1796 RTMP
+    /// and 1586 HLS sessions without a bandwidth limit and 18-91 sessions
+    /// for each specific bandwidth limit", sweep 0.5–10 Mbps.
+    pub fn paper(seed: u64) -> LabConfig {
+        LabConfig {
+            seed,
+            scale: Scale::Paper,
+            population: PopulationConfig::default(),
+            service: ServiceConfig::default(),
+            sessions_unlimited: 3382,
+            sessions_per_limit: 50,
+            limits_mbps: vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        }
+    }
+
+    /// A mid-size preset: paper-shaped but an order of magnitude lighter.
+    pub fn medium(seed: u64) -> LabConfig {
+        LabConfig {
+            seed,
+            scale: Scale::Small,
+            population: PopulationConfig::medium(),
+            service: ServiceConfig::default(),
+            sessions_unlimited: 300,
+            sessions_per_limit: 18,
+            limits_mbps: vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+        }
+    }
+}
+
+/// The lab.
+pub struct Lab {
+    /// Configuration in force.
+    pub config: LabConfig,
+    rngs: RngFactory,
+    service: Option<PeriscopeService>,
+    dataset: Option<std::rc::Rc<SessionDataset>>,
+}
+
+/// A viewing-session report (dataset wrapper returned by convenience runs).
+pub struct SessionReport {
+    /// The generated sessions.
+    pub sessions: Vec<pscp_client::SessionOutcome>,
+}
+
+impl Lab {
+    /// Creates a lab; the population/service are built lazily on first use.
+    pub fn new(config: LabConfig) -> Lab {
+        let rngs = RngFactory::new(config.seed);
+        Lab { config, rngs, service: None, dataset: None }
+    }
+
+    /// The RNG namespace of this lab.
+    pub fn rngs(&self) -> &RngFactory {
+        &self.rngs
+    }
+
+    /// The service (built on first access).
+    pub fn service(&mut self) -> &mut PeriscopeService {
+        if self.service.is_none() {
+            let population =
+                Population::generate(self.config.population.clone(), &self.rngs.child("world"));
+            self.service =
+                Some(PeriscopeService::new(population, self.config.service.clone()));
+        }
+        self.service.as_mut().expect("just built")
+    }
+
+    /// Builds a fresh service over a population whose clock starts at a
+    /// different UTC hour (for the multi-time-of-day crawls).
+    pub fn service_at_hour(&self, utc_start_hour: f64) -> PeriscopeService {
+        let mut cfg = self.config.population.clone();
+        cfg.utc_start_hour = utc_start_hour;
+        let label = format!("world-at-{utc_start_hour}");
+        let population = Population::generate(cfg, &self.rngs.child(&label));
+        PeriscopeService::new(population, self.config.service.clone())
+    }
+
+    /// Runs a quick batch of unlimited-bandwidth viewing sessions.
+    pub fn run_viewing_sessions(&mut self, n: usize) -> SessionReport {
+        let rngs = self.rngs;
+        let svc = self.service();
+        let tp = Teleport::new(svc, rngs.child("sessions"));
+        let cfg = TeleportConfig { sessions: n, ..Default::default() };
+        SessionReport { sessions: tp.run_dataset(&cfg) }
+    }
+
+    /// The full QoE dataset (unlimited + bandwidth sweep), memoized.
+    pub fn session_dataset(&mut self) -> std::rc::Rc<SessionDataset> {
+        if let Some(d) = &self.dataset {
+            return d.clone();
+        }
+        let rngs = self.rngs;
+        let sessions_unlimited = self.config.sessions_unlimited;
+        let sessions_per_limit = self.config.sessions_per_limit;
+        let limits = self.config.limits_mbps.clone();
+        let svc = self.service();
+        let tp = Teleport::new(svc, rngs.child("dataset"));
+        let mut dataset = SessionDataset::new(
+            tp.run_dataset(&TeleportConfig {
+                sessions: sessions_unlimited,
+                // Enough retained captures for the Fig 5/6 reconstruction
+                // cap; beyond that, captures are dropped to bound memory at
+                // paper scale.
+                keep_captures_per_protocol: 320,
+                ..Default::default()
+            }),
+        );
+        for (i, &mbps) in limits.iter().enumerate() {
+            let tp = Teleport::new(svc, rngs.child(&format!("dataset-limit-{i}")));
+            let session = SessionConfig {
+                network: NetworkSetup::finland_limited(mbps),
+                ..Default::default()
+            };
+            let cfg = TeleportConfig {
+                sessions: sessions_per_limit,
+                session,
+                alternate_devices: true,
+                keep_captures_per_protocol: 8,
+            };
+            dataset.extend(tp.run_dataset(&cfg));
+        }
+        let rc = std::rc::Rc::new(dataset);
+        self.dataset = Some(rc.clone());
+        rc
+    }
+
+    /// Runs one deep crawl against a service whose world clock starts at
+    /// the given UTC hour.
+    pub fn deep_crawl_at(&self, utc_start_hour: f64) -> DeepCrawl {
+        let mut svc = self.service_at_hour(utc_start_hour);
+        DeepCrawl::run(&mut svc, &DeepCrawlConfig::default(), SimTime::from_secs(120))
+    }
+
+    /// Runs a deep crawl followed by a targeted crawl on the same world.
+    pub fn targeted_crawl_at(&self, utc_start_hour: f64) -> TargetedCrawl {
+        let mut svc = self.service_at_hour(utc_start_hour);
+        let deep = DeepCrawl::run(&mut svc, &DeepCrawlConfig::default(), SimTime::from_secs(120));
+        let tc_config = self.targeted_config();
+        let areas = TargetedCrawl::select_areas(&deep, &tc_config);
+        TargetedCrawl::run(&mut svc, &areas, &tc_config, deep.finished_at)
+    }
+
+    /// The targeted-crawl configuration: the crawl runs for (almost) the
+    /// whole population window, like the paper's 4-10 h crawls. Short
+    /// windows bias duration estimates low — long broadcasts never "end
+    /// during the crawl" — which is why the paper crawled for hours.
+    pub fn targeted_config(&self) -> TargetedCrawlConfig {
+        let margin = SimDuration::from_secs(match self.config.scale {
+            Scale::Small => 300,
+            Scale::Paper => 1200,
+        });
+        let duration = self
+            .config
+            .population
+            .window
+            .saturating_sub(margin)
+            .max(SimDuration::from_secs(600));
+        TargetedCrawlConfig { duration, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lab_builds_lazily_and_runs_sessions() {
+        let mut lab = Lab::new(LabConfig::small(1));
+        let report = lab.run_viewing_sessions(5);
+        assert_eq!(report.sessions.len(), 5);
+    }
+
+    #[test]
+    fn dataset_memoized() {
+        let mut lab = Lab::new(LabConfig::small(2));
+        let a = lab.session_dataset();
+        let b = lab.session_dataset();
+        assert!(std::rc::Rc::ptr_eq(&a, &b));
+        // 30 unlimited + 3 limits × 6.
+        assert_eq!(a.len(), 30 + 18);
+    }
+
+    #[test]
+    fn dataset_contains_sweep_points() {
+        let mut lab = Lab::new(LabConfig::small(3));
+        let d = lab.session_dataset();
+        assert_eq!(d.at_limit(2.0).len(), 6);
+        assert_eq!(d.at_limit(0.5).len(), 6);
+        assert!(d.sessions.iter().filter(|s| s.bandwidth_limit_bps.is_none()).count() >= 28);
+    }
+
+    #[test]
+    fn services_at_different_hours_differ() {
+        let lab = Lab::new(LabConfig::small(4));
+        let a = lab.service_at_hour(0.0);
+        let b = lab.service_at_hour(12.0);
+        assert_ne!(a.population.broadcasts.len(), 0);
+        // Different diurnal phases produce different activity volumes.
+        assert_ne!(a.population.broadcasts.len(), b.population.broadcasts.len());
+    }
+
+    #[test]
+    fn determinism_across_labs() {
+        let mut lab1 = Lab::new(LabConfig::small(5));
+        let mut lab2 = Lab::new(LabConfig::small(5));
+        let d1 = lab1.session_dataset();
+        let d2 = lab2.session_dataset();
+        assert_eq!(d1.len(), d2.len());
+        for (a, b) in d1.sessions.iter().zip(&d2.sessions) {
+            assert_eq!(a.broadcast_id, b.broadcast_id);
+            assert_eq!(a.meta, b.meta);
+        }
+    }
+}

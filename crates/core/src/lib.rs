@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Experiment orchestration for the Periscope reproduction.
+//!
+//! This crate is the library's front door:
+//!
+//! * [`lab::Lab`] wires the whole stack together — a seeded synthetic
+//!   population behind a [`pscp_service::PeriscopeService`], the crawler,
+//!   the Teleport session driver, and the analysis pipelines — behind a
+//!   small imperative API;
+//! * [`figures`] defines the renderable figure/table data model every
+//!   experiment produces;
+//! * [`experiments`] holds one entry per paper artifact (Figures 1–7,
+//!   Table 1, and the in-text statistics), each regenerating its figure
+//!   from scratch given a seed and a scale.
+//!
+//! ```
+//! use pscp_core::{Lab, LabConfig};
+//! let mut lab = Lab::new(LabConfig::small(7));
+//! let dataset = lab.session_dataset();
+//! assert!(!dataset.sessions.is_empty());
+//! ```
+
+pub mod experiments;
+pub mod figures;
+pub mod lab;
+
+pub use figures::FigureData;
+pub use lab::{Lab, LabConfig, Scale};

@@ -1,0 +1,173 @@
+//! The mitmproxy-style API tap.
+//!
+//! §2: "we set up a so called SSL-capable man-in-the-middle proxy ... The
+//! proxy intercepts the HTTPS requests sent by the mobile device and
+//! pretends to be the server to the client and to be the client to the
+//! server. The proxy enables us to examine and log the exchange of requests
+//! and responses." §3: "Since the API is not public, we examined the HTTP
+//! requests and responses while using the app through the mitmproxy in
+//! order to understand how the API works."
+//!
+//! [`ApiTap`] wraps a [`PeriscopeService`] the way mitmproxy wrapped the
+//! real one: every request/response pair is logged, and the reconnaissance
+//! that produced the paper's Table 1 — the inventory of `apiRequest`
+//! names with example payloads — falls out of the log.
+
+use pscp_proto::http::{Request, Response};
+use pscp_service::PeriscopeService;
+use pscp_simnet::{GeoPoint, SimTime};
+use std::collections::BTreeMap;
+
+/// One intercepted exchange.
+#[derive(Debug, Clone)]
+pub struct Exchange {
+    /// Interception time.
+    pub at: SimTime,
+    /// Requesting user/session label.
+    pub user: String,
+    /// Request path (e.g. `/api/v2/mapGeoBroadcastFeed`).
+    pub path: String,
+    /// Request body (JSON text).
+    pub request_body: Vec<u8>,
+    /// Response status.
+    pub status: u16,
+    /// Response body size (the proxy logs full bodies; size suffices for
+    /// the analyses here).
+    pub response_len: usize,
+}
+
+/// A transparent proxy in front of the service.
+pub struct ApiTap<'a> {
+    service: &'a mut PeriscopeService,
+    /// The intercepted log, in order.
+    pub log: Vec<Exchange>,
+}
+
+impl<'a> ApiTap<'a> {
+    /// Inserts the proxy in front of `service`.
+    pub fn new(service: &'a mut PeriscopeService) -> Self {
+        ApiTap { service, log: Vec::new() }
+    }
+
+    /// Forwards a request, logging the exchange.
+    pub fn handle(
+        &mut self,
+        user: &str,
+        req: &Request,
+        now: SimTime,
+        viewer_loc: &GeoPoint,
+    ) -> Response {
+        let resp = self.service.handle_http(user, req, now, viewer_loc);
+        self.log.push(Exchange {
+            at: now,
+            user: user.to_string(),
+            path: req.path.clone(),
+            request_body: req.body.clone(),
+            status: resp.status,
+            response_len: resp.body.len(),
+        });
+        resp
+    }
+
+    /// The reconnaissance result: distinct `apiRequest` names observed,
+    /// each with one example request body — the raw material of Table 1.
+    pub fn discovered_commands(&self) -> BTreeMap<String, String> {
+        let mut out = BTreeMap::new();
+        for ex in &self.log {
+            if let Some(name) = ex.path.strip_prefix("/api/v2/") {
+                out.entry(name.to_string()).or_insert_with(|| {
+                    String::from_utf8_lossy(&ex.request_body).into_owned()
+                });
+            }
+        }
+        out
+    }
+
+    /// Count of 429 responses seen — what taught the paper's authors about
+    /// the rate limiting in the first place.
+    pub fn rate_limited_count(&self) -> usize {
+        self.log.iter().filter(|e| e.status == 429).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_service::api::ApiRequest;
+    use pscp_service::ServiceConfig;
+    use pscp_simnet::{GeoRect, RngFactory, SimDuration};
+    use pscp_workload::broadcast::BroadcastId;
+    use pscp_workload::population::{Population, PopulationConfig};
+
+    fn service() -> PeriscopeService {
+        let pop = Population::generate(PopulationConfig::small(), &RngFactory::new(71));
+        PeriscopeService::new(pop, ServiceConfig::default())
+    }
+
+    fn loc() -> GeoPoint {
+        GeoPoint::new(60.19, 24.83)
+    }
+
+    #[test]
+    fn tap_logs_exchanges_and_discovers_commands() {
+        let mut svc = service();
+        let mut tap = ApiTap::new(&mut svc);
+        let mut t = SimTime::from_secs(60);
+        let reqs = vec![
+            ApiRequest::MapGeoBroadcastFeed { rect: GeoRect::WORLD, include_replay: false },
+            ApiRequest::GetBroadcasts { ids: vec![BroadcastId(1)] },
+            ApiRequest::PlaybackMeta {
+                broadcast_id: BroadcastId(1),
+                n_stalls: 0,
+                avg_stall_time_s: None,
+                playback_latency_s: None,
+            },
+            ApiRequest::AccessVideo { broadcast_id: BroadcastId(1) },
+        ];
+        for r in &reqs {
+            t += SimDuration::from_secs(2);
+            tap.handle("app-user", &r.to_http("tok"), t, &loc());
+        }
+        assert_eq!(tap.log.len(), 4);
+        let commands = tap.discovered_commands();
+        // The paper's Table 1 inventory (plus accessVideo).
+        assert!(commands.contains_key("mapGeoBroadcastFeed"));
+        assert!(commands.contains_key("getBroadcasts"));
+        assert!(commands.contains_key("playbackMeta"));
+        assert!(commands.contains_key("accessVideo"));
+        // Bodies are JSON the analyst can read.
+        assert!(commands["mapGeoBroadcastFeed"].contains("p1_lat"));
+    }
+
+    #[test]
+    fn tap_sees_rate_limiting() {
+        let mut svc = service();
+        let mut tap = ApiTap::new(&mut svc);
+        let t = SimTime::from_secs(60);
+        let req = ApiRequest::GetBroadcasts { ids: vec![] }.to_http("tok");
+        for _ in 0..20 {
+            tap.handle("hasty", &req, t, &loc());
+        }
+        assert!(tap.rate_limited_count() > 0);
+        assert!(tap.rate_limited_count() < 20);
+    }
+
+    #[test]
+    fn responses_pass_through_unmodified() {
+        let mut svc = service();
+        let t = SimTime::from_secs(60);
+        let req = ApiRequest::MapGeoBroadcastFeed {
+            rect: GeoRect::WORLD,
+            include_replay: false,
+        }
+        .to_http("tok");
+        let direct = {
+            let resp = svc.handle_http("u-direct", &req, t, &loc());
+            resp.body
+        };
+        let mut tap = ApiTap::new(&mut svc);
+        let proxied = tap.handle("u-proxied", &req, t, &loc());
+        assert_eq!(proxied.body, direct, "the proxy is transparent");
+        assert_eq!(tap.log[0].response_len, proxied.body.len());
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Smartphone power model — the Monsoon-power-monitor substitution for §5.3.
+//!
+//! The paper instrumented a Galaxy S4 with a Monsoon monitor and measured
+//! seven scenarios over WiFi and LTE (Fig 7). This crate rebuilds the
+//! measurement as a *component* power model in the style of Tarkoma et al.,
+//! "Smartphone Energy Consumption" (the paper’s own reference \[17\]):
+//!
+//! ```text
+//! P = P_base(screen on) + P_cpu(load, clock) + P_gpu(load, clock)
+//!     + P_media(codec engines) + P_camera + P_radio(technology, duty, rate)
+//! ```
+//!
+//! * CPU/GPU use DVFS: power grows superlinearly in load, and the §5.3
+//!   observation that chat raises "the average CPU and GPU clock rates by
+//!   roughly one third" enters as a clock multiplier with a ≈ f² cost;
+//! * the LTE radio models 2016-era RRC behaviour: any periodic traffic
+//!   keeps the radio in connected mode (long inactivity timers), which is
+//!   why LTE costs so much more than WiFi for the same workload;
+//! * WiFi models PSM with a duty cycle plus per-Mbps reception cost.
+//!
+//! [`scenarios`] defines the seven Fig-7 workloads in terms of component
+//! loads; [`session`] derives the same parameters from a simulated
+//! [`pscp_client::SessionOutcome`]'s actual captured traffic.
+
+pub mod model;
+pub mod scenarios;
+pub mod session;
+
+pub use model::{PowerModel, Radio, Workload};
+pub use scenarios::{Scenario, scenario_workload};

@@ -1,0 +1,194 @@
+//! The component power model.
+
+/// Radio access technology of the measurement (§5.3 tested both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Radio {
+    /// Non-commercial WiFi.
+    Wifi,
+    /// Nokia-operated full LTE network, DRX enabled with typical timers.
+    Lte,
+}
+
+/// A workload expressed as component utilizations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// CPU load (0..1), at the nominal clock.
+    pub cpu_load: f64,
+    /// GPU load (0..1), at the nominal clock.
+    pub gpu_load: f64,
+    /// Clock multiplier relative to nominal (chat raises clocks ~4/3).
+    pub clock_ratio: f64,
+    /// Hardware codec engines active (decode or encode path powered).
+    pub media_engine: bool,
+    /// Camera + preview pipeline active (broadcasting).
+    pub camera: bool,
+    /// Mean downstream+upstream traffic in Mbit/s.
+    pub traffic_mbps: f64,
+    /// Fraction of time the radio is actively receiving/transmitting
+    /// (WiFi duty; LTE uses its own connected-time model).
+    pub radio_duty: f64,
+}
+
+impl Workload {
+    /// A completely idle workload (screen on).
+    pub fn idle() -> Workload {
+        Workload {
+            cpu_load: 0.03,
+            gpu_load: 0.02,
+            clock_ratio: 1.0,
+            media_engine: false,
+            camera: false,
+            traffic_mbps: 0.0,
+            radio_duty: 0.05,
+        }
+    }
+}
+
+/// Model constants, calibrated against the paper's Fig 7 (Galaxy S4 class
+/// hardware, full screen brightness).
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    /// Device base + full-brightness screen, mW.
+    pub base_mw: f64,
+    /// CPU power at full load, nominal clock, mW.
+    pub cpu_full_mw: f64,
+    /// CPU load exponent (DVFS superlinearity in load).
+    pub cpu_exp: f64,
+    /// GPU power at full load, nominal clock, mW.
+    pub gpu_full_mw: f64,
+    /// GPU load exponent.
+    pub gpu_exp: f64,
+    /// Clock-scaling exponent (P ∝ f^k at fixed utilization).
+    pub clock_exp: f64,
+    /// Codec engine power when active, mW.
+    pub media_mw: f64,
+    /// Camera pipeline power, mW.
+    pub camera_mw: f64,
+    /// WiFi idle/PSM power, mW.
+    pub wifi_idle_mw: f64,
+    /// WiFi active floor, mW.
+    pub wifi_active_mw: f64,
+    /// WiFi marginal cost per Mbps, mW.
+    pub wifi_per_mbps_mw: f64,
+    /// LTE idle (DRX) power, mW.
+    pub lte_idle_mw: f64,
+    /// LTE connected-mode floor, mW.
+    pub lte_connected_mw: f64,
+    /// LTE marginal cost per Mbps, mW.
+    pub lte_per_mbps_mw: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel {
+            base_mw: 1000.0,
+            cpu_full_mw: 1300.0,
+            cpu_exp: 1.3,
+            gpu_full_mw: 750.0,
+            gpu_exp: 1.2,
+            clock_exp: 2.1,
+            media_mw: 340.0,
+            camera_mw: 500.0,
+            wifi_idle_mw: 55.0,
+            wifi_active_mw: 260.0,
+            wifi_per_mbps_mw: 290.0,
+            lte_idle_mw: 20.0,
+            lte_connected_mw: 900.0,
+            lte_per_mbps_mw: 220.0,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Average power of `workload` on `radio`, in milliwatts.
+    pub fn power_mw(&self, workload: &Workload, radio: Radio) -> f64 {
+        let w = workload;
+        assert!((0.0..=1.0).contains(&w.cpu_load), "cpu load out of range");
+        assert!((0.0..=1.0).contains(&w.gpu_load), "gpu load out of range");
+        assert!((0.0..=1.0).contains(&w.radio_duty), "radio duty out of range");
+        let clock = w.clock_ratio.max(0.1).powf(self.clock_exp);
+        let cpu = self.cpu_full_mw * w.cpu_load.powf(self.cpu_exp) * clock;
+        let gpu = self.gpu_full_mw * w.gpu_load.powf(self.gpu_exp) * clock;
+        let media = if w.media_engine { self.media_mw } else { 0.0 };
+        let camera = if w.camera { self.camera_mw } else { 0.0 };
+        let radio_p = match radio {
+            Radio::Wifi => {
+                self.wifi_idle_mw
+                    + w.radio_duty * (self.wifi_active_mw + self.wifi_per_mbps_mw * w.traffic_mbps)
+            }
+            Radio::Lte => {
+                // 2016-era RRC: inactivity timers of ~10 s mean any
+                // recurring traffic keeps the radio connected; duty is
+                // effectively 1.0 whenever traffic flows.
+                let connected = if w.traffic_mbps > 0.0 || w.radio_duty > 0.2 { 1.0 } else { w.radio_duty };
+                self.lte_idle_mw
+                    + connected * (self.lte_connected_mw + self.lte_per_mbps_mw * w.traffic_mbps)
+            }
+        };
+        self.base_mw + cpu + gpu + media + camera + radio_p
+    }
+
+    /// Energy in joules for holding `workload` for `seconds`.
+    pub fn energy_j(&self, workload: &Workload, radio: Radio, seconds: f64) -> f64 {
+        self.power_mw(workload, radio) / 1000.0 * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_near_one_watt() {
+        let m = PowerModel::default();
+        let p = m.power_mw(&Workload::idle(), Radio::Wifi);
+        assert!((950.0..1150.0).contains(&p), "p={p}");
+    }
+
+    #[test]
+    fn lte_costs_more_under_traffic() {
+        let m = PowerModel::default();
+        let w = Workload { traffic_mbps: 0.5, radio_duty: 0.5, ..Workload::idle() };
+        assert!(m.power_mw(&w, Radio::Lte) > m.power_mw(&w, Radio::Wifi) + 300.0);
+    }
+
+    #[test]
+    fn clock_scaling_superlinear() {
+        let m = PowerModel::default();
+        let base = Workload { cpu_load: 0.4, gpu_load: 0.4, ..Workload::idle() };
+        let boosted = Workload { clock_ratio: 4.0 / 3.0, ..base };
+        let p0 = m.power_mw(&base, Radio::Wifi);
+        let p1 = m.power_mw(&boosted, Radio::Wifi);
+        // +1/3 clock at f^2.1 ≈ 1.83× on the compute components.
+        let compute0 = p0 - m.base_mw - m.wifi_idle_mw;
+        let compute1 = p1 - m.base_mw - m.wifi_idle_mw;
+        assert!(compute1 / compute0 > 1.6, "ratio={}", compute1 / compute0);
+    }
+
+    #[test]
+    fn power_monotone_in_traffic() {
+        let m = PowerModel::default();
+        let mut last = 0.0;
+        for mbps in [0.0, 0.5, 1.0, 2.0, 3.5] {
+            let w = Workload { traffic_mbps: mbps, radio_duty: 0.8, ..Workload::idle() };
+            let p = m.power_mw(&w, Radio::Wifi);
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let m = PowerModel::default();
+        let w = Workload::idle();
+        let p = m.power_mw(&w, Radio::Wifi);
+        assert!((m.energy_j(&w, Radio::Wifi, 60.0) - p * 0.06).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "cpu load out of range")]
+    fn rejects_bad_load() {
+        let m = PowerModel::default();
+        m.power_mw(&Workload { cpu_load: 1.5, ..Workload::idle() }, Radio::Wifi);
+    }
+}

@@ -1,0 +1,208 @@
+//! The seven Fig-7 measurement scenarios.
+//!
+//! §5.3 measured, with the screen at full brightness and sound off:
+//! the Android home screen, the app browsing the broadcast list (which
+//! "refreshes the available videos every 5 seconds"), replay playback,
+//! live RTMP and HLS playback with chat off, HLS with chat on, and
+//! broadcasting. Each is expressed as component loads; the chat-on case
+//! carries the paper's observed "increase by roughly one third in the
+//! average CPU and GPU clock rates" and the ~3.5 Mbps picture traffic.
+
+use crate::model::{PowerModel, Radio, Workload};
+
+/// The Fig 7 scenarios, in the figure's order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// Android home screen, idle.
+    HomeScreen,
+    /// Periscope open on the broadcast list (5 s refresh loop).
+    AppOn,
+    /// Watching a non-live replay.
+    VideoReplay,
+    /// Watching a live RTMP stream, chat off.
+    VideoRtmpChatOff,
+    /// Watching a live HLS stream, chat off.
+    VideoHlsChatOff,
+    /// Watching a live HLS stream with the chat pane on.
+    VideoHlsChatOn,
+    /// Broadcasting from the phone.
+    Broadcast,
+}
+
+impl Scenario {
+    /// All scenarios in figure order.
+    pub const ALL: [Scenario; 7] = [
+        Scenario::HomeScreen,
+        Scenario::AppOn,
+        Scenario::VideoReplay,
+        Scenario::VideoRtmpChatOff,
+        Scenario::VideoHlsChatOff,
+        Scenario::VideoHlsChatOn,
+        Scenario::Broadcast,
+    ];
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scenario::HomeScreen => "Home screen",
+            Scenario::AppOn => "App on",
+            Scenario::VideoReplay => "Video on (not live)",
+            Scenario::VideoRtmpChatOff => "Video on (RTMP/chat off)",
+            Scenario::VideoHlsChatOff => "Video on (HLS/chat off)",
+            Scenario::VideoHlsChatOn => "Video on (HLS/chat on)",
+            Scenario::Broadcast => "Broadcast",
+        }
+    }
+
+    /// The paper's measured values (mW), Fig 7: (WiFi, LTE).
+    ///
+    /// Note §5.3's running text quotes slightly different numbers for two
+    /// scenarios (1537/2102 for app-on, 2742/3599 for chat-on) than the
+    /// figure bars; the figure values are used as calibration targets and
+    /// the discrepancy is recorded in EXPERIMENTS.md.
+    pub fn paper_mw(self) -> (f64, f64) {
+        match self {
+            Scenario::HomeScreen => (1067.0, 1006.0),
+            Scenario::AppOn => (1673.0, 2159.0),
+            Scenario::VideoReplay => (2303.0, 3120.0),
+            Scenario::VideoRtmpChatOff => (2268.0, 2959.0),
+            Scenario::VideoHlsChatOff => (2400.0, 3033.0),
+            Scenario::VideoHlsChatOn => (4169.0, 4540.0),
+            Scenario::Broadcast => (3594.0, 4383.0),
+        }
+    }
+}
+
+/// Component workload of a scenario.
+pub fn scenario_workload(scenario: Scenario) -> Workload {
+    match scenario {
+        Scenario::HomeScreen => Workload::idle(),
+        Scenario::AppOn => Workload {
+            cpu_load: 0.30,
+            gpu_load: 0.25,
+            clock_ratio: 1.0,
+            media_engine: false,
+            camera: false,
+            traffic_mbps: 0.15,
+            radio_duty: 0.67,
+        },
+        Scenario::VideoReplay => Workload {
+            cpu_load: 0.38,
+            gpu_load: 0.30,
+            clock_ratio: 1.0,
+            media_engine: true,
+            camera: false,
+            traffic_mbps: 0.60,
+            radio_duty: 0.90,
+        },
+        Scenario::VideoRtmpChatOff => Workload {
+            cpu_load: 0.35,
+            gpu_load: 0.30,
+            clock_ratio: 1.0,
+            media_engine: true,
+            camera: false,
+            traffic_mbps: 0.45,
+            radio_duty: 0.80,
+        },
+        Scenario::VideoHlsChatOff => Workload {
+            cpu_load: 0.40,
+            gpu_load: 0.31,
+            clock_ratio: 1.0,
+            media_engine: true,
+            camera: false,
+            traffic_mbps: 0.50,
+            radio_duty: 0.95,
+        },
+        Scenario::VideoHlsChatOn => Workload {
+            cpu_load: 0.50,
+            gpu_load: 0.45,
+            // "an increase by roughly one third in the average CPU and GPU
+            // clock rates when the chat is enabled" (§5.3).
+            clock_ratio: 4.0 / 3.0,
+            media_engine: true,
+            camera: false,
+            // "an increase of the aggregate data rate from roughly 500kbps
+            // to 3.5Mbps" (§5.1).
+            traffic_mbps: 3.5,
+            radio_duty: 1.0,
+        },
+        Scenario::Broadcast => Workload {
+            cpu_load: 0.80,
+            gpu_load: 0.25,
+            clock_ratio: 1.0,
+            media_engine: true,
+            camera: true,
+            traffic_mbps: 0.55,
+            radio_duty: 0.90,
+        },
+    }
+}
+
+/// Computes the full Fig 7 table: (scenario, WiFi mW, LTE mW).
+pub fn figure7(model: &PowerModel) -> Vec<(Scenario, f64, f64)> {
+    Scenario::ALL
+        .iter()
+        .map(|&s| {
+            let w = scenario_workload(s);
+            (s, model.power_mw(&w, Radio::Wifi), model.power_mw(&w, Radio::Lte))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_within_tolerance() {
+        // Every scenario lands within 12% of the paper's Fig 7 bars.
+        let model = PowerModel::default();
+        for (s, wifi, lte) in figure7(&model) {
+            let (pw, pl) = s.paper_mw();
+            let ew = (wifi - pw).abs() / pw;
+            let el = (lte - pl).abs() / pl;
+            assert!(ew < 0.12, "{}: WiFi {wifi:.0} vs paper {pw:.0} ({:.1}%)", s.label(), ew * 100.0);
+            assert!(el < 0.12, "{}: LTE {lte:.0} vs paper {pl:.0} ({:.1}%)", s.label(), el * 100.0);
+        }
+    }
+
+    #[test]
+    fn orderings_match_paper() {
+        let model = PowerModel::default();
+        let table = figure7(&model);
+        let wifi = |s: Scenario| table.iter().find(|(x, _, _)| *x == s).unwrap().1;
+        let lte = |s: Scenario| table.iter().find(|(x, _, _)| *x == s).unwrap().2;
+        // Chat on is the most power-hungry viewing mode — more than
+        // broadcasting (the paper's headline surprise).
+        assert!(wifi(Scenario::VideoHlsChatOn) > wifi(Scenario::Broadcast));
+        // LTE ≥ WiFi for every active scenario.
+        for s in Scenario::ALL.iter().skip(1) {
+            assert!(lte(*s) > wifi(*s), "{}", s.label());
+        }
+        // RTMP vs HLS difference is "very small" (§5.3).
+        let diff = (wifi(Scenario::VideoHlsChatOff) - wifi(Scenario::VideoRtmpChatOff)).abs();
+        assert!(diff < 350.0, "diff={diff}");
+        // Replay ≈ live (§5.3: "consume an equal amount of power").
+        let replay_vs_live =
+            (wifi(Scenario::VideoReplay) - wifi(Scenario::VideoHlsChatOff)).abs();
+        assert!(replay_vs_live < 350.0);
+    }
+
+    #[test]
+    fn chat_on_delta_dominated_by_compute_and_traffic() {
+        let model = PowerModel::default();
+        let off = scenario_workload(Scenario::VideoHlsChatOff);
+        let on = scenario_workload(Scenario::VideoHlsChatOn);
+        let p_off = model.power_mw(&off, Radio::Wifi);
+        let p_on = model.power_mw(&on, Radio::Wifi);
+        // ~1.7-1.8 kW-milli of extra draw, as in the figure.
+        assert!((p_on - p_off) > 1200.0, "delta={}", p_on - p_off);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<&str> =
+            Scenario::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 7);
+    }
+}

@@ -1,0 +1,121 @@
+//! AAC audio model.
+//!
+//! §5.2: "audio is sampled at 44,100 Hz, 16 bit, encoded in Variable Bit
+//! Rate (VBR) mode at about either 32 or 64 kbps". An AAC frame carries 1024
+//! samples, so frames tick every ~23.22 ms; VBR makes their sizes fluctuate
+//! around the nominal rate.
+
+use pscp_simnet::dist;
+use rand::Rng;
+
+/// AAC sample rate used by the Periscope apps.
+pub const SAMPLE_RATE_HZ: u32 = 44_100;
+/// Samples per AAC frame.
+pub const SAMPLES_PER_FRAME: u32 = 1024;
+
+/// Nominal audio bitrate selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AudioBitrate {
+    /// ~32 kbps (voice-leaning).
+    Kbps32,
+    /// ~64 kbps.
+    Kbps64,
+}
+
+impl AudioBitrate {
+    /// Nominal bits per second.
+    pub fn bps(self) -> f64 {
+        match self {
+            AudioBitrate::Kbps32 => 32_000.0,
+            AudioBitrate::Kbps64 => 64_000.0,
+        }
+    }
+}
+
+/// Duration of one AAC frame in milliseconds.
+pub fn frame_duration_ms() -> f64 {
+    SAMPLES_PER_FRAME as f64 * 1000.0 / SAMPLE_RATE_HZ as f64
+}
+
+/// An encoded audio frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AudioFrame {
+    /// Presentation timestamp, ms.
+    pub pts_ms: u32,
+    /// Encoded size in bytes.
+    pub size: usize,
+}
+
+/// VBR AAC frame-size generator.
+#[derive(Debug, Clone)]
+pub struct AudioEncoder {
+    bitrate: AudioBitrate,
+    index: u64,
+}
+
+impl AudioEncoder {
+    /// Creates an encoder at the given nominal bitrate.
+    pub fn new(bitrate: AudioBitrate) -> Self {
+        AudioEncoder { bitrate, index: 0 }
+    }
+
+    /// Nominal bitrate.
+    pub fn bitrate(&self) -> AudioBitrate {
+        self.bitrate
+    }
+
+    /// Produces the next frame. VBR: sizes are lognormal around the nominal
+    /// mean with modest spread.
+    pub fn next_frame<R: Rng + ?Sized>(&mut self, rng: &mut R) -> AudioFrame {
+        let pts_ms = (self.index as f64 * frame_duration_ms()).round() as u32;
+        self.index += 1;
+        let mean_bytes = self.bitrate.bps() / 8.0 * frame_duration_ms() / 1000.0;
+        let size = (mean_bytes * dist::lognormal(rng, 0.0, 0.18)).round().max(8.0) as usize;
+        AudioFrame { pts_ms, size }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_simnet::RngFactory;
+
+    #[test]
+    fn frame_duration_is_23ms() {
+        assert!((frame_duration_ms() - 23.22).abs() < 0.01);
+    }
+
+    #[test]
+    fn long_run_bitrate_near_nominal() {
+        let mut rng = RngFactory::new(3).stream("audio");
+        for (bitrate, nominal) in
+            [(AudioBitrate::Kbps32, 32_000.0), (AudioBitrate::Kbps64, 64_000.0)]
+        {
+            let mut enc = AudioEncoder::new(bitrate);
+            let n = 4000;
+            let total: usize = (0..n).map(|_| enc.next_frame(&mut rng).size).sum();
+            let secs = n as f64 * frame_duration_ms() / 1000.0;
+            let rate = total as f64 * 8.0 / secs;
+            assert!((rate - nominal).abs() < nominal * 0.1, "rate={rate}");
+        }
+    }
+
+    #[test]
+    fn pts_ticks_by_frame_duration() {
+        let mut rng = RngFactory::new(4).stream("audio-pts");
+        let mut enc = AudioEncoder::new(AudioBitrate::Kbps32);
+        let f0 = enc.next_frame(&mut rng);
+        let f1 = enc.next_frame(&mut rng);
+        assert_eq!(f0.pts_ms, 0);
+        assert_eq!(f1.pts_ms, 23);
+    }
+
+    #[test]
+    fn sizes_vary_vbr() {
+        let mut rng = RngFactory::new(5).stream("audio-vbr");
+        let mut enc = AudioEncoder::new(AudioBitrate::Kbps64);
+        let sizes: Vec<usize> = (0..50).map(|_| enc.next_frame(&mut rng).size).collect();
+        let distinct: std::collections::HashSet<_> = sizes.iter().collect();
+        assert!(distinct.len() > 10, "VBR sizes should vary");
+    }
+}

@@ -1,0 +1,265 @@
+//! Packet capture and TCP stream reconstruction — the tcpdump/wireshark
+//! stand-in.
+//!
+//! §2: "The script also captures all the video and audio traffic using
+//! tcpdump. ... After finding and reconstructing the multimedia TCP stream
+//! using wireshark, single segments are isolated by saving the response of
+//! HTTP GET request ... For RTMP, we exploit the wireshark dissector."
+//!
+//! A [`Capture`] holds per-flow packet records: arrival time on the
+//! simulation clock *and* the capture host's wall-clock timestamp (tcpdump
+//! stamps packets with the host clock, which is what the paper's NTP-based
+//! delivery-latency computation subtracts from). Reconstruction yields the
+//! ordered byte stream plus a byte-offset → timestamp index, so an analyzer
+//! can ask "when did the packet containing byte N arrive?".
+
+use pscp_simnet::SimTime;
+
+/// Transport-level classification of a flow, as the analysis scripts would
+/// infer from ports and endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlowKind {
+    /// RTMP on port 80 to an Amazon EC2 ingest server.
+    Rtmp,
+    /// HLS segment/playlist HTTP to a Fastly CDN POP.
+    HlsHttp,
+    /// JSON API over HTTPS.
+    Api,
+    /// WebSocket chat.
+    Chat,
+    /// Profile picture downloads from S3.
+    PictureHttp,
+    /// App bootstrap traffic at join: thumbnails, chat backlog, rankings —
+    /// the transfers that make joining slow on a throttled link (Fig 4a).
+    AppMisc,
+}
+
+/// One recorded packet (downstream direction; upstream requests are logged
+/// by the API tap instead, as in the paper's mitmproxy setup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PacketRecord {
+    /// Arrival instant on the simulation clock.
+    pub at: SimTime,
+    /// Capture host wall-clock timestamp, seconds (with its NTP error).
+    pub wall_ts: f64,
+    /// TCP payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// A reconstructed unidirectional TCP flow.
+#[derive(Debug, Clone)]
+pub struct Flow {
+    /// Flow classification.
+    pub kind: FlowKind,
+    /// Server endpoint label, e.g. `"ec2-54-67-9-120.us-west-1"`.
+    pub server: String,
+    /// Packets in arrival order.
+    pub packets: Vec<PacketRecord>,
+}
+
+impl Flow {
+    /// Creates an empty flow.
+    pub fn new(kind: FlowKind, server: impl Into<String>) -> Self {
+        Flow { kind, server: server.into(), packets: Vec::new() }
+    }
+
+    /// Records a packet.
+    pub fn record(&mut self, at: SimTime, wall_ts: f64, payload: Vec<u8>) {
+        debug_assert!(
+            self.packets.last().map(|p| p.at <= at).unwrap_or(true),
+            "packets must be recorded in order"
+        );
+        self.packets.push(PacketRecord { at, wall_ts, payload });
+    }
+
+    /// Total payload bytes.
+    pub fn byte_count(&self) -> usize {
+        self.packets.iter().map(|p| p.payload.len()).sum()
+    }
+
+    /// Reassembles the ordered byte stream.
+    pub fn byte_stream(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_count());
+        for p in &self.packets {
+            out.extend_from_slice(&p.payload);
+        }
+        out
+    }
+
+    /// Returns the wall timestamp of the packet containing byte `offset` of
+    /// the reassembled stream, or `None` past the end.
+    pub fn wall_ts_at_byte(&self, offset: usize) -> Option<f64> {
+        self.index_at_byte(offset).map(|i| self.packets[i].wall_ts)
+    }
+
+    /// Returns the simulation arrival time of the packet containing byte
+    /// `offset`.
+    pub fn sim_time_at_byte(&self, offset: usize) -> Option<SimTime> {
+        self.index_at_byte(offset).map(|i| self.packets[i].at)
+    }
+
+    fn index_at_byte(&self, offset: usize) -> Option<usize> {
+        let mut cum = 0usize;
+        for (i, p) in self.packets.iter().enumerate() {
+            cum += p.payload.len();
+            if offset < cum {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Mean downstream rate over the capture in bits/second (first to last
+    /// packet), or 0 for degenerate flows.
+    pub fn mean_rate_bps(&self) -> f64 {
+        let (Some(first), Some(last)) = (self.packets.first(), self.packets.last()) else {
+            return 0.0;
+        };
+        let dt = last.at.saturating_since(first.at).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        self.byte_count() as f64 * 8.0 / dt
+    }
+}
+
+/// A whole session's capture: every downstream flow the phone saw.
+#[derive(Debug, Clone, Default)]
+pub struct Capture {
+    /// All flows in creation order.
+    pub flows: Vec<Flow>,
+}
+
+impl Capture {
+    /// Creates an empty capture.
+    pub fn new() -> Self {
+        Capture::default()
+    }
+
+    /// Adds a flow, returning its index for later `record` calls.
+    pub fn open_flow(&mut self, kind: FlowKind, server: impl Into<String>) -> usize {
+        self.flows.push(Flow::new(kind, server));
+        self.flows.len() - 1
+    }
+
+    /// Records a packet on flow `idx`.
+    pub fn record(&mut self, idx: usize, at: SimTime, wall_ts: f64, payload: Vec<u8>) {
+        self.flows[idx].record(at, wall_ts, payload);
+    }
+
+    /// First flow of a given kind, if any.
+    pub fn flow_of_kind(&self, kind: FlowKind) -> Option<&Flow> {
+        self.flows.iter().find(|f| f.kind == kind)
+    }
+
+    /// All flows of a given kind.
+    pub fn flows_of_kind(&self, kind: FlowKind) -> Vec<&Flow> {
+        self.flows.iter().filter(|f| f.kind == kind).collect()
+    }
+
+    /// Total bytes across all flows.
+    pub fn total_bytes(&self) -> usize {
+        self.flows.iter().map(Flow::byte_count).sum()
+    }
+
+    /// Mean downstream rate over only the given flow kinds, bits/second —
+    /// e.g. the steady-state media+chat rate excluding join bootstrap.
+    pub fn rate_of_kinds(&self, kinds: &[FlowKind]) -> f64 {
+        let flows: Vec<&Flow> =
+            self.flows.iter().filter(|f| kinds.contains(&f.kind)).collect();
+        let first = flows.iter().filter_map(|f| f.packets.first()).map(|p| p.at).min();
+        let last = flows.iter().filter_map(|f| f.packets.last()).map(|p| p.at).max();
+        let (Some(first), Some(last)) = (first, last) else { return 0.0 };
+        let dt = last.saturating_since(first).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        flows.iter().map(|f| f.byte_count()).sum::<usize>() as f64 * 8.0 / dt
+    }
+
+    /// Aggregate mean downstream rate across all flows, bits/second,
+    /// measured from the earliest to the latest packet in the capture.
+    pub fn aggregate_rate_bps(&self) -> f64 {
+        let first = self.flows.iter().filter_map(|f| f.packets.first()).map(|p| p.at).min();
+        let last = self.flows.iter().filter_map(|f| f.packets.last()).map(|p| p.at).max();
+        let (Some(first), Some(last)) = (first, last) else { return 0.0 };
+        let dt = last.saturating_since(first).as_secs_f64();
+        if dt <= 0.0 {
+            return 0.0;
+        }
+        self.total_bytes() as f64 * 8.0 / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn byte_stream_reassembles_in_order() {
+        let mut f = Flow::new(FlowKind::Rtmp, "ec2-1");
+        f.record(t(1), 1.0, vec![1, 2]);
+        f.record(t(2), 2.0, vec![3]);
+        f.record(t(3), 3.0, vec![4, 5]);
+        assert_eq!(f.byte_stream(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(f.byte_count(), 5);
+    }
+
+    #[test]
+    fn timestamp_lookup_by_offset() {
+        let mut f = Flow::new(FlowKind::Rtmp, "ec2-1");
+        f.record(t(1), 1.5, vec![0; 10]);
+        f.record(t(2), 2.5, vec![0; 10]);
+        assert_eq!(f.wall_ts_at_byte(0), Some(1.5));
+        assert_eq!(f.wall_ts_at_byte(9), Some(1.5));
+        assert_eq!(f.wall_ts_at_byte(10), Some(2.5));
+        assert_eq!(f.wall_ts_at_byte(19), Some(2.5));
+        assert_eq!(f.wall_ts_at_byte(20), None);
+        assert_eq!(f.sim_time_at_byte(10), Some(t(2)));
+    }
+
+    #[test]
+    fn mean_rate() {
+        let mut f = Flow::new(FlowKind::HlsHttp, "fastly-eu");
+        f.record(t(0), 0.0, vec![0; 1000]);
+        f.record(t(4), 4.0, vec![0; 1000]);
+        // 2000 bytes over 4 s = 4000 bps.
+        assert!((f.mean_rate_bps() - 4000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_rates_are_zero() {
+        let mut f = Flow::new(FlowKind::Chat, "ws");
+        assert_eq!(f.mean_rate_bps(), 0.0);
+        f.record(t(1), 1.0, vec![1]);
+        assert_eq!(f.mean_rate_bps(), 0.0);
+    }
+
+    #[test]
+    fn capture_flow_management() {
+        let mut cap = Capture::new();
+        let a = cap.open_flow(FlowKind::Rtmp, "ec2-1");
+        let b = cap.open_flow(FlowKind::Chat, "ws-1");
+        cap.record(a, t(1), 1.0, vec![0; 100]);
+        cap.record(b, t(1), 1.0, vec![0; 50]);
+        assert_eq!(cap.total_bytes(), 150);
+        assert_eq!(cap.flow_of_kind(FlowKind::Chat).unwrap().server, "ws-1");
+        assert!(cap.flow_of_kind(FlowKind::HlsHttp).is_none());
+        assert_eq!(cap.flows_of_kind(FlowKind::Rtmp).len(), 1);
+    }
+
+    #[test]
+    fn aggregate_rate_spans_flows() {
+        let mut cap = Capture::new();
+        let a = cap.open_flow(FlowKind::HlsHttp, "fastly-1");
+        let b = cap.open_flow(FlowKind::HlsHttp, "fastly-2");
+        cap.record(a, t(0), 0.0, vec![0; 500]);
+        cap.record(b, t(2), 2.0, vec![0; 500]);
+        // 1000 bytes over 2 s = 4000 bps.
+        assert!((cap.aggregate_rate_bps() - 4000.0).abs() < 1e-9);
+    }
+}

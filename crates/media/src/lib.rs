@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Media pipeline: content, encoding, packaging, capture and analysis.
+//!
+//! §5.2 of the paper analyses the audio/video of captured sessions: AVC video
+//! at 320×568, variable frame rate up to 30 fps, 200–400 kbps typical
+//! bitrate, QP-based rate control reacting to content complexity, GOP
+//! patterns (repeated IBP; ~20% of streams I/P only; I-frame interval ≈ 36),
+//! and AAC audio at 32/64 kbps VBR. This crate models that causal chain and
+//! the measurement path that observes it:
+//!
+//! * [`content`] — content classes with time-varying complexity (a static
+//!   talking head vs. a soccer match captured from a TV);
+//! * [`encoder`] — an AVC-like encoder model: an R-Q rate controller picks
+//!   QP per frame given complexity and a target bitrate, emitting frames
+//!   whose *sizes* follow the standard `bits ∝ complexity · 2^((QP₀-QP)/6)`
+//!   law (the "model bitstream" substitution for real H.264 — see
+//!   DESIGN.md §1);
+//! * [`audio`] — AAC VBR frame sizes at 44.1 kHz;
+//! * [`bitstream`] — the self-describing frame payload (frame type, QP,
+//!   resolution, optional embedded NTP timestamp) that the analysis side
+//!   parses back out, standing in for H.264 slice headers + SEI;
+//! * [`flv`] — FLV-style tag packaging used on the RTMP path;
+//! * [`ts`] — MPEG-TS segmenter/demuxer (188-byte packets, PAT/PMT, PES
+//!   with 90 kHz PTS) used on the HLS path;
+//! * [`capture`] — tcpdump-style packet records and TCP stream reassembly;
+//! * [`analysis`] — the wireshark/libav stand-in: reconstructs streams from
+//!   captures and computes bitrate, QP, GOP pattern, frame rate, segment
+//!   durations, and NTP-based delivery latency samples.
+
+pub mod analysis;
+pub mod audio;
+pub mod bitstream;
+pub mod capture;
+pub mod content;
+pub mod encoder;
+pub mod flv;
+pub mod ts;
+
+pub use bitstream::{FrameKind, FramePayload};
+pub use content::{ContentClass, ContentProcess};
+pub use encoder::{Encoder, EncoderConfig, EncodedFrame, GopPattern};

@@ -1,0 +1,527 @@
+//! MPEG-TS (ISO/IEC 13818-1) mux and demux.
+//!
+//! §2 of the paper: after isolating an HLS HTTP response, the body "contains
+//! an MPEG-TS file ready to be played". HLS segments here are genuine
+//! transport streams: 188-byte packets, PAT/PMT with MPEG-2 CRC32, PES
+//! packets with 33-bit 90 kHz PTS, continuity counters, and adaptation-field
+//! stuffing. The demuxer validates all of it — it is the parser the capture
+//! analysis runs, standing in for the paper's wireshark + libav toolchain.
+
+use crate::bitstream::FramePayload;
+use pscp_proto::ProtoError;
+
+/// Transport packet size.
+pub const TS_PACKET: usize = 188;
+/// Sync byte.
+pub const SYNC: u8 = 0x47;
+/// PID of the Program Association Table.
+pub const PID_PAT: u16 = 0x0000;
+/// PID we allocate for the Program Map Table.
+pub const PID_PMT: u16 = 0x1000;
+/// PID of the video elementary stream.
+pub const PID_VIDEO: u16 = 0x0100;
+/// PID of the audio elementary stream.
+pub const PID_AUDIO: u16 = 0x0101;
+/// PES stream id for video.
+const STREAM_ID_VIDEO: u8 = 0xE0;
+/// PES stream id for audio.
+const STREAM_ID_AUDIO: u8 = 0xC0;
+
+/// MPEG-2 CRC32 (as used in PSI tables): polynomial 0x04C11DB7, init all
+/// ones, no reflection, no final xor.
+pub fn crc32_mpeg2(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= (byte as u32) << 24;
+        for _ in 0..8 {
+            crc = if crc & 0x8000_0000 != 0 { (crc << 1) ^ 0x04C1_1DB7 } else { crc << 1 };
+        }
+    }
+    crc
+}
+
+/// One elementary-stream access unit recovered from (or destined for) a
+/// transport stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsUnit {
+    /// A video access unit with PTS (ms domain of the encoder).
+    Video {
+        /// PTS in milliseconds.
+        pts_ms: u32,
+        /// Coded frame bytes (a [`FramePayload`]).
+        data: Vec<u8>,
+    },
+    /// An audio access unit.
+    Audio {
+        /// PTS in milliseconds.
+        pts_ms: u32,
+        /// Opaque coded audio bytes.
+        data: Vec<u8>,
+    },
+}
+
+impl TsUnit {
+    /// PTS in ms.
+    pub fn pts_ms(&self) -> u32 {
+        match self {
+            TsUnit::Video { pts_ms, .. } | TsUnit::Audio { pts_ms, .. } => *pts_ms,
+        }
+    }
+}
+
+/// Multiplexes access units into a complete TS segment (PAT, PMT, then one
+/// PES packet per unit).
+#[derive(Debug)]
+pub struct TsMuxer {
+    continuity: std::collections::HashMap<u16, u8>,
+}
+
+impl Default for TsMuxer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TsMuxer {
+    /// Creates a muxer with zeroed continuity counters.
+    pub fn new() -> Self {
+        TsMuxer { continuity: std::collections::HashMap::new() }
+    }
+
+    /// Builds a segment containing `units`, prefixed by PAT and PMT.
+    pub fn mux_segment(&mut self, units: &[TsUnit]) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_psi(PID_PAT, &pat_section(), &mut out);
+        self.write_psi(PID_PMT, &pmt_section(), &mut out);
+        for unit in units {
+            let (pid, stream_id, pts_ms, data) = match unit {
+                TsUnit::Video { pts_ms, data } => (PID_VIDEO, STREAM_ID_VIDEO, *pts_ms, data),
+                TsUnit::Audio { pts_ms, data } => (PID_AUDIO, STREAM_ID_AUDIO, *pts_ms, data),
+            };
+            let pes = pes_packet(stream_id, pts_ms, data);
+            self.write_pes(pid, &pes, &mut out);
+        }
+        out
+    }
+
+    fn next_cc(&mut self, pid: u16) -> u8 {
+        let cc = self.continuity.entry(pid).or_insert(0);
+        let current = *cc;
+        *cc = (*cc + 1) & 0x0F;
+        current
+    }
+
+    /// Writes a PSI section (pointer_field prefix) into TS packets.
+    fn write_psi(&mut self, pid: u16, section: &[u8], out: &mut Vec<u8>) {
+        let mut payload = vec![0u8]; // pointer_field
+        payload.extend_from_slice(section);
+        self.write_payload(pid, &payload, true, out);
+    }
+
+    fn write_pes(&mut self, pid: u16, pes: &[u8], out: &mut Vec<u8>) {
+        self.write_payload(pid, pes, true, out);
+    }
+
+    /// Splits `payload` across TS packets on `pid`; `pusi` marks the first.
+    fn write_payload(&mut self, pid: u16, payload: &[u8], pusi: bool, out: &mut Vec<u8>) {
+        let mut off = 0;
+        let mut first = true;
+        while off < payload.len() {
+            let remaining = payload.len() - off;
+            let mut pkt = Vec::with_capacity(TS_PACKET);
+            pkt.push(SYNC);
+            let pusi_bit = if first && pusi { 0x40 } else { 0x00 };
+            pkt.push(pusi_bit | ((pid >> 8) as u8 & 0x1F));
+            pkt.push(pid as u8);
+            let cc = self.next_cc(pid);
+            let body_space = TS_PACKET - 4;
+            if remaining >= body_space {
+                // Payload only (adaptation_field_control = 01).
+                pkt.push(0x10 | cc);
+                pkt.extend_from_slice(&payload[off..off + body_space]);
+                off += body_space;
+            } else {
+                // Needs stuffing: adaptation field present (11).
+                pkt.push(0x30 | cc);
+                let af_len = body_space - remaining - 1; // af length byte itself
+                pkt.push(af_len as u8);
+                if af_len > 0 {
+                    pkt.push(0x00); // flags
+                    pkt.extend(std::iter::repeat_n(0xFF, af_len - 1));
+                }
+                pkt.extend_from_slice(&payload[off..]);
+                off = payload.len();
+            }
+            debug_assert_eq!(pkt.len(), TS_PACKET);
+            out.extend_from_slice(&pkt);
+            first = false;
+        }
+    }
+}
+
+/// Builds the PAT: one program, PMT at [`PID_PMT`].
+fn pat_section() -> Vec<u8> {
+    let mut body = Vec::new();
+    body.push(0x00); // table_id: PAT
+    // section_syntax_indicator=1, length filled below.
+    let mut section = vec![0u8; 0];
+    section.extend_from_slice(&[0x00, 0x01]); // transport_stream_id
+    section.push(0xC1); // version 0, current_next=1
+    section.push(0x00); // section_number
+    section.push(0x00); // last_section_number
+    section.extend_from_slice(&[0x00, 0x01]); // program_number 1
+    section.push(0xE0 | ((PID_PMT >> 8) as u8 & 0x1F));
+    section.push(PID_PMT as u8);
+    let len = section.len() + 4; // + CRC
+    body.push(0xB0 | ((len >> 8) as u8 & 0x0F));
+    body.push(len as u8);
+    body.extend_from_slice(&section);
+    let crc = crc32_mpeg2(&body);
+    body.extend_from_slice(&crc.to_be_bytes());
+    body
+}
+
+/// Builds the PMT: AVC video on [`PID_VIDEO`], AAC audio on [`PID_AUDIO`].
+fn pmt_section() -> Vec<u8> {
+    let mut body = Vec::new();
+    body.push(0x02); // table_id: PMT
+    let mut section = Vec::new();
+    section.extend_from_slice(&[0x00, 0x01]); // program_number
+    section.push(0xC1);
+    section.push(0x00);
+    section.push(0x00);
+    section.push(0xE0 | ((PID_VIDEO >> 8) as u8 & 0x1F)); // PCR PID = video
+    section.push(PID_VIDEO as u8);
+    section.extend_from_slice(&[0xF0, 0x00]); // program_info_length 0
+    // Video: stream_type 0x1B (AVC).
+    section.push(0x1B);
+    section.push(0xE0 | ((PID_VIDEO >> 8) as u8 & 0x1F));
+    section.push(PID_VIDEO as u8);
+    section.extend_from_slice(&[0xF0, 0x00]);
+    // Audio: stream_type 0x0F (AAC ADTS).
+    section.push(0x0F);
+    section.push(0xE0 | ((PID_AUDIO >> 8) as u8 & 0x1F));
+    section.push(PID_AUDIO as u8);
+    section.extend_from_slice(&[0xF0, 0x00]);
+    let len = section.len() + 4;
+    body.push(0xB0 | ((len >> 8) as u8 & 0x0F));
+    body.push(len as u8);
+    body.extend_from_slice(&section);
+    let crc = crc32_mpeg2(&body);
+    body.extend_from_slice(&crc.to_be_bytes());
+    body
+}
+
+/// Builds a PES packet with a 5-byte PTS field.
+fn pes_packet(stream_id: u8, pts_ms: u32, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() + 14);
+    out.extend_from_slice(&[0x00, 0x00, 0x01, stream_id]);
+    let pes_len = 3 + 5 + data.len();
+    // Video PES length may be 0 (unbounded) but we always know it here.
+    let pes_len_field = if pes_len > u16::MAX as usize { 0 } else { pes_len as u16 };
+    out.extend_from_slice(&pes_len_field.to_be_bytes());
+    out.push(0x80); // marker bits '10'
+    out.push(0x80); // PTS_DTS_flags = '10' (PTS only)
+    out.push(5); // PES_header_data_length
+    // PTS: 90 kHz clock, 33 bits, '0010' prefix.
+    let pts = (pts_ms as u64) * 90;
+    out.push(0b0010_0000 | (((pts >> 30) as u8 & 0x07) << 1) | 1);
+    out.push((pts >> 22) as u8);
+    out.push((((pts >> 14) as u8) & 0xFE) | 1);
+    out.push((pts >> 7) as u8);
+    out.push((((pts << 1) as u8) & 0xFE) | 1);
+    out.extend_from_slice(data);
+    out
+}
+
+/// Demultiplexes a TS segment back into access units.
+///
+/// Validates sync bytes, continuity counters, PSI CRCs and PES headers —
+/// corruption anywhere surfaces as an error rather than silently skewed
+/// statistics.
+pub fn demux_segment(bytes: &[u8]) -> Result<Vec<TsUnit>, ProtoError> {
+    if !bytes.len().is_multiple_of(TS_PACKET) {
+        return Err(ProtoError::Malformed(format!(
+            "segment length {} not a multiple of 188",
+            bytes.len()
+        )));
+    }
+    let mut units = Vec::new();
+    let mut assembling: std::collections::HashMap<u16, Vec<u8>> = std::collections::HashMap::new();
+    let mut last_cc: std::collections::HashMap<u16, u8> = std::collections::HashMap::new();
+    let mut pat_seen = false;
+    let mut pmt_seen = false;
+    for pkt in bytes.chunks(TS_PACKET) {
+        if pkt[0] != SYNC {
+            return Err(ProtoError::Malformed("lost sync".to_string()));
+        }
+        let pusi = pkt[1] & 0x40 != 0;
+        let pid = (((pkt[1] & 0x1F) as u16) << 8) | pkt[2] as u16;
+        let afc = (pkt[3] >> 4) & 0x03;
+        let cc = pkt[3] & 0x0F;
+        if let Some(&prev) = last_cc.get(&pid) {
+            let expected = (prev + 1) & 0x0F;
+            if cc != expected {
+                return Err(ProtoError::Protocol(format!(
+                    "continuity error on pid {pid:#x}: got {cc}, expected {expected}"
+                )));
+            }
+        }
+        last_cc.insert(pid, cc);
+        let mut off = 4;
+        if afc & 0x02 != 0 {
+            let af_len = pkt[4] as usize;
+            off += 1 + af_len;
+            if off > TS_PACKET {
+                return Err(ProtoError::Malformed("adaptation field overflow".to_string()));
+            }
+        }
+        if afc & 0x01 == 0 {
+            continue; // no payload
+        }
+        let payload = &pkt[off..];
+        match pid {
+            PID_PAT | PID_PMT => {
+                if !pusi {
+                    continue;
+                }
+                let pointer = *payload.first().ok_or(ProtoError::Truncated)? as usize;
+                let section =
+                    payload.get(1 + pointer..).ok_or_else(|| {
+                        ProtoError::Malformed("PSI pointer_field overruns packet".to_string())
+                    })?;
+                validate_psi(section)?;
+                if pid == PID_PAT {
+                    pat_seen = true;
+                } else {
+                    pmt_seen = true;
+                }
+            }
+            PID_VIDEO | PID_AUDIO => {
+                if pusi {
+                    // Flush the previous PES on this PID.
+                    if let Some(buf) = assembling.remove(&pid) {
+                        units.push(parse_pes(pid, &buf)?);
+                    }
+                    assembling.insert(pid, payload.to_vec());
+                } else if let Some(buf) = assembling.get_mut(&pid) {
+                    buf.extend_from_slice(payload);
+                } else {
+                    return Err(ProtoError::Protocol(format!(
+                        "continuation on pid {pid:#x} with no PES start"
+                    )));
+                }
+            }
+            other => {
+                return Err(ProtoError::Protocol(format!("unexpected pid {other:#x}")));
+            }
+        }
+    }
+    for (pid, buf) in assembling {
+        units.push(parse_pes(pid, &buf)?);
+    }
+    if !pat_seen || !pmt_seen {
+        return Err(ProtoError::Protocol("segment missing PAT/PMT".to_string()));
+    }
+    // PES flushes can reorder across PIDs; restore PTS order.
+    units.sort_by_key(|u| u.pts_ms());
+    Ok(units)
+}
+
+fn validate_psi(section: &[u8]) -> Result<(), ProtoError> {
+    if section.len() < 4 {
+        return Err(ProtoError::Truncated);
+    }
+    let len = (((section[1] & 0x0F) as usize) << 8) | section[2] as usize;
+    let total = 3 + len;
+    if section.len() < total {
+        return Err(ProtoError::Truncated);
+    }
+    let body = &section[..total - 4];
+    let crc = u32::from_be_bytes(section[total - 4..total].try_into().expect("4"));
+    if crc32_mpeg2(body) != crc {
+        return Err(ProtoError::Malformed("PSI CRC mismatch".to_string()));
+    }
+    Ok(())
+}
+
+fn parse_pes(pid: u16, buf: &[u8]) -> Result<TsUnit, ProtoError> {
+    if buf.len() < 14 {
+        return Err(ProtoError::Truncated);
+    }
+    if buf[0] != 0 || buf[1] != 0 || buf[2] != 1 {
+        return Err(ProtoError::Malformed("bad PES start code".to_string()));
+    }
+    let flags = buf[7];
+    if flags & 0x80 == 0 {
+        return Err(ProtoError::Protocol("PES without PTS".to_string()));
+    }
+    let header_len = buf[8] as usize;
+    let pts = (((buf[9] >> 1) as u64 & 0x07) << 30)
+        | ((buf[10] as u64) << 22)
+        | (((buf[11] >> 1) as u64) << 15)
+        | ((buf[12] as u64) << 7)
+        | ((buf[13] >> 1) as u64);
+    let pts_ms = (pts / 90) as u32;
+    let data_start = 9 + header_len;
+    if buf.len() < data_start {
+        return Err(ProtoError::Truncated);
+    }
+    let data = buf[data_start..].to_vec();
+    Ok(match pid {
+        PID_VIDEO => TsUnit::Video { pts_ms, data },
+        _ => TsUnit::Audio { pts_ms, data },
+    })
+}
+
+/// Extracts the decoded video frame payloads of a segment, in PTS order.
+pub fn segment_video_frames(bytes: &[u8]) -> Result<Vec<FramePayload>, ProtoError> {
+    demux_segment(bytes)?
+        .into_iter()
+        .filter_map(|u| match u {
+            TsUnit::Video { data, .. } => Some(FramePayload::decode(&data)),
+            TsUnit::Audio { .. } => None,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitstream::FrameKind;
+
+    fn video_unit(pts_ms: u32, size: usize) -> TsUnit {
+        let frame = FramePayload {
+            kind: FrameKind::P,
+            qp: 30,
+            width: 320,
+            height: 568,
+            pts_ms,
+            ntp_s: None,
+            size,
+        };
+        TsUnit::Video { pts_ms, data: frame.encode() }
+    }
+
+    fn audio_unit(pts_ms: u32, size: usize) -> TsUnit {
+        TsUnit::Audio { pts_ms, data: vec![0xAA; size] }
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC32/MPEG-2 of "123456789" is 0x0376E6E7.
+        assert_eq!(crc32_mpeg2(b"123456789"), 0x0376_E6E7);
+    }
+
+    #[test]
+    fn segment_is_packet_aligned() {
+        let mut mux = TsMuxer::new();
+        let seg = mux.mux_segment(&[video_unit(0, 500)]);
+        assert_eq!(seg.len() % TS_PACKET, 0);
+        assert!(seg.len() >= 3 * TS_PACKET); // PAT + PMT + >=1 data packet
+        for pkt in seg.chunks(TS_PACKET) {
+            assert_eq!(pkt[0], SYNC);
+        }
+    }
+
+    #[test]
+    fn roundtrip_single_video_unit() {
+        let mut mux = TsMuxer::new();
+        let unit = video_unit(1234, 700);
+        let seg = mux.mux_segment(std::slice::from_ref(&unit));
+        let units = demux_segment(&seg).unwrap();
+        assert_eq!(units, vec![unit]);
+    }
+
+    #[test]
+    fn roundtrip_mixed_units() {
+        let mut mux = TsMuxer::new();
+        let units = vec![
+            video_unit(0, 2000),
+            audio_unit(10, 93),
+            video_unit(33, 600),
+            audio_unit(33, 95),
+            video_unit(66, 450),
+        ];
+        let seg = mux.mux_segment(&units);
+        let got = demux_segment(&seg).unwrap();
+        assert_eq!(got, units);
+    }
+
+    #[test]
+    fn large_frame_spans_many_packets() {
+        let mut mux = TsMuxer::new();
+        let unit = video_unit(0, 20_000);
+        let seg = mux.mux_segment(std::slice::from_ref(&unit));
+        assert!(seg.len() / TS_PACKET > 100);
+        let got = demux_segment(&seg).unwrap();
+        assert_eq!(got.len(), 1);
+        match &got[0] {
+            TsUnit::Video { data, .. } => assert_eq!(data.len(), 20_000),
+            _ => panic!("expected video"),
+        }
+    }
+
+    #[test]
+    fn continuity_preserved_across_segments() {
+        // One muxer producing consecutive segments keeps counters rolling;
+        // each segment is independently demuxable because counters only
+        // need to be *consecutive*, and the demuxer checks per-PID deltas
+        // within the segment.
+        let mut mux = TsMuxer::new();
+        let s1 = mux.mux_segment(&[video_unit(0, 400)]);
+        let s2 = mux.mux_segment(&[video_unit(33, 400)]);
+        demux_segment(&s1).unwrap();
+        demux_segment(&s2).unwrap();
+    }
+
+    #[test]
+    fn corrupted_sync_detected() {
+        let mut mux = TsMuxer::new();
+        let mut seg = mux.mux_segment(&[video_unit(0, 400)]);
+        seg[TS_PACKET] = 0x48;
+        assert!(demux_segment(&seg).is_err());
+    }
+
+    #[test]
+    fn corrupted_crc_detected() {
+        let mut mux = TsMuxer::new();
+        let mut seg = mux.mux_segment(&[video_unit(0, 400)]);
+        // PAT is the first packet; its section sits at the packet tail after
+        // adaptation-field stuffing. Flip its last byte (part of the CRC).
+        seg[TS_PACKET - 1] ^= 0xFF;
+        assert!(demux_segment(&seg).is_err());
+    }
+
+    #[test]
+    fn truncated_segment_detected() {
+        let mut mux = TsMuxer::new();
+        let seg = mux.mux_segment(&[video_unit(0, 400)]);
+        assert!(demux_segment(&seg[..seg.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn pts_survives_90khz_conversion() {
+        let mut mux = TsMuxer::new();
+        for pts in [0u32, 33, 1000, 3_600_000] {
+            let seg = mux.mux_segment(&[video_unit(pts, 200)]);
+            let units = demux_segment(&seg).unwrap();
+            assert_eq!(units[0].pts_ms(), pts);
+        }
+    }
+
+    #[test]
+    fn segment_video_frames_extraction() {
+        let mut mux = TsMuxer::new();
+        let seg = mux.mux_segment(&[
+            video_unit(0, 300),
+            audio_unit(5, 90),
+            video_unit(33, 310),
+        ]);
+        let frames = segment_video_frames(&seg).unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].pts_ms, 0);
+        assert_eq!(frames[1].pts_ms, 33);
+        assert_eq!(frames[1].size, 310);
+    }
+}

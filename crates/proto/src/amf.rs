@@ -1,0 +1,259 @@
+//! AMF0 (Action Message Format) encoding — the serialization RTMP command
+//! messages use (`connect`, `createStream`, `play`, `publish`, `onStatus`).
+//!
+//! Only the types those commands need are implemented: Number, Boolean,
+//! String, Object, Null. That matches what real RTMP servers require and
+//! keeps the decoder small enough to audit.
+
+use crate::ProtoError;
+use std::collections::BTreeMap;
+
+/// An AMF0 value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Amf0 {
+    /// Type marker 0x00: IEEE-754 double.
+    Number(f64),
+    /// Type marker 0x01.
+    Boolean(bool),
+    /// Type marker 0x02: UTF-8, u16 length prefix.
+    String(String),
+    /// Type marker 0x03: key/value pairs ending with 0x000009.
+    Object(BTreeMap<String, Amf0>),
+    /// Type marker 0x05.
+    Null,
+}
+
+const MARKER_NUMBER: u8 = 0x00;
+const MARKER_BOOLEAN: u8 = 0x01;
+const MARKER_STRING: u8 = 0x02;
+const MARKER_OBJECT: u8 = 0x03;
+const MARKER_NULL: u8 = 0x05;
+const OBJECT_END: [u8; 3] = [0x00, 0x00, 0x09];
+
+impl Amf0 {
+    /// Builds an object from string keys.
+    pub fn object<I: IntoIterator<Item = (&'static str, Amf0)>>(pairs: I) -> Amf0 {
+        Amf0::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Appends the encoding of `self` to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Amf0::Number(n) => {
+                out.push(MARKER_NUMBER);
+                out.extend_from_slice(&n.to_be_bytes());
+            }
+            Amf0::Boolean(b) => {
+                out.push(MARKER_BOOLEAN);
+                out.push(*b as u8);
+            }
+            Amf0::String(s) => {
+                out.push(MARKER_STRING);
+                encode_utf8(s, out);
+            }
+            Amf0::Object(map) => {
+                out.push(MARKER_OBJECT);
+                for (k, v) in map {
+                    encode_utf8(k, out);
+                    v.encode_into(out);
+                }
+                out.extend_from_slice(&OBJECT_END);
+            }
+            Amf0::Null => out.push(MARKER_NULL),
+        }
+    }
+
+    /// Encodes to a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one value from the front of `bytes`; returns the value and
+    /// the number of bytes consumed.
+    pub fn decode(bytes: &[u8]) -> Result<(Amf0, usize), ProtoError> {
+        let marker = *bytes.first().ok_or(ProtoError::Truncated)?;
+        let rest = &bytes[1..];
+        match marker {
+            MARKER_NUMBER => {
+                let raw: [u8; 8] =
+                    rest.get(..8).ok_or(ProtoError::Truncated)?.try_into().expect("8 bytes");
+                Ok((Amf0::Number(f64::from_be_bytes(raw)), 9))
+            }
+            MARKER_BOOLEAN => {
+                let b = *rest.first().ok_or(ProtoError::Truncated)?;
+                Ok((Amf0::Boolean(b != 0), 2))
+            }
+            MARKER_STRING => {
+                let (s, n) = decode_utf8(rest)?;
+                Ok((Amf0::String(s), 1 + n))
+            }
+            MARKER_OBJECT => {
+                let mut map = BTreeMap::new();
+                let mut pos = 0;
+                loop {
+                    if rest[pos..].starts_with(&OBJECT_END) {
+                        return Ok((Amf0::Object(map), 1 + pos + 3));
+                    }
+                    let (key, kn) = decode_utf8(&rest[pos..])?;
+                    pos += kn;
+                    let (val, vn) = Amf0::decode(&rest[pos..])?;
+                    pos += vn;
+                    map.insert(key, val);
+                    if pos > rest.len() {
+                        return Err(ProtoError::Truncated);
+                    }
+                }
+            }
+            MARKER_NULL => Ok((Amf0::Null, 1)),
+            m => Err(ProtoError::Malformed(format!("unsupported AMF0 marker 0x{m:02x}"))),
+        }
+    }
+
+    /// Decodes a whole buffer as a sequence of values (a command payload).
+    pub fn decode_all(mut bytes: &[u8]) -> Result<Vec<Amf0>, ProtoError> {
+        let mut out = Vec::new();
+        while !bytes.is_empty() {
+            let (v, n) = Amf0::decode(bytes)?;
+            out.push(v);
+            bytes = &bytes[n..];
+        }
+        Ok(out)
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Amf0::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number accessor.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Amf0::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn encode_utf8(s: &str, out: &mut Vec<u8>) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "AMF0 short string too long");
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn decode_utf8(bytes: &[u8]) -> Result<(String, usize), ProtoError> {
+    let len_raw: [u8; 2] =
+        bytes.get(..2).ok_or(ProtoError::Truncated)?.try_into().expect("2 bytes");
+    let len = u16::from_be_bytes(len_raw) as usize;
+    let data = bytes.get(2..2 + len).ok_or(ProtoError::Truncated)?;
+    let s = std::str::from_utf8(data)
+        .map_err(|_| ProtoError::Malformed("invalid UTF-8 in AMF0 string".to_string()))?;
+    Ok((s.to_string(), 2 + len))
+}
+
+/// Encodes an RTMP command payload: command name, transaction id, then the
+/// command object (or Null) and optional extra arguments.
+pub fn encode_command(name: &str, transaction_id: f64, args: &[Amf0]) -> Vec<u8> {
+    let mut out = Vec::new();
+    Amf0::String(name.to_string()).encode_into(&mut out);
+    Amf0::Number(transaction_id).encode_into(&mut out);
+    for a in args {
+        a.encode_into(&mut out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Amf0) {
+        let enc = v.encode();
+        let (dec, n) = Amf0::decode(&enc).unwrap();
+        assert_eq!(n, enc.len());
+        assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn roundtrip_scalars() {
+        roundtrip(Amf0::Number(3.25));
+        roundtrip(Amf0::Number(-0.0));
+        roundtrip(Amf0::Boolean(true));
+        roundtrip(Amf0::Boolean(false));
+        roundtrip(Amf0::String("hello".into()));
+        roundtrip(Amf0::String(String::new()));
+        roundtrip(Amf0::Null);
+    }
+
+    #[test]
+    fn roundtrip_object() {
+        roundtrip(Amf0::object([
+            ("app", Amf0::String("live".into())),
+            ("tcUrl", Amf0::String("rtmp://vidman-eu-central-1.periscope.tv/live".into())),
+            ("fpad", Amf0::Boolean(false)),
+            ("videoCodecs", Amf0::Number(252.0)),
+        ]));
+    }
+
+    #[test]
+    fn nested_object() {
+        roundtrip(Amf0::object([(
+            "outer",
+            Amf0::object([("inner", Amf0::Number(1.0))]),
+        )]));
+    }
+
+    #[test]
+    fn known_number_encoding() {
+        // 1.0 encodes as marker 0x00 + IEEE-754 BE.
+        assert_eq!(
+            Amf0::Number(1.0).encode(),
+            vec![0x00, 0x3f, 0xf0, 0, 0, 0, 0, 0, 0]
+        );
+    }
+
+    #[test]
+    fn known_string_encoding() {
+        assert_eq!(Amf0::String("ab".into()).encode(), vec![0x02, 0x00, 0x02, b'a', b'b']);
+    }
+
+    #[test]
+    fn command_payload_roundtrip() {
+        let payload = encode_command(
+            "connect",
+            1.0,
+            &[Amf0::object([("app", Amf0::String("live".into()))])],
+        );
+        let vals = Amf0::decode_all(&payload).unwrap();
+        assert_eq!(vals.len(), 3);
+        assert_eq!(vals[0].as_str(), Some("connect"));
+        assert_eq!(vals[1].as_number(), Some(1.0));
+        assert!(matches!(vals[2], Amf0::Object(_)));
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        assert_eq!(Amf0::decode(&[]), Err(ProtoError::Truncated));
+        assert_eq!(Amf0::decode(&[0x00, 0x01]), Err(ProtoError::Truncated));
+        assert_eq!(Amf0::decode(&[0x02, 0x00, 0x05, b'a']), Err(ProtoError::Truncated));
+        // Object with no end marker.
+        assert!(Amf0::decode(&[0x03, 0x00, 0x01, b'k', 0x05]).is_err());
+    }
+
+    #[test]
+    fn unsupported_marker_rejected() {
+        assert!(matches!(Amf0::decode(&[0x0a]), Err(ProtoError::Malformed(_))));
+    }
+
+    #[test]
+    fn decode_all_rejects_trailing_garbage() {
+        let mut bytes = Amf0::Null.encode();
+        bytes.push(0xff);
+        assert!(Amf0::decode_all(&bytes).is_err());
+    }
+}

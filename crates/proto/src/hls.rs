@@ -1,0 +1,217 @@
+//! HLS media playlists (M3U8), RFC 8216 subset.
+//!
+//! Periscope falls back to HLS through the Fastly CDN when a broadcast gets
+//! popular (§3, §5). The paper found the most common segment duration to be
+//! 3.6 s (60% of cases), ranging 3–6 s; the client re-fetches the live
+//! playlist and pulls each new segment over HTTP. This module renders and
+//! parses the playlists that flow over that path.
+
+use crate::ProtoError;
+
+/// One segment entry in a media playlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SegmentEntry {
+    /// EXTINF duration in seconds.
+    pub duration_s: f64,
+    /// Segment URI (relative).
+    pub uri: String,
+}
+
+/// A live (sliding-window) media playlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediaPlaylist {
+    /// Protocol version (always 3 here: floating EXTINF needs ≥3).
+    pub version: u32,
+    /// EXT-X-TARGETDURATION: max segment duration, rounded up.
+    pub target_duration_s: u32,
+    /// EXT-X-MEDIA-SEQUENCE of the first entry.
+    pub media_sequence: u64,
+    /// The window of currently advertised segments.
+    pub segments: Vec<SegmentEntry>,
+    /// Whether EXT-X-ENDLIST is present (broadcast over).
+    pub ended: bool,
+}
+
+impl MediaPlaylist {
+    /// Creates an empty live playlist.
+    pub fn new(target_duration_s: u32) -> Self {
+        MediaPlaylist {
+            version: 3,
+            target_duration_s,
+            media_sequence: 0,
+            segments: Vec::new(),
+            ended: false,
+        }
+    }
+
+    /// Appends a segment, sliding the window to at most `window` entries.
+    pub fn push_segment(&mut self, entry: SegmentEntry, window: usize) {
+        self.segments.push(entry);
+        while self.segments.len() > window {
+            self.segments.remove(0);
+            self.media_sequence += 1;
+        }
+    }
+
+    /// Sequence number of the last advertised segment, if any.
+    pub fn last_sequence(&self) -> Option<u64> {
+        if self.segments.is_empty() {
+            None
+        } else {
+            Some(self.media_sequence + self.segments.len() as u64 - 1)
+        }
+    }
+
+    /// Renders M3U8 text.
+    pub fn render(&self) -> String {
+        let mut out = String::from("#EXTM3U\n");
+        out.push_str(&format!("#EXT-X-VERSION:{}\n", self.version));
+        out.push_str(&format!("#EXT-X-TARGETDURATION:{}\n", self.target_duration_s));
+        out.push_str(&format!("#EXT-X-MEDIA-SEQUENCE:{}\n", self.media_sequence));
+        for seg in &self.segments {
+            out.push_str(&format!("#EXTINF:{:.3},\n", seg.duration_s));
+            out.push_str(&seg.uri);
+            out.push('\n');
+        }
+        if self.ended {
+            out.push_str("#EXT-X-ENDLIST\n");
+        }
+        out
+    }
+
+    /// Parses M3U8 text.
+    pub fn parse(text: &str) -> Result<MediaPlaylist, ProtoError> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some("#EXTM3U") {
+            return Err(ProtoError::Malformed("missing #EXTM3U header".to_string()));
+        }
+        let mut pl = MediaPlaylist::new(0);
+        let mut pending_duration: Option<f64> = None;
+        for line in lines {
+            if let Some(v) = line.strip_prefix("#EXT-X-VERSION:") {
+                pl.version = v
+                    .parse()
+                    .map_err(|_| ProtoError::Malformed("bad version".to_string()))?;
+            } else if let Some(v) = line.strip_prefix("#EXT-X-TARGETDURATION:") {
+                pl.target_duration_s = v
+                    .parse()
+                    .map_err(|_| ProtoError::Malformed("bad target duration".to_string()))?;
+            } else if let Some(v) = line.strip_prefix("#EXT-X-MEDIA-SEQUENCE:") {
+                pl.media_sequence = v
+                    .parse()
+                    .map_err(|_| ProtoError::Malformed("bad media sequence".to_string()))?;
+            } else if let Some(v) = line.strip_prefix("#EXTINF:") {
+                let duration = v
+                    .split(',')
+                    .next()
+                    .and_then(|d| d.parse::<f64>().ok())
+                    .ok_or_else(|| ProtoError::Malformed("bad EXTINF".to_string()))?;
+                pending_duration = Some(duration);
+            } else if line == "#EXT-X-ENDLIST" {
+                pl.ended = true;
+            } else if line.starts_with('#') {
+                // Unknown tags are ignored per spec.
+            } else {
+                let duration = pending_duration.take().ok_or_else(|| {
+                    ProtoError::Malformed(format!("segment '{line}' without EXTINF"))
+                })?;
+                pl.segments.push(SegmentEntry { duration_s: duration, uri: line.to_string() });
+            }
+        }
+        if pl.target_duration_s == 0 {
+            return Err(ProtoError::Malformed("missing EXT-X-TARGETDURATION".to_string()));
+        }
+        Ok(pl)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(d: f64, uri: &str) -> SegmentEntry {
+        SegmentEntry { duration_s: d, uri: uri.to_string() }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let mut pl = MediaPlaylist::new(4);
+        pl.push_segment(seg(3.6, "seg_0.ts"), 5);
+        pl.push_segment(seg(3.6, "seg_1.ts"), 5);
+        pl.push_segment(seg(4.2, "seg_2.ts"), 5);
+        let parsed = MediaPlaylist::parse(&pl.render()).unwrap();
+        assert_eq!(parsed, pl);
+    }
+
+    #[test]
+    fn window_slides_and_sequence_advances() {
+        let mut pl = MediaPlaylist::new(4);
+        for i in 0..8 {
+            pl.push_segment(seg(3.6, &format!("seg_{i}.ts")), 3);
+        }
+        assert_eq!(pl.segments.len(), 3);
+        assert_eq!(pl.media_sequence, 5);
+        assert_eq!(pl.segments[0].uri, "seg_5.ts");
+        assert_eq!(pl.last_sequence(), Some(7));
+    }
+
+    #[test]
+    fn endlist_marks_ended() {
+        let mut pl = MediaPlaylist::new(4);
+        pl.push_segment(seg(3.0, "a.ts"), 5);
+        pl.ended = true;
+        let parsed = MediaPlaylist::parse(&pl.render()).unwrap();
+        assert!(parsed.ended);
+    }
+
+    #[test]
+    fn empty_playlist_roundtrip() {
+        let pl = MediaPlaylist::new(4);
+        let parsed = MediaPlaylist::parse(&pl.render()).unwrap();
+        assert!(parsed.segments.is_empty());
+        assert_eq!(parsed.last_sequence(), None);
+    }
+
+    #[test]
+    fn parse_rejects_missing_header() {
+        assert!(MediaPlaylist::parse("#EXT-X-VERSION:3\n").is_err());
+    }
+
+    #[test]
+    fn parse_rejects_segment_without_extinf() {
+        let text = "#EXTM3U\n#EXT-X-TARGETDURATION:4\nseg.ts\n";
+        assert!(MediaPlaylist::parse(text).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_missing_target_duration() {
+        let text = "#EXTM3U\n#EXT-X-VERSION:3\n";
+        assert!(MediaPlaylist::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_tags_ignored() {
+        let text = "#EXTM3U\n#EXT-X-TARGETDURATION:4\n#EXT-X-SOMETHING:new\n#EXTINF:3.600,\nx.ts\n";
+        let pl = MediaPlaylist::parse(text).unwrap();
+        assert_eq!(pl.segments.len(), 1);
+    }
+
+    #[test]
+    fn extinf_with_title_field() {
+        let text = "#EXTM3U\n#EXT-X-TARGETDURATION:4\n#EXTINF:3.6,some title\nx.ts\n";
+        let pl = MediaPlaylist::parse(text).unwrap();
+        assert!((pl.segments[0].duration_s - 3.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn typical_periscope_durations() {
+        // The paper's most common segment duration: 3.6 s.
+        let mut pl = MediaPlaylist::new(6);
+        for i in 0..3 {
+            pl.push_segment(seg(3.6, &format!("chunk_{i}.ts")), 10);
+        }
+        let text = pl.render();
+        assert!(text.contains("#EXTINF:3.600,"));
+        assert!(text.contains("#EXT-X-TARGETDURATION:6"));
+    }
+}

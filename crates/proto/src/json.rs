@@ -1,0 +1,545 @@
+//! JSON value type, parser and serializer.
+//!
+//! The Periscope API exchanges JSON-encoded requests and responses (§3,
+//! Table 1). Object keys are kept in a `BTreeMap` so serialization is
+//! deterministic — byte-identical API traffic across runs with the same
+//! seed.
+
+use crate::ProtoError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64, like JavaScript).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with deterministically ordered keys.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Builds an object from key/value pairs.
+    pub fn object<I: IntoIterator<Item = (&'static str, Value)>>(pairs: I) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::String(s.into())
+    }
+
+    /// Gets `self[key]` if this is an object containing the key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as f64 if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as u64 if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as &str if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as bool if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a slice if it is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => write_number(*n, out),
+            Value::String(s) => write_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(n: f64) -> Value {
+        Value::Number(n)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Value {
+        Value::Number(n as f64)
+    }
+}
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::String(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Value, ProtoError> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(ProtoError::Malformed(format!("trailing data at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8, ProtoError> {
+        let b = self.peek().ok_or(ProtoError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ProtoError> {
+        let got = self.bump()?;
+        if got != b {
+            return Err(ProtoError::Malformed(format!(
+                "expected '{}' at byte {}, got '{}'",
+                b as char,
+                self.pos - 1,
+                got as char
+            )));
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ProtoError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(ProtoError::Malformed(format!("bad literal at byte {}", self.pos)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ProtoError> {
+        match self.peek().ok_or(ProtoError::Truncated)? {
+            b'n' => self.literal("null", Value::Null),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'"' => Ok(Value::String(self.string()?)),
+            b'[' => self.array(),
+            b'{' => self.object(),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(ProtoError::Malformed(format!(
+                "unexpected '{}' at byte {}",
+                c as char, self.pos
+            ))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = self.bump()?;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => match self.bump()? {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'/' => s.push('/'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'b' => s.push('\u{8}'),
+                    b'f' => s.push('\u{c}'),
+                    b'u' => {
+                        let cp = self.hex4()?;
+                        // Handle surrogate pairs for non-BMP characters.
+                        let c = if (0xD800..0xDC00).contains(&cp) {
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(ProtoError::Malformed(
+                                    "bad low surrogate".to_string(),
+                                ));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(c)
+                        } else {
+                            char::from_u32(cp)
+                        };
+                        s.push(c.ok_or_else(|| {
+                            ProtoError::Malformed("invalid unicode escape".to_string())
+                        })?);
+                    }
+                    e => {
+                        return Err(ProtoError::Malformed(format!(
+                            "bad escape '\\{}'",
+                            e as char
+                        )))
+                    }
+                },
+                _ => {
+                    // Re-decode UTF-8 from the source bytes.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    self.pos = start + len;
+                    if self.pos > self.bytes.len() {
+                        return Err(ProtoError::Truncated);
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| ProtoError::Malformed("invalid UTF-8".to_string()))?;
+                    s.push_str(chunk);
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ProtoError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump()?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| ProtoError::Malformed("bad hex digit".to_string()))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ProtoError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| ProtoError::Malformed(format!("bad number '{text}'")))
+    }
+
+    fn array(&mut self) -> Result<Value, ProtoError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(Value::Array(items)),
+                c => {
+                    return Err(ProtoError::Malformed(format!(
+                        "expected ',' or ']', got '{}'",
+                        c as char
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ProtoError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(Value::Object(map)),
+                c => {
+                    return Err(ProtoError::Malformed(format!(
+                        "expected ',' or '}}', got '{}'",
+                        c as char
+                    )))
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for src in ["null", "true", "false", "0", "-1", "3.5", "\"hi\""] {
+            let v = parse(src).unwrap();
+            assert_eq!(v.to_json(), src);
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let src = r#"{"a":[1,2,{"b":null}],"c":"x"}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_json(), src);
+    }
+
+    #[test]
+    fn object_keys_sorted_on_output() {
+        let v = parse(r#"{"z":1,"a":2}"#).unwrap();
+        assert_eq!(v.to_json(), r#"{"a":2,"z":1}"#);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""line\nquote\"tab\tback\\""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "line\nquote\"tab\tback\\");
+        // Round-trip re-escapes.
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        let v = parse(r#""é😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "é😀");
+    }
+
+    #[test]
+    fn raw_utf8_passthrough() {
+        let v = parse("\"héllo → 😀\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "héllo → 😀");
+    }
+
+    #[test]
+    fn numbers_scientific() {
+        assert_eq!(parse("1e3").unwrap().as_f64().unwrap(), 1000.0);
+        assert_eq!(parse("-2.5E-2").unwrap().as_f64().unwrap(), -0.025);
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("1 x").is_err());
+        assert!(parse("{} []").is_err());
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert!(matches!(parse("{\"a\":"), Err(ProtoError::Truncated)));
+        assert!(parse("[1,").is_err());
+        assert!(parse("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse("nul").is_err());
+        assert!(parse("{a:1}").is_err());
+        assert!(parse("[1 2]").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = parse(r#"{"n":5,"s":"x","b":true,"a":[1]}"#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 1);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("n").unwrap().as_str(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(parse("[]").unwrap().to_json(), "[]");
+        assert_eq!(parse("{}").unwrap().to_json(), "{}");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3u64).to_json(), "3");
+        assert_eq!(Value::from("x").to_json(), "\"x\"");
+        assert_eq!(Value::from(vec![1u64, 2]).to_json(), "[1,2]");
+        let obj = Value::object([("k", Value::from(true))]);
+        assert_eq!(obj.to_json(), "{\"k\":true}");
+    }
+
+    #[test]
+    fn control_chars_escaped_on_output() {
+        let v = Value::str("\u{1}");
+        assert_eq!(v.to_json(), "\"\\u0001\"");
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+    }
+}

@@ -1,0 +1,656 @@
+//! RTMP: handshake and chunk-stream layer.
+//!
+//! Periscope delivers non-popular live broadcasts over plaintext RTMP on
+//! port 80 (§3) because it gives the lowest delivery latency (§5.1): the
+//! ingest server can push each audio/video message to viewers the moment it
+//! arrives. This module implements the protocol pieces the reproduction
+//! exercises end-to-end:
+//!
+//! * the 1536-byte C0/C1/C2 – S0/S1/S2 handshake;
+//! * message framing over chunk streams (basic headers fmt 0–3, default
+//!   chunk size 128 bytes, `SetChunkSize`, extended timestamps);
+//! * the message types the Periscope data path uses (audio, video, AMF0
+//!   commands/data, control).
+//!
+//! The viewer-side capture analysis (`pscp-media`) de-chunks these exact
+//! bytes to reconstruct the elementary streams, mirroring the paper's use of
+//! the wireshark RTMP dissector.
+
+use crate::ProtoError;
+
+/// RTMP protocol version byte (C0/S0).
+pub const RTMP_VERSION: u8 = 3;
+/// Size of the C1/S1/C2/S2 handshake blobs.
+pub const HANDSHAKE_SIZE: usize = 1536;
+/// Default maximum chunk payload size until a SetChunkSize message.
+pub const DEFAULT_CHUNK_SIZE: usize = 128;
+
+/// RTMP message types used by the Periscope data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MessageType {
+    /// 1 — changes the chunk size for the sender's subsequent chunks.
+    SetChunkSize,
+    /// 3 — acknowledgement.
+    Acknowledgement,
+    /// 4 — user control events (stream begin, ping, buffer length).
+    UserControl,
+    /// 5 — window acknowledgement size.
+    WindowAckSize,
+    /// 6 — set peer bandwidth.
+    SetPeerBandwidth,
+    /// 8 — audio data (AAC).
+    Audio,
+    /// 9 — video data (AVC).
+    Video,
+    /// 18 — AMF0 data message (e.g. onMetaData).
+    DataAmf0,
+    /// 20 — AMF0 command message (connect, play, publish, onStatus).
+    CommandAmf0,
+}
+
+impl MessageType {
+    /// Wire id.
+    pub fn id(self) -> u8 {
+        match self {
+            MessageType::SetChunkSize => 1,
+            MessageType::Acknowledgement => 3,
+            MessageType::UserControl => 4,
+            MessageType::WindowAckSize => 5,
+            MessageType::SetPeerBandwidth => 6,
+            MessageType::Audio => 8,
+            MessageType::Video => 9,
+            MessageType::DataAmf0 => 18,
+            MessageType::CommandAmf0 => 20,
+        }
+    }
+
+    /// Parses a wire id.
+    pub fn from_id(id: u8) -> Result<Self, ProtoError> {
+        Ok(match id {
+            1 => MessageType::SetChunkSize,
+            3 => MessageType::Acknowledgement,
+            4 => MessageType::UserControl,
+            5 => MessageType::WindowAckSize,
+            6 => MessageType::SetPeerBandwidth,
+            8 => MessageType::Audio,
+            9 => MessageType::Video,
+            18 => MessageType::DataAmf0,
+            20 => MessageType::CommandAmf0,
+            other => {
+                return Err(ProtoError::Malformed(format!("unknown message type {other}")))
+            }
+        })
+    }
+}
+
+/// A complete RTMP message (before chunking / after reassembly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Chunk stream the message travels on (2..=63 supported here).
+    pub chunk_stream_id: u8,
+    /// Message timestamp in milliseconds.
+    pub timestamp: u32,
+    /// Message type.
+    pub kind: MessageType,
+    /// Message stream id.
+    pub stream_id: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+}
+
+impl Message {
+    /// Builds an audio message on the conventional audio chunk stream (4).
+    pub fn audio(timestamp: u32, payload: Vec<u8>) -> Message {
+        Message { chunk_stream_id: 4, timestamp, kind: MessageType::Audio, stream_id: 1, payload }
+    }
+
+    /// Builds a video message on the conventional video chunk stream (6).
+    pub fn video(timestamp: u32, payload: Vec<u8>) -> Message {
+        Message { chunk_stream_id: 6, timestamp, kind: MessageType::Video, stream_id: 1, payload }
+    }
+
+    /// Builds a SetChunkSize control message.
+    pub fn set_chunk_size(size: u32) -> Message {
+        Message {
+            chunk_stream_id: 2,
+            timestamp: 0,
+            kind: MessageType::SetChunkSize,
+            stream_id: 0,
+            payload: size.to_be_bytes().to_vec(),
+        }
+    }
+
+    /// Builds an AMF0 command message on chunk stream 3.
+    pub fn command(payload: Vec<u8>) -> Message {
+        Message {
+            chunk_stream_id: 3,
+            timestamp: 0,
+            kind: MessageType::CommandAmf0,
+            stream_id: 0,
+            payload,
+        }
+    }
+}
+
+/// Generates the client handshake bytes C0+C1.
+pub fn handshake_c0c1(epoch_ms: u32, fill: u8) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + HANDSHAKE_SIZE);
+    out.push(RTMP_VERSION);
+    out.extend_from_slice(&epoch_ms.to_be_bytes());
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend(std::iter::repeat_n(fill, HANDSHAKE_SIZE - 8));
+    out
+}
+
+/// Validates C0+C1 and produces S0+S1+S2 (S2 echoes C1).
+pub fn handshake_s0s1s2(c0c1: &[u8], epoch_ms: u32) -> Result<Vec<u8>, ProtoError> {
+    if c0c1.len() < 1 + HANDSHAKE_SIZE {
+        return Err(ProtoError::Truncated);
+    }
+    if c0c1[0] != RTMP_VERSION {
+        return Err(ProtoError::Protocol(format!("unsupported RTMP version {}", c0c1[0])));
+    }
+    let mut out = Vec::with_capacity(1 + 2 * HANDSHAKE_SIZE);
+    out.push(RTMP_VERSION);
+    out.extend_from_slice(&epoch_ms.to_be_bytes());
+    out.extend_from_slice(&[0u8; 4]);
+    out.extend(std::iter::repeat_n(0x53, HANDSHAKE_SIZE - 8));
+    out.extend_from_slice(&c0c1[1..1 + HANDSHAKE_SIZE]); // S2 = echo of C1
+    Ok(out)
+}
+
+/// Validates S0+S1+S2 against the C1 we sent and produces C2 (echo of S1).
+pub fn handshake_c2(s0s1s2: &[u8], c1: &[u8]) -> Result<Vec<u8>, ProtoError> {
+    if s0s1s2.len() < 1 + 2 * HANDSHAKE_SIZE {
+        return Err(ProtoError::Truncated);
+    }
+    if s0s1s2[0] != RTMP_VERSION {
+        return Err(ProtoError::Protocol(format!("unsupported RTMP version {}", s0s1s2[0])));
+    }
+    let s2 = &s0s1s2[1 + HANDSHAKE_SIZE..1 + 2 * HANDSHAKE_SIZE];
+    if s2 != c1 {
+        return Err(ProtoError::Protocol("S2 does not echo C1".to_string()));
+    }
+    Ok(s0s1s2[1..1 + HANDSHAKE_SIZE].to_vec())
+}
+
+/// Per-chunk-stream state remembered between chunks.
+#[derive(Debug, Clone, Default)]
+struct CsState {
+    timestamp: u32,
+    length: usize,
+    kind: Option<MessageType>,
+    stream_id: u32,
+}
+
+/// Serializes messages into an RTMP chunk byte stream.
+#[derive(Debug)]
+pub struct Chunker {
+    chunk_size: usize,
+    state: std::collections::HashMap<u8, CsState>,
+}
+
+impl Default for Chunker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Chunker {
+    /// Creates a chunker with the default 128-byte chunk size.
+    pub fn new() -> Self {
+        Chunker { chunk_size: DEFAULT_CHUNK_SIZE, state: std::collections::HashMap::new() }
+    }
+
+    /// Current outgoing chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// Encodes `msg` into chunks, appending to `out`. A `SetChunkSize`
+    /// message also updates the chunker's own size for subsequent messages,
+    /// as the spec requires.
+    pub fn write(&mut self, msg: &Message, out: &mut Vec<u8>) {
+        assert!(
+            (2..=63).contains(&msg.chunk_stream_id),
+            "only basic-header chunk stream ids 2..=63 are supported"
+        );
+        let cs = self.state.entry(msg.chunk_stream_id).or_default();
+        // Decide header format: fmt1 when only type/len/timestamp-delta
+        // change on the same stream id, fmt0 otherwise. (fmt2/fmt3 encoding
+        // is a compression nicety; fmt0/fmt1 keep the encoder simple and any
+        // compliant decoder — including ours — handles them.)
+        let use_fmt1 = cs.kind.is_some() && cs.stream_id == msg.stream_id
+            && msg.timestamp >= cs.timestamp;
+        let ext_ts = msg.timestamp >= 0xFF_FFFF;
+        if use_fmt1 {
+            let delta = msg.timestamp - cs.timestamp;
+            let ext = delta >= 0xFF_FFFF;
+            out.push((1 << 6) | msg.chunk_stream_id);
+            push_u24(out, if ext { 0xFF_FFFF } else { delta });
+            push_u24(out, msg.payload.len() as u32);
+            out.push(msg.kind.id());
+            if ext {
+                out.extend_from_slice(&delta.to_be_bytes());
+            }
+        } else {
+            out.push(msg.chunk_stream_id); // fmt 0
+            push_u24(out, if ext_ts { 0xFF_FFFF } else { msg.timestamp });
+            push_u24(out, msg.payload.len() as u32);
+            out.push(msg.kind.id());
+            out.extend_from_slice(&msg.stream_id.to_le_bytes());
+            if ext_ts {
+                out.extend_from_slice(&msg.timestamp.to_be_bytes());
+            }
+        }
+        cs.timestamp = msg.timestamp;
+        cs.length = msg.payload.len();
+        cs.kind = Some(msg.kind);
+        cs.stream_id = msg.stream_id;
+        // Payload, split at chunk_size with fmt3 continuation headers.
+        let mut off = 0;
+        let mut first = true;
+        while off < msg.payload.len() || (first && msg.payload.is_empty()) {
+            if !first {
+                out.push((3 << 6) | msg.chunk_stream_id);
+            }
+            let take = (msg.payload.len() - off).min(self.chunk_size);
+            out.extend_from_slice(&msg.payload[off..off + take]);
+            off += take;
+            first = false;
+        }
+        if msg.kind == MessageType::SetChunkSize && msg.payload.len() >= 4 {
+            let size =
+                u32::from_be_bytes(msg.payload[..4].try_into().expect("4 bytes")) as usize;
+            self.chunk_size = size.max(1);
+        }
+    }
+
+    /// Encodes a batch of messages to a fresh buffer.
+    pub fn encode_all(&mut self, msgs: &[Message]) -> Vec<u8> {
+        let mut out = Vec::new();
+        for m in msgs {
+            self.write(m, &mut out);
+        }
+        out
+    }
+}
+
+/// Reassembles an RTMP chunk byte stream into messages. Incremental: feed
+/// bytes as they arrive, pop complete messages.
+#[derive(Debug)]
+pub struct Dechunker {
+    chunk_size: usize,
+    buf: Vec<u8>,
+    state: std::collections::HashMap<u8, CsState>,
+    partial: std::collections::HashMap<u8, Vec<u8>>,
+    ready: std::collections::VecDeque<Message>,
+}
+
+impl Default for Dechunker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dechunker {
+    /// Creates a dechunker expecting the default 128-byte chunk size.
+    pub fn new() -> Self {
+        Dechunker {
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            buf: Vec::new(),
+            state: std::collections::HashMap::new(),
+            partial: std::collections::HashMap::new(),
+            ready: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Feeds incoming bytes; complete messages become poppable.
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<(), ProtoError> {
+        self.buf.extend_from_slice(bytes);
+        loop {
+            match self.try_parse_chunk()? {
+                Some(consumed) => {
+                    self.buf.drain(..consumed);
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Pops the next fully reassembled message.
+    pub fn pop(&mut self) -> Option<Message> {
+        self.ready.pop_front()
+    }
+
+    /// Drains all ready messages.
+    pub fn pop_all(&mut self) -> Vec<Message> {
+        self.ready.drain(..).collect()
+    }
+
+    /// Attempts to parse one chunk from the buffer front. Returns bytes
+    /// consumed, or None if more data is needed.
+    fn try_parse_chunk(&mut self) -> Result<Option<usize>, ProtoError> {
+        let buf = &self.buf;
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let fmt = buf[0] >> 6;
+        let csid = buf[0] & 0x3F;
+        if csid < 2 {
+            return Err(ProtoError::Malformed(
+                "extended chunk stream ids are not supported".to_string(),
+            ));
+        }
+        let mut pos = 1;
+        let need = |n: usize, pos: usize, buf: &Vec<u8>| buf.len() >= pos + n;
+        let prev = self.state.get(&csid).cloned().unwrap_or_default();
+        let (ts, length, kind, stream_id, header_len) = match fmt {
+            0 => {
+                if !need(11, pos, buf) {
+                    return Ok(None);
+                }
+                let ts = read_u24(&buf[pos..]);
+                let length = read_u24(&buf[pos + 3..]) as usize;
+                let kind = MessageType::from_id(buf[pos + 6])?;
+                let stream_id =
+                    u32::from_le_bytes(buf[pos + 7..pos + 11].try_into().expect("4 bytes"));
+                pos += 11;
+                let ts = if ts == 0xFF_FFFF {
+                    if !need(4, pos, buf) {
+                        return Ok(None);
+                    }
+                    let t = u32::from_be_bytes(buf[pos..pos + 4].try_into().expect("4"));
+                    pos += 4;
+                    t
+                } else {
+                    ts
+                };
+                (ts, length, kind, stream_id, pos)
+            }
+            1 => {
+                if !need(7, pos, buf) {
+                    return Ok(None);
+                }
+                let delta = read_u24(&buf[pos..]);
+                let length = read_u24(&buf[pos + 3..]) as usize;
+                let kind = MessageType::from_id(buf[pos + 6])?;
+                pos += 7;
+                let delta = if delta == 0xFF_FFFF {
+                    if !need(4, pos, buf) {
+                        return Ok(None);
+                    }
+                    let d = u32::from_be_bytes(buf[pos..pos + 4].try_into().expect("4"));
+                    pos += 4;
+                    d
+                } else {
+                    delta
+                };
+                let kind_prev = prev.kind;
+                let _ = kind_prev;
+                (prev.timestamp.wrapping_add(delta), length, kind, prev.stream_id, pos)
+            }
+            2 => {
+                if !need(3, pos, buf) {
+                    return Ok(None);
+                }
+                let delta = read_u24(&buf[pos..]);
+                pos += 3;
+                let kind = prev.kind.ok_or_else(|| {
+                    ProtoError::Protocol("fmt2 chunk with no prior state".to_string())
+                })?;
+                (prev.timestamp.wrapping_add(delta), prev.length, kind, prev.stream_id, pos)
+            }
+            3 => {
+                let kind = prev.kind.ok_or_else(|| {
+                    ProtoError::Protocol("fmt3 chunk with no prior state".to_string())
+                })?;
+                (prev.timestamp, prev.length, kind, prev.stream_id, pos)
+            }
+            _ => unreachable!("2-bit fmt"),
+        };
+        // How many payload bytes belong to this chunk?
+        let already = self.partial.get(&csid).map(|p| p.len()).unwrap_or(0);
+        let remaining = length.saturating_sub(already);
+        let take = remaining.min(self.chunk_size);
+        if buf.len() < header_len + take {
+            return Ok(None);
+        }
+        let payload_part = buf[header_len..header_len + take].to_vec();
+        let part = self.partial.entry(csid).or_default();
+        part.extend_from_slice(&payload_part);
+        // Update per-stream state.
+        self.state.insert(
+            csid,
+            CsState { timestamp: ts, length, kind: Some(kind), stream_id },
+        );
+        if part.len() >= length {
+            let payload = std::mem::take(part);
+            if kind == MessageType::SetChunkSize && payload.len() >= 4 {
+                let size =
+                    u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+                self.chunk_size = size.max(1);
+            }
+            self.ready.push_back(Message {
+                chunk_stream_id: csid,
+                timestamp: ts,
+                kind,
+                stream_id,
+                payload,
+            });
+        }
+        Ok(Some(header_len + take))
+    }
+}
+
+fn push_u24(out: &mut Vec<u8>, v: u32) {
+    debug_assert!(v <= 0xFF_FFFF);
+    out.extend_from_slice(&[(v >> 16) as u8, (v >> 8) as u8, v as u8]);
+}
+
+fn read_u24(bytes: &[u8]) -> u32 {
+    ((bytes[0] as u32) << 16) | ((bytes[1] as u32) << 8) | bytes[2] as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_roundtrip() {
+        let c0c1 = handshake_c0c1(1000, 0xAB);
+        assert_eq!(c0c1.len(), 1 + HANDSHAKE_SIZE);
+        let s = handshake_s0s1s2(&c0c1, 2000).unwrap();
+        assert_eq!(s.len(), 1 + 2 * HANDSHAKE_SIZE);
+        let c2 = handshake_c2(&s, &c0c1[1..]).unwrap();
+        assert_eq!(c2.len(), HANDSHAKE_SIZE);
+        // C2 echoes S1.
+        assert_eq!(c2, &s[1..1 + HANDSHAKE_SIZE]);
+    }
+
+    #[test]
+    fn handshake_rejects_bad_version() {
+        let mut c0c1 = handshake_c0c1(0, 0);
+        c0c1[0] = 6;
+        assert!(matches!(handshake_s0s1s2(&c0c1, 0), Err(ProtoError::Protocol(_))));
+    }
+
+    #[test]
+    fn handshake_rejects_bad_echo() {
+        let c0c1 = handshake_c0c1(0, 1);
+        let mut s = handshake_s0s1s2(&c0c1, 0).unwrap();
+        s[1 + HANDSHAKE_SIZE] ^= 0xFF; // corrupt S2
+        assert!(handshake_c2(&s, &c0c1[1..]).is_err());
+    }
+
+    #[test]
+    fn single_small_message_roundtrip() {
+        let msg = Message::video(40, vec![1, 2, 3]);
+        let mut chunker = Chunker::new();
+        let bytes = chunker.encode_all(std::slice::from_ref(&msg));
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        assert_eq!(d.pop().unwrap(), msg);
+        assert!(d.pop().is_none());
+    }
+
+    #[test]
+    fn large_message_spans_chunks() {
+        let payload: Vec<u8> = (0..1000).map(|i| (i % 251) as u8).collect();
+        let msg = Message::video(0, payload.clone());
+        let mut chunker = Chunker::new();
+        let bytes = chunker.encode_all(std::slice::from_ref(&msg));
+        // 1000 bytes at 128/chunk -> 8 chunks -> 7 continuation headers.
+        assert!(bytes.len() > payload.len() + 11);
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        assert_eq!(d.pop().unwrap().payload, payload);
+    }
+
+    #[test]
+    fn set_chunk_size_applies_to_both_sides() {
+        let mut chunker = Chunker::new();
+        let mut d = Dechunker::new();
+        let msgs = vec![
+            Message::set_chunk_size(4096),
+            Message::video(10, vec![7; 3000]),
+        ];
+        let bytes = chunker.encode_all(&msgs);
+        assert_eq!(chunker.chunk_size(), 4096);
+        d.feed(&bytes).unwrap();
+        let got = d.pop_all();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[1].payload.len(), 3000);
+    }
+
+    #[test]
+    fn interleaved_audio_video() {
+        // Audio and video on different chunk streams interleave correctly.
+        let mut chunker = Chunker::new();
+        let msgs = vec![
+            Message::video(0, vec![1; 300]),
+            Message::audio(5, vec![2; 50]),
+            Message::video(33, vec![3; 300]),
+            Message::audio(26, vec![4; 50]),
+        ];
+        let bytes = chunker.encode_all(&msgs);
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        let got = d.pop_all();
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0].kind, MessageType::Video);
+        assert_eq!(got[1].kind, MessageType::Audio);
+        assert_eq!(got[3].timestamp, 26);
+    }
+
+    #[test]
+    fn incremental_feed_byte_by_byte() {
+        let msg = Message::video(77, (0..500).map(|i| i as u8).collect());
+        let mut chunker = Chunker::new();
+        let bytes = chunker.encode_all(std::slice::from_ref(&msg));
+        let mut d = Dechunker::new();
+        for b in &bytes {
+            d.feed(std::slice::from_ref(b)).unwrap();
+        }
+        assert_eq!(d.pop().unwrap(), msg);
+    }
+
+    #[test]
+    fn fmt1_header_used_for_repeat_messages() {
+        let mut chunker = Chunker::new();
+        let m1 = Message::video(0, vec![1; 10]);
+        let m2 = Message::video(33, vec![2; 12]);
+        let bytes = chunker.encode_all(&[m1.clone(), m2.clone()]);
+        // Second message header starts after first: fmt1 header is 8 bytes
+        // (1 basic + 7), vs 12 for fmt0.
+        let second_header_at = 12 + 10;
+        assert_eq!(bytes[second_header_at] >> 6, 1, "expected fmt1");
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        let got = d.pop_all();
+        assert_eq!(got, vec![m1, m2]);
+    }
+
+    #[test]
+    fn extended_timestamp_roundtrip() {
+        let msg = Message::video(0x0100_0000, vec![9; 5]);
+        let mut chunker = Chunker::new();
+        let bytes = chunker.encode_all(std::slice::from_ref(&msg));
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        assert_eq!(d.pop().unwrap().timestamp, 0x0100_0000);
+    }
+
+    #[test]
+    fn empty_payload_message() {
+        let msg = Message {
+            chunk_stream_id: 3,
+            timestamp: 0,
+            kind: MessageType::CommandAmf0,
+            stream_id: 0,
+            payload: Vec::new(),
+        };
+        let mut chunker = Chunker::new();
+        let bytes = chunker.encode_all(std::slice::from_ref(&msg));
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        assert_eq!(d.pop().unwrap(), msg);
+    }
+
+    #[test]
+    fn fmt3_without_state_is_error() {
+        let mut d = Dechunker::new();
+        assert!(d.feed(&[(3 << 6) | 5]).is_err());
+    }
+
+    #[test]
+    fn unknown_message_type_is_error() {
+        let mut d = Dechunker::new();
+        // fmt0, csid 3, ts 0, len 0, type 99, stream 0.
+        let mut bytes = vec![3u8];
+        bytes.extend_from_slice(&[0, 0, 0]);
+        bytes.extend_from_slice(&[0, 0, 0]);
+        bytes.push(99);
+        bytes.extend_from_slice(&[0, 0, 0, 0]);
+        assert!(d.feed(&bytes).is_err());
+    }
+
+    #[test]
+    fn message_type_ids_roundtrip() {
+        for kind in [
+            MessageType::SetChunkSize,
+            MessageType::Acknowledgement,
+            MessageType::UserControl,
+            MessageType::WindowAckSize,
+            MessageType::SetPeerBandwidth,
+            MessageType::Audio,
+            MessageType::Video,
+            MessageType::DataAmf0,
+            MessageType::CommandAmf0,
+        ] {
+            assert_eq!(MessageType::from_id(kind.id()).unwrap(), kind);
+        }
+        assert!(MessageType::from_id(7).is_err());
+    }
+
+    #[test]
+    fn many_messages_stress_roundtrip() {
+        let mut chunker = Chunker::new();
+        let msgs: Vec<Message> = (0..200)
+            .map(|i| {
+                if i % 3 == 0 {
+                    Message::audio(i * 23, vec![(i % 256) as u8; (i as usize * 7) % 400 + 1])
+                } else {
+                    Message::video(i * 33, vec![(i % 256) as u8; (i as usize * 13) % 900 + 1])
+                }
+            })
+            .collect();
+        let bytes = chunker.encode_all(&msgs);
+        let mut d = Dechunker::new();
+        // Feed in awkward 17-byte slices.
+        for chunk in bytes.chunks(17) {
+            d.feed(chunk).unwrap();
+        }
+        assert_eq!(d.pop_all(), msgs);
+    }
+}

@@ -1,0 +1,211 @@
+//! Property-based tests for the wire protocols: every encoder/decoder pair
+//! must round-trip arbitrary valid inputs, and decoders must never panic on
+//! arbitrary bytes.
+
+use proptest::prelude::*;
+use pscp_proto::amf::Amf0;
+use pscp_proto::hls::{MediaPlaylist, SegmentEntry};
+use pscp_proto::http::{Request, Response};
+use pscp_proto::json::{parse, Value};
+use pscp_proto::rtmp::{Chunker, Dechunker, Message, MessageType};
+use pscp_proto::ws::{Frame, Opcode};
+
+// ------------------------------------------------------------------- JSON
+
+/// Generates arbitrary JSON values up to a modest depth.
+fn arb_json() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        // Finite doubles; NaN/inf are not JSON.
+        (-1e12f64..1e12).prop_map(Value::Number),
+        "[a-zA-Z0-9 _\\-\\.\u{00e9}\u{4e2d}]{0,20}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Object),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip(v in arb_json()) {
+        let text = v.to_json();
+        let back = parse(&text).unwrap();
+        // Numbers may lose the integer/float distinction but not value.
+        prop_assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn json_parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    #[test]
+    fn json_string_escaping_total(s in "\\PC{0,64}") {
+        let v = Value::String(s.clone());
+        let back = parse(&v.to_json()).unwrap();
+        prop_assert_eq!(back.as_str().unwrap(), s);
+    }
+}
+
+// ------------------------------------------------------------------- AMF0
+
+fn arb_amf() -> impl Strategy<Value = Amf0> {
+    let leaf = prop_oneof![
+        Just(Amf0::Null),
+        any::<bool>().prop_map(Amf0::Boolean),
+        (-1e9f64..1e9).prop_map(Amf0::Number),
+        "[a-zA-Z0-9 ]{0,32}".prop_map(Amf0::String),
+    ];
+    leaf.prop_recursive(2, 16, 5, |inner| {
+        prop::collection::btree_map("[a-z]{1,6}", inner, 0..5).prop_map(Amf0::Object)
+    })
+}
+
+proptest! {
+    #[test]
+    fn amf_roundtrip(v in arb_amf()) {
+        let enc = v.encode();
+        let (dec, used) = Amf0::decode(&enc).unwrap();
+        prop_assert_eq!(used, enc.len());
+        prop_assert_eq!(dec, v);
+    }
+
+    #[test]
+    fn amf_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Amf0::decode(&bytes);
+    }
+}
+
+// ------------------------------------------------------------------- RTMP
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        2u8..=63,
+        0u32..0x0200_0000,
+        prop_oneof![
+            Just(MessageType::Audio),
+            Just(MessageType::Video),
+            Just(MessageType::DataAmf0),
+            Just(MessageType::CommandAmf0),
+        ],
+        0u32..4,
+        prop::collection::vec(any::<u8>(), 0..600),
+    )
+        .prop_map(|(csid, timestamp, kind, stream_id, payload)| Message {
+            chunk_stream_id: csid,
+            timestamp,
+            kind,
+            stream_id,
+            payload,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtmp_messages_roundtrip_any_order(mut msgs in prop::collection::vec(arb_message(), 1..20)) {
+        // fmt1 headers require non-decreasing timestamps per chunk stream;
+        // the encoder handles regressions by falling back to fmt0, so no
+        // sorting is needed — any sequence must survive.
+        let mut chunker = Chunker::new();
+        let wire = chunker.encode_all(&msgs);
+        let mut d = Dechunker::new();
+        // Feed in ragged 7-byte pieces.
+        for part in wire.chunks(7) {
+            d.feed(part).unwrap();
+        }
+        let got = d.pop_all();
+        msgs.retain(|_| true);
+        prop_assert_eq!(got, msgs);
+    }
+
+    #[test]
+    fn rtmp_dechunker_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let mut d = Dechunker::new();
+        let _ = d.feed(&bytes);
+    }
+}
+
+// --------------------------------------------------------------------- WS
+
+proptest! {
+    #[test]
+    fn ws_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..70_000),
+                    masked in any::<bool>(),
+                    key in any::<[u8; 4]>()) {
+        let f = Frame { opcode: Opcode::Binary, payload };
+        let enc = f.encode(masked.then_some(key));
+        let (dec, used) = Frame::decode(&enc).unwrap();
+        prop_assert_eq!(used, enc.len());
+        prop_assert_eq!(dec, f);
+    }
+
+    #[test]
+    fn ws_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&bytes);
+    }
+}
+
+// -------------------------------------------------------------------- HLS
+
+proptest! {
+    #[test]
+    fn hls_playlist_roundtrip(
+        target in 1u32..10,
+        seq in 0u64..1000,
+        ended in any::<bool>(),
+        durations in prop::collection::vec(0.5f64..9.5, 0..12),
+    ) {
+        let mut pl = MediaPlaylist::new(target);
+        pl.media_sequence = seq;
+        pl.ended = ended;
+        for (i, d) in durations.iter().enumerate() {
+            // Round to the 3-decimal EXTINF precision the renderer emits.
+            let d = (d * 1000.0).round() / 1000.0;
+            pl.segments.push(SegmentEntry { duration_s: d, uri: format!("seg_{i}.ts") });
+        }
+        let parsed = MediaPlaylist::parse(&pl.render()).unwrap();
+        prop_assert_eq!(parsed, pl);
+    }
+}
+
+// ------------------------------------------------------------------- HTTP
+
+proptest! {
+    #[test]
+    fn http_request_roundtrip(
+        path in "/[a-z0-9/]{0,30}",
+        body in prop::collection::vec(any::<u8>(), 0..500),
+        header_val in "[a-zA-Z0-9]{0,16}",
+    ) {
+        let mut req = Request::get(path);
+        req.body = body;
+        let req = req.header("x-test", &header_val);
+        let dec = Request::decode(&req.encode()).unwrap();
+        prop_assert_eq!(dec.get_header("x-test").unwrap_or(""), header_val);
+        prop_assert_eq!(&dec.path, &req.path);
+        prop_assert_eq!(dec.body, req.body);
+    }
+
+    #[test]
+    fn http_response_roundtrip(
+        status in prop_oneof![Just(200u16), Just(404), Just(429), Just(500)],
+        body in prop::collection::vec(any::<u8>(), 0..500),
+    ) {
+        let resp = Response { status, headers: vec![], body };
+        let dec = Response::decode(&resp.encode()).unwrap();
+        prop_assert_eq!(dec.status, status);
+        prop_assert_eq!(dec.body, resp.body);
+    }
+
+    #[test]
+    fn http_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+}

@@ -1,0 +1,17 @@
+#![warn(missing_docs)]
+
+//! QoE analysis over session datasets (§5.1 of the paper).
+//!
+//! [`dataset`] wraps a collection of simulated viewing sessions with the
+//! selectors and aggregations the figures need; [`delivery`] recovers
+//! delivery latency from the raw captures via the NTP-timestamp method
+//! (§5.1), including the handshake stripping a human would do in wireshark;
+//! [`compare`] runs the paper's device-comparison Welch t-tests;
+//! [`export`] dumps per-session/per-broadcast CSVs for external plotting.
+
+pub mod compare;
+pub mod dataset;
+pub mod delivery;
+pub mod export;
+
+pub use dataset::SessionDataset;

@@ -1,0 +1,334 @@
+//! The Periscope JSON API (paper §3, Table 1).
+//!
+//! "The application communicates with the servers by sending POST requests
+//! containing JSON encoded attributes to the following address:
+//! `https://api.periscope.tv/api/v2/apiRequest`." The three commands the
+//! paper used are modeled with their full request/response shapes, plus
+//! `accessVideo` (the command that returns stream endpoints, which the app
+//! must issue to start playback).
+
+use pscp_proto::http::Request;
+use pscp_proto::json::{parse, Value};
+use pscp_proto::ProtoError;
+use pscp_simnet::GeoRect;
+use pscp_workload::broadcast::{Broadcast, BroadcastId};
+use pscp_simnet::SimTime;
+
+/// API base path.
+pub const API_BASE: &str = "/api/v2/";
+
+/// A decoded API request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ApiRequest {
+    /// Map-area discovery: "Coordinates of a rectangle shaped geographical
+    /// area" → "List of broadcasts located inside the area".
+    MapGeoBroadcastFeed {
+        /// Queried area.
+        rect: GeoRect,
+        /// When false, only live broadcasts are returned (the crawler "sets
+        /// the include_replay attribute value to false").
+        include_replay: bool,
+    },
+    /// Detail lookup: "List of 13-character broadcast IDs" → "Descriptions
+    /// of broadcast IDs (incl. nb of viewers)".
+    GetBroadcasts {
+        /// Requested ids.
+        ids: Vec<BroadcastId>,
+    },
+    /// End-of-session stats upload: "Playback statistics" → "nothing".
+    PlaybackMeta {
+        /// Watched broadcast.
+        broadcast_id: BroadcastId,
+        /// Number of stall events.
+        n_stalls: u32,
+        /// Mean stall duration in seconds (RTMP sessions only; the HLS
+        /// player reports only the stall count — §2).
+        avg_stall_time_s: Option<f64>,
+        /// Playback latency estimate in seconds (RTMP only, like above).
+        playback_latency_s: Option<f64>,
+    },
+    /// Stream endpoint resolution for a broadcast the user wants to watch.
+    AccessVideo {
+        /// Target broadcast.
+        broadcast_id: BroadcastId,
+    },
+}
+
+impl ApiRequest {
+    /// The `apiRequest` name in the URL.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ApiRequest::MapGeoBroadcastFeed { .. } => "mapGeoBroadcastFeed",
+            ApiRequest::GetBroadcasts { .. } => "getBroadcasts",
+            ApiRequest::PlaybackMeta { .. } => "playbackMeta",
+            ApiRequest::AccessVideo { .. } => "accessVideo",
+        }
+    }
+
+    /// Encodes into an HTTP request with a session cookie header.
+    pub fn to_http(&self, session_token: &str) -> Request {
+        let body = match self {
+            ApiRequest::MapGeoBroadcastFeed { rect, include_replay } => Value::object([
+                ("p1_lat", Value::Number(rect.south)),
+                ("p1_lng", Value::Number(rect.west)),
+                ("p2_lat", Value::Number(rect.north)),
+                ("p2_lng", Value::Number(rect.east)),
+                ("include_replay", Value::Bool(*include_replay)),
+            ]),
+            ApiRequest::GetBroadcasts { ids } => Value::object([(
+                "broadcast_ids",
+                Value::Array(ids.iter().map(|id| Value::str(id.as_string())).collect()),
+            )]),
+            ApiRequest::PlaybackMeta {
+                broadcast_id,
+                n_stalls,
+                avg_stall_time_s,
+                playback_latency_s,
+            } => {
+                let mut fields = vec![
+                    ("broadcast_id", Value::str(broadcast_id.as_string())),
+                    ("n_stalls", Value::from(*n_stalls as u64)),
+                ];
+                if let Some(v) = avg_stall_time_s {
+                    fields.push(("avg_stall_time_s", Value::Number(*v)));
+                }
+                if let Some(v) = playback_latency_s {
+                    fields.push(("playback_latency_s", Value::Number(*v)));
+                }
+                Value::object(fields)
+            }
+            ApiRequest::AccessVideo { broadcast_id } => {
+                Value::object([("broadcast_id", Value::str(broadcast_id.as_string()))])
+            }
+        };
+        Request::post_json(format!("{API_BASE}{}", self.name()), body.to_json())
+            .header("x-session", session_token)
+    }
+
+    /// Decodes from an HTTP request.
+    pub fn from_http(req: &Request) -> Result<ApiRequest, ProtoError> {
+        let name = req
+            .path
+            .strip_prefix(API_BASE)
+            .ok_or_else(|| ProtoError::Protocol(format!("bad API path {}", req.path)))?;
+        let body = parse(
+            std::str::from_utf8(&req.body)
+                .map_err(|_| ProtoError::Malformed("non-UTF-8 body".to_string()))?,
+        )?;
+        let num = |key: &str| -> Result<f64, ProtoError> {
+            body.get(key)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ProtoError::Malformed(format!("missing number '{key}'")))
+        };
+        match name {
+            "mapGeoBroadcastFeed" => Ok(ApiRequest::MapGeoBroadcastFeed {
+                rect: GeoRect::new(num("p1_lat")?, num("p1_lng")?, num("p2_lat")?, num("p2_lng")?),
+                include_replay: body
+                    .get("include_replay")
+                    .and_then(Value::as_bool)
+                    .unwrap_or(true),
+            }),
+            "getBroadcasts" => {
+                let ids = body
+                    .get("broadcast_ids")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| ProtoError::Malformed("missing broadcast_ids".to_string()))?
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .and_then(BroadcastId::parse)
+                            .ok_or_else(|| ProtoError::Malformed("bad broadcast id".to_string()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ApiRequest::GetBroadcasts { ids })
+            }
+            "playbackMeta" => Ok(ApiRequest::PlaybackMeta {
+                broadcast_id: body
+                    .get("broadcast_id")
+                    .and_then(Value::as_str)
+                    .and_then(BroadcastId::parse)
+                    .ok_or_else(|| ProtoError::Malformed("bad broadcast id".to_string()))?,
+                n_stalls: num("n_stalls")? as u32,
+                avg_stall_time_s: body.get("avg_stall_time_s").and_then(Value::as_f64),
+                playback_latency_s: body.get("playback_latency_s").and_then(Value::as_f64),
+            }),
+            "accessVideo" => Ok(ApiRequest::AccessVideo {
+                broadcast_id: body
+                    .get("broadcast_id")
+                    .and_then(Value::as_str)
+                    .and_then(BroadcastId::parse)
+                    .ok_or_else(|| ProtoError::Malformed("bad broadcast id".to_string()))?,
+            }),
+            other => Err(ProtoError::Protocol(format!("unknown apiRequest '{other}'"))),
+        }
+    }
+}
+
+/// Serializes a broadcast description, the JSON object `getBroadcasts`
+/// returns per id.
+pub fn broadcast_description(b: &Broadcast, now: SimTime) -> Value {
+    Value::object([
+        ("id", Value::str(b.id.as_string())),
+        ("start_s", Value::Number(b.start.as_secs_f64())),
+        ("n_viewers", Value::from(b.viewers_at(now) as u64)),
+        ("available_for_replay", Value::Bool(b.replay_available)),
+        ("city", Value::str(b.city)),
+        ("lat", Value::Number(b.location.lat)),
+        ("lng", Value::Number(b.location.lon)),
+        ("live", Value::Bool(b.is_live_at(now))),
+    ])
+}
+
+/// A parsed broadcast description (what the crawler stores per sighting).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastDescription {
+    /// Broadcast id.
+    pub id: BroadcastId,
+    /// Advertised start time, seconds.
+    pub start_s: f64,
+    /// Viewer count at response time.
+    pub n_viewers: u32,
+    /// Replay availability flag.
+    pub available_for_replay: bool,
+    /// Whether still live at response time.
+    pub live: bool,
+    /// Advertised latitude.
+    pub lat: f64,
+    /// Advertised longitude.
+    pub lng: f64,
+}
+
+impl BroadcastDescription {
+    /// Parses a description object.
+    pub fn from_json(v: &Value) -> Result<BroadcastDescription, ProtoError> {
+        let id = v
+            .get("id")
+            .and_then(Value::as_str)
+            .and_then(BroadcastId::parse)
+            .ok_or_else(|| ProtoError::Malformed("bad id".to_string()))?;
+        let get_num = |k: &str| {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| ProtoError::Malformed(format!("missing '{k}'")))
+        };
+        Ok(BroadcastDescription {
+            id,
+            start_s: get_num("start_s")?,
+            n_viewers: get_num("n_viewers")? as u32,
+            available_for_replay: v
+                .get("available_for_replay")
+                .and_then(Value::as_bool)
+                .unwrap_or(false),
+            live: v.get("live").and_then(Value::as_bool).unwrap_or(false),
+            lat: get_num("lat")?,
+            lng: get_num("lng")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_feed_roundtrip() {
+        let req = ApiRequest::MapGeoBroadcastFeed {
+            rect: GeoRect::new(-10.0, -20.0, 10.0, 20.0),
+            include_replay: false,
+        };
+        let http = req.to_http("tok");
+        assert_eq!(http.path, "/api/v2/mapGeoBroadcastFeed");
+        assert_eq!(http.get_header("x-session"), Some("tok"));
+        assert_eq!(ApiRequest::from_http(&http).unwrap(), req);
+    }
+
+    #[test]
+    fn get_broadcasts_roundtrip() {
+        let req = ApiRequest::GetBroadcasts {
+            ids: vec![BroadcastId(1), BroadcastId(999_999)],
+        };
+        let http = req.to_http("tok");
+        assert_eq!(ApiRequest::from_http(&http).unwrap(), req);
+    }
+
+    #[test]
+    fn playback_meta_roundtrip_rtmp_fields() {
+        let req = ApiRequest::PlaybackMeta {
+            broadcast_id: BroadcastId(5),
+            n_stalls: 2,
+            avg_stall_time_s: Some(3.5),
+            playback_latency_s: Some(2.25),
+        };
+        assert_eq!(ApiRequest::from_http(&req.to_http("t")).unwrap(), req);
+    }
+
+    #[test]
+    fn playback_meta_hls_omits_details() {
+        // §2: "after an HTTP Live Streaming (HLS) session, the app reports
+        // only the number of stall events".
+        let req = ApiRequest::PlaybackMeta {
+            broadcast_id: BroadcastId(5),
+            n_stalls: 1,
+            avg_stall_time_s: None,
+            playback_latency_s: None,
+        };
+        let http = req.to_http("t");
+        assert!(!String::from_utf8_lossy(&http.body).contains("avg_stall_time_s"));
+        assert_eq!(ApiRequest::from_http(&http).unwrap(), req);
+    }
+
+    #[test]
+    fn access_video_roundtrip() {
+        let req = ApiRequest::AccessVideo { broadcast_id: BroadcastId(77) };
+        assert_eq!(ApiRequest::from_http(&req.to_http("t")).unwrap(), req);
+    }
+
+    #[test]
+    fn unknown_api_request_rejected() {
+        let http = Request::post_json("/api/v2/unknownThing", "{}");
+        assert!(ApiRequest::from_http(&http).is_err());
+    }
+
+    #[test]
+    fn bad_path_rejected() {
+        let http = Request::post_json("/api/v1/getBroadcasts", "{}");
+        assert!(ApiRequest::from_http(&http).is_err());
+    }
+
+    #[test]
+    fn missing_fields_rejected() {
+        let http = Request::post_json("/api/v2/mapGeoBroadcastFeed", r#"{"p1_lat":1}"#);
+        assert!(ApiRequest::from_http(&http).is_err());
+    }
+
+    #[test]
+    fn description_roundtrip() {
+        use pscp_media::audio::AudioBitrate;
+        use pscp_media::content::ContentClass;
+        use pscp_simnet::{GeoPoint, SimDuration};
+        use pscp_workload::broadcast::DeviceProfile;
+        let b = Broadcast {
+            id: BroadcastId(4242),
+            location: GeoPoint::new(48.86, 2.35),
+            city: "Paris",
+            start: SimTime::from_secs(50),
+            duration: SimDuration::from_secs(600),
+            content: ContentClass::Indoor,
+            device: DeviceProfile::Modern,
+            audio: AudioBitrate::Kbps32,
+            avg_viewers: 12.0,
+            replay_available: true,
+            private: false,
+            location_public: true,
+            viewer_seed: 3,
+            target_bitrate_bps: 300_000.0,
+        };
+        let now = SimTime::from_secs(100);
+        let desc = BroadcastDescription::from_json(&broadcast_description(&b, now)).unwrap();
+        assert_eq!(desc.id, b.id);
+        assert!(desc.live);
+        assert!(desc.n_viewers > 0);
+        assert!(desc.available_for_replay);
+        assert_eq!(desc.start_s, 50.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! The Fastly-like CDN serving HLS.
+//!
+//! §5: "All the HLS streams were delivered from only two distinct IP
+//! addresses, which maxmind.com says are located somewhere in Europe and in
+//! San Francisco. ... the Fastly CDN server is chosen based on the location
+//! of the viewing device."
+
+use pscp_simnet::GeoPoint;
+
+/// A CDN point of presence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CdnPop {
+    /// The European POP.
+    Europe,
+    /// The San Francisco POP.
+    SanFrancisco,
+}
+
+impl CdnPop {
+    /// Both POPs.
+    pub const ALL: [CdnPop; 2] = [CdnPop::Europe, CdnPop::SanFrancisco];
+
+    /// POP location.
+    pub fn location(self) -> GeoPoint {
+        match self {
+            CdnPop::Europe => GeoPoint::new(50.11, 8.68), // Frankfurt
+            CdnPop::SanFrancisco => GeoPoint::new(37.77, -122.42),
+        }
+    }
+
+    /// The (single) anycast-ish IP the paper observed per POP.
+    pub fn ip(self) -> &'static str {
+        match self {
+            CdnPop::Europe => "185.31.18.133",
+            CdnPop::SanFrancisco => "23.235.47.133",
+        }
+    }
+
+    /// Hostname label used in captures.
+    pub fn hostname(self) -> &'static str {
+        match self {
+            CdnPop::Europe => "fastly-eu.periscope.tv",
+            CdnPop::SanFrancisco => "fastly-sf.periscope.tv",
+        }
+    }
+}
+
+/// Picks the POP for a session: nearest to the viewer most of the time,
+/// with a small deterministic fraction routed to the other POP (anycast /
+/// load-balancing quirks) — which is how the paper's single vantage point
+/// still observed both the European and San Francisco endpoints.
+pub fn pop_for_session(viewer: &GeoPoint, entropy: u64) -> CdnPop {
+    let near = pop_for(viewer);
+    // ~12% of sessions land on the far POP.
+    let mut z = entropy.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z ^= z >> 31;
+    if z % 100 < 12 {
+        CdnPop::ALL.into_iter().find(|p| *p != near).unwrap_or(near)
+    } else {
+        near
+    }
+}
+
+/// Picks the POP nearest the viewer.
+pub fn pop_for(viewer: &GeoPoint) -> CdnPop {
+    CdnPop::ALL
+        .into_iter()
+        .min_by(|a, b| {
+            viewer
+                .distance_km(&a.location())
+                .partial_cmp(&viewer.distance_km(&b.location()))
+                .expect("finite distances")
+        })
+        .expect("two POPs exist")
+}
+
+/// One-way propagation delay from the POP to the viewer.
+pub fn pop_delay(viewer: &GeoPoint) -> pscp_simnet::SimDuration {
+    pop_for(viewer).location().propagation_to(viewer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finland_uses_europe() {
+        assert_eq!(pop_for(&GeoPoint::new(60.17, 24.94)), CdnPop::Europe);
+    }
+
+    #[test]
+    fn california_uses_sf() {
+        assert_eq!(pop_for(&GeoPoint::new(34.05, -118.24)), CdnPop::SanFrancisco);
+    }
+
+    #[test]
+    fn tokyo_nearest_is_sf() {
+        // Great-circle: Tokyo→SF ≈ 8,280 km, Tokyo→Frankfurt ≈ 9,370 km.
+        assert_eq!(pop_for(&GeoPoint::new(35.68, 139.69)), CdnPop::SanFrancisco);
+    }
+
+    #[test]
+    fn session_routing_mostly_near_sometimes_far() {
+        let hel = GeoPoint::new(60.17, 24.94);
+        let mut far = 0;
+        let n = 1000;
+        for entropy in 0..n {
+            if pop_for_session(&hel, entropy) != CdnPop::Europe {
+                far += 1;
+            }
+        }
+        // ~12% diverted, and deterministic per entropy.
+        assert!((60..200).contains(&far), "far={far}");
+        assert_eq!(pop_for_session(&hel, 42), pop_for_session(&hel, 42));
+    }
+
+    #[test]
+    fn pops_have_distinct_ips() {
+        assert_ne!(CdnPop::Europe.ip(), CdnPop::SanFrancisco.ip());
+        assert_eq!(CdnPop::ALL.len(), 2);
+    }
+
+    #[test]
+    fn nearby_viewer_low_delay() {
+        let frankfurt_local = GeoPoint::new(50.0, 8.5);
+        assert!(pop_delay(&frankfurt_local).as_millis() < 10);
+        let sydney = GeoPoint::new(-33.87, 151.21);
+        assert!(pop_delay(&sydney).as_millis() > 40);
+    }
+}

@@ -1,0 +1,185 @@
+//! The RTMP ingest fleet.
+//!
+//! §5: "87 different Amazon servers were employed to deliver the RTMP
+//! streams. We could locate only nine of them ... among those nine there
+//! were at least one in each continent, except for Africa, which indicates
+//! that the server is chosen based on the location of the broadcaster."
+//! Confirmed by \[18\]: "the RTMP server nearest to the broadcasting device is
+//! chosen when the broadcast is initialized."
+
+use pscp_simnet::GeoPoint;
+
+/// An EC2 region hosting vidman ingest servers.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestRegion {
+    /// Periscope-style region name (the `vidman-<region>` DNS label).
+    pub name: &'static str,
+    /// Region location.
+    pub lat: f64,
+    /// Region longitude.
+    pub lon: f64,
+    /// Number of vidman instances in the region.
+    pub servers: u32,
+}
+
+/// The nine observable regions — every continent except Africa — sized so
+/// the fleet totals 87 servers.
+pub const REGIONS: &[IngestRegion] = &[
+    IngestRegion { name: "us-west-1", lat: 37.35, lon: -121.96, servers: 14 },
+    IngestRegion { name: "us-east-1", lat: 38.95, lon: -77.45, servers: 16 },
+    IngestRegion { name: "eu-central-1", lat: 50.11, lon: 8.68, servers: 13 },
+    IngestRegion { name: "eu-west-1", lat: 53.34, lon: -6.26, servers: 10 },
+    IngestRegion { name: "ap-northeast-1", lat: 35.68, lon: 139.69, servers: 9 },
+    IngestRegion { name: "ap-southeast-1", lat: 1.35, lon: 103.82, servers: 8 },
+    IngestRegion { name: "ap-southeast-2", lat: -33.87, lon: 151.21, servers: 6 },
+    IngestRegion { name: "sa-east-1", lat: -23.55, lon: -46.63, servers: 7 },
+    IngestRegion { name: "ap-south-1", lat: 19.08, lon: 72.88, servers: 4 },
+];
+
+/// A concrete ingest server assignment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct IngestServer {
+    /// Region name.
+    pub region: &'static str,
+    /// Server index within the region.
+    pub index: u32,
+}
+
+impl IngestServer {
+    /// The client-facing DNS name (`vidman-…periscope.tv`).
+    pub fn hostname(&self) -> String {
+        format!("vidman-{}-{:02}.periscope.tv", self.region, self.index)
+    }
+
+    /// The reverse-lookup name exposing the EC2 substrate, as the paper
+    /// observed (`ec2-….compute.amazonaws.com`).
+    pub fn reverse_dns(&self) -> String {
+        // Stable pseudo-IP from region and index, in EC2's public ranges.
+        let h = self
+            .region
+            .bytes()
+            .fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+        let ip = (
+            54,
+            64 + (h % 128) as u8,
+            (h / 7 % 256) as u8,
+            (self.index * 3 + 7) as u8,
+        );
+        format!(
+            "ec2-{}-{}-{}-{}.{}.compute.amazonaws.com",
+            ip.0, ip.1, ip.2, ip.3, self.region
+        )
+    }
+
+    /// The region's location (for RTT modeling).
+    pub fn location(&self) -> GeoPoint {
+        let r = REGIONS
+            .iter()
+            .find(|r| r.name == self.region)
+            .expect("server carries a known region name");
+        GeoPoint::new(r.lat, r.lon)
+    }
+}
+
+/// Total number of ingest servers.
+pub fn fleet_size() -> u32 {
+    REGIONS.iter().map(|r| r.servers).sum()
+}
+
+/// Assigns the ingest server for a broadcaster: nearest region, then a
+/// stable per-broadcast server within it (load spreading by id hash).
+pub fn assign_server(broadcaster: &GeoPoint, broadcast_id: u64) -> IngestServer {
+    let region = REGIONS
+        .iter()
+        .min_by(|a, b| {
+            let da = broadcaster.distance_km(&GeoPoint::new(a.lat, a.lon));
+            let db = broadcaster.distance_km(&GeoPoint::new(b.lat, b.lon));
+            da.partial_cmp(&db).expect("distances are finite")
+        })
+        .expect("region list is non-empty");
+    IngestServer { region: region.name, index: (broadcast_id % region.servers as u64) as u32 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_totals_87() {
+        assert_eq!(fleet_size(), 87);
+    }
+
+    #[test]
+    fn regions_span_continents_except_africa() {
+        assert_eq!(REGIONS.len(), 9);
+        // North America, South America, Europe, Asia, Oceania present.
+        assert!(REGIONS.iter().any(|r| r.lon < -60.0 && r.lat > 20.0));
+        assert!(REGIONS.iter().any(|r| r.lat < -20.0 && r.lon < -40.0));
+        assert!(REGIONS.iter().any(|r| (-10.0..30.0).contains(&r.lon) && r.lat > 45.0));
+        assert!(REGIONS.iter().any(|r| r.lon > 100.0 && r.lat > 30.0));
+        assert!(REGIONS.iter().any(|r| r.lat < -30.0 && r.lon > 140.0));
+        // No region in Africa (roughly lat -35..35, lon -20..50, excluding
+        // Europe/Middle East which sit above lat 35 or east of lon 50).
+        assert!(!REGIONS
+            .iter()
+            .any(|r| (-35.0..35.0).contains(&r.lat) && (-20.0..50.0).contains(&r.lon)));
+    }
+
+    #[test]
+    fn assignment_picks_nearest_region() {
+        let helsinki = GeoPoint::new(60.17, 24.94);
+        assert_eq!(assign_server(&helsinki, 1).region, "eu-central-1");
+        let sf = GeoPoint::new(37.77, -122.42);
+        assert_eq!(assign_server(&sf, 1).region, "us-west-1");
+        let tokyo = GeoPoint::new(35.68, 139.69);
+        assert_eq!(assign_server(&tokyo, 1).region, "ap-northeast-1");
+        let sao = GeoPoint::new(-23.55, -46.63);
+        assert_eq!(assign_server(&sao, 1).region, "sa-east-1");
+    }
+
+    #[test]
+    fn assignment_stable_per_broadcast() {
+        let p = GeoPoint::new(48.86, 2.35);
+        assert_eq!(assign_server(&p, 42), assign_server(&p, 42));
+    }
+
+    #[test]
+    fn assignment_spreads_within_region() {
+        let p = GeoPoint::new(48.86, 2.35);
+        let distinct: std::collections::HashSet<u32> =
+            (0..100).map(|id| assign_server(&p, id).index).collect();
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn hostnames_and_reverse_dns() {
+        let s = IngestServer { region: "eu-central-1", index: 3 };
+        assert_eq!(s.hostname(), "vidman-eu-central-1-03.periscope.tv");
+        let rdns = s.reverse_dns();
+        assert!(rdns.starts_with("ec2-54-"), "{rdns}");
+        assert!(rdns.ends_with(".eu-central-1.compute.amazonaws.com"), "{rdns}");
+    }
+
+    #[test]
+    fn server_location_resolves() {
+        let s = IngestServer { region: "ap-northeast-1", index: 0 };
+        let loc = s.location();
+        assert!((loc.lat - 35.68).abs() < 0.1);
+    }
+
+    #[test]
+    fn distinct_servers_across_fleet() {
+        // Collect server identities from broadcasts all over the world; the
+        // whole 87-server fleet should be reachable.
+        let mut seen = std::collections::HashSet::new();
+        for lat in [-35, -10, 0, 20, 40, 55] {
+            for lon in [-120, -70, 0, 30, 80, 140, 151] {
+                for id in 0..20u64 {
+                    let s = assign_server(&GeoPoint::new(lat as f64, lon as f64), id);
+                    seen.insert(s.hostname());
+                }
+            }
+        }
+        assert!(seen.len() > 40, "seen {} servers", seen.len());
+    }
+}

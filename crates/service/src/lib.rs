@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! The Periscope platform backend, as the paper reverse-engineered it.
+//!
+//! §3 of the paper maps the service's anatomy; each piece is a module here:
+//!
+//! * [`api`] — the private JSON API (`mapGeoBroadcastFeed`, `getBroadcasts`,
+//!   `playbackMeta`, Table 1), POSTed to `/api/v2/<apiRequest>`;
+//! * [`directory`] — broadcast discovery with the two properties the
+//!   crawler had to fight: zoom-dependent map visibility ("more broadcasts
+//!   become visible as the user zooms in") and per-user rate limiting
+//!   ("too frequent requests will be answered with HTTP 429");
+//! * [`ingest`] — the RTMP server fleet on EC2 (87 distinct servers across
+//!   9 regions, chosen near the broadcaster);
+//! * [`cdn`] — the Fastly-like CDN with two observed POPs (Europe and San
+//!   Francisco) serving all HLS traffic, chosen near the viewer;
+//! * [`select`] — the RTMP→HLS fallback decision ("HLS seems to be used
+//!   only when a broadcast is very popular ... somewhere around 100
+//!   viewers");
+//! * [`segmenter`] — the transcode/repackage pipeline producing 3–6 s
+//!   MPEG-TS segments (3.6 s in 60% of cases) and live playlists;
+//! * [`replay`] — ended broadcasts kept as VOD playlists ("Broadcasts can
+//!   also be made available for replay", §3);
+//! * [`chat`] — the WebSocket chat room with profile-picture side traffic
+//!   from S3, the cause of the paper's chat-on traffic explosion (§5.1);
+//! * [`service`] — the facade tying it all together behind an HTTP
+//!   request/response interface.
+
+pub mod api;
+pub mod cdn;
+pub mod chat;
+pub mod directory;
+pub mod ingest;
+pub mod replay;
+pub mod segmenter;
+pub mod select;
+pub mod service;
+
+pub use service::{PeriscopeService, ServiceConfig};

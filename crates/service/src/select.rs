@@ -1,0 +1,109 @@
+//! Delivery-protocol selection: RTMP by default, HLS for popular broadcasts.
+//!
+//! §5: "HLS seems to be used only when a broadcast is very popular. A
+//! comparison of the average number of viewers seen in an RTMP and HLS
+//! session suggests that the boundary number of viewers beyond which HLS is
+//! used is somewhere around 100 viewers." And §5.1's summary: "HLS appears
+//! to be a fallback solution to the RTMP stream" — RTMP pushes with minimal
+//! latency; HLS scales through the CDN.
+
+use pscp_simnet::SimTime;
+use pscp_workload::broadcast::Broadcast;
+
+/// The two delivery protocols (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// Real Time Messaging Protocol over port 80, pushed from EC2 ingest.
+    Rtmp,
+    /// HTTP Live Streaming via the Fastly CDN.
+    Hls,
+}
+
+impl Protocol {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::Rtmp => "RTMP",
+            Protocol::Hls => "HLS",
+        }
+    }
+}
+
+/// Protocol selection policy.
+#[derive(Debug, Clone)]
+pub struct SelectionPolicy {
+    /// Viewer count beyond which new viewers are served HLS.
+    pub hls_viewer_threshold: u32,
+}
+
+impl Default for SelectionPolicy {
+    fn default() -> Self {
+        SelectionPolicy { hls_viewer_threshold: 100 }
+    }
+}
+
+impl SelectionPolicy {
+    /// Chooses the protocol for a viewer joining `broadcast` at `now`.
+    pub fn choose(&self, broadcast: &Broadcast, now: SimTime) -> Protocol {
+        if broadcast.viewers_at(now) > self.hls_viewer_threshold {
+            Protocol::Hls
+        } else {
+            Protocol::Rtmp
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_media::audio::AudioBitrate;
+    use pscp_media::content::ContentClass;
+    use pscp_simnet::{GeoPoint, SimDuration};
+    use pscp_workload::broadcast::{BroadcastId, DeviceProfile};
+
+    fn broadcast(avg_viewers: f64) -> Broadcast {
+        Broadcast {
+            id: BroadcastId(1),
+            location: GeoPoint::new(0.0, 0.0),
+            city: "x",
+            start: SimTime::ZERO,
+            duration: SimDuration::from_secs(600),
+            content: ContentClass::Indoor,
+            device: DeviceProfile::Modern,
+            audio: AudioBitrate::Kbps32,
+            avg_viewers,
+            replay_available: false,
+            private: false,
+            location_public: true,
+            viewer_seed: 9,
+            target_bitrate_bps: 300_000.0,
+        }
+    }
+
+    #[test]
+    fn small_broadcast_gets_rtmp() {
+        let policy = SelectionPolicy::default();
+        let b = broadcast(5.0);
+        assert_eq!(policy.choose(&b, SimTime::from_secs(300)), Protocol::Rtmp);
+    }
+
+    #[test]
+    fn popular_broadcast_gets_hls() {
+        let policy = SelectionPolicy::default();
+        let b = broadcast(5000.0);
+        assert_eq!(policy.choose(&b, SimTime::from_secs(300)), Protocol::Hls);
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let policy = SelectionPolicy { hls_viewer_threshold: 1 };
+        let b = broadcast(30.0);
+        assert_eq!(policy.choose(&b, SimTime::from_secs(300)), Protocol::Hls);
+    }
+
+    #[test]
+    fn protocol_names() {
+        assert_eq!(Protocol::Rtmp.name(), "RTMP");
+        assert_eq!(Protocol::Hls.name(), "HLS");
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for service-side invariants.
+
+use proptest::prelude::*;
+use pscp_service::chat::{ChatConfig, ChatRoom};
+use pscp_service::directory::{RateLimiter, VisibilityConfig};
+use pscp_service::ingest::assign_server;
+use pscp_simnet::{GeoPoint, GeoRect, SimDuration, SimTime};
+
+proptest! {
+    /// Visibility caps grow (weakly) as the queried area shrinks.
+    #[test]
+    fn visibility_cap_monotone_in_zoom(
+        south in -80.0f64..60.0,
+        west in -170.0f64..150.0,
+        dlat in 0.5f64..30.0,
+        dlon in 0.5f64..30.0,
+    ) {
+        let cfg = VisibilityConfig::default();
+        let rect = GeoRect::new(south, west, south + dlat, west + dlon);
+        let [q, ..] = rect.quadrants();
+        prop_assert!(cfg.cap_for(&q) >= cfg.cap_for(&rect));
+        prop_assert!(cfg.cap_for(&rect) >= cfg.cap_for(&GeoRect::WORLD));
+        prop_assert!(cfg.cap_for(&q) <= cfg.max_cap);
+    }
+
+    /// The rate limiter never admits more than burst + rate×time requests,
+    /// for any request pattern.
+    #[test]
+    fn rate_limiter_admission_bound(
+        gaps_ms in prop::collection::vec(0u64..3000, 1..120),
+        burst in 1u32..10,
+        interval_ms in 100u64..2000,
+    ) {
+        let mut rl = RateLimiter::new(burst, SimDuration::from_millis(interval_ms));
+        let mut t = SimTime::from_secs(1);
+        let mut admitted = 0u32;
+        for gap in &gaps_ms {
+            t += SimDuration::from_millis(*gap);
+            if rl.allow("u", t) {
+                admitted += 1;
+            }
+        }
+        let elapsed_ms: u64 = gaps_ms.iter().sum();
+        let bound = burst as f64 + elapsed_ms as f64 / interval_ms as f64;
+        prop_assert!(
+            (admitted as f64) <= bound + 1.0,
+            "admitted={admitted} bound={bound}"
+        );
+    }
+
+    /// Ingest assignment always picks the nearest region.
+    #[test]
+    fn ingest_nearest_region(
+        lat in -60.0f64..70.0,
+        lon in -179.0f64..179.0,
+        id in any::<u64>(),
+    ) {
+        let p = GeoPoint::new(lat, lon);
+        let chosen = assign_server(&p, id);
+        let chosen_d = p.distance_km(&chosen.location());
+        for r in pscp_service::ingest::REGIONS {
+            let d = p.distance_km(&GeoPoint::new(r.lat, r.lon));
+            prop_assert!(chosen_d <= d + 1e-6, "{} at {chosen_d} beaten by {} at {d}", chosen.region, r.name);
+        }
+        // Index stays within the region's fleet.
+        let region = pscp_service::ingest::REGIONS
+            .iter()
+            .find(|r| r.name == chosen.region)
+            .unwrap();
+        prop_assert!(chosen.index < region.servers);
+    }
+
+    /// Chat rooms: message counts respect the fullness cap for any viewer
+    /// count, and all messages stay in-window.
+    #[test]
+    fn chat_room_caps_and_windows(
+        viewers in 0u32..20_000,
+        from_s in 0u64..1000,
+        span_s in 1u64..300,
+        seed in any::<u64>(),
+    ) {
+        let mut room = ChatRoom::new(ChatConfig::default());
+        let mut rng = pscp_simnet::RngFactory::new(seed).stream("chat-prop");
+        let from = SimTime::from_secs(from_s);
+        let to = from + SimDuration::from_secs(span_s);
+        let msgs = room.messages_between(from, to, viewers, &mut rng);
+        for m in &msgs {
+            prop_assert!(m.at >= from && m.at < to);
+        }
+        // Expected rate bound: capped chatters × rate × span, with slack.
+        let cap = ChatConfig::default().full_at.min(viewers) as f64
+            * ChatConfig::default().per_user_msg_rate
+            * span_s as f64;
+        prop_assert!((msgs.len() as f64) < cap * 3.0 + 20.0, "n={} cap={cap}", msgs.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! Time-ordered event queue.
+//!
+//! The queue is generic over the event payload so each layer of the stack can
+//! define its own event enum (the smoltcp-style alternative to trait-object
+//! dispatch). Ties in time are broken FIFO by an insertion sequence number,
+//! which is what makes simulations reproducible: two events scheduled for the
+//! same instant always fire in scheduling order.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so the BinaryHeap max-heap pops the earliest entry.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `payload` to fire at `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics: silently
+    /// reordering time hides bugs in higher layers.
+    pub fn schedule(&mut self, at: SimTime, payload: E) {
+        assert!(at >= self.now, "scheduling at {at} before now {}", self.now);
+        self.heap.push(Entry { at, seq: self.seq, payload });
+        self.seq += 1;
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.payload))
+    }
+
+    /// Timestamp of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Runs the queue to completion, calling `handler(now, event, queue)` for
+    /// each event. The handler may schedule further events. Stops when the
+    /// queue drains or `horizon` is passed (events after it stay queued).
+    pub fn run_until<F>(&mut self, horizon: SimTime, mut handler: F)
+    where
+        F: FnMut(SimTime, E, &mut EventQueue<E>),
+    {
+        while let Some(at) = self.peek_time() {
+            if at > horizon {
+                break;
+            }
+            let (now, ev) = self.pop().expect("peeked entry exists");
+            // The handler gets a scratch queue view by re-borrowing self via
+            // a temporary swap: events it schedules land in the same heap.
+            handler(now, ev, self);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(2), "b");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(1), ());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(10), 10);
+        let mut seen = Vec::new();
+        q.run_until(SimTime::from_secs(5), |_, e, _| seen.push(e));
+        assert_eq!(seen, vec![1]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn handler_can_chain_events() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 0u32);
+        let mut count = 0;
+        q.run_until(SimTime::from_secs(100), |now, e, q| {
+            count += 1;
+            if e < 5 {
+                q.schedule(now + SimDuration::from_secs(1), e + 1);
+            }
+        });
+        assert_eq!(count, 6);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.len(), 1);
+    }
+}

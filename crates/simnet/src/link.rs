@@ -1,0 +1,230 @@
+//! Point-to-point link model: serialization delay, FIFO queueing,
+//! propagation delay, bounded buffer with tail drop.
+//!
+//! A link transmits at `rate_bps`; a packet of `n` bytes occupies the wire
+//! for `8n / rate` seconds. Packets queue behind the in-flight one (tracked
+//! by `busy_until`), and a bounded queue drops arrivals that would exceed the
+//! buffer — the behaviour that turns a `tc` bandwidth limit into stalls in
+//! Figure 3(b).
+
+use crate::time::{SimDuration, SimTime};
+
+/// Standard Ethernet-ish MTU used to packetize media flows.
+pub const MTU_BYTES: usize = 1448;
+
+/// Outcome of offering a packet to a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Packet will arrive at the far end at this time.
+    At(SimTime),
+    /// Packet was dropped: the queue was full.
+    Dropped,
+}
+
+impl Delivery {
+    /// Arrival time, if delivered.
+    pub fn time(self) -> Option<SimTime> {
+        match self {
+            Delivery::At(t) => Some(t),
+            Delivery::Dropped => None,
+        }
+    }
+}
+
+/// A unidirectional link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    rate_bps: f64,
+    propagation: SimDuration,
+    /// Queue capacity in bytes (bytes waiting, excluding the in-flight
+    /// packet). `usize::MAX` means unbounded.
+    queue_capacity: usize,
+    /// Time the transmitter becomes free.
+    busy_until: SimTime,
+    /// Bytes currently queued (scheduled but not yet started).
+    queued_bytes: usize,
+    /// Completion times of queued packets, to age out `queued_bytes`.
+    inflight: std::collections::VecDeque<(SimTime, usize)>,
+    /// Total bytes accepted.
+    pub bytes_sent: u64,
+    /// Total bytes dropped.
+    pub bytes_dropped: u64,
+}
+
+impl Link {
+    /// Creates a link with the given rate (bits/second), one-way propagation
+    /// delay, and queue capacity in bytes.
+    pub fn new(rate_bps: f64, propagation: SimDuration, queue_capacity: usize) -> Self {
+        assert!(rate_bps > 0.0, "link rate must be positive");
+        Link {
+            rate_bps,
+            propagation,
+            queue_capacity,
+            busy_until: SimTime::ZERO,
+            queued_bytes: 0,
+            inflight: std::collections::VecDeque::new(),
+            bytes_sent: 0,
+            bytes_dropped: 0,
+        }
+    }
+
+    /// Unbounded-buffer convenience constructor.
+    pub fn unbounded(rate_bps: f64, propagation: SimDuration) -> Self {
+        Link::new(rate_bps, propagation, usize::MAX)
+    }
+
+    /// Link rate in bits per second.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// One-way propagation delay.
+    pub fn propagation(&self) -> SimDuration {
+        self.propagation
+    }
+
+    /// Serialization time for `bytes` at the link rate.
+    pub fn serialization(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.rate_bps)
+    }
+
+    /// Offers a packet of `bytes` at time `now`. Returns the delivery time at
+    /// the far end, or `Dropped` if the queue is full.
+    pub fn enqueue(&mut self, now: SimTime, bytes: usize) -> Delivery {
+        self.expire(now);
+        if self.queued_bytes.saturating_add(bytes) > self.queue_capacity {
+            self.bytes_dropped += bytes as u64;
+            return Delivery::Dropped;
+        }
+        let start = self.busy_until.max(now);
+        let done = start + self.serialization(bytes);
+        self.busy_until = done;
+        self.queued_bytes += bytes;
+        self.inflight.push_back((done, bytes));
+        self.bytes_sent += bytes as u64;
+        Delivery::At(done + self.propagation)
+    }
+
+    /// Sends a burst of `total` bytes as MTU packets; returns per-packet
+    /// arrival times (drops omitted).
+    pub fn enqueue_burst(&mut self, now: SimTime, total: usize) -> Vec<SimTime> {
+        let mut out = Vec::with_capacity(total / MTU_BYTES + 1);
+        let mut remaining = total;
+        while remaining > 0 {
+            let pkt = remaining.min(MTU_BYTES);
+            if let Delivery::At(t) = self.enqueue(now, pkt) {
+                out.push(t);
+            }
+            remaining -= pkt;
+        }
+        out
+    }
+
+    /// Current backlog in bytes (queued, not yet fully serialized).
+    pub fn backlog(&mut self, now: SimTime) -> usize {
+        self.expire(now);
+        self.queued_bytes
+    }
+
+    /// Time at which the transmitter next becomes idle.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        while let Some(&(done, bytes)) = self.inflight.front() {
+            if done <= now {
+                self.queued_bytes -= bytes;
+                self.inflight.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbps(m: f64) -> f64 {
+        m * 1e6
+    }
+
+    #[test]
+    fn serialization_delay_exact() {
+        let l = Link::unbounded(mbps(8.0), SimDuration::ZERO);
+        // 1000 bytes at 8 Mbps = 1 ms.
+        assert_eq!(l.serialization(1000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn single_packet_delivery() {
+        let mut l = Link::unbounded(mbps(8.0), SimDuration::from_millis(10));
+        let d = l.enqueue(SimTime::ZERO, 1000);
+        assert_eq!(d, Delivery::At(SimTime::from_millis(11)));
+    }
+
+    #[test]
+    fn back_to_back_packets_queue() {
+        let mut l = Link::unbounded(mbps(8.0), SimDuration::ZERO);
+        let d1 = l.enqueue(SimTime::ZERO, 1000);
+        let d2 = l.enqueue(SimTime::ZERO, 1000);
+        assert_eq!(d1, Delivery::At(SimTime::from_millis(1)));
+        assert_eq!(d2, Delivery::At(SimTime::from_millis(2)));
+    }
+
+    #[test]
+    fn idle_gap_resets_queueing() {
+        let mut l = Link::unbounded(mbps(8.0), SimDuration::ZERO);
+        l.enqueue(SimTime::ZERO, 1000);
+        let d = l.enqueue(SimTime::from_secs(1), 1000);
+        assert_eq!(d, Delivery::At(SimTime::from_secs(1) + SimDuration::from_millis(1)));
+    }
+
+    #[test]
+    fn bounded_queue_drops() {
+        let mut l = Link::new(mbps(8.0), SimDuration::ZERO, 1500);
+        assert!(matches!(l.enqueue(SimTime::ZERO, 1000), Delivery::At(_)));
+        // 1000 queued; adding 1000 more exceeds 1500 capacity.
+        assert_eq!(l.enqueue(SimTime::ZERO, 1000), Delivery::Dropped);
+        assert_eq!(l.bytes_dropped, 1000);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut l = Link::new(mbps(8.0), SimDuration::ZERO, 1500);
+        l.enqueue(SimTime::ZERO, 1000);
+        // After 1 ms the first packet has serialized; queue is empty again.
+        assert!(matches!(l.enqueue(SimTime::from_millis(1), 1000), Delivery::At(_)));
+    }
+
+    #[test]
+    fn burst_packetizes_at_mtu() {
+        let mut l = Link::unbounded(mbps(100.0), SimDuration::ZERO);
+        let arrivals = l.enqueue_burst(SimTime::ZERO, 3 * MTU_BYTES + 10);
+        assert_eq!(arrivals.len(), 4);
+        for w in arrivals.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn backlog_reflects_queue() {
+        let mut l = Link::unbounded(mbps(8.0), SimDuration::ZERO);
+        l.enqueue(SimTime::ZERO, 1000);
+        l.enqueue(SimTime::ZERO, 1000);
+        assert_eq!(l.backlog(SimTime::ZERO), 2000);
+        assert_eq!(l.backlog(SimTime::from_millis(1)), 1000);
+        assert_eq!(l.backlog(SimTime::from_millis(2)), 0);
+    }
+
+    #[test]
+    fn throughput_matches_rate() {
+        // Send 1 MB through a 2 Mbps link: last byte should exit at ~4 s.
+        let mut l = Link::unbounded(mbps(2.0), SimDuration::ZERO);
+        let arrivals = l.enqueue_burst(SimTime::ZERO, 1_000_000);
+        let last = arrivals.last().unwrap();
+        assert!((last.as_secs_f64() - 4.0).abs() < 0.01, "last={last}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Round-based TCP transfer model.
+//!
+//! HLS join time in the paper is dominated by fetching the first segments
+//! over fresh or mostly idle connections, where slow start — not the
+//! bottleneck rate — sets the pace. Modeling TCP per-packet for thousands of
+//! sessions is wasteful; per-*round* is accurate at the granularity the
+//! figures need: each RTT a window of `cwnd` segments arrives, the window
+//! doubles (slow start) until it saturates the bottleneck, after which the
+//! transfer proceeds fluidly at the bottleneck rate.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Default initial congestion window (RFC 6928).
+pub const INIT_CWND_SEGMENTS: u64 = 10;
+
+/// A TCP path model: fixed RTT plus a bottleneck rate.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpModel {
+    /// Maximum segment size in bytes.
+    pub mss: usize,
+    /// Round-trip time of the path.
+    pub rtt: SimDuration,
+    /// Bottleneck rate in bits/second.
+    pub bottleneck_bps: f64,
+}
+
+/// Progressive arrival schedule of one transfer.
+#[derive(Debug, Clone)]
+pub struct TransferSchedule {
+    /// (arrival time, bytes arriving) chunks in time order.
+    pub chunks: Vec<(SimTime, usize)>,
+    /// Time the last byte arrives.
+    pub completion: SimTime,
+}
+
+impl TcpModel {
+    /// Creates a model; RTT may be zero (loopback-style paths).
+    pub fn new(mss: usize, rtt: SimDuration, bottleneck_bps: f64) -> Self {
+        assert!(mss > 0, "mss must be positive");
+        assert!(bottleneck_bps > 0.0, "bottleneck must be positive");
+        TcpModel { mss, rtt, bottleneck_bps }
+    }
+
+    /// Number of segments per RTT that saturates the bottleneck.
+    fn saturation_cwnd(&self) -> u64 {
+        let rtt_s = self.rtt.as_secs_f64().max(1e-4);
+        let bytes_per_rtt = self.bottleneck_bps / 8.0 * rtt_s;
+        ((bytes_per_rtt / self.mss as f64).ceil() as u64).max(1)
+    }
+
+    /// Schedules a transfer of `bytes` requested at `start`.
+    ///
+    /// `cwnd` carries congestion-window state across transfers on a
+    /// persistent connection (pass `&mut INIT_CWND_SEGMENTS.clone()` for a
+    /// fresh one); it is updated to the window reached by the end.
+    /// `handshake` adds one extra RTT up front (TCP connect).
+    pub fn transfer(
+        &self,
+        start: SimTime,
+        bytes: usize,
+        cwnd: &mut u64,
+        handshake: bool,
+    ) -> TransferSchedule {
+        assert!(*cwnd >= 1, "cwnd must be at least one segment");
+        let mut chunks = Vec::new();
+        if bytes == 0 {
+            return TransferSchedule { chunks, completion: start };
+        }
+        // Request propagates to the server in RTT/2; first data lands a full
+        // RTT after the request (+1 RTT for the SYN exchange if cold).
+        let mut round_start = if handshake { start + self.rtt } else { start };
+        round_start += self.rtt;
+        let sat = self.saturation_cwnd();
+        let mut remaining = bytes;
+        while remaining > 0 {
+            if *cwnd >= sat {
+                // Window saturates the pipe: drain the rest fluidly at the
+                // bottleneck rate, in per-RTT chunks for progressiveness.
+                let rate_bytes = self.bottleneck_bps / 8.0;
+                let rtt_s = self.rtt.as_secs_f64().max(1e-4);
+                let per_round = ((rate_bytes * rtt_s) as usize).max(self.mss);
+                while remaining > 0 {
+                    let take = remaining.min(per_round);
+                    let dur = SimDuration::from_secs_f64(take as f64 * 8.0 / self.bottleneck_bps);
+                    round_start += dur;
+                    chunks.push((round_start, take));
+                    remaining -= take;
+                }
+                break;
+            }
+            let window_bytes = (*cwnd as usize) * self.mss;
+            let take = remaining.min(window_bytes);
+            // The window's worth of data arrives spread over its own
+            // serialization time at the bottleneck, bounded below by nothing:
+            // the chunk is booked at its last-byte time.
+            let ser = SimDuration::from_secs_f64(take as f64 * 8.0 / self.bottleneck_bps);
+            chunks.push((round_start + ser, take));
+            remaining -= take;
+            // Next round begins an RTT later (or after serialization if that
+            // is longer — ACK clocking cannot outrun the wire).
+            round_start += std::cmp::max(self.rtt, ser);
+            *cwnd = (*cwnd * 2).min(sat);
+        }
+        let completion = chunks.last().map(|&(t, _)| t).unwrap_or(start);
+        TransferSchedule { chunks, completion }
+    }
+
+    /// Convenience: completion time of a cold transfer (fresh connection).
+    pub fn cold_transfer_completion(&self, start: SimTime, bytes: usize) -> SimTime {
+        let mut cwnd = INIT_CWND_SEGMENTS;
+        self.transfer(start, bytes, &mut cwnd, true).completion
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(rtt_ms: u64, mbps: f64) -> TcpModel {
+        TcpModel::new(1448, SimDuration::from_millis(rtt_ms), mbps * 1e6)
+    }
+
+    #[test]
+    fn tiny_transfer_takes_about_one_rtt_warm() {
+        let m = model(50, 100.0);
+        let mut cwnd = INIT_CWND_SEGMENTS;
+        let s = m.transfer(SimTime::ZERO, 1000, &mut cwnd, false);
+        let t = s.completion.as_secs_f64();
+        assert!((t - 0.05).abs() < 0.005, "t={t}");
+    }
+
+    #[test]
+    fn handshake_adds_one_rtt() {
+        let m = model(50, 100.0);
+        let mut c1 = INIT_CWND_SEGMENTS;
+        let mut c2 = INIT_CWND_SEGMENTS;
+        let warm = m.transfer(SimTime::ZERO, 1000, &mut c1, false).completion;
+        let cold = m.transfer(SimTime::ZERO, 1000, &mut c2, true).completion;
+        let delta = cold.as_secs_f64() - warm.as_secs_f64();
+        assert!((delta - 0.05).abs() < 1e-6, "delta={delta}");
+    }
+
+    #[test]
+    fn large_transfer_approaches_bottleneck_rate() {
+        let m = model(20, 2.0); // 2 Mbps
+        let bytes = 2_000_000; // 16 Mbit -> ~8 s at 2 Mbps
+        let t = m.cold_transfer_completion(SimTime::ZERO, bytes).as_secs_f64();
+        assert!(t > 7.9 && t < 9.5, "t={t}");
+    }
+
+    #[test]
+    fn slow_start_doubles_window() {
+        let m = model(100, 1000.0); // huge pipe: pure slow-start regime
+        let mut cwnd = 1;
+        // 10 segments: rounds of 1, 2, 4 then 3 remaining segments.
+        let s = m.transfer(SimTime::ZERO, 1448 * 10, &mut cwnd, false);
+        assert_eq!(s.chunks.len(), 4);
+        assert_eq!(s.chunks[0].1, 1448);
+        assert_eq!(s.chunks[1].1, 2 * 1448);
+        assert_eq!(s.chunks[2].1, 4 * 1448);
+        assert_eq!(s.chunks[3].1, 3 * 1448);
+    }
+
+    #[test]
+    fn cwnd_persists_across_transfers() {
+        let m = model(50, 1000.0);
+        let mut cwnd = INIT_CWND_SEGMENTS;
+        m.transfer(SimTime::ZERO, 1_000_000, &mut cwnd, false);
+        assert!(cwnd > INIT_CWND_SEGMENTS);
+        // A warm window finishes the next transfer faster.
+        let mut fresh = INIT_CWND_SEGMENTS;
+        let warm = m.transfer(SimTime::ZERO, 500_000, &mut cwnd.clone(), false).completion;
+        let cold = m.transfer(SimTime::ZERO, 500_000, &mut fresh, false).completion;
+        assert!(warm < cold, "warm={warm} cold={cold}");
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        let m = model(50, 10.0);
+        let mut cwnd = INIT_CWND_SEGMENTS;
+        let s = m.transfer(SimTime::from_secs(3), 0, &mut cwnd, false);
+        assert_eq!(s.completion, SimTime::from_secs(3));
+        assert!(s.chunks.is_empty());
+    }
+
+    #[test]
+    fn chunks_are_time_ordered_and_sum_to_total() {
+        let m = model(30, 5.0);
+        let mut cwnd = INIT_CWND_SEGMENTS;
+        let bytes = 777_777;
+        let s = m.transfer(SimTime::ZERO, bytes, &mut cwnd, true);
+        let sum: usize = s.chunks.iter().map(|&(_, b)| b).sum();
+        assert_eq!(sum, bytes);
+        for w in s.chunks.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(s.completion, s.chunks.last().unwrap().0);
+    }
+
+    #[test]
+    fn faster_bottleneck_is_never_slower() {
+        let slow = model(40, 1.0);
+        let fast = model(40, 50.0);
+        for &bytes in &[10_000usize, 100_000, 1_000_000] {
+            let ts = slow.cold_transfer_completion(SimTime::ZERO, bytes);
+            let tf = fast.cold_transfer_completion(SimTime::ZERO, bytes);
+            assert!(tf <= ts, "bytes={bytes}");
+        }
+    }
+}

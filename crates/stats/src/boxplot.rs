@@ -1,0 +1,145 @@
+//! Boxplot five-number summaries with Tukey 1.5·IQR whiskers, matching the
+//! ggplot2-style boxplots used in Figures 3(b), 4(a) and 4(b) of the paper.
+
+use crate::quantile::quantile_sorted;
+use crate::{sorted_copy, validate, StatsError};
+
+/// A boxplot summary of one group of samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSummary {
+    /// Number of samples in the group.
+    pub n: usize,
+    /// First quartile (25th percentile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile (75th percentile).
+    pub q3: f64,
+    /// Lower whisker: smallest sample ≥ q1 − 1.5·IQR.
+    pub whisker_low: f64,
+    /// Upper whisker: largest sample ≤ q3 + 1.5·IQR.
+    pub whisker_high: f64,
+    /// Samples outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxplotSummary {
+    /// Computes the summary of `data`.
+    pub fn of(data: &[f64]) -> Result<Self, StatsError> {
+        validate(data)?;
+        let sorted = sorted_copy(data);
+        let q1 = quantile_sorted(&sorted, 0.25);
+        let median = quantile_sorted(&sorted, 0.5);
+        let q3 = quantile_sorted(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_low = *sorted
+            .iter()
+            .find(|&&x| x >= lo_fence)
+            .expect("q1 itself is within the lower fence");
+        let whisker_high = *sorted
+            .iter()
+            .rev()
+            .find(|&&x| x <= hi_fence)
+            .expect("q3 itself is within the upper fence");
+        let outliers = sorted.iter().copied().filter(|&x| x < lo_fence || x > hi_fence).collect();
+        Ok(BoxplotSummary { n: sorted.len(), q1, median, q3, whisker_low, whisker_high, outliers })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// A labeled series of boxplots, e.g. one per bandwidth limit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxplotSeries {
+    /// (group label, summary) pairs in presentation order.
+    pub groups: Vec<(String, BoxplotSummary)>,
+}
+
+impl BoxplotSeries {
+    /// Builds a series from labeled groups; groups with no data are skipped.
+    pub fn from_groups<'a, I>(groups: I) -> Self
+    where
+        I: IntoIterator<Item = (&'a str, &'a [f64])>,
+    {
+        let groups = groups
+            .into_iter()
+            .filter_map(|(label, data)| {
+                BoxplotSummary::of(data).ok().map(|s| (label.to_string(), s))
+            })
+            .collect();
+        BoxplotSeries { groups }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quartiles_of_grid() {
+        let data: Vec<f64> = (1..=11).map(|x| x as f64).collect();
+        let b = BoxplotSummary::of(&data).unwrap();
+        assert_eq!(b.q1, 3.5);
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.q3, 8.5);
+        assert_eq!(b.n, 11);
+    }
+
+    #[test]
+    fn no_outliers_whiskers_are_min_max() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = BoxplotSummary::of(&data).unwrap();
+        assert_eq!(b.whisker_low, 1.0);
+        assert_eq!(b.whisker_high, 5.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn detects_high_outlier() {
+        let data = [1.0, 2.0, 3.0, 4.0, 100.0];
+        let b = BoxplotSummary::of(&data).unwrap();
+        assert_eq!(b.outliers, vec![100.0]);
+        assert_eq!(b.whisker_high, 4.0);
+    }
+
+    #[test]
+    fn detects_low_outlier() {
+        let data = [-100.0, 10.0, 11.0, 12.0, 13.0];
+        let b = BoxplotSummary::of(&data).unwrap();
+        assert_eq!(b.outliers, vec![-100.0]);
+        assert_eq!(b.whisker_low, 10.0);
+    }
+
+    #[test]
+    fn constant_data_degenerate_box() {
+        let b = BoxplotSummary::of(&[7.0; 10]).unwrap();
+        assert_eq!(b.q1, 7.0);
+        assert_eq!(b.q3, 7.0);
+        assert_eq!(b.whisker_low, 7.0);
+        assert_eq!(b.whisker_high, 7.0);
+        assert!(b.outliers.is_empty());
+    }
+
+    #[test]
+    fn series_skips_empty_groups() {
+        let a = [1.0, 2.0];
+        let empty: [f64; 0] = [];
+        let s = BoxplotSeries::from_groups(vec![("a", &a[..]), ("b", &empty[..])]);
+        assert_eq!(s.groups.len(), 1);
+        assert_eq!(s.groups[0].0, "a");
+    }
+
+    #[test]
+    fn whiskers_bound_box() {
+        let data = [0.1, 0.5, 0.9, 1.5, 2.0, 2.5, 9.0];
+        let b = BoxplotSummary::of(&data).unwrap();
+        assert!(b.whisker_low <= b.q1);
+        assert!(b.whisker_high >= b.q3);
+        assert!(b.q1 <= b.median && b.median <= b.q3);
+    }
+}

@@ -1,0 +1,176 @@
+//! Descriptive statistics with numerically stable accumulation.
+
+use crate::{validate, StatsError};
+
+/// Summary of a univariate sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Description {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased sample variance (n-1 denominator); 0 for n == 1.
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Minimum value.
+    pub min: f64,
+    /// Maximum value.
+    pub max: f64,
+    /// Sum of all values.
+    pub sum: f64,
+}
+
+impl Description {
+    /// Computes descriptive statistics over `data` using Welford's algorithm,
+    /// which avoids the catastrophic cancellation of the naive sum-of-squares
+    /// formula.
+    pub fn of(data: &[f64]) -> Result<Self, StatsError> {
+        validate(data)?;
+        let mut acc = Accumulator::new();
+        for &x in data {
+            acc.push(x);
+        }
+        Ok(acc.finish().expect("non-empty by validate"))
+    }
+}
+
+/// Streaming accumulator (Welford) so callers can describe data without
+/// materializing it, e.g. per-packet statistics during a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Accumulator {
+    n: usize,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.sum += x;
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// Running mean; `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Finalizes into a [`Description`]; `None` if no samples were pushed.
+    pub fn finish(&self) -> Option<Description> {
+        if self.n == 0 {
+            return None;
+        }
+        let variance = if self.n > 1 { self.m2 / (self.n - 1) as f64 } else { 0.0 };
+        Some(Description {
+            n: self.n,
+            mean: self.mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: self.min,
+            max: self.max,
+            sum: self.sum,
+        })
+    }
+}
+
+/// Arithmetic mean of `data`.
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    Ok(Description::of(data)?.mean)
+}
+
+/// Unbiased sample variance of `data`; requires at least two samples.
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    validate(data)?;
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientSamples { required: 2, actual: data.len() });
+    }
+    Ok(Description::of(data)?.variance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_simple_set() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn variance_of_known_set() {
+        // variance of {2,4,4,4,5,5,7,9} is 4.571428... (sample, n-1)
+        let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((v - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_requires_two_samples() {
+        assert!(matches!(
+            variance(&[1.0]),
+            Err(StatsError::InsufficientSamples { required: 2, actual: 1 })
+        ));
+    }
+
+    #[test]
+    fn description_min_max_sum() {
+        let d = Description::of(&[3.0, -1.0, 7.0]).unwrap();
+        assert_eq!(d.min, -1.0);
+        assert_eq!(d.max, 7.0);
+        assert_eq!(d.sum, 9.0);
+        assert_eq!(d.n, 3);
+    }
+
+    #[test]
+    fn single_sample_has_zero_variance() {
+        let d = Description::of(&[5.0]).unwrap();
+        assert_eq!(d.variance, 0.0);
+        assert_eq!(d.std_dev, 0.0);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offset() {
+        // Naive sum-of-squares loses all precision here; Welford must not.
+        let data: Vec<f64> = (0..1000).map(|i| 1e9 + (i % 10) as f64).collect();
+        let v = variance(&data).unwrap();
+        let expected = variance(&data.iter().map(|x| x - 1e9).collect::<Vec<_>>()).unwrap();
+        assert!((v - expected).abs() < 1e-6, "v={v} expected={expected}");
+    }
+
+    #[test]
+    fn accumulator_matches_batch() {
+        let data = [0.5, 1.5, 2.5, 10.0];
+        let mut acc = Accumulator::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let streamed = acc.finish().unwrap();
+        let batch = Description::of(&data).unwrap();
+        assert!((streamed.mean - batch.mean).abs() < 1e-12);
+        assert!((streamed.variance - batch.variance).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_empty_finishes_none() {
+        assert!(Accumulator::new().finish().is_none());
+        assert_eq!(Accumulator::new().mean(), None);
+    }
+}

@@ -1,0 +1,197 @@
+//! Histograms with linear or logarithmic binning.
+//!
+//! Several paper figures use log-scaled x axes (Fig 2a durations, Fig 5
+//! latencies); log binning mirrors that presentation.
+
+use crate::{validate, StatsError};
+
+/// Bin edge layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Binning {
+    /// `count` equal-width bins over [lo, hi].
+    Linear {
+        /// Lowest edge.
+        lo: f64,
+        /// Highest edge.
+        hi: f64,
+        /// Number of bins.
+        count: usize,
+    },
+    /// `count` bins whose edges are geometric between lo and hi (lo > 0).
+    Log {
+        /// Lowest edge (must be positive).
+        lo: f64,
+        /// Highest edge.
+        hi: f64,
+        /// Number of bins.
+        count: usize,
+    },
+}
+
+/// A populated histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Builds a histogram of `data` with the given binning.
+    pub fn new(data: &[f64], binning: Binning) -> Result<Self, StatsError> {
+        validate(data)?;
+        let edges = match binning {
+            Binning::Linear { lo, hi, count } => {
+                if hi <= lo || hi.is_nan() || lo.is_nan() || count == 0 {
+                    return Err(StatsError::InvalidParameter("need hi > lo and count > 0"));
+                }
+                (0..=count).map(|i| lo + (hi - lo) * i as f64 / count as f64).collect::<Vec<_>>()
+            }
+            Binning::Log { lo, hi, count } => {
+                if hi <= lo || hi.is_nan() || lo <= 0.0 || count == 0 {
+                    return Err(StatsError::InvalidParameter(
+                        "log binning needs 0 < lo < hi and count > 0",
+                    ));
+                }
+                let (llo, lhi) = (lo.ln(), hi.ln());
+                (0..=count)
+                    .map(|i| (llo + (lhi - llo) * i as f64 / count as f64).exp())
+                    .collect::<Vec<_>>()
+            }
+        };
+        let mut h = Histogram {
+            counts: vec![0; edges.len() - 1],
+            edges,
+            below: 0,
+            above: 0,
+            total: 0,
+        };
+        for &x in data {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    fn add(&mut self, x: f64) {
+        self.total += 1;
+        let first = self.edges[0];
+        let last = *self.edges.last().expect("edges non-empty");
+        if x < first {
+            self.below += 1;
+            return;
+        }
+        if x > last {
+            self.above += 1;
+            return;
+        }
+        // partition_point finds the first edge > x; the bin is the one before.
+        let i = self.edges.partition_point(|&e| e <= x);
+        let nbins = self.counts.len();
+        let bin = if i == self.edges.len() { nbins - 1 } else { i - 1 };
+        self.counts[bin.min(nbins - 1)] += 1;
+    }
+
+    /// Bin edges (length = bins + 1).
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of samples below the first edge.
+    pub fn underflow(&self) -> u64 {
+        self.below
+    }
+
+    /// Count of samples above the last edge.
+    pub fn overflow(&self) -> u64 {
+        self.above
+    }
+
+    /// Total samples seen (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin (center, density) pairs normalizing to unit total mass of the
+    /// in-range samples.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let in_range: u64 = self.counts.iter().sum();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                let lo = self.edges[i];
+                let hi = self.edges[i + 1];
+                let width = hi - lo;
+                let center = 0.5 * (lo + hi);
+                let d = if in_range == 0 { 0.0 } else { c as f64 / in_range as f64 / width };
+                (center, d)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_binning_counts() {
+        let data = [0.5, 1.5, 1.7, 2.5, 3.5];
+        let h = Histogram::new(&data, Binning::Linear { lo: 0.0, hi: 4.0, count: 4 }).unwrap();
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn boundary_goes_to_right_bin_except_last() {
+        let data = [0.0, 1.0, 2.0];
+        let h = Histogram::new(&data, Binning::Linear { lo: 0.0, hi: 2.0, count: 2 }).unwrap();
+        // 0.0 -> bin 0, 1.0 -> bin 1, 2.0 (== last edge) -> last bin.
+        assert_eq!(h.counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let data = [-1.0, 0.5, 10.0];
+        let h = Histogram::new(&data, Binning::Linear { lo: 0.0, hi: 1.0, count: 1 }).unwrap();
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts(), &[1]);
+    }
+
+    #[test]
+    fn log_binning_edges_geometric() {
+        let h = Histogram::new(&[1.0], Binning::Log { lo: 1.0, hi: 100.0, count: 2 }).unwrap();
+        let e = h.edges();
+        assert!((e[0] - 1.0).abs() < 1e-12);
+        assert!((e[1] - 10.0).abs() < 1e-9);
+        assert!((e[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_binning_rejects_nonpositive_lo() {
+        assert!(Histogram::new(&[1.0], Binning::Log { lo: 0.0, hi: 1.0, count: 2 }).is_err());
+    }
+
+    #[test]
+    fn density_integrates_to_one() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64 / 25.0).collect();
+        let h = Histogram::new(&data, Binning::Linear { lo: 0.0, hi: 4.0, count: 8 }).unwrap();
+        let mass: f64 = h
+            .density()
+            .iter()
+            .zip(h.edges().windows(2))
+            .map(|(&(_, d), e)| d * (e[1] - e[0]))
+            .sum();
+        assert!((mass - 1.0).abs() < 1e-12);
+    }
+}

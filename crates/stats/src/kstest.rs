@@ -1,0 +1,187 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used to compare regenerated distributions against calibration targets
+//! (e.g. Fig 6a bitrate CDFs across protocols): the statistic is the
+//! maximum ECDF gap; the p-value uses the asymptotic Kolmogorov
+//! distribution with the standard effective-sample-size correction.
+
+use crate::ecdf::Ecdf;
+use crate::StatsError;
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic `D = sup |F1 - F2|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value.
+    pub p_value: f64,
+    /// Effective sample size `n·m / (n + m)`.
+    pub effective_n: f64,
+}
+
+impl KsResult {
+    /// Whether the distributions differ significantly at `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Runs the two-sample KS test.
+pub fn ks_test(a: &[f64], b: &[f64]) -> Result<KsResult, StatsError> {
+    let ea = Ecdf::new(a)?;
+    let eb = Ecdf::new(b)?;
+    let d = ea.ks_statistic(&eb);
+    let n = a.len() as f64;
+    let m = b.len() as f64;
+    let effective_n = n * m / (n + m);
+    let p_value = kolmogorov_sf(d * (effective_n.sqrt() + 0.12 + 0.11 / effective_n.sqrt()));
+    Ok(KsResult { statistic: d, p_value: p_value.clamp(0.0, 1.0), effective_n })
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{k≥1} (-1)^{k-1} exp(-2 k² λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Kendall's rank correlation τ-b (handles ties), an alternative to
+/// Pearson/Spearman for the §4 duration↔popularity question.
+pub fn kendall_tau(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    crate::validate(x)?;
+    crate::validate(y)?;
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter("paired samples must have equal length"));
+    }
+    let n = x.len();
+    if n < 2 {
+        return Err(StatsError::InsufficientSamples { required: 2, actual: n });
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = x[i] - x[j];
+            let dy = y[i] - y[j];
+            // τ-b accounting: pairs tied in x count toward the x tie
+            // correction regardless of y (and vice versa); only fully
+            // untied pairs are concordant/discordant.
+            if dx == 0.0 {
+                ties_x += 1;
+            }
+            if dy == 0.0 {
+                ties_y += 1;
+            }
+            if dx != 0.0 && dy != 0.0 {
+                if dx * dy > 0.0 {
+                    concordant += 1;
+                } else {
+                    discordant += 1;
+                }
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return Err(StatsError::InvalidParameter("all pairs tied"));
+    }
+    Ok((concordant - discordant) as f64 / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_high_p() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let r = ks_test(&a, &a).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn disjoint_samples_tiny_p() {
+        let a: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..100).map(|i| 1000.0 + i as f64).collect();
+        let r = ks_test(&a, &b).unwrap();
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 1e-6);
+        assert!(r.significant_at(0.05));
+    }
+
+    #[test]
+    fn shifted_distributions_detected_with_enough_samples() {
+        // Two uniform grids shifted by half a width.
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| 0.25 + i as f64 / 200.0).collect();
+        let r = ks_test(&a, &b).unwrap();
+        assert!((r.statistic - 0.25).abs() < 0.02);
+        assert!(r.significant_at(0.01));
+    }
+
+    #[test]
+    fn small_same_distribution_not_significant() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.5, 2.5, 3.5, 4.5, 5.5];
+        let r = ks_test(&a, &b).unwrap();
+        assert!(!r.significant_at(0.05), "p={}", r.p_value);
+    }
+
+    #[test]
+    fn kolmogorov_sf_reference_points() {
+        // Q(1.36) ≈ 0.049 (the classic 5% critical value).
+        assert!((kolmogorov_sf(1.36) - 0.049).abs() < 0.002);
+        // Q(1.63) ≈ 0.010.
+        assert!((kolmogorov_sf(1.63) - 0.010).abs() < 0.002);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+    }
+
+    #[test]
+    fn kendall_perfect_orders() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [10.0, 20.0, 30.0, 40.0];
+        let down = [40.0, 30.0, 20.0, 10.0];
+        assert_eq!(kendall_tau(&x, &up).unwrap(), 1.0);
+        assert_eq!(kendall_tau(&x, &down).unwrap(), -1.0);
+    }
+
+    #[test]
+    fn kendall_with_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!(tau > 0.7 && tau <= 1.0, "tau={tau}");
+    }
+
+    #[test]
+    fn kendall_uncorrelated_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let tau = kendall_tau(&x, &y).unwrap();
+        assert!(tau.abs() < 0.5, "tau={tau}");
+    }
+
+    #[test]
+    fn kendall_errors() {
+        assert!(kendall_tau(&[1.0], &[1.0]).is_err());
+        assert!(kendall_tau(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(kendall_tau(&[1.0, 1.0], &[2.0, 2.0]).is_err());
+    }
+}

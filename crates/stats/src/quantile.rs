@@ -1,0 +1,126 @@
+//! Quantile estimation (R type-7, the default of R/numpy).
+//!
+//! Type-7 linearly interpolates between order statistics: for probability
+//! `p` and `n` samples the index is `h = (n - 1) * p`, and the estimate is
+//! `x[floor(h)] + (h - floor(h)) * (x[floor(h)+1] - x[floor(h)])`.
+
+use crate::{sorted_copy, validate, StatsError};
+
+/// Computes the `p`-quantile (0 ≤ p ≤ 1) of `data` using type-7 interpolation.
+pub fn quantile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    validate(data)?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("p must be in [0, 1]"));
+    }
+    let sorted = sorted_copy(data);
+    Ok(quantile_sorted(&sorted, p))
+}
+
+/// Computes the `p`-quantile assuming `sorted` is already ascending.
+///
+/// Panics on empty input; callers should validate first.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = (n - 1) as f64 * p;
+    let lo = h.floor() as usize;
+    let hi = (lo + 1).min(n - 1);
+    let frac = h - lo as f64;
+    sorted[lo] + frac * (sorted[hi] - sorted[lo])
+}
+
+/// Computes the median of `data`.
+pub fn median(data: &[f64]) -> Result<f64, StatsError> {
+    quantile(data, 0.5)
+}
+
+/// Computes the interquartile range (Q3 - Q1) of `data`.
+pub fn iqr(data: &[f64]) -> Result<f64, StatsError> {
+    validate(data)?;
+    let sorted = sorted_copy(data);
+    Ok(quantile_sorted(&sorted, 0.75) - quantile_sorted(&sorted, 0.25))
+}
+
+/// Computes several quantiles in one pass over the sort.
+pub fn quantiles(data: &[f64], ps: &[f64]) -> Result<Vec<f64>, StatsError> {
+    validate(data)?;
+    for &p in ps {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidParameter("p must be in [0, 1]"));
+        }
+    }
+    let sorted = sorted_copy(data);
+    Ok(ps.iter().map(|&p| quantile_sorted(&sorted, p)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn median_even_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_extremes_are_min_max() {
+        let data = [5.0, 1.0, 9.0, 3.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn quantile_single_sample() {
+        assert_eq!(quantile(&[42.0], 0.3).unwrap(), 42.0);
+    }
+
+    #[test]
+    fn quantile_matches_r_type7() {
+        // R: quantile(c(1,2,3,4,5,6,7,8,9,10), 0.25) == 3.25
+        let data: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        let q = quantile(&data, 0.25).unwrap();
+        assert!((q - 3.25).abs() < 1e-12, "got {q}");
+        let q = quantile(&data, 0.75).unwrap();
+        assert!((q - 7.75).abs() < 1e-12, "got {q}");
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range_p() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn iqr_of_uniform_grid() {
+        let data: Vec<f64> = (1..=10).map(|x| x as f64).collect();
+        assert!((iqr(&data).unwrap() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_batch_matches_single() {
+        let data = [2.0, 8.0, 4.0, 6.0];
+        let qs = quantiles(&data, &[0.25, 0.5, 0.75]).unwrap();
+        assert_eq!(qs[1], median(&data).unwrap());
+        assert_eq!(qs[0], quantile(&data, 0.25).unwrap());
+        assert_eq!(qs[2], quantile(&data, 0.75).unwrap());
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_p() {
+        let data = [0.3, 1.2, 0.9, 5.5, 2.2, 2.2, 0.01];
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = quantile(&data, i as f64 / 20.0).unwrap();
+            assert!(q >= last);
+            last = q;
+        }
+    }
+}

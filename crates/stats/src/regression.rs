@@ -1,0 +1,178 @@
+//! Correlation and simple linear regression.
+//!
+//! §4 of the paper: "the popularity is only very weakly correlated with its
+//! duration" — experiment E4 checks this with Pearson and Spearman
+//! correlation over the crawled broadcast dataset.
+
+use crate::{StatsError, validate};
+
+/// Pearson product-moment correlation coefficient of paired samples.
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    paired_validate(x, y)?;
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        let dx = xi - mx;
+        let dy = yi - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::InvalidParameter("zero variance in correlation input"));
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation: Pearson on mid-ranks (ties averaged).
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    paired_validate(x, y)?;
+    let rx = ranks(x);
+    let ry = ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Ordinary least squares fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+}
+
+/// Fits a least-squares line through the paired samples.
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, StatsError> {
+    paired_validate(x, y)?;
+    if x.len() < 2 {
+        return Err(StatsError::InsufficientSamples { required: 2, actual: x.len() });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&xi, &yi) in x.iter().zip(y) {
+        sxy += (xi - mx) * (yi - my);
+        sxx += (xi - mx) * (xi - mx);
+        syy += (yi - my) * (yi - my);
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::InvalidParameter("x has zero variance"));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok(LinearFit { slope, intercept, r_squared })
+}
+
+fn paired_validate(x: &[f64], y: &[f64]) -> Result<(), StatsError> {
+    validate(x)?;
+    validate(y)?;
+    if x.len() != y.len() {
+        return Err(StatsError::InvalidParameter("paired samples must have equal length"));
+    }
+    Ok(())
+}
+
+/// Mid-ranks of a sample (1-based, ties get the average of their positions).
+fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN rejected"));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j < idx.len() && data[idx[j]] == data[idx[i]] {
+            j += 1;
+        }
+        // Average rank over the tie block [i, j).
+        let avg = (i + j + 1) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            out[k] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_uncorrelated_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [1.0, -1.0, 1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 0.5);
+    }
+
+    #[test]
+    fn pearson_rejects_constant() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn pearson_rejects_length_mismatch() {
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [1.0, 8.0, 27.0, 64.0, 125.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [10.0, 20.0, 20.0, 30.0];
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn linear_fit_exact_line() {
+        let x = [0.0, 1.0, 2.0, 3.0];
+        let y = [1.0, 3.0, 5.0, 7.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!((f.intercept - 1.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_r2_matches_pearson_squared() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = [2.1, 3.9, 6.2, 7.8, 10.1];
+        let f = linear_fit(&x, &y).unwrap();
+        let r = pearson(&x, &y).unwrap();
+        assert!((f.r_squared - r * r).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! Plain-text table rendering for experiment reports.
+//!
+//! The benchmark harness prints every reproduced table/figure as text; this
+//! module renders aligned tables so EXPERIMENTS.md and `repro` output stay
+//! readable without any plotting dependency.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows are
+    /// truncated to the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.header.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a separator line under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a float with `digits` decimal places, trimming negative zero.
+pub fn fnum(x: f64, digits: usize) -> String {
+    let s = format!("{x:.digits$}");
+    if s.starts_with("-0.") && s[1..].parse::<f64>() == Ok(0.0) {
+        s[1..].to_string()
+    } else {
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "22"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Both value cells start at the same column.
+        let col = lines[3].find("22").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = TextTable::new(["a", "b", "c"]);
+        t.row(["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn truncates_long_rows() {
+        let mut t = TextTable::new(["a"]);
+        t.row(["x", "overflow"]);
+        assert!(!t.render().contains("overflow"));
+    }
+
+    #[test]
+    fn fnum_formats() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(-0.0001, 2), "0.00");
+        assert_eq!(fnum(5.0, 0), "5");
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = TextTable::new(["only", "header"]);
+        assert!(t.is_empty());
+        assert_eq!(t.render().lines().count(), 2);
+    }
+}

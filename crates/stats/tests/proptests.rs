@@ -1,0 +1,143 @@
+//! Property-based tests of the statistical invariants.
+
+use proptest::prelude::*;
+use pscp_stats::boxplot::BoxplotSummary;
+use pscp_stats::describe::{Accumulator, Description};
+use pscp_stats::ecdf::Ecdf;
+use pscp_stats::histogram::{Binning, Histogram};
+use pscp_stats::quantile::{median, quantile};
+use pscp_stats::regression::{linear_fit, pearson, spearman};
+use pscp_stats::ttest::welch_t_test;
+
+fn arb_data() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn quantile_within_range(data in arb_data(), p in 0.0f64..=1.0) {
+        let q = quantile(&data, p).unwrap();
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(q >= min && q <= max);
+    }
+
+    #[test]
+    fn quantile_monotone(data in arb_data(), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap());
+    }
+
+    #[test]
+    fn ecdf_bounds_and_monotonicity(data in arb_data(), x1 in -1e6f64..1e6, x2 in -1e6f64..1e6) {
+        let e = Ecdf::new(&data).unwrap();
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = e.eval(lo);
+        let f_hi = e.eval(hi);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!(f_lo <= f_hi);
+        // Inverse is a quasi-inverse: F(F^{-1}(p)) >= p.
+        let p = 0.37;
+        prop_assert!(e.eval(e.inverse(p)) >= p - 1e-12);
+    }
+
+    #[test]
+    fn boxplot_ordering_invariants(data in arb_data()) {
+        let b = BoxplotSummary::of(&data).unwrap();
+        prop_assert!(b.whisker_low <= b.q1 + 1e-9);
+        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
+        prop_assert!(b.q3 <= b.whisker_high + 1e-9);
+        // Outliers lie strictly outside the whiskers.
+        for &o in &b.outliers {
+            prop_assert!(o < b.whisker_low || o > b.whisker_high);
+        }
+        // Outliers + in-range = n.
+        prop_assert!(b.outliers.len() < b.n || b.n == b.outliers.len());
+    }
+
+    #[test]
+    fn welch_p_value_in_unit_interval(
+        a in prop::collection::vec(-100f64..100.0, 2..50),
+        b in prop::collection::vec(-100f64..100.0, 2..50),
+    ) {
+        let r = welch_t_test(&a, &b).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.p_value), "p={}", r.p_value);
+        prop_assert!(r.df >= 1.0 || a.len() == 2 && b.len() == 2);
+    }
+
+    #[test]
+    fn welch_shift_invariance(
+        a in prop::collection::vec(-100f64..100.0, 3..30),
+        b in prop::collection::vec(-100f64..100.0, 3..30),
+        shift in -1000f64..1000.0,
+    ) {
+        let r1 = welch_t_test(&a, &b).unwrap();
+        let a2: Vec<f64> = a.iter().map(|x| x + shift).collect();
+        let b2: Vec<f64> = b.iter().map(|x| x + shift).collect();
+        let r2 = welch_t_test(&a2, &b2).unwrap();
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlation_in_unit_ball(
+        pairs in prop::collection::vec((-100f64..100.0, -100f64..100.0), 3..80),
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Ok(r) = pearson(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+        if let Ok(rs) = spearman(&x, &y) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rs));
+        }
+    }
+
+    #[test]
+    fn linear_fit_residual_orthogonality(
+        pairs in prop::collection::vec((-100f64..100.0, -100f64..100.0), 3..50),
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Ok(f) = linear_fit(&x, &y) {
+            // Residuals sum to ~0 (least squares normal equations).
+            let resid_sum: f64 = x
+                .iter()
+                .zip(&y)
+                .map(|(&xi, &yi)| yi - (f.slope * xi + f.intercept))
+                .sum();
+            prop_assert!(resid_sum.abs() < 1e-6 * (y.len() as f64) * 100.0,
+                "resid_sum={resid_sum}");
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&f.r_squared));
+        }
+    }
+
+    #[test]
+    fn accumulator_equals_batch(data in arb_data()) {
+        let mut acc = Accumulator::new();
+        for &x in &data {
+            acc.push(x);
+        }
+        let streamed = acc.finish().unwrap();
+        let batch = Description::of(&data).unwrap();
+        prop_assert!((streamed.mean - batch.mean).abs() < 1e-6);
+        prop_assert!((streamed.variance - batch.variance).abs() < 1e-3 * batch.variance.max(1.0));
+        prop_assert_eq!(streamed.min, batch.min);
+        prop_assert_eq!(streamed.max, batch.max);
+    }
+
+    #[test]
+    fn histogram_conserves_samples(data in arb_data(), count in 1usize..20) {
+        let h = Histogram::new(&data, Binning::Linear { lo: -1e5, hi: 1e5, count }).unwrap();
+        let binned: u64 = h.counts().iter().sum();
+        prop_assert_eq!(
+            binned + h.underflow() + h.overflow(),
+            data.len() as u64
+        );
+        prop_assert_eq!(h.total(), data.len() as u64);
+    }
+
+    #[test]
+    fn median_is_half_quantile(data in arb_data()) {
+        prop_assert_eq!(median(&data).unwrap(), quantile(&data, 0.5).unwrap());
+    }
+}

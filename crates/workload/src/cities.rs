@@ -1,0 +1,136 @@
+//! World cities used to place broadcasters.
+//!
+//! Periscope usage in 2016 concentrated in a few dozen metro areas (Turkey,
+//! the US, Western Europe, Brazil and Japan were famously heavy). Weights
+//! below are relative activity, not population: they exist to make the
+//! spatial distribution *clumpy*, which is the property the deep-crawl
+//! experiment (Fig 1) depends on.
+
+use pscp_simnet::GeoPoint;
+
+/// A city with its Periscope-activity weight.
+#[derive(Debug, Clone, Copy)]
+pub struct City {
+    /// Display name.
+    pub name: &'static str,
+    /// Latitude, degrees.
+    pub lat: f64,
+    /// Longitude, degrees.
+    pub lon: f64,
+    /// Relative broadcast-activity weight.
+    pub weight: f64,
+}
+
+impl City {
+    /// Location as a [`GeoPoint`].
+    pub fn point(&self) -> GeoPoint {
+        GeoPoint::new(self.lat, self.lon)
+    }
+}
+
+/// The city list (64 metros across every inhabited continent).
+pub const CITIES: &[City] = &[
+    City { name: "Istanbul", lat: 41.01, lon: 28.98, weight: 10.0 },
+    City { name: "Ankara", lat: 39.93, lon: 32.86, weight: 4.0 },
+    City { name: "Izmir", lat: 38.42, lon: 27.14, weight: 3.0 },
+    City { name: "New York", lat: 40.71, lon: -74.01, weight: 8.0 },
+    City { name: "Los Angeles", lat: 34.05, lon: -118.24, weight: 7.0 },
+    City { name: "Chicago", lat: 41.88, lon: -87.63, weight: 4.0 },
+    City { name: "Houston", lat: 29.76, lon: -95.37, weight: 3.0 },
+    City { name: "Miami", lat: 25.76, lon: -80.19, weight: 3.0 },
+    City { name: "San Francisco", lat: 37.77, lon: -122.42, weight: 4.5 },
+    City { name: "Seattle", lat: 47.61, lon: -122.33, weight: 2.5 },
+    City { name: "Toronto", lat: 43.65, lon: -79.38, weight: 2.5 },
+    City { name: "Mexico City", lat: 19.43, lon: -99.13, weight: 4.0 },
+    City { name: "São Paulo", lat: -23.55, lon: -46.63, weight: 6.0 },
+    City { name: "Rio de Janeiro", lat: -22.91, lon: -43.17, weight: 4.0 },
+    City { name: "Buenos Aires", lat: -34.60, lon: -58.38, weight: 3.0 },
+    City { name: "Bogotá", lat: 4.71, lon: -74.07, weight: 2.0 },
+    City { name: "Lima", lat: -12.05, lon: -77.04, weight: 1.5 },
+    City { name: "Santiago", lat: -33.45, lon: -70.67, weight: 1.5 },
+    City { name: "London", lat: 51.51, lon: -0.13, weight: 6.0 },
+    City { name: "Paris", lat: 48.86, lon: 2.35, weight: 5.0 },
+    City { name: "Berlin", lat: 52.52, lon: 13.40, weight: 3.0 },
+    City { name: "Madrid", lat: 40.42, lon: -3.70, weight: 3.5 },
+    City { name: "Barcelona", lat: 41.39, lon: 2.17, weight: 2.5 },
+    City { name: "Rome", lat: 41.90, lon: 12.50, weight: 3.0 },
+    City { name: "Milan", lat: 45.46, lon: 9.19, weight: 2.0 },
+    City { name: "Amsterdam", lat: 52.37, lon: 4.90, weight: 2.0 },
+    City { name: "Brussels", lat: 50.85, lon: 4.35, weight: 1.2 },
+    City { name: "Stockholm", lat: 59.33, lon: 18.07, weight: 1.5 },
+    City { name: "Oslo", lat: 59.91, lon: 10.75, weight: 1.0 },
+    City { name: "Helsinki", lat: 60.17, lon: 24.94, weight: 1.2 },
+    City { name: "Copenhagen", lat: 55.68, lon: 12.57, weight: 1.2 },
+    City { name: "Dublin", lat: 53.35, lon: -6.26, weight: 1.0 },
+    City { name: "Lisbon", lat: 38.72, lon: -9.14, weight: 1.2 },
+    City { name: "Athens", lat: 37.98, lon: 23.73, weight: 1.5 },
+    City { name: "Warsaw", lat: 52.23, lon: 21.01, weight: 1.5 },
+    City { name: "Prague", lat: 50.08, lon: 14.44, weight: 1.2 },
+    City { name: "Vienna", lat: 48.21, lon: 16.37, weight: 1.2 },
+    City { name: "Moscow", lat: 55.76, lon: 37.62, weight: 4.0 },
+    City { name: "Saint Petersburg", lat: 59.93, lon: 30.34, weight: 2.0 },
+    City { name: "Kyiv", lat: 50.45, lon: 30.52, weight: 1.5 },
+    City { name: "Dubai", lat: 25.20, lon: 55.27, weight: 2.5 },
+    City { name: "Riyadh", lat: 24.71, lon: 46.68, weight: 2.5 },
+    City { name: "Cairo", lat: 30.04, lon: 31.24, weight: 2.0 },
+    City { name: "Lagos", lat: 6.52, lon: 3.38, weight: 1.5 },
+    City { name: "Nairobi", lat: -1.29, lon: 36.82, weight: 1.0 },
+    City { name: "Johannesburg", lat: -26.20, lon: 28.05, weight: 1.5 },
+    City { name: "Mumbai", lat: 19.08, lon: 72.88, weight: 3.0 },
+    City { name: "Delhi", lat: 28.70, lon: 77.10, weight: 2.5 },
+    City { name: "Bangalore", lat: 12.97, lon: 77.59, weight: 1.5 },
+    City { name: "Karachi", lat: 24.86, lon: 67.00, weight: 1.2 },
+    City { name: "Jakarta", lat: -6.21, lon: 106.85, weight: 2.5 },
+    City { name: "Bangkok", lat: 13.76, lon: 100.50, weight: 2.5 },
+    City { name: "Singapore", lat: 1.35, lon: 103.82, weight: 1.8 },
+    City { name: "Kuala Lumpur", lat: 3.139, lon: 101.69, weight: 1.5 },
+    City { name: "Manila", lat: 14.60, lon: 120.98, weight: 2.0 },
+    City { name: "Ho Chi Minh City", lat: 10.82, lon: 106.63, weight: 1.5 },
+    City { name: "Hong Kong", lat: 22.32, lon: 114.17, weight: 2.0 },
+    City { name: "Taipei", lat: 25.03, lon: 121.57, weight: 1.5 },
+    City { name: "Seoul", lat: 37.57, lon: 126.98, weight: 3.0 },
+    City { name: "Tokyo", lat: 35.68, lon: 139.69, weight: 6.0 },
+    City { name: "Osaka", lat: 34.69, lon: 135.50, weight: 2.5 },
+    City { name: "Sydney", lat: -33.87, lon: 151.21, weight: 2.5 },
+    City { name: "Melbourne", lat: -37.81, lon: 144.96, weight: 2.0 },
+    City { name: "Auckland", lat: -36.85, lon: 174.76, weight: 0.8 },
+];
+
+/// Total weight across [`CITIES`].
+pub fn total_weight() -> f64 {
+    CITIES.iter().map(|c| c.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_list_spans_continents() {
+        assert!(CITIES.len() >= 60);
+        assert!(CITIES.iter().any(|c| c.lat < -20.0)); // southern hemisphere
+        assert!(CITIES.iter().any(|c| c.lon > 100.0)); // east Asia
+        assert!(CITIES.iter().any(|c| c.lon < -100.0)); // western Americas
+    }
+
+    #[test]
+    fn weights_positive() {
+        assert!(CITIES.iter().all(|c| c.weight > 0.0));
+        assert!(total_weight() > 100.0);
+    }
+
+    #[test]
+    fn istanbul_is_heaviest() {
+        // 2016 Periscope lore: Turkey topped usage charts.
+        let max = CITIES.iter().max_by(|a, b| a.weight.partial_cmp(&b.weight).unwrap()).unwrap();
+        assert_eq!(max.name, "Istanbul");
+    }
+
+    #[test]
+    fn coordinates_valid() {
+        for c in CITIES {
+            assert!((-90.0..=90.0).contains(&c.lat), "{}", c.name);
+            assert!((-180.0..=180.0).contains(&c.lon), "{}", c.name);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Diurnal activity model.
+//!
+//! Fig 2(b) of the paper shows average viewers per broadcast against the
+//! broadcaster's *local* start hour: "a notable slump in the early hours of
+//! the day, a peak in the morning, and an increasing trend towards
+//! midnight, which suggest that broadcasts typically have local viewers."
+//! The same curve modulates both how often people start broadcasts and how
+//! many local viewers are around to watch them.
+
+/// Relative activity by local hour (0–23). Normalised so the mean is ~1.
+const HOURLY: [f64; 24] = [
+    1.30, // 00 — still high towards midnight
+    0.95, 0.60, 0.40, 0.30, 0.35, // 01-05 — the early-hours slump
+    0.55, 0.90, 1.20, 1.25, 1.05, 0.95, // 06-11 — morning peak around 8-9
+    1.00, 1.00, 0.95, 0.95, 1.00, 1.05, // 12-17 — flat afternoon
+    1.10, 1.15, 1.20, 1.28, 1.35, 1.40, // 18-23 — rising towards midnight
+];
+
+/// Activity multiplier at a fractional local hour (piecewise-linear between
+/// hourly control points, wrapping at midnight).
+pub fn activity(local_hour: f64) -> f64 {
+    let h = local_hour.rem_euclid(24.0);
+    let i = h.floor() as usize % 24;
+    let j = (i + 1) % 24;
+    let frac = h - h.floor();
+    HOURLY[i] * (1.0 - frac) + HOURLY[j] * frac
+}
+
+/// Converts a UTC time-of-day (seconds since local midnight at UTC) plus a
+/// timezone offset into a local hour.
+pub fn local_hour(utc_seconds_of_day: f64, utc_offset_hours: i32) -> f64 {
+    (utc_seconds_of_day / 3600.0 + utc_offset_hours as f64).rem_euclid(24.0)
+}
+
+/// Maximum of the activity curve, for rejection sampling of arrivals.
+pub fn peak_activity() -> f64 {
+    HOURLY.iter().cloned().fold(f64::MIN, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slump_peak_midnight_shape() {
+        // Early-morning slump is the minimum.
+        let slump = activity(4.0);
+        assert!(slump < 0.5);
+        // Morning peak around 9.
+        assert!(activity(9.0) > 1.1);
+        // Rising toward midnight: 23h > 18h.
+        assert!(activity(23.0) > activity(18.0));
+        // Midnight still higher than mid-afternoon.
+        assert!(activity(0.0) > activity(14.0));
+    }
+
+    #[test]
+    fn interpolation_continuous() {
+        for h in 0..24 {
+            let a = activity(h as f64 + 0.999);
+            let b = activity((h as f64 + 1.0) % 24.0);
+            assert!((a - b).abs() < 0.01, "discontinuity at {h}");
+        }
+    }
+
+    #[test]
+    fn mean_close_to_one() {
+        let mean: f64 = (0..240).map(|i| activity(i as f64 / 10.0)).sum::<f64>() / 240.0;
+        assert!((mean - 1.0).abs() < 0.1, "mean={mean}");
+    }
+
+    #[test]
+    fn local_hour_wraps() {
+        assert_eq!(local_hour(0.0, 0), 0.0);
+        assert_eq!(local_hour(3600.0 * 12.0, 2), 14.0);
+        assert_eq!(local_hour(3600.0 * 23.0, 3), 2.0);
+        assert_eq!(local_hour(3600.0, -2), 23.0);
+    }
+
+    #[test]
+    fn peak_bounds_curve() {
+        let p = peak_activity();
+        for i in 0..240 {
+            assert!(activity(i as f64 / 10.0) <= p + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Crawl the synthetic service the way §4 of the paper crawled Periscope:
+//! a deep quadtree crawl to find the active areas, then a targeted crawl
+//! over the top-64 areas with four accounts, then the usage-pattern
+//! statistics.
+//!
+//! Run with: `cargo run --release --example crawl_usage_patterns`
+
+use periscope_repro::core::{Lab, LabConfig};
+use periscope_repro::crawler::analysis::usage_stats;
+
+fn main() {
+    let lab = Lab::new(LabConfig::medium(7));
+
+    println!("=== deep crawl (recursive quadtree zoom) ===");
+    let deep = lab.deep_crawl_at(14.0);
+    println!("map queries:        {}", deep.steps.len());
+    println!("broadcasts found:   {}", deep.discovered.len());
+    println!("crawl duration:     {:.1} min", deep.duration().as_secs_f64() / 60.0);
+    println!("rate limited:       {} times", deep.rate_limited);
+    let conc = deep.concentration_curve();
+    if let Some((_, frac)) = conc.iter().find(|(a, _)| *a >= 0.5) {
+        println!("top half of areas:  {:.0}% of broadcasts (paper: >=80%)", frac * 100.0);
+    }
+
+    println!("\n=== targeted crawl (top areas, 4 accounts) ===");
+    let crawl = lab.targeted_crawl_at(14.0);
+    println!("rounds completed:   {}", crawl.rounds);
+    println!("round duration:     {:.0} s (paper: ~50 s)", crawl.round_duration.as_secs_f64());
+    println!("broadcasts tracked: {}", crawl.observations.len());
+
+    let ended = crawl.ended_broadcasts();
+    println!("ended during crawl: {}", ended.len());
+    if let Some(stats) = usage_stats(&ended) {
+        println!("\n=== §4 usage patterns (paper values in parentheses) ===");
+        println!("median duration:        {:.1} min   (~4)", stats.median_duration_min);
+        println!("fraction <20 viewers:   {:.3}      (>0.9)", stats.frac_under_20_viewers);
+        println!("fraction zero viewers:  {:.3}      (>0.1)", stats.frac_zero_viewers);
+        println!(
+            "zero-viewer durations:  {:.1} min vs viewed {:.1} min   (2 vs 13)",
+            stats.zero_viewer_avg_duration_min, stats.viewed_avg_duration_min
+        );
+        println!(
+            "duration~popularity r:  {:.3}      (very weak)",
+            stats.duration_popularity_correlation
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! The §5.1 bandwidth-limit sweep: impose `tc`-style limits on the viewer
+//! path and watch stall ratio and join time degrade below ~2 Mbps —
+//! Figures 3(b) and 4(a) of the paper in miniature.
+//!
+//! Run with: `cargo run --release --example qoe_bandwidth_sweep`
+
+use periscope_repro::client::device::NetworkSetup;
+use periscope_repro::client::session::SessionConfig;
+use periscope_repro::client::{Teleport, TeleportConfig};
+use periscope_repro::core::{Lab, LabConfig};
+use periscope_repro::qoe::SessionDataset;
+use periscope_repro::stats::BoxplotSummary;
+
+fn main() {
+    let mut lab = Lab::new(LabConfig::small(99));
+    let limits = [0.5, 1.0, 2.0, 4.0, 8.0, f64::INFINITY];
+    let sessions_per_point = 10;
+
+    println!(
+        "{:>10} {:>8} {:>14} {:>14} {:>12}",
+        "limit", "n", "stall-ratio", "join median", "join p75"
+    );
+    let rngs = *lab.rngs();
+    let svc = lab.service();
+    for (i, &limit) in limits.iter().enumerate() {
+        let network = if limit.is_finite() {
+            NetworkSetup::finland_limited(limit)
+        } else {
+            NetworkSetup::finland_unlimited()
+        };
+        let tp = Teleport::new(svc, rngs.child(&format!("sweep-{i}")));
+        let outcomes = tp.run_dataset(&TeleportConfig {
+            sessions: sessions_per_point,
+            session: SessionConfig { network, ..Default::default() },
+            ..Default::default()
+        });
+        // Figures 3(b)/4 report RTMP streams only; HLS mega-broadcasts on a
+        // starved link would otherwise dominate the table.
+        let refs: Vec<&_> = outcomes
+            .iter()
+            .filter(|o| o.protocol == periscope_repro::service::select::Protocol::Rtmp)
+            .collect();
+        let ratios = SessionDataset::stall_ratios(&refs);
+        let joins = SessionDataset::join_times_s(&refs);
+        let ratio_median = BoxplotSummary::of(&ratios).map(|b| b.median).unwrap_or(f64::NAN);
+        let join_box = BoxplotSummary::of(&joins).ok();
+        println!(
+            "{:>10} {:>8} {:>14.3} {:>14.2} {:>12.2}",
+            if limit.is_finite() { format!("{limit} Mbps") } else { "unlimited".to_string() },
+            refs.len(),
+            ratio_median,
+            join_box.as_ref().map(|b| b.median).unwrap_or(f64::NAN),
+            join_box.as_ref().map(|b| b.q3).unwrap_or(f64::NAN),
+        );
+    }
+    println!("\nBelow ~2 Mbps join time and stalling climb steeply (paper Fig 3b/4a);");
+    println!("the video itself is only 200-400 kbps — the gap is chat and burstiness (§5.1).");
+}

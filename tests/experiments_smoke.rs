@@ -1,0 +1,67 @@
+//! Every registered experiment runs at small scale and renders non-empty
+//! output. This is the guarantee behind the `repro` binary: no figure can
+//! silently rot.
+
+use periscope_repro::core::{experiments, FigureData, Lab, LabConfig};
+
+#[test]
+fn every_experiment_runs_and_renders() {
+    // One lab shared across experiments so the memoized session dataset is
+    // built once (the slow part).
+    let mut lab = Lab::new(LabConfig::small(4242));
+    for exp in experiments::all() {
+        let figure = (exp.run)(&mut lab);
+        let text = figure.render();
+        assert!(
+            text.lines().count() >= 3,
+            "experiment {} rendered too little:\n{text}",
+            exp.id
+        );
+        // Shape sanity per kind.
+        match &figure {
+            FigureData::Cdf { series, .. } => {
+                assert!(!series.is_empty(), "{}: empty CDF", exp.id);
+                for (_, pts) in series {
+                    assert!(!pts.is_empty());
+                    for w in pts.windows(2) {
+                        assert!(w[1].1 >= w[0].1, "{}: CDF not monotone", exp.id);
+                    }
+                }
+            }
+            FigureData::Boxplots { groups, .. } => {
+                assert!(!groups.is_empty(), "{}: empty boxplots", exp.id);
+                for g in groups {
+                    assert!(g.q1 <= g.median && g.median <= g.q3, "{}: bad box", exp.id);
+                }
+            }
+            FigureData::Bars { groups, bar_names, .. } => {
+                assert!(!groups.is_empty());
+                for (_, values) in groups {
+                    assert_eq!(values.len(), bar_names.len(), "{}: ragged bars", exp.id);
+                }
+            }
+            FigureData::Scatter { series, .. } => {
+                assert!(series.iter().any(|(_, pts)| !pts.is_empty()), "{}: empty scatter", exp.id);
+            }
+            FigureData::Table { columns, rows } => {
+                assert!(!columns.is_empty() && !rows.is_empty(), "{}: empty table", exp.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn experiment_metadata_is_complete() {
+    for exp in experiments::all() {
+        assert!(!exp.id.is_empty());
+        assert!(!exp.title.is_empty());
+        assert!(
+            exp.paper_ref.contains("Figure")
+                || exp.paper_ref.contains("Table")
+                || exp.paper_ref.contains('§'),
+            "{}: paper_ref '{}' should cite the paper",
+            exp.id,
+            exp.paper_ref
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Figure-shape checks: each reproduced artifact must carry the qualitative
+//! structure the paper reports, not just render.
+
+use periscope_repro::core::{experiments, FigureData, Lab, LabConfig};
+
+fn run(id: &str, lab: &mut Lab) -> FigureData {
+    (experiments::by_id(id).expect("experiment exists").run)(lab)
+}
+
+/// Fig 1(a): zooming keeps discovering — the cumulative curve grows well
+/// past the first query's yield.
+#[test]
+fn fig1a_cumulative_growth() {
+    let mut lab = Lab::new(LabConfig::small(301));
+    let fig = run("fig1a", &mut lab);
+    let FigureData::Scatter { series, .. } = &fig else { panic!("scatter expected") };
+    for (label, pts) in series {
+        let first = pts.first().unwrap().1;
+        let last = pts.last().unwrap().1;
+        // At small scale the 02h (slump) crawl has little to find; the
+        // qualitative claim is that zooming multiplies the initial yield.
+        assert!(last >= first * 2.5, "{label}: first={first} last={last}");
+        // Monotone non-decreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{label}");
+        }
+    }
+}
+
+/// Fig 1(b): "half of the areas contain at least 80% of all the broadcasts".
+#[test]
+fn fig1b_concentration() {
+    let mut lab = Lab::new(LabConfig::small(302));
+    let fig = run("fig1b", &mut lab);
+    let FigureData::Scatter { series, .. } = &fig else { panic!("scatter expected") };
+    for (label, pts) in series {
+        let at_half = pts
+            .iter()
+            .find(|(area_pct, _)| *area_pct >= 50.0)
+            .map(|(_, b)| *b)
+            .unwrap_or(0.0);
+        assert!(at_half >= 75.0, "{label}: at_half={at_half}%");
+    }
+}
+
+/// Fig 2(b): early-morning slump vs evening rise in the broadcaster's local
+/// time.
+#[test]
+fn fig2b_diurnal_shape() {
+    let mut lab = Lab::new(LabConfig::small(303));
+    let fig = run("fig2b", &mut lab);
+    let FigureData::Scatter { series, .. } = &fig else { panic!("scatter expected") };
+    let pts = &series[0].1;
+    let value_at = |h: f64| {
+        pts.iter()
+            .filter(|(x, _)| (x - h).abs() <= 1.5)
+            .map(|(_, v)| *v)
+            .fold(f64::NAN, |acc, v| if acc.is_nan() { v } else { (acc + v) / 2.0 })
+    };
+    let slump = value_at(4.0);
+    let evening = value_at(21.0);
+    if slump.is_finite() && evening.is_finite() {
+        assert!(evening > slump, "evening={evening} slump={slump}");
+    }
+}
+
+/// Fig 6(b): "When the quality (i.e., QP value) is roughly the same, the
+/// bitrate varies in a large range."
+#[test]
+fn fig6b_bitrate_varies_at_fixed_qp() {
+    let mut lab = Lab::new(LabConfig::small(304));
+    let fig = run("fig6b", &mut lab);
+    let FigureData::Scatter { series, .. } = &fig else { panic!("scatter expected") };
+    let all: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    assert!(all.len() >= 20, "points={}", all.len());
+    // Within a central QP band, the bitrate spread is wide.
+    let qps: Vec<f64> = all.iter().map(|(_, qp)| *qp).collect();
+    let median_qp = {
+        let mut v = qps.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let band: Vec<f64> = all
+        .iter()
+        .filter(|(_, qp)| (qp - median_qp).abs() <= 3.0)
+        .map(|(r, _)| *r)
+        .collect();
+    if band.len() >= 5 {
+        let min = band.iter().cloned().fold(f64::MAX, f64::min);
+        let max = band.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max / min > 1.5, "bitrate range at fixed QP: {min}..{max}");
+    }
+}
+
+/// §5 Welch t-tests: only frame rate differs significantly between the two
+/// phones — the reproduction's device models are built that way, and the
+/// statistical machinery must recover it.
+#[test]
+fn ttest_only_frame_rate_significant() {
+    let mut lab = Lab::new(LabConfig::small(305));
+    let fig = run("table-ttest", &mut lab);
+    let FigureData::Table { rows, .. } = &fig else { panic!("table expected") };
+    let significant: Vec<(&str, &str)> = rows
+        .iter()
+        .map(|r| (r[0].as_str(), r[4].as_str()))
+        .collect();
+    let fps_row = significant.iter().find(|(m, _)| *m == "frame rate").unwrap();
+    assert_eq!(fps_row.1, "YES", "frame rate must differ (S3 caps at 26 fps)");
+    for (metric, sig) in &significant {
+        if *metric != "frame rate" {
+            assert_ne!(*sig, "YES", "{metric} should not differ between phones");
+        }
+    }
+}
+
+/// §5.2: the segment-duration mode sits at 3.6 s within a 3–6 s range.
+#[test]
+fn segment_durations_modal() {
+    let mut lab = Lab::new(LabConfig::small(306));
+    let fig = run("table-video", &mut lab);
+    let modal: f64 = fig
+        .table_value("segment durations at 3.6s")
+        .expect("row exists")
+        .parse()
+        .expect("numeric");
+    assert!(modal > 0.5, "modal={modal}");
+    let range = fig.table_value("segment duration range (s)").unwrap();
+    let (lo, hi) = range.split_once("..").unwrap();
+    let lo: f64 = lo.parse().unwrap();
+    let hi: f64 = hi.parse().unwrap();
+    assert!(lo >= 2.9 && hi <= 6.5, "range={range}");
+}
+
+/// Fig 7: the four headline orderings of the power figure.
+#[test]
+fn fig7_orderings() {
+    let mut lab = Lab::new(LabConfig::small(307));
+    let fig = run("fig7", &mut lab);
+    let FigureData::Bars { groups, .. } = &fig else { panic!("bars expected") };
+    let wifi = |name: &str| {
+        groups.iter().find(|(g, _)| g.contains(name)).map(|(_, v)| v[0]).unwrap()
+    };
+    let lte = |name: &str| {
+        groups.iter().find(|(g, _)| g.contains(name)).map(|(_, v)| v[1]).unwrap()
+    };
+    // Chat-on viewing beats broadcasting — the paper's surprise.
+    assert!(wifi("chat on") > wifi("Broadcast"));
+    // LTE > WiFi on every non-idle scenario.
+    for (g, _) in groups.iter().skip(1) {
+        assert!(lte(g) > wifi(g), "{g}");
+    }
+    // Idle ~1 W; chat-on ~4x idle.
+    assert!(wifi("Home") < 1200.0);
+    assert!(wifi("chat on") > 3.2 * wifi("Home"));
+}
