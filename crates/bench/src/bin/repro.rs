@@ -12,6 +12,7 @@
 //! repro ablation-threshold
 //! repro --scale medium experiments-md > EXPERIMENTS.md   # regenerate the record
 //! repro --scale medium export <dir>   # CSV dumps for external plotting
+//! repro bench                     # time 1-thread vs N-thread generation
 //! ```
 
 use pscp_core::{experiments, Lab};
@@ -19,12 +20,16 @@ use pscp_core::{experiments, Lab};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "small".to_string();
+    let mut scale_explicit = false;
     let mut seed: u64 = 2016;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--scale" => scale = it.next().unwrap_or_else(|| usage("missing scale value")),
+            "--scale" => {
+                scale = it.next().unwrap_or_else(|| usage("missing scale value"));
+                scale_explicit = true;
+            }
             "--seed" => {
                 seed = it
                     .next()
@@ -45,6 +50,13 @@ fn main() {
             .unwrap_or_else(|| "export".to_string());
         let config = pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e));
         export_csvs(&mut Lab::new(config), &dir);
+        return;
+    }
+    if targets.iter().any(|t| t == "bench") {
+        // The parallel speedup is only visible on a dataset big enough to
+        // amortize setup, so `bench` defaults to medium scale.
+        let bench_scale = if scale_explicit { scale.clone() } else { "medium".to_string() };
+        bench_parallel(&bench_scale, seed);
         return;
     }
     if targets.iter().any(|t| t == "experiments-md") {
@@ -69,6 +81,10 @@ fn main() {
         {
             println!("{:<16} {:<18} design-choice ablation study", ab, "DESIGN.md §4");
         }
+        println!(
+            "{:<16} {:<18} serial vs parallel generation timing (BENCH_parallel.json)",
+            "bench", "perf"
+        );
         return;
     }
     let config = pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e));
@@ -116,6 +132,39 @@ fn main() {
             },
         }
     }
+}
+
+/// Times dataset generation at 1 thread and at the auto-resolved thread
+/// count (`PSCP_THREADS` / available parallelism) and records the result
+/// in `BENCH_parallel.json` in the working directory.
+fn bench_parallel(scale: &str, seed: u64) {
+    let threads = pscp_simnet::par::resolve_threads(0);
+    let time_with = |n: usize| {
+        let mut config = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
+        config.threads = n;
+        let mut lab = Lab::new(config);
+        let started = std::time::Instant::now();
+        let dataset = lab.session_dataset();
+        (started.elapsed().as_secs_f64(), dataset.len())
+    };
+    println!("benchmarking dataset generation: scale {scale}, seed {seed}");
+    let (serial_secs, sessions) = time_with(1);
+    println!("  1 thread : {serial_secs:.2} s ({sessions} sessions)");
+    let (parallel_secs, sessions_par) = time_with(threads);
+    println!("  {threads} threads: {parallel_secs:.2} s ({sessions_par} sessions)");
+    assert_eq!(sessions, sessions_par, "thread count changed the dataset size");
+    let speedup = serial_secs / parallel_secs.max(1e-9);
+    let json = format!(
+        "{{\n  \"scale\": \"{scale}\",\n  \"seed\": {seed},\n  \"sessions\": {sessions},\n  \
+         \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \
+         \"parallel_secs\": {parallel_secs:.3},\n  \
+         \"sessions_per_sec_serial\": {:.2},\n  \
+         \"sessions_per_sec_parallel\": {:.2},\n  \"speedup\": {speedup:.2}\n}}\n",
+        sessions as f64 / serial_secs.max(1e-9),
+        sessions as f64 / parallel_secs.max(1e-9),
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("speedup: {speedup:.2}x — wrote BENCH_parallel.json");
 }
 
 /// Writes sessions.csv and observations.csv into `dir`.
@@ -195,6 +244,6 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: repro [--scale small|medium|paper] [--seed N] <ids...|all|list>");
+    eprintln!("usage: repro [--scale small|medium|paper] [--seed N] <ids...|all|list|bench>");
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

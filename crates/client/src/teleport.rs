@@ -18,13 +18,22 @@
 //! the whole population window rather than strictly sequentially — the
 //! paper's weeks of wall-clock collection compressed into one simulated
 //! window.
+//!
+//! That independence is also what makes dataset generation parallel:
+//! [`Teleport::run_dataset`] first runs a cheap serial *plan* phase (join
+//! times, broadcast picks and device alternation all come from one shared
+//! sequential RNG stream), then *executes* the planned sessions across
+//! worker threads — each session only draws from its own `session/{i}` RNG
+//! namespace — and reassembles outcomes in plan order. The capture
+//! retention cap is applied after reassembly, so output is byte-identical
+//! to a serial run at any thread count.
 
 use crate::device::ViewerDevice;
 use crate::session::{SessionConfig, SessionOutcome};
 use crate::{hls_session, rtmp_session};
 use pscp_service::select::Protocol;
 use pscp_service::PeriscopeService;
-use pscp_simnet::{dist, RngFactory, SimDuration, SimTime};
+use pscp_simnet::{RngFactory, SimDuration, SimTime};
 use pscp_workload::broadcast::Broadcast;
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -43,6 +52,10 @@ pub struct TeleportConfig {
     /// memory otherwise. Sessions beyond the cap keep every scalar metric
     /// but an empty capture.
     pub keep_captures_per_protocol: usize,
+    /// Worker threads for the execute phase (`0` = auto: `PSCP_THREADS` or
+    /// the machine's parallelism, `1` = the serial path). Output is
+    /// byte-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for TeleportConfig {
@@ -52,6 +65,7 @@ impl Default for TeleportConfig {
             session: SessionConfig::default(),
             alternate_devices: true,
             keep_captures_per_protocol: usize::MAX,
+            threads: 0,
         }
     }
 }
@@ -71,20 +85,11 @@ impl<'a> Teleport<'a> {
     /// Picks a random live broadcast at `now`, weighted by current viewers
     /// (plus one, so zero-viewer broadcasts remain reachable — the paper
     /// did land on unpopular streams).
+    ///
+    /// Delegates to the population's time-bucketed weighted sampler, which
+    /// avoids rebuilding an O(population) candidate list per pick.
     pub fn pick(&self, now: SimTime, rng: &mut StdRng) -> Option<&'a Broadcast> {
-        let live: Vec<&Broadcast> = self
-            .service
-            .population
-            .live_at(now)
-            .into_iter()
-            .filter(|b| !b.private)
-            .collect();
-        if live.is_empty() {
-            return None;
-        }
-        let weights: Vec<f64> =
-            live.iter().map(|b| b.viewers_at(now) as f64 + 1.0).collect();
-        Some(live[dist::categorical(rng, &weights)])
+        self.service.population.sample_live_weighted(now, rng)
     }
 
     /// Runs one session at `join_at` against a picked broadcast, letting
@@ -108,14 +113,29 @@ impl<'a> Teleport<'a> {
     }
 
     /// Generates a whole dataset.
+    ///
+    /// Two phases. The *plan* phase is serial and consumes the shared
+    /// `"dataset"` RNG stream exactly as a fully serial generator would:
+    /// join times, broadcast picks and device alternation all come from
+    /// that one sequential stream. The *execute* phase then runs the
+    /// planned sessions across worker threads — safe because
+    /// [`Teleport::run_one`] draws only from the session's own
+    /// `session/{i}` RNG namespace — and reassembles outcomes in plan
+    /// order. The capture-retention cap is applied after reassembly, so
+    /// the result is byte-identical to a serial run at any thread count.
     pub fn run_dataset(&self, config: &TeleportConfig) -> Vec<SessionOutcome> {
         let mut rng = self.rngs.stream("dataset");
         let window = self.service.population.config.window;
         let margin = config.session.watch + SimDuration::from_secs(40);
         let latest = window.saturating_sub(margin).as_secs_f64().max(60.0);
-        let mut out = Vec::with_capacity(config.sessions);
-        let mut kept: std::collections::HashMap<Protocol, usize> =
-            std::collections::HashMap::new();
+
+        struct Planned<'b> {
+            idx: u64,
+            join_at: SimTime,
+            broadcast: &'b Broadcast,
+            session: SessionConfig,
+        }
+        let mut plan: Vec<Planned<'_>> = Vec::with_capacity(config.sessions);
         for i in 0..config.sessions {
             // Join somewhere inside the window, away from the edges.
             let t = 30.0 + rng.gen::<f64>() * latest;
@@ -131,14 +151,22 @@ impl<'a> Teleport<'a> {
                     ViewerDevice::GalaxyS3
                 };
             }
-            let mut outcome = self.run_one(broadcast, join_at, &session, i as u64);
+            plan.push(Planned { idx: i as u64, join_at, broadcast, session });
+        }
+
+        let mut out = pscp_simnet::par::indexed_map(&plan, config.threads, |_, p| {
+            self.run_one(p.broadcast, p.join_at, &p.session, p.idx)
+        });
+
+        let mut kept: std::collections::HashMap<Protocol, usize> =
+            std::collections::HashMap::new();
+        for outcome in &mut out {
             let slot = kept.entry(outcome.protocol).or_insert(0);
             if *slot >= config.keep_captures_per_protocol {
                 outcome.capture = pscp_media::capture::Capture::new();
             } else {
                 *slot += 1;
             }
-            out.push(outcome);
         }
         out
     }

@@ -162,8 +162,8 @@ const CRAWL_HOURS: [f64; 4] = [2.0, 8.0, 14.0, 20.0];
 fn fig1a(lab: &mut Lab) -> FigureData {
     let series = CRAWL_HOURS
         .iter()
-        .map(|&h| {
-            let crawl = lab.deep_crawl_at(h);
+        .zip(lab.deep_crawls_at(&CRAWL_HOURS))
+        .map(|(&h, crawl)| {
             let pts = crawl
                 .cumulative_curve()
                 .into_iter()
@@ -182,8 +182,8 @@ fn fig1a(lab: &mut Lab) -> FigureData {
 fn fig1b(lab: &mut Lab) -> FigureData {
     let series = CRAWL_HOURS
         .iter()
-        .map(|&h| {
-            let crawl = lab.deep_crawl_at(h);
+        .zip(lab.deep_crawls_at(&CRAWL_HOURS))
+        .map(|(&h, crawl)| {
             let pts = crawl
                 .concentration_curve()
                 .into_iter()
@@ -218,8 +218,7 @@ fn fig2b(lab: &mut Lab) -> FigureData {
     // populated, as the paper's four 4-10 h crawls jointly cover the day.
     let mut sums = [0.0f64; 24];
     let mut counts = [0u32; 24];
-    for &h in &CRAWL_HOURS {
-        let crawl = lab.targeted_crawl_at(h);
+    for crawl in lab.targeted_crawls_at(&CRAWL_HOURS) {
         let ended = crawl.ended_broadcasts();
         for (hour, avg) in
             pscp_crawler::analysis::fig2b_viewers_by_local_hour(&ended, crawl.utc_start_hour)
@@ -373,12 +372,15 @@ fn analyzed_reports(
     lab: &mut Lab,
     protocol: Protocol,
 ) -> Vec<pscp_media::analysis::StreamReport> {
+    let threads = lab.config.threads;
     let dataset = lab.session_dataset();
-    dataset
-        .unlimited(protocol)
+    // Capture reconstruction is the per-session hot spot of fig5/6;
+    // sessions are independent, so fan out and keep dataset order.
+    let selected: Vec<&pscp_client::SessionOutcome> =
+        dataset.unlimited(protocol).into_iter().take(ANALYSIS_CAP).collect();
+    pscp_simnet::par::indexed_map(&selected, threads, |_, s| analyze_session(s))
         .into_iter()
-        .take(ANALYSIS_CAP)
-        .filter_map(analyze_session)
+        .flatten()
         .collect()
 }
 
@@ -671,19 +673,19 @@ fn table_latency(lab: &mut Lab) -> FigureData {
     // for 75% of broadcasts on average, which means that the majority of
     // the few seconds of playback latency with those streams comes from
     // buffering."
+    let threads = lab.config.threads;
     let dataset = lab.session_dataset();
-    let rtmp = dataset.unlimited(Protocol::Rtmp);
+    let selected: Vec<&pscp_client::SessionOutcome> =
+        dataset.unlimited(Protocol::Rtmp).into_iter().take(ANALYSIS_CAP).collect();
+    let pairs = pscp_simnet::par::indexed_map(&selected, threads, |_, s| {
+        let d = analyze_session(s).and_then(|r| r.mean_delivery_latency_s());
+        d.zip(s.meta.playback_latency_s)
+    });
     let mut delivery = Vec::new();
     let mut playback = Vec::new();
-    for s in rtmp.iter().take(ANALYSIS_CAP) {
-        let (Some(report), Some(pl)) = (analyze_session(s), s.meta.playback_latency_s)
-        else {
-            continue;
-        };
-        if let Some(d) = report.mean_delivery_latency_s() {
-            delivery.push(d);
-            playback.push(pl);
-        }
+    for (d, pl) in pairs.into_iter().flatten() {
+        delivery.push(d);
+        playback.push(pl);
     }
     let mean = |xs: &[f64]| {
         if xs.is_empty() { f64::NAN } else { xs.iter().sum::<f64>() / xs.len() as f64 }

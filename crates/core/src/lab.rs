@@ -38,6 +38,11 @@ pub struct LabConfig {
     pub sessions_per_limit: usize,
     /// Bandwidth-limit sweep points in Mbps (the paper's 0.5–10).
     pub limits_mbps: Vec<f64>,
+    /// Worker threads for dataset generation, crawls and capture analysis.
+    /// `0` = auto (the `PSCP_THREADS` environment variable, else the
+    /// machine's available parallelism); `1` = the exact serial path.
+    /// Every figure and table is byte-identical at every setting.
+    pub threads: usize,
 }
 
 impl LabConfig {
@@ -51,6 +56,7 @@ impl LabConfig {
             sessions_unlimited: 30,
             sessions_per_limit: 6,
             limits_mbps: vec![0.5, 2.0, 6.0],
+            threads: 0,
         }
     }
 
@@ -66,6 +72,7 @@ impl LabConfig {
             sessions_unlimited: 3382,
             sessions_per_limit: 50,
             limits_mbps: vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+            threads: 0,
         }
     }
 
@@ -79,6 +86,7 @@ impl LabConfig {
             sessions_unlimited: 300,
             sessions_per_limit: 18,
             limits_mbps: vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
+            threads: 0,
         }
     }
 }
@@ -89,7 +97,7 @@ pub struct Lab {
     pub config: LabConfig,
     rngs: RngFactory,
     service: Option<PeriscopeService>,
-    dataset: Option<std::rc::Rc<SessionDataset>>,
+    dataset: Option<std::sync::Arc<SessionDataset>>,
 }
 
 /// A viewing-session report (dataset wrapper returned by convenience runs).
@@ -108,6 +116,12 @@ impl Lab {
     /// The RNG namespace of this lab.
     pub fn rngs(&self) -> &RngFactory {
         &self.rngs
+    }
+
+    /// The resolved worker-thread count this lab will use (see
+    /// [`LabConfig::threads`] and [`pscp_simnet::par::resolve_threads`]).
+    pub fn effective_threads(&self) -> usize {
+        pscp_simnet::par::resolve_threads(self.config.threads)
     }
 
     /// The service (built on first access).
@@ -141,15 +155,23 @@ impl Lab {
     }
 
     /// The full QoE dataset (unlimited + bandwidth sweep), memoized.
-    pub fn session_dataset(&mut self) -> std::rc::Rc<SessionDataset> {
+    ///
+    /// The unlimited block — the bulk of the work at paper scale —
+    /// parallelizes *within* its `run_dataset` call; the eleven sweep
+    /// points then fan out across threads as whole units (each owns its
+    /// `dataset-limit-{i}` RNG child) with their inner runs kept serial to
+    /// avoid oversubscription. Sweep results are appended in limit order,
+    /// so the dataset is byte-identical to a serial build.
+    pub fn session_dataset(&mut self) -> std::sync::Arc<SessionDataset> {
         if let Some(d) = &self.dataset {
             return d.clone();
         }
         let rngs = self.rngs;
+        let threads = self.config.threads;
         let sessions_unlimited = self.config.sessions_unlimited;
         let sessions_per_limit = self.config.sessions_per_limit;
         let limits = self.config.limits_mbps.clone();
-        let svc = self.service();
+        let svc: &PeriscopeService = self.service();
         let tp = Teleport::new(svc, rngs.child("dataset"));
         let mut dataset = SessionDataset::new(
             tp.run_dataset(&TeleportConfig {
@@ -158,10 +180,11 @@ impl Lab {
                 // cap; beyond that, captures are dropped to bound memory at
                 // paper scale.
                 keep_captures_per_protocol: 320,
+                threads,
                 ..Default::default()
             }),
         );
-        for (i, &mbps) in limits.iter().enumerate() {
+        let sweeps = pscp_simnet::par::indexed_map(&limits, threads, |i, &mbps| {
             let tp = Teleport::new(svc, rngs.child(&format!("dataset-limit-{i}")));
             let session = SessionConfig {
                 network: NetworkSetup::finland_limited(mbps),
@@ -172,12 +195,16 @@ impl Lab {
                 session,
                 alternate_devices: true,
                 keep_captures_per_protocol: 8,
+                threads: 1,
             };
-            dataset.extend(tp.run_dataset(&cfg));
+            tp.run_dataset(&cfg)
+        });
+        for sweep in sweeps {
+            dataset.extend(sweep);
         }
-        let rc = std::rc::Rc::new(dataset);
-        self.dataset = Some(rc.clone());
-        rc
+        let arc = std::sync::Arc::new(dataset);
+        self.dataset = Some(arc.clone());
+        arc
     }
 
     /// Runs one deep crawl against a service whose world clock starts at
@@ -185,6 +212,23 @@ impl Lab {
     pub fn deep_crawl_at(&self, utc_start_hour: f64) -> DeepCrawl {
         let mut svc = self.service_at_hour(utc_start_hour);
         DeepCrawl::run(&mut svc, &DeepCrawlConfig::default(), SimTime::from_secs(120))
+    }
+
+    /// Runs one deep crawl per UTC start hour, in parallel. Each crawl
+    /// builds its own `world-at-{h}` service, so crawls share nothing and
+    /// results match [`Lab::deep_crawl_at`] called hour by hour.
+    pub fn deep_crawls_at(&self, hours: &[f64]) -> Vec<DeepCrawl> {
+        pscp_simnet::par::indexed_map(hours, self.config.threads, |_, &h| {
+            self.deep_crawl_at(h)
+        })
+    }
+
+    /// Runs one targeted crawl (preceded by its deep crawl) per UTC start
+    /// hour, in parallel; results match [`Lab::targeted_crawl_at`].
+    pub fn targeted_crawls_at(&self, hours: &[f64]) -> Vec<TargetedCrawl> {
+        pscp_simnet::par::indexed_map(hours, self.config.threads, |_, &h| {
+            self.targeted_crawl_at(h)
+        })
     }
 
     /// Runs a deep crawl followed by a targeted crawl on the same world.
@@ -231,7 +275,7 @@ mod tests {
         let mut lab = Lab::new(LabConfig::small(2));
         let a = lab.session_dataset();
         let b = lab.session_dataset();
-        assert!(std::rc::Rc::ptr_eq(&a, &b));
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
         // 30 unlimited + 3 limits × 6.
         assert_eq!(a.len(), 30 + 18);
     }

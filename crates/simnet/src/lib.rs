@@ -9,6 +9,10 @@
 //! out independent, label-addressed streams so adding a consumer never
 //! perturbs existing ones.
 //!
+//! Independent work items (sessions, sweep points, crawls) fan out across
+//! OS threads through [`par::indexed_map`], which reassembles results in
+//! input order so thread count never changes any output byte.
+//!
 //! The network model is deliberately a *flow/packet hybrid*: media bytes move
 //! through [`link::Link`]s in MTU-sized packets with FIFO queueing and
 //! serialization delay, shaped by an optional [`shaper::TokenBucket`] (the
@@ -24,6 +28,7 @@ pub mod dist;
 pub mod event;
 pub mod geo;
 pub mod link;
+pub mod par;
 pub mod rng;
 pub mod shaper;
 pub mod tcp;

@@ -1,0 +1,150 @@
+//! Deterministic fan-out across OS threads.
+//!
+//! The measurement side of the reproduction is embarrassingly parallel:
+//! Teleport sessions are mutually independent (each is a fresh app launch
+//! against its own broadcast with its own `session/{i}` RNG label), every
+//! bandwidth-sweep point owns a `dataset-limit-{i}` RNG child, and each
+//! time-of-day crawl builds its own `world-at-{h}` service. [`indexed_map`]
+//! exploits that: work items are executed on a pool of scoped OS threads
+//! and the results are reassembled **in input order**, so the output is
+//! byte-identical to a serial run no matter how many workers ran or how
+//! the scheduler interleaved them. Determinism therefore rests on two
+//! properties the caller must uphold (and every call site in this
+//! workspace does):
+//!
+//! 1. the work function draws randomness only from RNG streams keyed on
+//!    the item's *index or label*, never from a shared sequential stream;
+//! 2. the work function does not mutate shared state (it takes `&self`
+//!    receivers only — the compiler enforces this via the `Sync` bounds).
+//!
+//! No external dependencies: plain `std::thread::scope` with an atomic
+//! work-stealing counter. Threads are cheap at this granularity — one
+//! session simulates tens of milliseconds of CPU work, so spawning a
+//! handful of workers per dataset is noise.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolves a thread-count knob to a concrete worker count.
+///
+/// `n > 0` is taken literally (`1` forces the exact serial code path).
+/// `n == 0` means *auto*: the `PSCP_THREADS` environment variable if it
+/// parses to a positive integer, otherwise the machine's available
+/// parallelism, falling back to 1 when that cannot be determined.
+pub fn resolve_threads(n: usize) -> usize {
+    if n > 0 {
+        return n;
+    }
+    if let Ok(v) = std::env::var("PSCP_THREADS") {
+        if let Ok(k) = v.trim().parse::<usize>() {
+            if k > 0 {
+                return k;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` on up to `threads` worker threads
+/// (`0` = auto, see [`resolve_threads`]) and returns the results in input
+/// order.
+///
+/// `f` receives `(index, &item)`. With one worker (or one item) the work
+/// runs inline on the caller's thread — no spawn, exactly the serial loop.
+/// With more, workers pull indices from a shared atomic counter (cheap
+/// dynamic load balancing: session costs vary by broadcast popularity) and
+/// results are reassembled by index afterwards, so scheduling order never
+/// leaks into the output. A panic in any worker propagates to the caller.
+pub fn indexed_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            collected.extend(h.join().expect("parallel worker panicked"));
+        }
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explicit_thread_count_wins() {
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = indexed_map(&items, 8, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..57).collect();
+        let work = |_: usize, &x: &u64| {
+            // A little arithmetic so workers genuinely interleave.
+            (0..1000u64).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let serial = indexed_map(&items, 1, work);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, indexed_map(&items, threads, work), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let out: Vec<u32> = indexed_map(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items_ok() {
+        let out = indexed_map(&[1, 2, 3], 64, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        indexed_map(&items, 4, |_, &x| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -74,6 +74,10 @@ pub struct Population {
     /// Minute-bucket index: bucket `i` lists indices of broadcasts live at
     /// any point within minute `i`.
     buckets: Vec<Vec<u32>>,
+    /// Same index restricted to non-private broadcasts — the candidate set
+    /// of every Teleport pick and directory query, precomputed so the hot
+    /// sampling path never re-filters the full bucket per session.
+    public_buckets: Vec<Vec<u32>>,
     /// Id → index lookup (the directory answers getBroadcasts by id).
     by_id: std::collections::HashMap<BroadcastId, u32>,
 }
@@ -116,12 +120,22 @@ impl Population {
         }
         broadcasts.sort_by_key(|b| b.start);
         let buckets = Self::build_index(&broadcasts, config.window);
+        let public_buckets = buckets
+            .iter()
+            .map(|bucket| {
+                bucket
+                    .iter()
+                    .copied()
+                    .filter(|&i| !broadcasts[i as usize].private)
+                    .collect()
+            })
+            .collect();
         let by_id = broadcasts
             .iter()
             .enumerate()
             .map(|(i, b)| (b.id, i as u32))
             .collect();
-        Population { broadcasts, config, buckets, by_id }
+        Population { broadcasts, config, buckets, public_buckets, by_id }
     }
 
     fn make_broadcast<R: Rng + ?Sized>(
@@ -232,11 +246,56 @@ impl Population {
     }
 
     /// Broadcasts live and map-discoverable at `t` inside `rect`.
+    ///
+    /// Walks the precomputed public bucket (private broadcasts are never
+    /// discoverable), preserving broadcast index order so directory results
+    /// are identical to a scan of the full bucket.
     pub fn discoverable_in(&self, rect: &pscp_simnet::GeoRect, t: SimTime) -> Vec<&Broadcast> {
-        self.live_at(t)
-            .into_iter()
-            .filter(|b| b.discoverable_at(t) && rect.contains(&b.location))
-            .collect()
+        let minute = (t.as_micros() / 60_000_000) as usize;
+        match self.public_buckets.get(minute) {
+            Some(bucket) => bucket
+                .iter()
+                .map(|&i| &self.broadcasts[i as usize])
+                .filter(|b| b.discoverable_at(t) && rect.contains(&b.location))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Samples a live, non-private broadcast at `now`, weighted by its
+    /// current viewer count plus one (so zero-viewer broadcasts remain
+    /// reachable) — the Teleport button's selection model.
+    ///
+    /// One pass over the minute's public bucket accumulates a cumulative
+    /// weight table; a single uniform draw then binary-searches it. That is
+    /// draw-for-draw compatible with `dist::categorical` over the same
+    /// candidate order (one `f64` per call), but replaces the per-call
+    /// `Vec<&Broadcast>` rebuild + O(n) scan of the old Teleport pick with
+    /// an O(log n) search over one compact table. Returns `None` (without
+    /// consuming randomness) when nothing public is live.
+    pub fn sample_live_weighted<R: Rng + ?Sized>(
+        &self,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Option<&Broadcast> {
+        let minute = (now.as_micros() / 60_000_000) as usize;
+        let bucket = self.public_buckets.get(minute)?;
+        let mut cum: Vec<(u32, f64)> = Vec::with_capacity(bucket.len());
+        let mut total = 0.0f64;
+        for &i in bucket {
+            let b = &self.broadcasts[i as usize];
+            if !b.is_live_at(now) {
+                continue;
+            }
+            total += b.viewers_at(now) as f64 + 1.0;
+            cum.push((i, total));
+        }
+        if cum.is_empty() {
+            return None;
+        }
+        let u = rng.gen::<f64>() * total;
+        let pos = cum.partition_point(|&(_, c)| c <= u).min(cum.len() - 1);
+        Some(&self.broadcasts[cum[pos].0 as usize])
     }
 
     /// Look up a broadcast by id (O(1)).
@@ -370,6 +429,49 @@ mod tests {
             let brute: Vec<&Broadcast> =
                 p.broadcasts.iter().filter(|b| b.is_live_at(t)).collect();
             assert_eq!(live.len(), brute.len(), "t={s}");
+        }
+    }
+
+    #[test]
+    fn weighted_sampler_matches_bruteforce_categorical() {
+        // The sampler must be draw-for-draw compatible with filtering the
+        // live bucket and calling dist::categorical on the weights — the
+        // Teleport pick it replaced.
+        let p = Population::generate(PopulationConfig::small(), &RngFactory::new(17));
+        let f = RngFactory::new(17);
+        let mut fast = f.stream("sampler-a");
+        let mut brute = f.stream("sampler-a");
+        for s in [60u64, 300, 600, 900, 1100] {
+            let t = SimTime::from_secs(s);
+            let picked = p.sample_live_weighted(t, &mut fast);
+            let live: Vec<&Broadcast> = p
+                .live_at(t)
+                .into_iter()
+                .filter(|b| !b.private)
+                .collect();
+            let expected = if live.is_empty() {
+                None
+            } else {
+                let weights: Vec<f64> =
+                    live.iter().map(|b| b.viewers_at(t) as f64 + 1.0).collect();
+                Some(live[dist::categorical(&mut brute, &weights)])
+            };
+            assert_eq!(
+                picked.map(|b| b.id),
+                expected.map(|b| b.id),
+                "t={s}s"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_sampler_never_returns_private_or_dead() {
+        let p = Population::generate(PopulationConfig::small(), &RngFactory::new(18));
+        let mut rng = RngFactory::new(18).stream("sampler-b");
+        let t = SimTime::from_secs(600);
+        for _ in 0..200 {
+            let b = p.sample_live_weighted(t, &mut rng).expect("mid-window has live casts");
+            assert!(b.is_live_at(t) && !b.private);
         }
     }
 

@@ -34,6 +34,7 @@
 
 pub use pscp_client as client;
 pub use pscp_core as core;
+pub use pscp_simnet::par;
 pub use pscp_crawler as crawler;
 pub use pscp_energy as energy;
 pub use pscp_media as media;

@@ -47,3 +47,52 @@ fn rendered_figures_are_identical_across_runs() {
         assert_eq!(render(id), render(id), "experiment {id}");
     }
 }
+
+/// Per-session fingerprint covering every scalar metric plus the capture
+/// byte count, so a single diverging draw anywhere in a session shows up.
+fn dataset_fingerprint(threads: usize, seed: u64) -> Vec<String> {
+    let mut config = LabConfig::small(seed);
+    config.threads = threads;
+    let mut lab = Lab::new(config);
+    let dataset = lab.session_dataset();
+    dataset
+        .sessions
+        .iter()
+        .map(|s| {
+            format!(
+                "{:?} {:?} {:?} {} {} {} {:?} {:?}",
+                s.broadcast_id,
+                s.protocol,
+                s.device,
+                s.viewers_at_join,
+                s.meta.n_stalls,
+                s.capture.total_bytes(),
+                s.join_time_s().map(|j| (j * 1e6) as u64),
+                s.meta.playback_latency_s.map(|l| (l * 1e6) as u64),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_dataset_matches_serial() {
+    for seed in [11, 77] {
+        let serial = dataset_fingerprint(1, seed);
+        let parallel = dataset_fingerprint(8, seed);
+        assert_eq!(serial, parallel, "seed {seed}: 8 threads diverged from serial");
+    }
+}
+
+#[test]
+fn figures_invariant_under_thread_count() {
+    let render = |threads: usize, id: &str| {
+        let mut config = LabConfig::small(99);
+        config.threads = threads;
+        let mut lab = Lab::new(config);
+        let exp = experiments::by_id(id).expect("experiment exists");
+        (exp.run)(&mut lab).render()
+    };
+    for id in ["fig1a", "fig3b", "fig5"] {
+        assert_eq!(render(2, id), render(8, id), "experiment {id}");
+    }
+}
