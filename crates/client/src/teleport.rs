@@ -24,9 +24,12 @@
 //! times, broadcast picks and device alternation all come from one shared
 //! sequential RNG stream), then *executes* the planned sessions across
 //! worker threads — each session only draws from its own `session/{i}` RNG
-//! namespace — and reassembles outcomes in plan order. The capture
-//! retention cap is applied after reassembly, so output is byte-identical
-//! to a serial run at any thread count.
+//! namespace — and reassembles outcomes in plan order. Capture retention
+//! is *decided* during planning (protocol selection is a pure function of
+//! broadcast and join time) and *applied* inside each worker, so an
+//! uncapped capture is dropped the moment its session finishes: peak
+//! memory stays at the retained set plus one in-flight capture per worker,
+//! while output remains byte-identical to a serial run at any thread count.
 
 use crate::device::ViewerDevice;
 use crate::session::{SessionConfig, SessionOutcome};
@@ -121,8 +124,16 @@ impl<'a> Teleport<'a> {
     /// planned sessions across worker threads — safe because
     /// [`Teleport::run_one`] draws only from the session's own
     /// `session/{i}` RNG namespace — and reassembles outcomes in plan
-    /// order. The capture-retention cap is applied after reassembly, so
-    /// the result is byte-identical to a serial run at any thread count.
+    /// order. The capture-retention cap is *decided* during planning
+    /// (protocol selection is [`SelectionPolicy::choose`], a pure function
+    /// of broadcast and join time, so the plan predicts exactly what
+    /// `run_one` will see) and *applied* in the worker the moment each
+    /// session finishes. Uncapped captures therefore never pile up waiting
+    /// for reassembly — peak memory is the retained set plus at most one
+    /// in-flight capture per worker, same as the serial path — and the
+    /// result is byte-identical to a serial run at any thread count.
+    ///
+    /// [`SelectionPolicy::choose`]: pscp_service::select::SelectionPolicy::choose
     pub fn run_dataset(&self, config: &TeleportConfig) -> Vec<SessionOutcome> {
         let mut rng = self.rngs.stream("dataset");
         let window = self.service.population.config.window;
@@ -134,7 +145,11 @@ impl<'a> Teleport<'a> {
             join_at: SimTime,
             broadcast: &'b Broadcast,
             session: SessionConfig,
+            keep_capture: bool,
         }
+        let selection = self.service.selection_policy();
+        let mut kept: std::collections::HashMap<Protocol, usize> =
+            std::collections::HashMap::new();
         let mut plan: Vec<Planned<'_>> = Vec::with_capacity(config.sessions);
         for i in 0..config.sessions {
             // Join somewhere inside the window, away from the edges.
@@ -151,24 +166,25 @@ impl<'a> Teleport<'a> {
                     ViewerDevice::GalaxyS3
                 };
             }
-            plan.push(Planned { idx: i as u64, join_at, broadcast, session });
-        }
-
-        let mut out = pscp_simnet::par::indexed_map(&plan, config.threads, |_, p| {
-            self.run_one(p.broadcast, p.join_at, &p.session, p.idx)
-        });
-
-        let mut kept: std::collections::HashMap<Protocol, usize> =
-            std::collections::HashMap::new();
-        for outcome in &mut out {
-            let slot = kept.entry(outcome.protocol).or_insert(0);
-            if *slot >= config.keep_captures_per_protocol {
-                outcome.capture = pscp_media::capture::Capture::new();
-            } else {
+            let protocol = selection.choose(broadcast, join_at);
+            let slot = kept.entry(protocol).or_insert(0);
+            let keep_capture = *slot < config.keep_captures_per_protocol;
+            if keep_capture {
                 *slot += 1;
             }
+            plan.push(Planned { idx: i as u64, join_at, broadcast, session, keep_capture });
         }
-        out
+
+        pscp_simnet::par::indexed_map(&plan, config.threads, |_, p| {
+            let mut outcome = self.run_one(p.broadcast, p.join_at, &p.session, p.idx);
+            if !p.keep_capture {
+                // The session still simulated its traffic (scalar metrics
+                // derive from it), but the multi-MB capture is released
+                // here, inside the worker, rather than after reassembly.
+                outcome.capture = pscp_media::capture::Capture::new();
+            }
+            outcome
+        })
     }
 }
 

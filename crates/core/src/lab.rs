@@ -217,6 +217,13 @@ impl Lab {
     /// Runs one deep crawl per UTC start hour, in parallel. Each crawl
     /// builds its own `world-at-{h}` service, so crawls share nothing and
     /// results match [`Lab::deep_crawl_at`] called hour by hour.
+    ///
+    /// Memory note: every in-flight crawl holds a full [`Population`], so
+    /// peak memory is `min(threads, hours.len())` populations instead of
+    /// the serial loop's one. The paper uses four crawl hours and a
+    /// population is a few MB of plain structs (no captures), so the
+    /// worst case is tens of MB; set [`LabConfig::threads`] to `1` if
+    /// even that is too much.
     pub fn deep_crawls_at(&self, hours: &[f64]) -> Vec<DeepCrawl> {
         pscp_simnet::par::indexed_map(hours, self.config.threads, |_, &h| {
             self.deep_crawl_at(h)
@@ -224,7 +231,9 @@ impl Lab {
     }
 
     /// Runs one targeted crawl (preceded by its deep crawl) per UTC start
-    /// hour, in parallel; results match [`Lab::targeted_crawl_at`].
+    /// hour, in parallel; results match [`Lab::targeted_crawl_at`]. Same
+    /// memory profile as [`Lab::deep_crawls_at`]: one full [`Population`]
+    /// per in-flight crawl.
     pub fn targeted_crawls_at(&self, hours: &[f64]) -> Vec<TargetedCrawl> {
         pscp_simnet::par::indexed_map(hours, self.config.threads, |_, &h| {
             self.targeted_crawl_at(h)

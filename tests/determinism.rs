@@ -92,7 +92,17 @@ fn figures_invariant_under_thread_count() {
         let exp = experiments::by_id(id).expect("experiment exists");
         (exp.run)(&mut lab).render()
     };
+    // threads=1 is the true serial path; comparing 2 and 8 against it (not
+    // against each other) also validates the crawl and capture-analysis
+    // fan-outs behind fig1a/fig5 against the serial baseline.
     for id in ["fig1a", "fig3b", "fig5"] {
-        assert_eq!(render(2, id), render(8, id), "experiment {id}");
+        let serial = render(1, id);
+        for threads in [2, 8] {
+            assert_eq!(
+                serial,
+                render(threads, id),
+                "experiment {id}: {threads} threads diverged from serial"
+            );
+        }
     }
 }
