@@ -17,9 +17,7 @@ fn bench_figures(c: &mut Criterion) {
         let mut lab = Lab::new(LabConfig::small(606));
         // Warm the memoized dataset for dataset-backed experiments.
         let _ = (exp.run)(&mut lab);
-        group.bench_function(exp.id, |b| {
-            b.iter(|| black_box((exp.run)(&mut lab).render().len()))
-        });
+        group.bench_function(exp.id, |b| b.iter(|| black_box((exp.run)(&mut lab).render().len())));
     }
     group.finish();
 }

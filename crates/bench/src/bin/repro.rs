@@ -13,7 +13,12 @@
 //! repro --scale medium experiments-md > EXPERIMENTS.md   # regenerate the record
 //! repro --scale medium export <dir>   # CSV dumps for external plotting
 //! repro bench                     # time 1-thread vs N-thread generation
+//! repro trace                     # traced run → TRACE_events.jsonl + summary
+//! repro metrics                   # traced run → metrics table + TRACE_metrics.json
 //! ```
+//!
+//! Any command also honors `PSCP_TRACE=1` to record the structured event
+//! log and metrics while it runs (sim results are byte-identical either way).
 
 use pscp_core::{experiments, Lab};
 
@@ -44,10 +49,7 @@ fn main() {
         usage("no experiments given");
     }
     if let Some(pos) = targets.iter().position(|t| t == "export") {
-        let dir = targets
-            .get(pos + 1)
-            .cloned()
-            .unwrap_or_else(|| "export".to_string());
+        let dir = targets.get(pos + 1).cloned().unwrap_or_else(|| "export".to_string());
         let config = pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e));
         export_csvs(&mut Lab::new(config), &dir);
         return;
@@ -59,10 +61,36 @@ fn main() {
         bench_parallel(&bench_scale, seed);
         return;
     }
+    if targets.iter().any(|t| t == "trace") {
+        let lab = traced_lab(&scale, seed);
+        let obs = lab.observer();
+        std::fs::write("TRACE_events.jsonl", obs.events_jsonl()).expect("write TRACE_events.jsonl");
+        println!("wrote TRACE_events.jsonl ({} events)", obs.event_count());
+        println!("\nevent counts:");
+        for (name, n) in obs.event_summary() {
+            println!("  {name:<24} {n:>9}");
+        }
+        let phases = obs.phases();
+        if !phases.is_empty() {
+            println!("\n{}", pscp_obs::phases_table(&phases));
+        }
+        return;
+    }
+    if targets.iter().any(|t| t == "metrics") {
+        let lab = traced_lab(&scale, seed);
+        let metrics = lab.observer().metrics();
+        std::fs::write("TRACE_metrics.json", metrics.snapshot_json())
+            .expect("write TRACE_metrics.json");
+        println!("{}", metrics.snapshot_text());
+        println!("wrote TRACE_metrics.json ({} subsystems)", metrics.subsystems().len());
+        return;
+    }
     if targets.iter().any(|t| t == "experiments-md") {
-        write_experiments_md(&mut Lab::new(
-            pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e)),
-        ), &scale, seed);
+        write_experiments_md(
+            &mut Lab::new(pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e))),
+            &scale,
+            seed,
+        );
         return;
     }
     if targets.iter().any(|t| t == "list") {
@@ -77,18 +105,28 @@ fn main() {
             "ablation-cache",
             "ablation-threshold",
             "ablation-mtu",
-        ]
-        {
+        ] {
             println!("{:<16} {:<18} design-choice ablation study", ab, "DESIGN.md §4");
         }
         println!(
             "{:<16} {:<18} serial vs parallel generation timing (BENCH_parallel.json)",
             "bench", "perf"
         );
+        println!(
+            "{:<16} {:<18} traced run: event log (TRACE_events.jsonl) + summary",
+            "trace", "observability"
+        );
+        println!(
+            "{:<16} {:<18} traced run: per-subsystem metrics (TRACE_metrics.json)",
+            "metrics", "observability"
+        );
         return;
     }
     let config = pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e));
     let mut lab = Lab::new(config);
+    // Wall-clock timing for the human-readable "(generated in …)" lines;
+    // separate from the lab's own observer so it is always on.
+    let profiler = pscp_obs::Observer::profile_only();
     let ids: Vec<String> = if targets.iter().any(|t| t == "all") {
         experiments::all().iter().map(|e| e.id.to_string()).collect()
     } else {
@@ -120,9 +158,9 @@ fn main() {
                 Some(exp) => {
                     banner(exp.id, exp.title);
                     println!("reproduces: {}", exp.paper_ref);
-                    let started = std::time::Instant::now();
-                    let figure = (exp.run)(&mut lab);
-                    println!("(generated in {:.1} s)\n", started.elapsed().as_secs_f64());
+                    let figure = profiler.phase(exp.id, || (exp.run)(&mut lab));
+                    let secs = profiler.phases().last().map(|p| p.wall_secs).unwrap_or(0.0);
+                    println!("(generated in {secs:.1} s)\n");
                     println!("{}", figure.render());
                 }
                 None => {
@@ -142,29 +180,53 @@ fn bench_parallel(scale: &str, seed: u64) {
     let time_with = |n: usize| {
         let mut config = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
         config.threads = n;
+        // Phase spans (plan/execute/sweep) come for free from the profiler
+        // and land in BENCH_parallel.json below.
+        config.profile = true;
         let mut lab = Lab::new(config);
         let started = std::time::Instant::now();
         let dataset = lab.session_dataset();
-        (started.elapsed().as_secs_f64(), dataset.len())
+        let len = dataset.len();
+        (started.elapsed().as_secs_f64(), len, lab.observer().phases())
     };
     println!("benchmarking dataset generation: scale {scale}, seed {seed}");
-    let (serial_secs, sessions) = time_with(1);
+    let (serial_secs, sessions, serial_phases) = time_with(1);
     println!("  1 thread : {serial_secs:.2} s ({sessions} sessions)");
-    let (parallel_secs, sessions_par) = time_with(threads);
+    let (parallel_secs, sessions_par, parallel_phases) = time_with(threads);
     println!("  {threads} threads: {parallel_secs:.2} s ({sessions_par} sessions)");
     assert_eq!(sessions, sessions_par, "thread count changed the dataset size");
+    println!("{}", pscp_obs::phases_table(&parallel_phases));
     let speedup = serial_secs / parallel_secs.max(1e-9);
     let json = format!(
         "{{\n  \"scale\": \"{scale}\",\n  \"seed\": {seed},\n  \"sessions\": {sessions},\n  \
          \"threads\": {threads},\n  \"serial_secs\": {serial_secs:.3},\n  \
          \"parallel_secs\": {parallel_secs:.3},\n  \
          \"sessions_per_sec_serial\": {:.2},\n  \
-         \"sessions_per_sec_parallel\": {:.2},\n  \"speedup\": {speedup:.2}\n}}\n",
+         \"sessions_per_sec_parallel\": {:.2},\n  \"speedup\": {speedup:.2},\n  \
+         \"phases_serial\": {},\n  \"phases_parallel\": {}\n}}\n",
         sessions as f64 / serial_secs.max(1e-9),
         sessions as f64 / parallel_secs.max(1e-9),
+        pscp_obs::phases_json(&serial_phases),
+        pscp_obs::phases_json(&parallel_phases),
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("speedup: {speedup:.2}x — wrote BENCH_parallel.json");
+}
+
+/// Builds a trace-enabled lab and runs the standard traced workload:
+/// the QoE dataset (unlimited block + bandwidth sweep), one deep crawl,
+/// and the Fig 7 energy scenarios. Used by `repro trace` / `repro metrics`.
+fn traced_lab(scale: &str, seed: u64) -> Lab {
+    let mut config = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
+    config.trace = true;
+    let mut lab = Lab::new(config);
+    lab.session_dataset();
+    lab.deep_crawl_at(14.0);
+    let model = pscp_energy::model::PowerModel::default();
+    let mut trace = lab.observer().trace();
+    pscp_energy::scenarios::figure7_traced(&model, &mut trace);
+    lab.observer().absorb("energy", trace);
+    lab
 }
 
 /// Writes sessions.csv and observations.csv into `dir`.
@@ -195,17 +257,17 @@ fn write_experiments_md(lab: &mut Lab, scale: &str, seed: u64) {
          the reproduction target (see DESIGN.md §1 for the substitution \
          table).\n"
     );
+    let profiler = pscp_obs::Observer::profile_only();
     for exp in experiments::all() {
         println!("## {} — `{}`\n", exp.paper_ref, exp.id);
         println!("{}\n", exp.title);
-        let started = std::time::Instant::now();
-        let figure = (exp.run)(lab);
+        let figure = profiler.phase(exp.id, || (exp.run)(&mut *lab));
+        let secs = profiler.phases().last().map(|p| p.wall_secs).unwrap_or(0.0);
         println!("```text");
         print!("{}", figure.render());
         println!("```");
         println!(
-            "\n*Regenerated in {:.1} s with `repro --scale {scale} --seed {seed} {}`.*\n",
-            started.elapsed().as_secs_f64(),
+            "\n*Regenerated in {secs:.1} s with `repro --scale {scale} --seed {seed} {}`.*\n",
             exp.id
         );
     }
@@ -244,6 +306,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}\n");
     }
-    eprintln!("usage: repro [--scale small|medium|paper] [--seed N] <ids...|all|list|bench>");
+    eprintln!(
+        "usage: repro [--scale small|medium|paper] [--seed N] \
+         <ids...|all|list|bench|trace|metrics>"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

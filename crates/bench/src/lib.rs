@@ -63,12 +63,14 @@ pub fn ablation_buffer(lab: &mut Lab, sessions: usize) -> String {
             ..Default::default()
         });
         let n = outcomes.len().max(1);
-        let stalls: f64 =
-            outcomes.iter().map(|o| o.meta.n_stalls as f64).sum::<f64>() / n as f64;
+        let stalls: f64 = outcomes.iter().map(|o| o.meta.n_stalls as f64).sum::<f64>() / n as f64;
         let latency: f64 = {
-            let xs: Vec<f64> =
-                outcomes.iter().filter_map(|o| o.player.mean_latency_s()).collect();
-            if xs.is_empty() { f64::NAN } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+            let xs: Vec<f64> = outcomes.iter().filter_map(|o| o.player.mean_latency_s()).collect();
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
         };
         table.row([
             label.to_string(),
@@ -88,13 +90,8 @@ pub fn ablation_buffer(lab: &mut Lab, sessions: usize) -> String {
 /// Ablation: map visibility caps vs deep-crawl effectiveness (DESIGN §4:
 /// the zoom-dependent cap is what forces deep crawls).
 pub fn ablation_visibility(lab: &Lab) -> String {
-    let mut table = TextTable::new([
-        "base cap",
-        "cap/zoom",
-        "queries",
-        "broadcasts found",
-        "found per query",
-    ]);
+    let mut table =
+        TextTable::new(["base cap", "cap/zoom", "queries", "broadcasts found", "found per query"]);
     for (base, per_zoom) in [(10, 4), (30, 16), (60, 40), (400, 400)] {
         let mut svc = lab.service_at_hour(14.0);
         // Rebuild the service with a different visibility model.
@@ -131,10 +128,7 @@ pub fn ablation_visibility(lab: &Lab) -> String {
             fnum(found as f64 / queries.max(1) as f64, 1),
         ]);
     }
-    format!(
-        "Tighter visibility caps force more queries for the same coverage:\n{}",
-        table.render()
-    )
+    format!("Tighter visibility caps force more queries for the same coverage:\n{}", table.render())
 }
 
 /// Ablation: profile-picture caching vs traffic and power — the mitigation
@@ -197,12 +191,8 @@ pub fn ablation_cache(lab: &mut Lab, sessions: usize) -> String {
 /// which is what justifies the hybrid).
 pub fn ablation_mtu(seed: u64, sessions: usize) -> String {
     use pscp_client::device::NetworkSetup;
-    let mut table = TextTable::new([
-        "mtu (bytes)",
-        "sessions",
-        "mean join (s)",
-        "mean delivery RTMP (s)",
-    ]);
+    let mut table =
+        TextTable::new(["mtu (bytes)", "sessions", "mean join (s)", "mean delivery RTMP (s)"]);
     for mtu in [368usize, 1448, 9000] {
         let mut lab = Lab::new(LabConfig::small(seed));
         let rngs = *lab.rngs();
@@ -214,8 +204,7 @@ pub fn ablation_mtu(seed: u64, sessions: usize) -> String {
             session: SessionConfig { network, ..Default::default() },
             ..Default::default()
         });
-        let joins: Vec<f64> =
-            outcomes.iter().filter_map(|o| o.join_time_s()).collect();
+        let joins: Vec<f64> = outcomes.iter().filter_map(|o| o.join_time_s()).collect();
         let deliveries: Vec<f64> = outcomes
             .iter()
             .filter(|o| o.protocol == Protocol::Rtmp)
@@ -223,7 +212,11 @@ pub fn ablation_mtu(seed: u64, sessions: usize) -> String {
             .filter_map(pscp_qoe::delivery::delivery_latency_s)
             .collect();
         let mean = |xs: &[f64]| {
-            if xs.is_empty() { f64::NAN } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
         };
         table.row([
             mtu.to_string(),
@@ -255,8 +248,7 @@ pub fn ablation_threshold(seed: u64, sessions: usize) -> String {
         let rngs = *lab.rngs();
         let svc = lab.service();
         let tp = Teleport::new(svc, rngs.child("ablation-threshold"));
-        let outcomes =
-            tp.run_dataset(&TeleportConfig { sessions, ..Default::default() });
+        let outcomes = tp.run_dataset(&TeleportConfig { sessions, ..Default::default() });
         let split = |p: Protocol| outcomes.iter().filter(|o| o.protocol == p).count();
         let delivery = |p: Protocol| {
             let xs: Vec<f64> = outcomes
@@ -265,7 +257,11 @@ pub fn ablation_threshold(seed: u64, sessions: usize) -> String {
                 .take(8)
                 .filter_map(pscp_qoe::delivery::delivery_latency_s)
                 .collect();
-            if xs.is_empty() { f64::NAN } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                xs.iter().sum::<f64>() / xs.len() as f64
+            }
         };
         table.row([
             threshold.to_string(),

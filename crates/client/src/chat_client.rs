@@ -95,9 +95,8 @@ pub fn generate(
         return;
     }
     let ws_flow = capture.open_flow(FlowKind::Chat, "chatman.periscope.tv");
-    let pic_flow = config
-        .chat_on
-        .then(|| capture.open_flow(FlowKind::PictureHttp, "s3.amazonaws.com"));
+    let pic_flow =
+        config.chat_on.then(|| capture.open_flow(FlowKind::PictureHttp, "s3.amazonaws.com"));
     for send in sends {
         let flow = match send.kind {
             FlowKind::Chat => ws_flow,

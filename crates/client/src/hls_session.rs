@@ -43,6 +43,19 @@ pub fn run(
     config: &SessionConfig,
     rngs: &RngFactory,
 ) -> SessionOutcome {
+    run_traced(broadcast, join_at, config, rngs, &mut pscp_obs::Trace::disabled())
+}
+
+/// [`run`] plus per-session instrumentation into `trace` (no-ops when the
+/// trace is disabled; the simulation itself is identical either way —
+/// tracing draws no randomness and moves no timestamps).
+pub fn run_traced(
+    broadcast: &Broadcast,
+    join_at: SimTime,
+    config: &SessionConfig,
+    rngs: &RngFactory,
+    trace: &mut pscp_obs::Trace,
+) -> SessionOutcome {
     let mut enc_rng = rngs.stream("hls/encoder");
     let mut net_rng = rngs.stream("hls/net");
     let mut clock_rng = rngs.stream("hls/clocks");
@@ -57,6 +70,14 @@ pub fn run(
         broadcast.id.0 ^ (join_at.as_micros() / 60_000_000),
     );
     let rtt = config.network.rtt_to(&pop.location());
+    crate::session::trace_session_start(
+        trace,
+        "hls",
+        broadcast.id,
+        broadcast.viewers_at(join_at),
+        join_at.as_micros(),
+        config,
+    );
 
     // --- broadcaster → ingest → segmenter ---
     let enc_cfg = EncoderConfig {
@@ -124,6 +145,20 @@ pub fn run(
         let wall = capture_clock.read(at, &mut net_rng);
         capture.record(misc_flow, at, wall, vec![0u8; n]);
     }
+    trace.count("tcp", "transfers", 1);
+    trace.count("tcp", "bytes", overhead_bytes as u64);
+    if trace.is_enabled() {
+        let boot_ms = (boot.completion.saturating_since(join_at).as_secs_f64() * 1000.0) as u64;
+        trace.event(
+            boot.completion.as_micros(),
+            "tcp",
+            "tcp.bootstrap",
+            vec![
+                ("bytes", pscp_obs::Field::U(overhead_bytes as u64)),
+                ("ms", pscp_obs::Field::U(boot_ms)),
+            ],
+        );
+    }
     // Initial playlist fetch after bootstrap completes.
     let mut now = boot.completion + rtt;
     let mut next_seq: Option<u64> = None;
@@ -132,15 +167,14 @@ pub fn run(
     while now < session_end {
         let playlist = segmenter.playlist_at(now);
         let record_playlist = |capture: &mut Capture, at: SimTime, rng: &mut rand::rngs::StdRng| {
-            let resp = Response::ok_bytes(
-                "application/vnd.apple.mpegurl",
-                playlist.render().into_bytes(),
-            );
+            let resp =
+                Response::ok_bytes("application/vnd.apple.mpegurl", playlist.render().into_bytes());
             let wall = capture_clock.read(at, rng);
             capture.record(flow, at, wall, resp.encode());
         };
         let Some(last) = playlist.last_sequence() else {
             record_playlist(&mut capture, now, &mut net_rng);
+            trace.count("hls", "playlist_polls", 1);
             now += POLL;
             continue;
         };
@@ -158,6 +192,10 @@ pub fn run(
             // Live edge reached: poll the playlist until a new segment
             // appears (costs an RTT and a tiny response).
             record_playlist(&mut capture, now + rtt, &mut net_rng);
+            trace.count("hls", "playlist_polls", 1);
+            if trace.is_enabled() {
+                trace.event((now + rtt).as_micros(), "hls", "hls.playlist_poll", vec![]);
+            }
             now += POLL.max(rtt);
             continue;
         }
@@ -189,6 +227,24 @@ pub fn run(
             media_end_s,
             capture_wall_s: last_frame_wall,
         });
+        let fetch_ms = (schedule.completion.saturating_since(now).as_secs_f64() * 1000.0) as u64;
+        trace.count("hls", "segments_fetched", 1);
+        trace.count("tcp", "transfers", 1);
+        trace.count("tcp", "bytes", body.len() as u64);
+        trace.observe("hls", "segment_bytes", &pscp_obs::BYTE_BUCKETS, body.len() as u64);
+        trace.observe("tcp", "fetch_ms", &pscp_obs::MS_BUCKETS, fetch_ms);
+        if trace.is_enabled() {
+            trace.event(
+                schedule.completion.as_micros(),
+                "hls",
+                "hls.segment_fetch",
+                vec![
+                    ("seq", pscp_obs::Field::U(want)),
+                    ("bytes", pscp_obs::Field::U(body.len() as u64)),
+                    ("fetch_ms", pscp_obs::Field::U(fetch_ms)),
+                ],
+            );
+        }
         now = schedule.completion;
         next_seq = Some(want + 1);
         fetched += 1;
@@ -214,6 +270,8 @@ pub fn run(
     );
 
     let log = run_playback(join_at, config.watch, config.player_hls, &arrivals);
+    log.record_events(join_at, trace);
+    crate::session::trace_session_end(trace, session_end.as_micros(), &log, &capture);
     // §2: "after an HTTP Live Streaming (HLS) session, the app reports only
     // the number of stall events."
     let meta = PlaybackMetaReport {

@@ -118,6 +118,44 @@ impl PlayerLog {
         }
         Some(self.total_stall_s() / self.stalls.len() as f64)
     }
+
+    /// Records the player's QoE events and metrics into a per-session
+    /// trace: a `session.join` event at first render (or a `never_joined`
+    /// counter), one `player.stall` event per stall, and the matching
+    /// join-time/stall-duration histograms. `session_start` anchors the
+    /// join event on the sim-time axis.
+    pub fn record_events(&self, session_start: SimTime, trace: &mut pscp_obs::Trace) {
+        use pscp_obs::{Field, MS_BUCKETS};
+        match self.join_time {
+            Some(join) => {
+                let ms = (join.as_secs_f64() * 1000.0) as u64;
+                trace.count("player", "joined", 1);
+                trace.observe("player", "join_time_ms", &MS_BUCKETS, ms);
+                if trace.is_enabled() {
+                    trace.event(
+                        (session_start + join).as_micros(),
+                        "player",
+                        "session.join",
+                        vec![("join_ms", Field::U(ms))],
+                    );
+                }
+            }
+            None => trace.count("player", "never_joined", 1),
+        }
+        for stall in &self.stalls {
+            let ms = (stall.duration.as_secs_f64() * 1000.0) as u64;
+            trace.count("player", "stalls", 1);
+            trace.observe("player", "stall_ms", &MS_BUCKETS, ms);
+            if trace.is_enabled() {
+                trace.event(
+                    stall.start.as_micros(),
+                    "player",
+                    "player.stall",
+                    vec![("duration_ms", Field::U(ms))],
+                );
+            }
+        }
+    }
 }
 
 /// Runs the buffer simulation over arrivals (must be time-ordered) for a
@@ -151,12 +189,12 @@ pub fn run_playback(
     let mut anchors: Vec<(f64, f64)> = Vec::new();
 
     let advance = |state: &mut State,
-                       play_pos_s: &mut f64,
-                       buffered_end_s: f64,
-                       from: SimTime,
-                       to: SimTime,
-                       log: &mut PlayerLog,
-                       anchors: &mut Vec<(f64, f64)>| {
+                   play_pos_s: &mut f64,
+                   buffered_end_s: f64,
+                   from: SimTime,
+                   to: SimTime,
+                   log: &mut PlayerLog,
+                   anchors: &mut Vec<(f64, f64)>| {
         if to <= from {
             return;
         }
@@ -186,15 +224,7 @@ pub fn run_playback(
         }
         let at = a.at.max(start);
         // Move wall time forward under the old buffer state.
-        advance(
-            &mut state,
-            &mut play_pos_s,
-            buffered_end_s,
-            last_wall,
-            at,
-            &mut log,
-            &mut anchors,
-        );
+        advance(&mut state, &mut play_pos_s, buffered_end_s, last_wall, at, &mut log, &mut anchors);
         last_wall = at;
         if a.media_end_s > buffered_end_s {
             if let Some(cw) = a.capture_wall_s {
@@ -212,10 +242,7 @@ pub fn run_playback(
             }
             State::Stalled(since) => {
                 if buffered_end_s - play_pos_s >= config.resume_buffer_s {
-                    log.stalls.push(Stall {
-                        start: since,
-                        duration: at.saturating_since(since),
-                    });
+                    log.stalls.push(Stall { start: since, duration: at.saturating_since(since) });
                     state = State::Playing;
                 }
             }

@@ -92,11 +92,7 @@ pub fn run(
         }
         media_end_s += segment.duration_s;
         // VOD: stale capture timestamps are not latency anchors.
-        arrivals.push(MediaArrival {
-            at: schedule.completion,
-            media_end_s,
-            capture_wall_s: None,
-        });
+        arrivals.push(MediaArrival { at: schedule.completion, media_end_s, capture_wall_s: None });
         now = schedule.completion;
     }
 
@@ -199,10 +195,8 @@ mod tests {
 
     #[test]
     fn replay_on_slow_link_stalls_or_joins_late() {
-        let cfg = SessionConfig {
-            network: NetworkSetup::finland_limited(0.2),
-            ..Default::default()
-        };
+        let cfg =
+            SessionConfig { network: NetworkSetup::finland_limited(0.2), ..Default::default() };
         let out =
             run(&broadcast(true), SimTime::from_secs(5000), &cfg, &RngFactory::new(4)).unwrap();
         let late = out.join_time_s().map(|j| j > 10.0).unwrap_or(true);

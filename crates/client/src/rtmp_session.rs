@@ -8,17 +8,17 @@
 //! receives through the optional `tc` shaper, tcpdump records every packet,
 //! and the player buffers ~1.6 s before rendering.
 
+use crate::chat_client;
 use crate::device::ViewerDevice;
 use crate::player::{run_playback, MediaArrival};
 use crate::session::{PlaybackMetaReport, SessionConfig, SessionOutcome};
 use crate::uplink::Uplink;
-use crate::chat_client;
 use pscp_media::audio::AudioEncoder;
+use pscp_media::bitstream::{FrameKind, FramePayload};
 use pscp_media::capture::{Capture, FlowKind};
 use pscp_media::content::ContentProcess;
 use pscp_media::encoder::{Encoder, EncoderConfig};
 use pscp_media::flv::{AudioTag, VideoTag};
-use pscp_media::bitstream::{FrameKind, FramePayload};
 use pscp_proto::amf::{encode_command, Amf0};
 use pscp_proto::rtmp::{handshake_c0c1, handshake_s0s1s2, Chunker, Message};
 use pscp_service::ingest::assign_server;
@@ -42,6 +42,19 @@ pub fn run(
     config: &SessionConfig,
     rngs: &RngFactory,
 ) -> SessionOutcome {
+    run_traced(broadcast, join_at, config, rngs, &mut pscp_obs::Trace::disabled())
+}
+
+/// [`run`] plus per-session instrumentation into `trace` (no-ops when the
+/// trace is disabled; the simulation itself is identical either way —
+/// tracing draws no randomness and moves no timestamps).
+pub fn run_traced(
+    broadcast: &Broadcast,
+    join_at: SimTime,
+    config: &SessionConfig,
+    rngs: &RngFactory,
+    trace: &mut pscp_obs::Trace,
+) -> SessionOutcome {
     let mut enc_rng = rngs.stream("rtmp/encoder");
     let mut net_rng = rngs.stream("rtmp/net");
     let mut clock_rng = rngs.stream("rtmp/clocks");
@@ -52,6 +65,14 @@ pub fn run(
     let server = assign_server(&broadcast.location, broadcast.id.0);
     let prop_up = broadcast.location.propagation_to(&server.location());
     let rtt = config.network.rtt_to(&server.location());
+    crate::session::trace_session_start(
+        trace,
+        "rtmp",
+        broadcast.id,
+        broadcast.viewers_at(join_at),
+        join_at.as_micros(),
+        config,
+    );
 
     // --- broadcaster side: encode + upload ---
     let enc_cfg = EncoderConfig {
@@ -98,13 +119,13 @@ pub fn run(
 
     // --- server side: choose the replay start (latest keyframe already
     // ingested when the play command lands) ---
-    let tls_rtts = if broadcast.private {
-        pscp_proto::tls::HANDSHAKE_RTTS as u64
-    } else {
-        0
-    };
+    let tls_rtts = if broadcast.private { pscp_proto::tls::HANDSHAKE_RTTS as u64 } else { 0 };
     // TCP connect + (TLS handshake for private streams) + RTMP handshake.
     let play_cmd_at = join_at + rtt + rtt / 2 + rtt * tls_rtts;
+    if trace.is_enabled() {
+        trace.event((join_at + rtt).as_micros(), "rtmp", "rtmp.handshake", vec![]);
+        trace.event(play_cmd_at.as_micros(), "rtmp", "rtmp.play_start", vec![]);
+    }
     let cached: Vec<usize> = video_in
         .iter()
         .enumerate()
@@ -126,9 +147,8 @@ pub fn run(
     let flow_rtmp = capture.open_flow(FlowKind::Rtmp, server.reverse_dns());
     let flow_misc = capture.open_flow(FlowKind::AppMisc, "api.periscope.tv");
     let flow_chat = capture.open_flow(FlowKind::Chat, "chatman.periscope.tv");
-    let flow_pics = config
-        .chat_on
-        .then(|| capture.open_flow(FlowKind::PictureHttp, "s3.amazonaws.com"));
+    let flow_pics =
+        config.chat_on.then(|| capture.open_flow(FlowKind::PictureHttp, "s3.amazonaws.com"));
     let bottleneck = config.network.bottleneck_bps();
     let one_way_down =
         server.location().propagation_to(&config.network.location) + config.network.access_rtt / 2;
@@ -181,10 +201,8 @@ pub fn run(
     // Media messages: backlog burst + live push, interleaved with audio.
     let first_pts = video_in.get(start_idx).map(|f| f.frame.pts_ms).unwrap_or(0);
     let frame_dur_s = 1.0 / fps;
-    let mut ai = audio_in
-        .iter()
-        .position(|&(_, pts, _)| pts >= first_pts)
-        .unwrap_or(audio_in.len());
+    let mut ai =
+        audio_in.iter().position(|&(_, pts, _)| pts >= first_pts).unwrap_or(audio_in.len());
     for f in &video_in[start_idx..] {
         let send_at = f.a_in.max(play_cmd_at) + SERVER_FORWARD;
         if send_at >= end {
@@ -205,6 +223,7 @@ pub fn run(
                 &mut bytes,
             );
             sends.push(Send { at: a_send, flow: flow_rtmp, bytes, meta: None });
+            trace.count("rtmp", "audio_msgs", 1);
         }
         let payload = FramePayload::decode(&f.frame.bytes).expect("encoder output is valid");
         let tag = VideoTag::for_frame(payload);
@@ -222,6 +241,7 @@ pub fn run(
                 capture_wall_s: broadcaster_clock.read_exact(f.t_cap),
             }),
         });
+        trace.count("rtmp", "video_msgs", 1);
     }
 
     // Chat + pictures (§5.1: JSON flows even with chat off; pictures only
@@ -283,6 +303,8 @@ pub fn run(
     }
 
     let log = run_playback(join_at, config.watch, config.player_rtmp, &arrivals);
+    log.record_events(join_at, trace);
+    crate::session::trace_session_end(trace, (join_at + config.watch).as_micros(), &log, &capture);
     let meta = PlaybackMetaReport {
         n_stalls: log.n_stalls(),
         avg_stall_time_s: log.avg_stall_s(),
@@ -474,10 +496,8 @@ mod tests {
 
     #[test]
     fn s3_renders_slower_than_s4() {
-        let s3 = run_session(
-            9,
-            SessionConfig { device: ViewerDevice::GalaxyS3, ..Default::default() },
-        );
+        let s3 =
+            run_session(9, SessionConfig { device: ViewerDevice::GalaxyS3, ..Default::default() });
         let s4 = run_session(9, SessionConfig::default());
         assert!(s3.rendered_fps < s4.rendered_fps);
     }

@@ -3,7 +3,8 @@
 use crate::device::{NetworkSetup, ViewerDevice};
 use crate::player::{PlayerConfig, PlayerLog};
 use crate::uplink::UplinkConfig;
-use pscp_media::capture::Capture;
+use pscp_media::capture::{Capture, FlowKind};
+use pscp_obs::{Field, Trace, KBPS_BUCKETS};
 use pscp_service::select::Protocol;
 use pscp_simnet::SimDuration;
 use pscp_workload::broadcast::BroadcastId;
@@ -95,6 +96,60 @@ impl SessionOutcome {
     pub fn stall_ratio(&self) -> f64 {
         self.player.stall_ratio()
     }
+}
+
+/// Records the session-start instrumentation shared by the RTMP and HLS
+/// paths (subsystems `session` and `shaper`).
+pub(crate) fn trace_session_start(
+    trace: &mut Trace,
+    protocol: &'static str,
+    broadcast_id: BroadcastId,
+    viewers: u32,
+    join_at_us: u64,
+    config: &SessionConfig,
+) {
+    trace.count("session", "started", 1);
+    trace.count("session", protocol, 1);
+    if let Some(limit) = config.network.tc_limit_bps {
+        trace.count("shaper", "limited_sessions", 1);
+        trace.observe("shaper", "limit_kbps", &KBPS_BUCKETS, (limit / 1000.0) as u64);
+    }
+    if trace.is_enabled() {
+        let mut fields = vec![
+            ("proto", Field::S(protocol.to_string())),
+            ("broadcast", Field::U(broadcast_id.0)),
+            ("viewers", Field::U(viewers as u64)),
+        ];
+        if let Some(limit) = config.network.tc_limit_bps {
+            fields.push(("limit_kbps", Field::U((limit / 1000.0) as u64)));
+        }
+        trace.event(join_at_us, "session", "session.start", fields);
+    }
+}
+
+/// Records the session-end instrumentation shared by both paths: a
+/// `session.end` event plus capture byte counters (`chat`, `net`).
+pub(crate) fn trace_session_end(
+    trace: &mut Trace,
+    end_us: u64,
+    log: &PlayerLog,
+    capture: &Capture,
+) {
+    if !trace.is_enabled() {
+        return;
+    }
+    let kind_bytes = |kind: FlowKind| {
+        capture.flows_of_kind(kind).iter().map(|f| f.byte_count()).sum::<usize>() as u64
+    };
+    trace.count("chat", "bytes", kind_bytes(FlowKind::Chat));
+    trace.count("chat", "picture_bytes", kind_bytes(FlowKind::PictureHttp));
+    trace.count("net", "capture_bytes", capture.total_bytes() as u64);
+    trace.event(
+        end_us,
+        "session",
+        "session.end",
+        vec![("played_s", Field::F(log.played_s)), ("stalls", Field::U(log.n_stalls() as u64))],
+    );
 }
 
 #[cfg(test)]

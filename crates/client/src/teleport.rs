@@ -34,6 +34,7 @@
 use crate::device::ViewerDevice;
 use crate::session::{SessionConfig, SessionOutcome};
 use crate::{hls_session, rtmp_session};
+use pscp_obs::{Observer, PhaseSpan, Trace};
 use pscp_service::select::Protocol;
 use pscp_service::PeriscopeService;
 use pscp_simnet::{RngFactory, SimDuration, SimTime};
@@ -104,14 +105,28 @@ impl<'a> Teleport<'a> {
         config: &SessionConfig,
         session_idx: u64,
     ) -> SessionOutcome {
+        self.run_one_traced(broadcast, join_at, config, session_idx, &mut Trace::disabled())
+    }
+
+    /// [`Teleport::run_one`] plus instrumentation into the session's own
+    /// trace (which the caller later absorbs in plan order).
+    pub fn run_one_traced(
+        &self,
+        broadcast: &Broadcast,
+        join_at: SimTime,
+        config: &SessionConfig,
+        session_idx: u64,
+        trace: &mut Trace,
+    ) -> SessionOutcome {
         let access = self
             .service
             .access_video(broadcast.id, &config.network.location, join_at)
             .expect("picked broadcast is live");
+        trace.count("service", "access_video", 1);
         let rngs = self.rngs.child(&format!("session/{session_idx}"));
         match access.protocol {
-            Protocol::Rtmp => rtmp_session::run(broadcast, join_at, config, &rngs),
-            Protocol::Hls => hls_session::run(broadcast, join_at, config, &rngs),
+            Protocol::Rtmp => rtmp_session::run_traced(broadcast, join_at, config, &rngs, trace),
+            Protocol::Hls => hls_session::run_traced(broadcast, join_at, config, &rngs, trace),
         }
     }
 
@@ -135,6 +150,19 @@ impl<'a> Teleport<'a> {
     ///
     /// [`SelectionPolicy::choose`]: pscp_service::select::SelectionPolicy::choose
     pub fn run_dataset(&self, config: &TeleportConfig) -> Vec<SessionOutcome> {
+        self.run_dataset_observed(config, Observer::disabled_ref())
+    }
+
+    /// [`Teleport::run_dataset`] under observation: sessions record into
+    /// per-unit traces that are absorbed into `obs` serially in plan order
+    /// (so the merged log is byte-identical at any thread count), and the
+    /// plan/execute phases get wall-clock spans when `obs` is profiling.
+    pub fn run_dataset_observed(
+        &self,
+        config: &TeleportConfig,
+        obs: &Observer,
+    ) -> Vec<SessionOutcome> {
+        let plan_started = std::time::Instant::now();
         let mut rng = self.rngs.stream("dataset");
         let window = self.service.population.config.window;
         let margin = config.session.watch + SimDuration::from_secs(40);
@@ -148,8 +176,7 @@ impl<'a> Teleport<'a> {
             keep_capture: bool,
         }
         let selection = self.service.selection_policy();
-        let mut kept: std::collections::HashMap<Protocol, usize> =
-            std::collections::HashMap::new();
+        let mut kept: std::collections::HashMap<Protocol, usize> = std::collections::HashMap::new();
         let mut plan: Vec<Planned<'_>> = Vec::with_capacity(config.sessions);
         for i in 0..config.sessions {
             // Join somewhere inside the window, away from the edges.
@@ -160,11 +187,8 @@ impl<'a> Teleport<'a> {
             };
             let mut session = config.session.clone();
             if config.alternate_devices {
-                session.device = if i % 2 == 0 {
-                    ViewerDevice::GalaxyS4
-                } else {
-                    ViewerDevice::GalaxyS3
-                };
+                session.device =
+                    if i % 2 == 0 { ViewerDevice::GalaxyS4 } else { ViewerDevice::GalaxyS3 };
             }
             let protocol = selection.choose(broadcast, join_at);
             let slot = kept.entry(protocol).or_insert(0);
@@ -174,17 +198,53 @@ impl<'a> Teleport<'a> {
             }
             plan.push(Planned { idx: i as u64, join_at, broadcast, session, keep_capture });
         }
+        if obs.profiling() {
+            let wall = plan_started.elapsed().as_secs_f64();
+            obs.record_phase(PhaseSpan {
+                name: "dataset.plan".into(),
+                wall_secs: wall,
+                workers: 1,
+                items: plan.len(),
+                busy_secs: wall,
+            });
+        }
 
-        pscp_simnet::par::indexed_map(&plan, config.threads, |_, p| {
-            let mut outcome = self.run_one(p.broadcast, p.join_at, &p.session, p.idx);
+        // Each worker records into the session's own trace; the merge
+        // below happens serially in plan order, never completion order.
+        let work = |_: usize, p: &Planned<'_>| {
+            let mut trace = obs.trace();
+            let mut outcome =
+                self.run_one_traced(p.broadcast, p.join_at, &p.session, p.idx, &mut trace);
             if !p.keep_capture {
                 // The session still simulated its traffic (scalar metrics
                 // derive from it), but the multi-MB capture is released
                 // here, inside the worker, rather than after reassembly.
                 outcome.capture = pscp_media::capture::Capture::new();
             }
-            outcome
-        })
+            (outcome, trace)
+        };
+        let results: Vec<(SessionOutcome, Trace)> = if obs.profiling() {
+            let (results, profile) =
+                pscp_simnet::par::indexed_map_timed(&plan, config.threads, &work);
+            obs.record_phase(PhaseSpan {
+                name: "dataset.execute".into(),
+                wall_secs: profile.wall_secs,
+                workers: profile.workers,
+                items: plan.len(),
+                busy_secs: profile.busy_total(),
+            });
+            results
+        } else {
+            pscp_simnet::par::indexed_map(&plan, config.threads, &work)
+        };
+        let mut outcomes = Vec::with_capacity(results.len());
+        for (p, (outcome, trace)) in plan.iter().zip(results) {
+            if obs.tracing() {
+                obs.absorb(&format!("session/{}", p.idx), trace);
+            }
+            outcomes.push(outcome);
+        }
+        outcomes
     }
 }
 

@@ -191,9 +191,7 @@ mod tests {
         let cfg = UplinkConfig::default();
         let total: usize = (0..300)
             .map(|_| {
-                Uplink::draw(&cfg, SimTime::ZERO, SimTime::from_secs(240), &mut rng)
-                    .outages
-                    .len()
+                Uplink::draw(&cfg, SimTime::ZERO, SimTime::from_secs(240), &mut rng).outages.len()
             })
             .sum();
         // 240 s at 1/240 per s ≈ 1 per draw ± noise.

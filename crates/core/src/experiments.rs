@@ -7,7 +7,6 @@
 use crate::figures::{BoxRow, FigureData};
 use crate::lab::Lab;
 use pscp_energy::model::PowerModel;
-use pscp_energy::scenarios::figure7;
 use pscp_media::analysis::GopClass;
 use pscp_qoe::compare::device_comparison;
 use pscp_qoe::delivery::analyze_session;
@@ -164,11 +163,8 @@ fn fig1a(lab: &mut Lab) -> FigureData {
         .iter()
         .zip(lab.deep_crawls_at(&CRAWL_HOURS))
         .map(|(&h, crawl)| {
-            let pts = crawl
-                .cumulative_curve()
-                .into_iter()
-                .map(|(q, c)| (q as f64, c as f64))
-                .collect();
+            let pts =
+                crawl.cumulative_curve().into_iter().map(|(q, c)| (q as f64, c as f64)).collect();
             (format!("crawl@{h:02.0}h"), pts)
         })
         .collect();
@@ -245,7 +241,11 @@ fn table_usage(lab: &mut Lab) -> FigureData {
     FigureData::Table {
         columns: vec!["stat".to_string(), "value".to_string(), "paper".to_string()],
         rows: vec![
-            vec!["broadcasts observed".into(), stats.n_broadcasts.to_string(), "~220K (4 crawls)".into()],
+            vec![
+                "broadcasts observed".into(),
+                stats.n_broadcasts.to_string(),
+                "~220K (4 crawls)".into(),
+            ],
             vec!["median duration (min)".into(), fnum(stats.median_duration_min, 2), "~4".into()],
             vec![
                 "fraction 1-10 min".into(),
@@ -257,11 +257,7 @@ fn table_usage(lab: &mut Lab) -> FigureData {
                 fnum(stats.frac_under_20_viewers, 3),
                 ">0.9".into(),
             ],
-            vec![
-                "fraction zero viewers".into(),
-                fnum(stats.frac_zero_viewers, 3),
-                ">0.1".into(),
-            ],
+            vec!["fraction zero viewers".into(), fnum(stats.frac_zero_viewers, 3), ">0.1".into()],
             vec![
                 "zero-viewer unreplayable".into(),
                 fnum(stats.frac_zero_viewer_unreplayable, 3),
@@ -321,11 +317,7 @@ fn boxplot_figure(
         .iter()
         .filter_map(|&l| {
             let group: Vec<&pscp_client::SessionOutcome> = if l >= 100.0 {
-                dataset
-                    .sessions
-                    .iter()
-                    .filter(|s| s.bandwidth_limit_bps.is_none())
-                    .collect()
+                dataset.sessions.iter().filter(|s| s.bandwidth_limit_bps.is_none()).collect()
             } else {
                 dataset.at_limit(l)
             };
@@ -356,29 +348,20 @@ fn fig4a(lab: &mut Lab) -> FigureData {
 }
 
 fn fig4b(lab: &mut Lab) -> FigureData {
-    boxplot_figure(
-        lab,
-        "playback latency (s, RTMP)",
-        SessionDataset::playback_latencies_s,
-        true,
-    )
+    boxplot_figure(lab, "playback latency (s, RTMP)", SessionDataset::playback_latencies_s, true)
 }
 
 /// Maximum sessions per protocol to run capture analysis on (keeps fig5/6
 /// latency reasonable at paper scale; the cap is recorded in the output).
 const ANALYSIS_CAP: usize = 300;
 
-fn analyzed_reports(
-    lab: &mut Lab,
-    protocol: Protocol,
-) -> Vec<pscp_media::analysis::StreamReport> {
-    let threads = lab.config.threads;
+fn analyzed_reports(lab: &mut Lab, protocol: Protocol) -> Vec<pscp_media::analysis::StreamReport> {
     let dataset = lab.session_dataset();
     // Capture reconstruction is the per-session hot spot of fig5/6;
     // sessions are independent, so fan out and keep dataset order.
     let selected: Vec<&pscp_client::SessionOutcome> =
         dataset.unlimited(protocol).into_iter().take(ANALYSIS_CAP).collect();
-    pscp_simnet::par::indexed_map(&selected, threads, |_, s| analyze_session(s))
+    lab.par_phase("analysis.captures", &selected, |_, s| analyze_session(s))
         .into_iter()
         .flatten()
         .collect()
@@ -401,10 +384,8 @@ fn fig5(lab: &mut Lab) -> FigureData {
 fn fig6a(lab: &mut Lab) -> FigureData {
     let mut series = Vec::new();
     for protocol in [Protocol::Hls, Protocol::Rtmp] {
-        let rates: Vec<f64> = analyzed_reports(lab, protocol)
-            .iter()
-            .map(|r| r.bitrate_bps / 1e6)
-            .collect();
+        let rates: Vec<f64> =
+            analyzed_reports(lab, protocol).iter().map(|r| r.bitrate_bps / 1e6).collect();
         if let Ok(ecdf) = Ecdf::new(&rates) {
             series.push((protocol.name().to_string(), ecdf.sampled(50)));
         }
@@ -450,12 +431,8 @@ fn table_video(lab: &mut Lab) -> FigureData {
         seg_durations.iter().filter(|&&d| (3.3..=3.9).contains(&d)).count() as f64
             / seg_durations.len() as f64
     };
-    let audio_rates: Vec<f64> = rtmp
-        .iter()
-        .chain(&hls)
-        .filter_map(|r| r.audio_bitrate_bps)
-        .map(|b| b / 1000.0)
-        .collect();
+    let audio_rates: Vec<f64> =
+        rtmp.iter().chain(&hls).filter_map(|r| r.audio_bitrate_bps).map(|b| b / 1000.0).collect();
     let seg_min = seg_durations.iter().cloned().fold(f64::INFINITY, f64::min);
     let seg_max = seg_durations.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     FigureData::Table {
@@ -473,18 +450,11 @@ fn table_video(lab: &mut Lab) -> FigureData {
             ],
             vec![
                 "I-only streams".into(),
-                format!(
-                    "{}",
-                    rtmp.iter().chain(&hls).filter(|r| r.gop == GopClass::IOnly).count()
-                ),
+                format!("{}", rtmp.iter().chain(&hls).filter(|r| r.gop == GopClass::IOnly).count()),
                 "2".into(),
             ],
             vec!["mean I-frame interval".into(), fnum(mean(&i_intervals), 1), "~36".into()],
-            vec![
-                "segment durations at 3.6s".into(),
-                fnum(modal_3_6, 3),
-                "0.60".into(),
-            ],
+            vec!["segment durations at 3.6s".into(), fnum(modal_3_6, 3), "0.60".into()],
             vec![
                 "segment duration range (s)".into(),
                 format!("{}..{}", fnum(seg_min, 1), fnum(seg_max, 1)),
@@ -497,9 +467,7 @@ fn table_video(lab: &mut Lab) -> FigureData {
             ],
             vec![
                 "resolution".into(),
-                rtmp.first()
-                    .map(|r| format!("{}x{}", r.width, r.height))
-                    .unwrap_or_default(),
+                rtmp.first().map(|r| format!("{}x{}", r.width, r.height)).unwrap_or_default(),
                 "320x568".into(),
             ],
         ],
@@ -508,9 +476,13 @@ fn table_video(lab: &mut Lab) -> FigureData {
 
 // ------------------------------------------------------------------ energy
 
-fn fig7(_lab: &mut Lab) -> FigureData {
+fn fig7(lab: &mut Lab) -> FigureData {
     let model = PowerModel::default();
-    let table = figure7(&model);
+    let mut trace = lab.observer().trace();
+    let table = pscp_energy::scenarios::figure7_traced(&model, &mut trace);
+    if lab.observer().tracing() {
+        lab.observer().absorb("energy", trace);
+    }
     FigureData::Bars {
         group_label: "scenario".to_string(),
         bar_names: vec![
@@ -542,9 +514,7 @@ fn table_chat(lab: &mut Lab) -> FigureData {
         .into_iter()
         .filter(|b| b.viewers_at(t) > 80)
         .max_by_key(|b| b.viewers_at(t))
-        .or_else(|| {
-            svc.population.live_at(t).into_iter().max_by_key(|b| b.viewers_at(t))
-        })
+        .or_else(|| svc.population.live_at(t).into_iter().max_by_key(|b| b.viewers_at(t)))
         .expect("population has live broadcasts")
         .clone();
     let rngs = lab.rngs().child("chat-experiment");
@@ -555,38 +525,22 @@ fn table_chat(lab: &mut Lab) -> FigureData {
     let off = run(false);
     let on = run(true);
     let rate = |o: &pscp_client::SessionOutcome| {
-        o.capture.rate_of_kinds(&[
-            FlowKind::Rtmp,
-            FlowKind::Chat,
-            FlowKind::PictureHttp,
-        ]) / 1e3
+        o.capture.rate_of_kinds(&[FlowKind::Rtmp, FlowKind::Chat, FlowKind::PictureHttp]) / 1e3
     };
     let pic_flows = on.capture.flows_of_kind(FlowKind::PictureHttp);
     let pic_bytes: usize = pic_flows.iter().map(|f| f.byte_count()).sum();
     FigureData::Table {
         columns: vec!["stat".to_string(), "value".to_string(), "paper".to_string()],
         rows: vec![
-            vec![
-                "aggregate rate chat off (kbps)".into(),
-                fnum(rate(&off), 0),
-                "~500".into(),
-            ],
-            vec![
-                "aggregate rate chat on (kbps)".into(),
-                fnum(rate(&on), 0),
-                "up to 3500".into(),
-            ],
+            vec!["aggregate rate chat off (kbps)".into(), fnum(rate(&off), 0), "~500".into()],
+            vec!["aggregate rate chat on (kbps)".into(), fnum(rate(&on), 0), "up to 3500".into()],
             vec![
                 "rate increase factor".into(),
                 fnum(rate(&on) / rate(&off).max(1.0), 2),
                 "~7x in one experiment".into(),
             ],
             vec!["picture bytes (chat on)".into(), pic_bytes.to_string(), "dominant".into()],
-            vec![
-                "broadcast viewers".into(),
-                on.viewers_at_join.to_string(),
-                String::new(),
-            ],
+            vec!["broadcast viewers".into(), on.viewers_at_join.to_string(), String::new()],
         ],
     }
 }
@@ -612,26 +566,10 @@ fn table_protocol(lab: &mut Lab) -> FigureData {
                 dataset.by_protocol(Protocol::Hls).len().to_string(),
                 "1586 (unlimited)".into(),
             ],
-            vec![
-                "distinct RTMP servers".into(),
-                rtmp_servers.len().to_string(),
-                "87".into(),
-            ],
-            vec![
-                "distinct HLS endpoints".into(),
-                hls_servers.len().to_string(),
-                "2".into(),
-            ],
-            vec![
-                "mean viewers at join (RTMP)".into(),
-                fnum(rtmp_mean, 1),
-                "<100".into(),
-            ],
-            vec![
-                "mean viewers at join (HLS)".into(),
-                fnum(hls_mean, 1),
-                ">100".into(),
-            ],
+            vec!["distinct RTMP servers".into(), rtmp_servers.len().to_string(), "87".into()],
+            vec!["distinct HLS endpoints".into(), hls_servers.len().to_string(), "2".into()],
+            vec!["mean viewers at join (RTMP)".into(), fnum(rtmp_mean, 1), "<100".into()],
+            vec!["mean viewers at join (HLS)".into(), fnum(hls_mean, 1), ">100".into()],
             vec![
                 "HLS viewer threshold".into(),
                 lab.config.service.selection.hls_viewer_threshold.to_string(),
@@ -673,11 +611,10 @@ fn table_latency(lab: &mut Lab) -> FigureData {
     // for 75% of broadcasts on average, which means that the majority of
     // the few seconds of playback latency with those streams comes from
     // buffering."
-    let threads = lab.config.threads;
     let dataset = lab.session_dataset();
     let selected: Vec<&pscp_client::SessionOutcome> =
         dataset.unlimited(Protocol::Rtmp).into_iter().take(ANALYSIS_CAP).collect();
-    let pairs = pscp_simnet::par::indexed_map(&selected, threads, |_, s| {
+    let pairs = lab.par_phase("analysis.captures", &selected, |_, s| {
         let d = analyze_session(s).and_then(|r| r.mean_delivery_latency_s());
         d.zip(s.meta.playback_latency_s)
     });
@@ -688,7 +625,11 @@ fn table_latency(lab: &mut Lab) -> FigureData {
         playback.push(pl);
     }
     let mean = |xs: &[f64]| {
-        if xs.is_empty() { f64::NAN } else { xs.iter().sum::<f64>() / xs.len() as f64 }
+        if xs.is_empty() {
+            f64::NAN
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
     };
     let p75 = |xs: &[f64]| pscp_stats::quantile(xs, 0.75).unwrap_or(f64::NAN);
     let d_mean = mean(&delivery);
@@ -698,17 +639,9 @@ fn table_latency(lab: &mut Lab) -> FigureData {
         columns: vec!["stat".to_string(), "value".to_string(), "paper".to_string()],
         rows: vec![
             vec!["sessions decomposed".into(), delivery.len().to_string(), String::new()],
-            vec![
-                "RTMP delivery latency p75 (s)".into(),
-                fnum(p75(&delivery), 3),
-                "<0.3".into(),
-            ],
+            vec!["RTMP delivery latency p75 (s)".into(), fnum(p75(&delivery), 3), "<0.3".into()],
             vec!["RTMP delivery latency mean (s)".into(), fnum(d_mean, 3), "fast".into()],
-            vec![
-                "RTMP playback latency mean (s)".into(),
-                fnum(p_mean, 3),
-                "a few seconds".into(),
-            ],
+            vec!["RTMP playback latency mean (s)".into(), fnum(p_mean, 3), "a few seconds".into()],
             vec![
                 "buffering share of playback latency".into(),
                 fnum(buffering / p_mean, 3),
@@ -784,16 +717,10 @@ mod tests {
                 assert_eq!(groups.len(), 7);
                 assert_eq!(bar_names.len(), 4);
                 // Chat-on is the hungriest viewing scenario in the model too.
-                let chat = groups
-                    .iter()
-                    .find(|(g, _)| g.contains("chat on"))
-                    .map(|(_, v)| v[0])
-                    .unwrap();
-                let rtmp = groups
-                    .iter()
-                    .find(|(g, _)| g.contains("RTMP"))
-                    .map(|(_, v)| v[0])
-                    .unwrap();
+                let chat =
+                    groups.iter().find(|(g, _)| g.contains("chat on")).map(|(_, v)| v[0]).unwrap();
+                let rtmp =
+                    groups.iter().find(|(g, _)| g.contains("RTMP")).map(|(_, v)| v[0]).unwrap();
                 assert!(chat > rtmp + 1000.0);
             }
             other => panic!("expected bars, got {other:?}"),
@@ -809,11 +736,8 @@ mod tests {
                 let pts = &series[0].1;
                 // F(0.01) — the fraction of sessions with essentially no
                 // stalling — should be the majority.
-                let near_zero = pts
-                    .iter()
-                    .filter(|(x, _)| *x <= 0.01)
-                    .map(|(_, f)| *f)
-                    .fold(0.0f64, f64::max);
+                let near_zero =
+                    pts.iter().filter(|(x, _)| *x <= 0.01).map(|(_, f)| *f).fold(0.0f64, f64::max);
                 assert!(near_zero > 0.5, "near_zero={near_zero}");
             }
             other => panic!("expected cdf, got {other:?}"),
@@ -844,10 +768,8 @@ mod tests {
         let rtmp: usize = f.table_value("RTMP sessions").unwrap().parse().unwrap();
         let hls: usize = f.table_value("HLS sessions").unwrap().parse().unwrap();
         assert!(rtmp + hls >= 40);
-        let rtmp_servers: usize =
-            f.table_value("distinct RTMP servers").unwrap().parse().unwrap();
-        let hls_servers: usize =
-            f.table_value("distinct HLS endpoints").unwrap().parse().unwrap();
+        let rtmp_servers: usize = f.table_value("distinct RTMP servers").unwrap().parse().unwrap();
+        let hls_servers: usize = f.table_value("distinct HLS endpoints").unwrap().parse().unwrap();
         assert!(rtmp_servers > hls_servers);
         assert!(hls_servers <= 2);
     }

@@ -155,10 +155,9 @@ impl FigureData {
     /// Convenience: extracts a named CDF series.
     pub fn cdf_series(&self, name: &str) -> Option<&[(f64, f64)]> {
         match self {
-            FigureData::Cdf { series, .. } => series
-                .iter()
-                .find(|(label, _)| label == name)
-                .map(|(_, pts)| pts.as_slice()),
+            FigureData::Cdf { series, .. } => {
+                series.iter().find(|(label, _)| label == name).map(|(_, pts)| pts.as_slice())
+            }
             _ => None,
         }
     }

@@ -1,12 +1,13 @@
 //! The Lab: one object wiring population → service → crawler/client →
 //! analysis, with memoized expensive artifacts.
 
-use pscp_client::session::SessionConfig;
 use pscp_client::device::NetworkSetup;
+use pscp_client::session::SessionConfig;
 use pscp_client::{Teleport, TeleportConfig};
 use pscp_crawler::deep::DeepCrawlConfig;
 use pscp_crawler::targeted::TargetedCrawlConfig;
 use pscp_crawler::{DeepCrawl, TargetedCrawl};
+use pscp_obs::{Observer, PhaseSpan};
 use pscp_qoe::SessionDataset;
 use pscp_service::{PeriscopeService, ServiceConfig};
 use pscp_simnet::{RngFactory, SimDuration, SimTime};
@@ -43,6 +44,14 @@ pub struct LabConfig {
     /// machine's available parallelism); `1` = the exact serial path.
     /// Every figure and table is byte-identical at every setting.
     pub threads: usize,
+    /// Record a structured event log and per-subsystem metrics of every
+    /// run. Also enabled by the `PSCP_TRACE` environment variable (any
+    /// non-empty value other than `0`). Tracing never alters sim-time
+    /// behavior: figures and datasets are byte-identical either way.
+    pub trace: bool,
+    /// Record wall-clock phase spans (plan/execute/sweep/crawl/analysis)
+    /// even when `trace` is off. Implied by `trace`.
+    pub profile: bool,
 }
 
 impl LabConfig {
@@ -57,6 +66,8 @@ impl LabConfig {
             sessions_per_limit: 6,
             limits_mbps: vec![0.5, 2.0, 6.0],
             threads: 0,
+            trace: false,
+            profile: false,
         }
     }
 
@@ -73,6 +84,8 @@ impl LabConfig {
             sessions_per_limit: 50,
             limits_mbps: vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
             threads: 0,
+            trace: false,
+            profile: false,
         }
     }
 
@@ -87,8 +100,15 @@ impl LabConfig {
             sessions_per_limit: 18,
             limits_mbps: vec![0.5, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0],
             threads: 0,
+            trace: false,
+            profile: false,
         }
     }
+}
+
+/// True when the `PSCP_TRACE` environment variable requests tracing.
+fn env_trace() -> bool {
+    std::env::var("PSCP_TRACE").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
 }
 
 /// The lab.
@@ -98,6 +118,7 @@ pub struct Lab {
     rngs: RngFactory,
     service: Option<PeriscopeService>,
     dataset: Option<std::sync::Arc<SessionDataset>>,
+    obs: Observer,
 }
 
 /// A viewing-session report (dataset wrapper returned by convenience runs).
@@ -108,14 +129,57 @@ pub struct SessionReport {
 
 impl Lab {
     /// Creates a lab; the population/service are built lazily on first use.
-    pub fn new(config: LabConfig) -> Lab {
+    pub fn new(mut config: LabConfig) -> Lab {
+        let tracing = config.trace || env_trace();
+        let profiling = tracing || config.profile;
+        // The service records its own API counters into its trace; wire the
+        // flag through so lazily built services inherit it.
+        config.service.trace = tracing;
         let rngs = RngFactory::new(config.seed);
-        Lab { config, rngs, service: None, dataset: None }
+        Lab {
+            config,
+            rngs,
+            service: None,
+            dataset: None,
+            obs: Observer::with_flags(tracing, profiling),
+        }
     }
 
     /// The RNG namespace of this lab.
     pub fn rngs(&self) -> &RngFactory {
         &self.rngs
+    }
+
+    /// The lab's observer: the run-wide event log, metrics registry and
+    /// phase spans. Disabled (and empty) unless [`LabConfig::trace`] /
+    /// [`LabConfig::profile`] or `PSCP_TRACE` asked for it.
+    pub fn observer(&self) -> &Observer {
+        &self.obs
+    }
+
+    /// Runs `f` over `items` in parallel like
+    /// [`pscp_simnet::par::indexed_map`], recording a wall-clock
+    /// [`PhaseSpan`] named `name` when profiling is on. Results are always
+    /// identical to the untimed path.
+    pub fn par_phase<T, R, F>(&self, name: &str, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.obs.profiling() {
+            let (out, prof) = pscp_simnet::par::indexed_map_timed(items, self.config.threads, &f);
+            self.obs.record_phase(PhaseSpan {
+                name: name.to_string(),
+                wall_secs: prof.wall_secs,
+                workers: prof.workers,
+                items: items.len(),
+                busy_secs: prof.busy_total(),
+            });
+            out
+        } else {
+            pscp_simnet::par::indexed_map(items, self.config.threads, f)
+        }
     }
 
     /// The resolved worker-thread count this lab will use (see
@@ -129,8 +193,7 @@ impl Lab {
         if self.service.is_none() {
             let population =
                 Population::generate(self.config.population.clone(), &self.rngs.child("world"));
-            self.service =
-                Some(PeriscopeService::new(population, self.config.service.clone()));
+            self.service = Some(PeriscopeService::new(population, self.config.service.clone()));
         }
         self.service.as_mut().expect("just built")
     }
@@ -171,10 +234,12 @@ impl Lab {
         let sessions_unlimited = self.config.sessions_unlimited;
         let sessions_per_limit = self.config.sessions_per_limit;
         let limits = self.config.limits_mbps.clone();
-        let svc: &PeriscopeService = self.service();
+        self.service();
+        let svc: &PeriscopeService = self.service.as_ref().expect("just built");
+        let obs = &self.obs;
         let tp = Teleport::new(svc, rngs.child("dataset"));
-        let mut dataset = SessionDataset::new(
-            tp.run_dataset(&TeleportConfig {
+        let mut dataset = SessionDataset::new(tp.run_dataset_observed(
+            &TeleportConfig {
                 sessions: sessions_unlimited,
                 // Enough retained captures for the Fig 5/6 reconstruction
                 // cap; beyond that, captures are dropped to bound memory at
@@ -182,9 +247,14 @@ impl Lab {
                 keep_captures_per_protocol: 320,
                 threads,
                 ..Default::default()
-            }),
-        );
-        let sweeps = pscp_simnet::par::indexed_map(&limits, threads, |i, &mbps| {
+            },
+            obs,
+        ));
+        // Each sweep point runs under its own child observer so worker
+        // completion order cannot touch the shared log; children are merged
+        // serially below, in limit order.
+        let work = |i: usize, &mbps: &f64| {
+            let local = Observer::with_flags(obs.tracing(), obs.profiling());
             let tp = Teleport::new(svc, rngs.child(&format!("dataset-limit-{i}")));
             let session = SessionConfig {
                 network: NetworkSetup::finland_limited(mbps),
@@ -197,9 +267,26 @@ impl Lab {
                 keep_captures_per_protocol: 8,
                 threads: 1,
             };
-            tp.run_dataset(&cfg)
-        });
-        for sweep in sweeps {
+            let outcomes = tp.run_dataset_observed(&cfg, &local);
+            (outcomes, local)
+        };
+        let sweeps = if obs.profiling() {
+            let (out, prof) = pscp_simnet::par::indexed_map_timed(&limits, threads, &work);
+            obs.record_phase(PhaseSpan {
+                name: "dataset.sweep".to_string(),
+                wall_secs: prof.wall_secs,
+                workers: prof.workers,
+                items: limits.len(),
+                busy_secs: prof.busy_total(),
+            });
+            out
+        } else {
+            pscp_simnet::par::indexed_map(&limits, threads, &work)
+        };
+        for (mbps, (sweep, local)) in limits.iter().zip(sweeps) {
+            if obs.tracing() || obs.profiling() {
+                obs.merge_child(&format!("limit-{mbps}"), local);
+            }
             dataset.extend(sweep);
         }
         let arc = std::sync::Arc::new(dataset);
@@ -207,11 +294,27 @@ impl Lab {
         arc
     }
 
+    /// The deep-crawl configuration (trace flag wired from the lab).
+    pub fn deep_config(&self) -> DeepCrawlConfig {
+        DeepCrawlConfig { trace: self.obs.tracing(), ..Default::default() }
+    }
+
+    /// Runs a deep crawl without touching the lab's observer; the trace
+    /// stays on the returned crawl. Used by the parallel plural methods,
+    /// which absorb traces serially in hour order.
+    fn deep_crawl_raw(&self, utc_start_hour: f64) -> DeepCrawl {
+        let mut svc = self.service_at_hour(utc_start_hour);
+        DeepCrawl::run(&mut svc, &self.deep_config(), SimTime::from_secs(120))
+    }
+
     /// Runs one deep crawl against a service whose world clock starts at
     /// the given UTC hour.
     pub fn deep_crawl_at(&self, utc_start_hour: f64) -> DeepCrawl {
-        let mut svc = self.service_at_hour(utc_start_hour);
-        DeepCrawl::run(&mut svc, &DeepCrawlConfig::default(), SimTime::from_secs(120))
+        let mut crawl = self.deep_crawl_raw(utc_start_hour);
+        if self.obs.tracing() {
+            self.obs.absorb(&format!("deep-crawl-{utc_start_hour}"), crawl.trace.take());
+        }
+        crawl
     }
 
     /// Runs one deep crawl per UTC start hour, in parallel. Each crawl
@@ -225,9 +328,13 @@ impl Lab {
     /// worst case is tens of MB; set [`LabConfig::threads`] to `1` if
     /// even that is too much.
     pub fn deep_crawls_at(&self, hours: &[f64]) -> Vec<DeepCrawl> {
-        pscp_simnet::par::indexed_map(hours, self.config.threads, |_, &h| {
-            self.deep_crawl_at(h)
-        })
+        let mut crawls = self.par_phase("crawl.deep", hours, |_, &h| self.deep_crawl_raw(h));
+        if self.obs.tracing() {
+            for (h, crawl) in hours.iter().zip(crawls.iter_mut()) {
+                self.obs.absorb(&format!("deep-crawl-{h}"), crawl.trace.take());
+            }
+        }
+        crawls
     }
 
     /// Runs one targeted crawl (preceded by its deep crawl) per UTC start
@@ -235,18 +342,37 @@ impl Lab {
     /// memory profile as [`Lab::deep_crawls_at`]: one full [`Population`]
     /// per in-flight crawl.
     pub fn targeted_crawls_at(&self, hours: &[f64]) -> Vec<TargetedCrawl> {
-        pscp_simnet::par::indexed_map(hours, self.config.threads, |_, &h| {
-            self.targeted_crawl_at(h)
-        })
+        let mut crawls =
+            self.par_phase("crawl.targeted", hours, |_, &h| self.targeted_crawl_raw(h));
+        if self.obs.tracing() {
+            for (h, crawl) in hours.iter().zip(crawls.iter_mut()) {
+                self.obs.absorb(&format!("targeted-crawl-{h}"), crawl.trace.take());
+            }
+        }
+        crawls
+    }
+
+    /// Runs a deep crawl followed by a targeted crawl on the same world,
+    /// keeping the combined trace on the returned crawl.
+    fn targeted_crawl_raw(&self, utc_start_hour: f64) -> TargetedCrawl {
+        let mut svc = self.service_at_hour(utc_start_hour);
+        let mut deep = DeepCrawl::run(&mut svc, &self.deep_config(), SimTime::from_secs(120));
+        let tc_config = self.targeted_config();
+        let areas = TargetedCrawl::select_areas(&deep, &tc_config);
+        let mut tc = TargetedCrawl::run(&mut svc, &areas, &tc_config, deep.finished_at);
+        // Fold the preceding deep crawl's trace in; the observer re-sorts
+        // events by sim time on absorption, so ordering stays canonical.
+        tc.trace.absorb(deep.trace.take());
+        tc
     }
 
     /// Runs a deep crawl followed by a targeted crawl on the same world.
     pub fn targeted_crawl_at(&self, utc_start_hour: f64) -> TargetedCrawl {
-        let mut svc = self.service_at_hour(utc_start_hour);
-        let deep = DeepCrawl::run(&mut svc, &DeepCrawlConfig::default(), SimTime::from_secs(120));
-        let tc_config = self.targeted_config();
-        let areas = TargetedCrawl::select_areas(&deep, &tc_config);
-        TargetedCrawl::run(&mut svc, &areas, &tc_config, deep.finished_at)
+        let mut crawl = self.targeted_crawl_raw(utc_start_hour);
+        if self.obs.tracing() {
+            self.obs.absorb(&format!("targeted-crawl-{utc_start_hour}"), crawl.trace.take());
+        }
+        crawl
     }
 
     /// The targeted-crawl configuration: the crawl runs for (almost) the
@@ -258,13 +384,9 @@ impl Lab {
             Scale::Small => 300,
             Scale::Paper => 1200,
         });
-        let duration = self
-            .config
-            .population
-            .window
-            .saturating_sub(margin)
-            .max(SimDuration::from_secs(600));
-        TargetedCrawlConfig { duration, ..Default::default() }
+        let duration =
+            self.config.population.window.saturating_sub(margin).max(SimDuration::from_secs(600));
+        TargetedCrawlConfig { duration, trace: self.obs.tracing(), ..Default::default() }
     }
 }
 

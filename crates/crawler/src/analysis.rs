@@ -49,8 +49,7 @@ pub fn usage_stats(observations: &[&BroadcastObservation]) -> Option<UsageStats>
     let median = pscp_stats::median(&durations_min).ok()?;
     let in_1_10 =
         durations_min.iter().filter(|&&d| (1.0..=10.0).contains(&d)).count() as f64 / n as f64;
-    let zero: Vec<usize> =
-        (0..n).filter(|&i| viewers[i] < 0.5).collect();
+    let zero: Vec<usize> = (0..n).filter(|&i| viewers[i] < 0.5).collect();
     let viewed: Vec<usize> = (0..n).filter(|&i| viewers[i] >= 0.5).collect();
     let frac_zero = zero.len() as f64 / n as f64;
     let under20 = viewers.iter().filter(|&&v| v < 20.0).count() as f64 / n as f64;
@@ -93,10 +92,8 @@ pub fn usage_stats(observations: &[&BroadcastObservation]) -> Option<UsageStats>
 /// Fig 2(a): the duration and average-viewers ECDFs (minutes / viewers on
 /// the same log-friendly scale, as the paper plots them).
 pub fn fig2a_cdfs(observations: &[&BroadcastObservation]) -> Option<(Ecdf, Ecdf)> {
-    let durations: Vec<f64> = observations
-        .iter()
-        .map(|o| (o.duration_estimate_s() / 60.0).max(0.01))
-        .collect();
+    let durations: Vec<f64> =
+        observations.iter().map(|o| (o.duration_estimate_s() / 60.0).max(0.01)).collect();
     let viewers: Vec<f64> = observations
         .iter()
         .filter(|o| o.viewer_samples > 0)
@@ -120,10 +117,7 @@ pub fn fig2b_viewers_by_local_hour(
         sums[h] += o.avg_viewers();
         counts[h] += 1;
     }
-    (0..24)
-        .filter(|&h| counts[h] > 0)
-        .map(|h| (h as u32, sums[h] / counts[h] as f64))
-        .collect()
+    (0..24).filter(|&h| counts[h] > 0).map(|h| (h as u32, sums[h] / counts[h] as f64)).collect()
 }
 
 #[cfg(test)]

@@ -27,6 +27,9 @@ pub struct DeepCrawlConfig {
     pub max_depth: u32,
     /// Crawler account name.
     pub user: String,
+    /// Record crawl events/metrics into [`DeepCrawl::trace`] (DESIGN.md
+    /// §7). Off by default; the crawl itself is identical either way.
+    pub trace: bool,
 }
 
 impl Default for DeepCrawlConfig {
@@ -36,6 +39,7 @@ impl Default for DeepCrawlConfig {
             min_new_to_recurse: 4,
             max_depth: 8,
             user: "crawler-deep".to_string(),
+            trace: false,
         }
     }
 }
@@ -68,6 +72,10 @@ pub struct DeepCrawl {
     pub rate_limited: u32,
     /// When the crawl finished.
     pub finished_at: SimTime,
+    /// Crawl-side events and metrics (plus the service's own trace,
+    /// absorbed at the end of the run). Empty unless the config asked for
+    /// tracing.
+    pub trace: pscp_obs::Trace,
 }
 
 impl DeepCrawl {
@@ -84,6 +92,7 @@ impl DeepCrawl {
             observations: ObservationStore::new(),
             rate_limited: 0,
             finished_at: start,
+            trace: pscp_obs::Trace::new(config.trace),
         };
         let mut now = start;
         // Breadth-first over the quadtree: each level's productive rects
@@ -103,6 +112,19 @@ impl DeepCrawl {
             if !new.is_empty() {
                 Self::get_descriptions(service, config, &new, &mut now, &mut crawl);
             }
+            crawl.trace.count("crawler", "map_queries", 1);
+            if crawl.trace.is_enabled() {
+                crawl.trace.event(
+                    at.as_micros(),
+                    "crawler",
+                    "crawler.map_query",
+                    vec![
+                        ("returned", pscp_obs::Field::U(ids.len() as u64)),
+                        ("new", pscp_obs::Field::U(new.len() as u64)),
+                        ("depth", pscp_obs::Field::U(depth as u64)),
+                    ],
+                );
+            }
             crawl.steps.push(CrawlStep {
                 rect,
                 returned: ids.len(),
@@ -117,6 +139,10 @@ impl DeepCrawl {
             }
         }
         crawl.finished_at = now;
+        crawl.trace.count("crawler", "discovered", crawl.discovered.len() as u64);
+        // Fold in the service-side view (per-verb counters, 429 events).
+        let service_trace = service.take_trace();
+        crawl.trace.absorb(service_trace);
         crawl
     }
 
@@ -130,11 +156,13 @@ impl DeepCrawl {
     ) -> (Vec<BroadcastId>, SimTime) {
         loop {
             *now += config.pace;
-            let req =
-                ApiRequest::MapGeoBroadcastFeed { rect, include_replay: false }.to_http(&config.user);
+            let req = ApiRequest::MapGeoBroadcastFeed { rect, include_replay: false }
+                .to_http(&config.user);
             let resp = service.handle_http(&config.user, &req, *now, &crawler_location());
             if resp.status == 429 {
                 crawl.rate_limited += 1;
+                crawl.trace.count("crawler", "rate_limited", 1);
+                crawl.trace.event(now.as_micros(), "crawler", "crawler.rate_limited", vec![]);
                 *now += config.pace * 2; // back off
                 continue;
             }
@@ -170,9 +198,12 @@ impl DeepCrawl {
                 let resp = service.handle_http(&config.user, &req, *now, &crawler_location());
                 if resp.status == 429 {
                     crawl.rate_limited += 1;
+                    crawl.trace.count("crawler", "rate_limited", 1);
+                    crawl.trace.event(now.as_micros(), "crawler", "crawler.rate_limited", vec![]);
                     *now += config.pace * 2;
                     continue;
                 }
+                crawl.trace.count("crawler", "desc_queries", 1);
                 let body = String::from_utf8(resp.body).expect("UTF-8 JSON");
                 let v = pscp_proto::json::parse(&body).expect("valid JSON");
                 if let Some(list) = v.get("broadcasts").and_then(|b| b.as_array()) {
@@ -283,11 +314,8 @@ mod tests {
         let mut svc = service();
         let crawl = run_crawl(&mut svc);
         let curve = crawl.concentration_curve();
-        let at_half = curve
-            .iter()
-            .find(|(area_frac, _)| *area_frac >= 0.5)
-            .map(|(_, b)| *b)
-            .unwrap();
+        let at_half =
+            curve.iter().find(|(area_frac, _)| *area_frac >= 0.5).map(|(_, b)| *b).unwrap();
         assert!(at_half >= 0.8, "at_half={at_half}");
     }
 
@@ -304,8 +332,7 @@ mod tests {
         let mut svc = service();
         let crawl = run_crawl(&mut svc);
         assert!(crawl.observations.len() > crawl.discovered.len() / 2);
-        let with_viewers =
-            crawl.observations.all().filter(|o| o.viewer_samples > 0).count();
+        let with_viewers = crawl.observations.all().filter(|o| o.viewer_samples > 0).count();
         assert!(with_viewers > 0);
     }
 

@@ -29,5 +29,5 @@ pub mod tap;
 pub mod targeted;
 
 pub use deep::{DeepCrawl, DeepCrawlConfig};
-pub use records::{ObservationStore, BroadcastObservation};
+pub use records::{BroadcastObservation, ObservationStore};
 pub use targeted::{TargetedCrawl, TargetedCrawlConfig};

@@ -75,9 +75,8 @@ impl<'a> ApiTap<'a> {
         let mut out = BTreeMap::new();
         for ex in &self.log {
             if let Some(name) = ex.path.strip_prefix("/api/v2/") {
-                out.entry(name.to_string()).or_insert_with(|| {
-                    String::from_utf8_lossy(&ex.request_body).into_owned()
-                });
+                out.entry(name.to_string())
+                    .or_insert_with(|| String::from_utf8_lossy(&ex.request_body).into_owned());
             }
         }
         out
@@ -156,11 +155,8 @@ mod tests {
     fn responses_pass_through_unmodified() {
         let mut svc = service();
         let t = SimTime::from_secs(60);
-        let req = ApiRequest::MapGeoBroadcastFeed {
-            rect: GeoRect::WORLD,
-            include_replay: false,
-        }
-        .to_http("tok");
+        let req = ApiRequest::MapGeoBroadcastFeed { rect: GeoRect::WORLD, include_replay: false }
+            .to_http("tok");
         let direct = {
             let resp = svc.handle_http("u-direct", &req, t, &loc());
             resp.body

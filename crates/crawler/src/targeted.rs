@@ -26,6 +26,8 @@ pub struct TargetedCrawlConfig {
     pub pace: SimDuration,
     /// Total crawl duration (4–10 h in the paper).
     pub duration: SimDuration,
+    /// Record a structured event/metrics trace of the crawl.
+    pub trace: bool,
 }
 
 impl Default for TargetedCrawlConfig {
@@ -35,6 +37,7 @@ impl Default for TargetedCrawlConfig {
             accounts: 4,
             pace: SimDuration::from_millis(1100),
             duration: SimDuration::from_secs(4 * 3600),
+            trace: false,
         }
     }
 }
@@ -55,6 +58,8 @@ pub struct TargetedCrawl {
     /// UTC hour at simulation t=0 (copied from the population config, used
     /// by the diurnal analysis).
     pub utc_start_hour: f64,
+    /// Structured trace of the crawl (empty unless the config enables it).
+    pub trace: pscp_obs::Trace,
 }
 
 impl TargetedCrawl {
@@ -86,6 +91,7 @@ impl TargetedCrawl {
             rate_limited: 0,
             finished_at: start,
             utc_start_hour,
+            trace: pscp_obs::Trace::new(config.trace),
         };
         // Partition areas among accounts.
         let per_account: Vec<Vec<GeoRect>> = (0..config.accounts)
@@ -114,9 +120,13 @@ impl TargetedCrawl {
                 }
             }
             crawl.rounds += 1;
+            crawl.trace.count("crawler", "targeted_rounds", 1);
             round_start += crawl.round_duration;
         }
         crawl.finished_at = round_start;
+        crawl.trace.count("crawler", "observed", crawl.observations.len() as u64);
+        let service_trace = service.take_trace();
+        crawl.trace.absorb(service_trace);
         crawl
     }
 
@@ -129,8 +139,18 @@ impl TargetedCrawl {
     ) -> Vec<BroadcastId> {
         let req = ApiRequest::MapGeoBroadcastFeed { rect, include_replay: false }.to_http(user);
         let resp = service.handle_http(user, &req, now, &crawler_location());
+        crawl.trace.count("crawler", "map_queries", 1);
         if resp.status == 429 {
             crawl.rate_limited += 1;
+            crawl.trace.count("crawler", "rate_limited", 1);
+            if crawl.trace.is_enabled() {
+                crawl.trace.event(
+                    now.as_micros(),
+                    "crawler",
+                    "crawler.rate_limited",
+                    vec![("user", pscp_obs::Field::S(user.to_string()))],
+                );
+            }
             return Vec::new();
         }
         let body = String::from_utf8(resp.body).expect("UTF-8 JSON");
@@ -156,8 +176,10 @@ impl TargetedCrawl {
         for batch in ids.chunks(100) {
             let req = ApiRequest::GetBroadcasts { ids: batch.to_vec() }.to_http(user);
             let resp = service.handle_http(user, &req, now, &crawler_location());
+            crawl.trace.count("crawler", "desc_queries", 1);
             if resp.status == 429 {
                 crawl.rate_limited += 1;
+                crawl.trace.count("crawler", "rate_limited", 1);
                 continue;
             }
             let body = String::from_utf8(resp.body).expect("UTF-8 JSON");
@@ -193,10 +215,7 @@ mod tests {
     }
 
     fn short_config() -> TargetedCrawlConfig {
-        TargetedCrawlConfig {
-            duration: SimDuration::from_secs(1800),
-            ..Default::default()
-        }
+        TargetedCrawlConfig { duration: SimDuration::from_secs(1800), ..Default::default() }
     }
 
     fn crawl_fixture() -> &'static (TargetedCrawl, usize) {
@@ -207,8 +226,7 @@ mod tests {
                 DeepCrawl::run(&mut svc, &DeepCrawlConfig::default(), SimTime::from_secs(600));
             let areas = TargetedCrawl::select_areas(&deep, &short_config());
             let n_areas = areas.len();
-            let tc =
-                TargetedCrawl::run(&mut svc, &areas, &short_config(), deep.finished_at);
+            let tc = TargetedCrawl::run(&mut svc, &areas, &short_config(), deep.finished_at);
             (tc, n_areas)
         })
     }
@@ -237,8 +255,7 @@ mod tests {
     #[test]
     fn viewer_samples_accumulate_over_rounds() {
         let (tc, _) = crawl_fixture();
-        let multi_sampled =
-            tc.observations.all().filter(|o| o.viewer_samples >= 3).count();
+        let multi_sampled = tc.observations.all().filter(|o| o.viewer_samples >= 3).count();
         assert!(multi_sampled > 100, "multi_sampled={multi_sampled}");
     }
 

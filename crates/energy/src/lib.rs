@@ -29,4 +29,4 @@ pub mod scenarios;
 pub mod session;
 
 pub use model::{PowerModel, Radio, Workload};
-pub use scenarios::{Scenario, scenario_workload};
+pub use scenarios::{scenario_workload, Scenario};

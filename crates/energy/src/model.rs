@@ -120,7 +120,8 @@ impl PowerModel {
                 // 2016-era RRC: inactivity timers of ~10 s mean any
                 // recurring traffic keeps the radio connected; duty is
                 // effectively 1.0 whenever traffic flows.
-                let connected = if w.traffic_mbps > 0.0 || w.radio_duty > 0.2 { 1.0 } else { w.radio_duty };
+                let connected =
+                    if w.traffic_mbps > 0.0 || w.radio_duty > 0.2 { 1.0 } else { w.radio_duty };
                 self.lte_idle_mw
                     + connected * (self.lte_connected_mw + self.lte_per_mbps_mw * w.traffic_mbps)
             }

@@ -149,6 +149,34 @@ pub fn figure7(model: &PowerModel) -> Vec<(Scenario, f64, f64)> {
         .collect()
 }
 
+/// [`figure7`] with an observability trace: records each scenario's power
+/// draw as metrics and (when tracing is on) one `energy.scenario` event per
+/// bar pair. The returned table is identical to `figure7`'s.
+pub fn figure7_traced(
+    model: &PowerModel,
+    trace: &mut pscp_obs::Trace,
+) -> Vec<(Scenario, f64, f64)> {
+    let table = figure7(model);
+    for (s, wifi, lte) in &table {
+        trace.count("energy", "scenarios", 1);
+        trace.observe("energy", "wifi_mw", &pscp_obs::MILLIWATT_BUCKETS, *wifi as u64);
+        trace.observe("energy", "lte_mw", &pscp_obs::MILLIWATT_BUCKETS, *lte as u64);
+        if trace.is_enabled() {
+            trace.event(
+                0,
+                "energy",
+                "energy.scenario",
+                vec![
+                    ("label", pscp_obs::Field::S(s.label().to_string())),
+                    ("wifi_mw", pscp_obs::Field::F(*wifi)),
+                    ("lte_mw", pscp_obs::Field::F(*lte)),
+                ],
+            );
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,7 +189,12 @@ mod tests {
             let (pw, pl) = s.paper_mw();
             let ew = (wifi - pw).abs() / pw;
             let el = (lte - pl).abs() / pl;
-            assert!(ew < 0.12, "{}: WiFi {wifi:.0} vs paper {pw:.0} ({:.1}%)", s.label(), ew * 100.0);
+            assert!(
+                ew < 0.12,
+                "{}: WiFi {wifi:.0} vs paper {pw:.0} ({:.1}%)",
+                s.label(),
+                ew * 100.0
+            );
             assert!(el < 0.12, "{}: LTE {lte:.0} vs paper {pl:.0} ({:.1}%)", s.label(), el * 100.0);
         }
     }
@@ -183,8 +216,7 @@ mod tests {
         let diff = (wifi(Scenario::VideoHlsChatOff) - wifi(Scenario::VideoRtmpChatOff)).abs();
         assert!(diff < 350.0, "diff={diff}");
         // Replay ≈ live (§5.3: "consume an equal amount of power").
-        let replay_vs_live =
-            (wifi(Scenario::VideoReplay) - wifi(Scenario::VideoHlsChatOff)).abs();
+        let replay_vs_live = (wifi(Scenario::VideoReplay) - wifi(Scenario::VideoHlsChatOff)).abs();
         assert!(replay_vs_live < 350.0);
     }
 

@@ -22,15 +22,12 @@ pub fn session_workload(outcome: &SessionOutcome, chat_on: bool) -> Workload {
     // Steady-state traffic: media + chat + pictures, excluding the join
     // bootstrap burst which is not representative of sustained draw.
     use pscp_media::capture::FlowKind;
-    let measured_mbps = outcome
-        .capture
-        .rate_of_kinds(&[
-            FlowKind::Rtmp,
-            FlowKind::HlsHttp,
-            FlowKind::Chat,
-            FlowKind::PictureHttp,
-        ])
-        / 1e6;
+    let measured_mbps = outcome.capture.rate_of_kinds(&[
+        FlowKind::Rtmp,
+        FlowKind::HlsHttp,
+        FlowKind::Chat,
+        FlowKind::PictureHttp,
+    ]) / 1e6;
     let clock_ratio = if chat_on { 4.0 / 3.0 } else { 1.0 };
     Workload { traffic_mbps: measured_mbps, clock_ratio, ..base }
 }
@@ -52,18 +49,14 @@ pub fn session_energy_j(
     radio: Radio,
     chat_on: bool,
 ) -> f64 {
-    model.energy_j(
-        &session_workload(outcome, chat_on),
-        radio,
-        outcome.player.session_s,
-    )
+    model.energy_j(&session_workload(outcome, chat_on), radio, outcome.player.session_s)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pscp_client::session::SessionConfig;
     use pscp_client::rtmp_session;
+    use pscp_client::session::SessionConfig;
     use pscp_media::audio::AudioBitrate;
     use pscp_media::content::ContentClass;
     use pscp_simnet::{GeoPoint, RngFactory, SimDuration, SimTime};
@@ -97,10 +90,7 @@ mod tests {
         let chatty = outcome(true);
         let p_quiet = session_power_mw(&model, &quiet, Radio::Wifi, false);
         let p_chatty = session_power_mw(&model, &chatty, Radio::Wifi, true);
-        assert!(
-            p_chatty > p_quiet + 400.0,
-            "quiet={p_quiet:.0} chatty={p_chatty:.0}"
-        );
+        assert!(p_chatty > p_quiet + 400.0, "quiet={p_quiet:.0} chatty={p_chatty:.0}");
     }
 
     #[test]

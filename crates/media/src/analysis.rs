@@ -101,8 +101,7 @@ fn report_from_frames(
         .map(|(i, _)| i)
         .collect();
     let i_interval = if i_positions.len() >= 2 {
-        let gaps: Vec<f64> =
-            i_positions.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
+        let gaps: Vec<f64> = i_positions.windows(2).map(|w| (w[1] - w[0]) as f64).collect();
         gaps.iter().sum::<f64>() / gaps.len() as f64
     } else {
         n as f64
@@ -224,10 +223,9 @@ pub fn analyze_hls_flow(flow: &Flow) -> Result<StreamReport, ProtoError> {
                 }
             }
             if seg_pts.len() >= 2 {
-                let span =
-                    (*seg_pts.iter().max().expect("nonempty") as f64
-                        - *seg_pts.iter().min().expect("nonempty") as f64)
-                        / 1000.0;
+                let span = (*seg_pts.iter().max().expect("nonempty") as f64
+                    - *seg_pts.iter().min().expect("nonempty") as f64)
+                    / 1000.0;
                 // Add one frame duration: PTS span undercounts by one frame.
                 let dur = span * seg_pts.len() as f64 / (seg_pts.len() - 1) as f64;
                 segment_durations.push(dur);
@@ -276,11 +274,7 @@ mod tests {
         for chunk in wire.chunks(1448) {
             let frac = sent as f64 / wire.len() as f64;
             let t = frac * secs as f64 + delay_s;
-            flow.record(
-                SimTime::from_secs_f64_test(t),
-                t,
-                chunk.to_vec(),
-            );
+            flow.record(SimTime::from_secs_f64_test(t), t, chunk.to_vec());
             sent += chunk.len();
         }
         flow

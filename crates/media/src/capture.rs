@@ -165,8 +165,7 @@ impl Capture {
     /// Mean downstream rate over only the given flow kinds, bits/second —
     /// e.g. the steady-state media+chat rate excluding join bootstrap.
     pub fn rate_of_kinds(&self, kinds: &[FlowKind]) -> f64 {
-        let flows: Vec<&Flow> =
-            self.flows.iter().filter(|f| kinds.contains(&f.kind)).collect();
+        let flows: Vec<&Flow> = self.flows.iter().filter(|f| kinds.contains(&f.kind)).collect();
         let first = flows.iter().filter_map(|f| f.packets.first()).map(|p| p.at).min();
         let last = flows.iter().filter_map(|f| f.packets.last()).map(|p| p.at).max();
         let (Some(first), Some(last)) = (first, last) else { return 0.0 };

@@ -109,8 +109,9 @@ impl ContentProcess {
         let vol = self.class.volatility();
         let decay = (-self.reversion * dt_s).exp();
         let noise_sd = vol * (dt_s.min(1.0)).sqrt();
-        self.log_level =
-            self.log_mean + (self.log_level - self.log_mean) * decay + dist::normal(rng, 0.0, noise_sd);
+        self.log_level = self.log_mean
+            + (self.log_level - self.log_mean) * decay
+            + dist::normal(rng, 0.0, noise_sd);
         // Scene changes jump the level.
         let p_change = 1.0 - (-self.class.scene_change_rate() * dt_s).exp();
         if dist::coin(rng, p_change) {
@@ -132,7 +133,9 @@ mod tests {
 
     #[test]
     fn classes_ordered_by_complexity() {
-        assert!(ContentClass::StaticTalk.mean_complexity() < ContentClass::Indoor.mean_complexity());
+        assert!(
+            ContentClass::StaticTalk.mean_complexity() < ContentClass::Indoor.mean_complexity()
+        );
         assert!(ContentClass::Indoor.mean_complexity() < ContentClass::SportsTv.mean_complexity());
     }
 

@@ -178,9 +178,10 @@ impl Encoder {
         // Feedforward: encode the complexity into the operating point, so
         // complex content runs at higher QP (the R-Q tradeoff).
         let complexity = self.content.complexity();
-        let ff = QP_REF + 6.0 * (complexity * BASE_P_BITS * avg_factor(self.config.gop)
-            / per_frame_budget)
-            .log2();
+        let ff = QP_REF
+            + 6.0
+                * (complexity * BASE_P_BITS * avg_factor(self.config.gop) / per_frame_budget)
+                    .log2();
         let target_qp = ff + 4.0 * pressure;
         // Encoders move QP gradually (smoothing window of a few frames).
         self.qp += (target_qp - self.qp).clamp(-2.0, 2.0);
@@ -192,8 +193,7 @@ impl Encoder {
             FrameKind::P => 1.0,
             FrameKind::B => B_FACTOR,
         };
-        let mean_bits =
-            BASE_P_BITS * factor * complexity * 2f64.powf((QP_REF - self.qp) / 6.0);
+        let mean_bits = BASE_P_BITS * factor * complexity * 2f64.powf((QP_REF - self.qp) / 6.0);
         // Per-frame noise: residual content detail the model can't see.
         let bits = mean_bits * dist::lognormal(rng, 0.0, 0.13);
         let min_bytes = HEADER_LEN_NTP + 8;
@@ -246,7 +246,11 @@ mod tests {
     use crate::content::{ContentClass, ContentProcess};
     use pscp_simnet::RngFactory;
 
-    fn encoder(class: ContentClass, config: EncoderConfig, seed: u64) -> (Encoder, rand::rngs::StdRng) {
+    fn encoder(
+        class: ContentClass,
+        config: EncoderConfig,
+        seed: u64,
+    ) -> (Encoder, rand::rngs::StdRng) {
         let f = RngFactory::new(seed);
         let mut rng = f.stream("enc-test");
         let content = ContentProcess::new(class, &mut rng);
@@ -291,10 +295,7 @@ mod tests {
             let (mut enc, mut rng) = encoder(class, EncoderConfig::default(), 4);
             run(&mut enc, &mut rng, 3600); // 2 minutes
             let rate = enc.average_bitrate_bps();
-            assert!(
-                (rate - 300_000.0).abs() < 120_000.0,
-                "class {class:?}: rate {rate}"
-            );
+            assert!((rate - 300_000.0).abs() < 120_000.0, "class {class:?}: rate {rate}");
         }
     }
 

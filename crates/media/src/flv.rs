@@ -61,8 +61,7 @@ impl VideoTag {
         if bytes[1] != 1 {
             return Err(ProtoError::Malformed(format!("unsupported AVC packet type {}", bytes[1])));
         }
-        let composition_ms =
-            ((bytes[2] as i32) << 16) | ((bytes[3] as i32) << 8) | bytes[4] as i32;
+        let composition_ms = ((bytes[2] as i32) << 16) | ((bytes[3] as i32) << 8) | bytes[4] as i32;
         let frame = FramePayload::decode(&bytes[5..])?;
         Ok(VideoTag { keyframe: frame_type == 1, composition_ms, frame })
     }
@@ -92,7 +91,10 @@ impl AudioTag {
             return Err(ProtoError::Truncated);
         }
         if bytes[0] >> 4 != AUDIO_AAC {
-            return Err(ProtoError::Malformed(format!("unsupported audio format {}", bytes[0] >> 4)));
+            return Err(ProtoError::Malformed(format!(
+                "unsupported audio format {}",
+                bytes[0] >> 4
+            )));
         }
         Ok(AudioTag { payload_len: bytes.len() - 2 })
     }
@@ -103,15 +105,7 @@ mod tests {
     use super::*;
 
     fn frame(kind: FrameKind) -> FramePayload {
-        FramePayload {
-            kind,
-            qp: 28,
-            width: 320,
-            height: 568,
-            pts_ms: 500,
-            ntp_s: None,
-            size: 400,
-        }
+        FramePayload { kind, qp: 28, width: 320, height: 568, pts_ms: 500, ntp_s: None, size: 400 }
     }
 
     #[test]

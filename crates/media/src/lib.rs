@@ -39,4 +39,4 @@ pub mod ts;
 
 pub use bitstream::{FrameKind, FramePayload};
 pub use content::{ContentClass, ContentProcess};
-pub use encoder::{Encoder, EncoderConfig, EncodedFrame, GopPattern};
+pub use encoder::{EncodedFrame, Encoder, EncoderConfig, GopPattern};

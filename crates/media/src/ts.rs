@@ -163,7 +163,7 @@ impl TsMuxer {
 fn pat_section() -> Vec<u8> {
     let mut body = Vec::new();
     body.push(0x00); // table_id: PAT
-    // section_syntax_indicator=1, length filled below.
+                     // section_syntax_indicator=1, length filled below.
     let mut section = vec![0u8; 0];
     section.extend_from_slice(&[0x00, 0x01]); // transport_stream_id
     section.push(0xC1); // version 0, current_next=1
@@ -193,7 +193,7 @@ fn pmt_section() -> Vec<u8> {
     section.push(0xE0 | ((PID_VIDEO >> 8) as u8 & 0x1F)); // PCR PID = video
     section.push(PID_VIDEO as u8);
     section.extend_from_slice(&[0xF0, 0x00]); // program_info_length 0
-    // Video: stream_type 0x1B (AVC).
+                                              // Video: stream_type 0x1B (AVC).
     section.push(0x1B);
     section.push(0xE0 | ((PID_VIDEO >> 8) as u8 & 0x1F));
     section.push(PID_VIDEO as u8);
@@ -223,7 +223,7 @@ fn pes_packet(stream_id: u8, pts_ms: u32, data: &[u8]) -> Vec<u8> {
     out.push(0x80); // marker bits '10'
     out.push(0x80); // PTS_DTS_flags = '10' (PTS only)
     out.push(5); // PES_header_data_length
-    // PTS: 90 kHz clock, 33 bits, '0010' prefix.
+                 // PTS: 90 kHz clock, 33 bits, '0010' prefix.
     let pts = (pts_ms as u64) * 90;
     out.push(0b0010_0000 | (((pts >> 30) as u8 & 0x07) << 1) | 1);
     out.push((pts >> 22) as u8);
@@ -286,10 +286,9 @@ pub fn demux_segment(bytes: &[u8]) -> Result<Vec<TsUnit>, ProtoError> {
                     continue;
                 }
                 let pointer = *payload.first().ok_or(ProtoError::Truncated)? as usize;
-                let section =
-                    payload.get(1 + pointer..).ok_or_else(|| {
-                        ProtoError::Malformed("PSI pointer_field overruns packet".to_string())
-                    })?;
+                let section = payload.get(1 + pointer..).ok_or_else(|| {
+                    ProtoError::Malformed("PSI pointer_field overruns packet".to_string())
+                })?;
                 validate_psi(section)?;
                 if pid == PID_PAT {
                     pat_seen = true;
@@ -513,11 +512,7 @@ mod tests {
     #[test]
     fn segment_video_frames_extraction() {
         let mut mux = TsMuxer::new();
-        let seg = mux.mux_segment(&[
-            video_unit(0, 300),
-            audio_unit(5, 90),
-            video_unit(33, 310),
-        ]);
+        let seg = mux.mux_segment(&[video_unit(0, 300), audio_unit(5, 90), video_unit(33, 310)]);
         let frames = segment_video_frames(&seg).unwrap();
         assert_eq!(frames.len(), 2);
         assert_eq!(frames[0].pts_ms, 0);

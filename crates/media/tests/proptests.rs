@@ -11,29 +11,16 @@ fn arb_kind() -> impl Strategy<Value = FrameKind> {
 }
 
 fn arb_frame() -> impl Strategy<Value = FramePayload> {
-    (
-        arb_kind(),
-        0u8..=51,
-        0u32..3_600_000,
-        prop::option::of(0.0f64..1e6),
-        0usize..5000,
-    )
-        .prop_map(|(kind, qp, pts_ms, ntp_s, extra)| {
+    (arb_kind(), 0u8..=51, 0u32..3_600_000, prop::option::of(0.0f64..1e6), 0usize..5000).prop_map(
+        |(kind, qp, pts_ms, ntp_s, extra)| {
             let min = if ntp_s.is_some() {
                 pscp_media::bitstream::HEADER_LEN_NTP
             } else {
                 pscp_media::bitstream::HEADER_LEN
             };
-            FramePayload {
-                kind,
-                qp,
-                width: 320,
-                height: 568,
-                pts_ms,
-                ntp_s,
-                size: min + extra,
-            }
-        })
+            FramePayload { kind, qp, width: 320, height: 568, pts_ms, ntp_s, size: min + extra }
+        },
+    )
 }
 
 proptest! {

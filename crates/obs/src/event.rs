@@ -1,0 +1,134 @@
+//! Structured, sim-time-stamped event records.
+//!
+//! Events carry *simulation* time, never wall-clock time, so a trace is a
+//! pure function of the seed: two runs (at any thread count) that simulate
+//! the same world emit byte-identical logs. Wall-clock profiling lives in
+//! [`crate::span`] instead, deliberately segregated from this log.
+
+use std::fmt::Write as _;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Field {
+    /// Unsigned integer (counts, byte sizes, ids, durations in ms/µs).
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float — serialized with fixed `{:.6}` precision so the rendered
+    /// JSONL is byte-stable across runs.
+    F(f64),
+    /// Short string (protocol names, user ids).
+    S(String),
+}
+
+/// One sim-time-stamped, subsystem-tagged record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Simulation time in microseconds.
+    pub t_us: u64,
+    /// Owning subsystem (`"player"`, `"hls"`, `"service"`, ...).
+    pub subsystem: &'static str,
+    /// Dotted event name (`"player.stall"`, `"hls.segment_fetch"`, ...).
+    pub name: &'static str,
+    /// Extra fields, in recording order.
+    pub fields: Vec<(&'static str, Field)>,
+}
+
+impl Event {
+    /// Renders the event as one JSON object (no trailing newline). `unit`
+    /// is the work-unit label assigned when the event was merged into the
+    /// run-wide log (e.g. `"session/17"`, `"deep-crawl-14"`).
+    pub fn to_json_line(&self, unit: &str) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"t_us\":{},\"unit\":\"{}\",\"sub\":\"{}\",\"ev\":\"{}\"",
+            self.t_us,
+            escape(unit),
+            self.subsystem,
+            self.name
+        );
+        if !self.fields.is_empty() {
+            s.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "\"{k}\":");
+                match v {
+                    Field::U(x) => {
+                        let _ = write!(s, "{x}");
+                    }
+                    Field::I(x) => {
+                        let _ = write!(s, "{x}");
+                    }
+                    Field::F(x) => {
+                        let _ = write!(s, "{x:.6}");
+                    }
+                    Field::S(x) => {
+                        let _ = write!(s, "\"{}\"", escape(x));
+                    }
+                }
+            }
+            s.push('}');
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub(crate) fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape() {
+        let e = Event {
+            t_us: 1_500_000,
+            subsystem: "player",
+            name: "player.stall",
+            fields: vec![("duration_ms", Field::U(420)), ("ratio", Field::F(0.25))],
+        };
+        assert_eq!(
+            e.to_json_line("session/3"),
+            "{\"t_us\":1500000,\"unit\":\"session/3\",\"sub\":\"player\",\
+             \"ev\":\"player.stall\",\"fields\":{\"duration_ms\":420,\"ratio\":0.250000}}"
+        );
+    }
+
+    #[test]
+    fn fieldless_event_omits_fields_object() {
+        let e = Event { t_us: 0, subsystem: "rtmp", name: "rtmp.handshake", fields: vec![] };
+        assert!(!e.to_json_line("u").contains("fields"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let e = Event {
+            t_us: 1,
+            subsystem: "service",
+            name: "service.rate_limited",
+            fields: vec![("user", Field::S("a\"b\\c".into()))],
+        };
+        assert!(e.to_json_line("u").contains("a\\\"b\\\\c"));
+    }
+}

@@ -1,0 +1,308 @@
+//! Counters and fixed-bucket histograms with stable-ordered snapshots.
+//!
+//! Everything here is integer-valued on purpose: u64 sums are associative
+//! and commutative, so merging per-worker registries in *any* order yields
+//! the same totals — the registry can never leak thread-scheduling noise
+//! into a snapshot. Keys are `(subsystem, name)` pairs of `&'static str`
+//! in `BTreeMap`s, so iteration (and therefore every rendered report) is
+//! lexicographically ordered regardless of recording order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Fixed bucket edges for a histogram family.
+///
+/// Edges are `&'static` and never change at runtime, so snapshots from
+/// different runs (or different PRs) always line up bucket-for-bucket.
+/// Values above the last edge land in an implicit overflow bucket.
+#[derive(Debug)]
+pub struct HistogramSpec {
+    /// Upper-inclusive bucket edges, strictly increasing.
+    pub edges: &'static [u64],
+}
+
+/// Millisecond-scale durations (join times, stalls, fetch times).
+pub const MS_BUCKETS: HistogramSpec = HistogramSpec {
+    edges: &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 60_000],
+};
+
+/// Byte counts (segment bodies, transfers, captures).
+pub const BYTE_BUCKETS: HistogramSpec = HistogramSpec {
+    edges: &[256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216],
+};
+
+/// Power draw in milliwatts (energy scenarios).
+pub const MILLIWATT_BUCKETS: HistogramSpec =
+    HistogramSpec { edges: &[500, 1_000, 1_500, 2_000, 2_500, 3_000, 3_500, 4_000, 5_000, 6_000] };
+
+/// Kilobit-per-second rates (bandwidth limits).
+pub const KBPS_BUCKETS: HistogramSpec = HistogramSpec {
+    edges: &[250, 500, 1_000, 2_000, 4_000, 6_000, 8_000, 10_000, 20_000, 100_000],
+};
+
+/// One histogram: per-bucket counts plus total/sum so means are
+/// recoverable without storing samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// The spec's edges, kept for rendering.
+    pub edges: &'static [u64],
+    /// `counts[i]` = observations `≤ edges[i]` (and `> edges[i-1]`); the
+    /// final slot is the overflow bucket.
+    pub counts: Vec<u64>,
+    /// Number of observations.
+    pub total: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+}
+
+impl Histogram {
+    fn new(spec: &'static HistogramSpec) -> Self {
+        Histogram { edges: spec.edges, counts: vec![0; spec.edges.len() + 1], total: 0, sum: 0 }
+    }
+
+    fn observe(&mut self, value: u64) {
+        let idx = self.edges.iter().position(|&e| value <= e).unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.edges, other.edges, "histogram spec mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+}
+
+/// Named counters and histograms keyed by `(subsystem, name)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<(&'static str, &'static str), u64>,
+    histograms: BTreeMap<(&'static str, &'static str), Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry (usable in `const`/`static` contexts).
+    pub const fn new() -> Self {
+        MetricsRegistry { counters: BTreeMap::new(), histograms: BTreeMap::new() }
+    }
+
+    /// Adds `by` to the `(subsystem, name)` counter.
+    pub fn count(&mut self, subsystem: &'static str, name: &'static str, by: u64) {
+        *self.counters.entry((subsystem, name)).or_insert(0) += by;
+    }
+
+    /// Records one observation into the `(subsystem, name)` histogram.
+    pub fn observe(
+        &mut self,
+        subsystem: &'static str,
+        name: &'static str,
+        spec: &'static HistogramSpec,
+        value: u64,
+    ) {
+        self.histograms
+            .entry((subsystem, name))
+            .or_insert_with(|| Histogram::new(spec))
+            .observe(value);
+    }
+
+    /// Folds another registry into this one. Order-independent: merging
+    /// `a` into `b` or `b` into `a` yields identical totals.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&k, &v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (&k, h) in &other.histograms {
+            match self.histograms.get_mut(&k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k, h.clone());
+                }
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, subsystem: &str, name: &str) -> u64 {
+        self.counters.get(&(subsystem, name)).copied().unwrap_or(0)
+    }
+
+    /// A histogram by key, if recorded.
+    pub fn histogram(&self, subsystem: &str, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|&(&(s, n), _)| s == subsystem && n == name).map(|(_, h)| h)
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Sorted, de-duplicated list of subsystems with at least one metric.
+    pub fn subsystems(&self) -> Vec<&'static str> {
+        let mut subs: Vec<&'static str> =
+            self.counters.keys().chain(self.histograms.keys()).map(|&(sub, _)| sub).collect();
+        subs.sort_unstable();
+        subs.dedup();
+        subs
+    }
+
+    /// All counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, &'static str, u64)> + '_ {
+        self.counters.iter().map(|(&(sub, name), &v)| (sub, name, v))
+    }
+
+    /// All histograms in key order.
+    pub fn histograms(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&(sub, name), h)| (sub, name, h))
+    }
+
+    /// Renders a stable-ordered plain-text report.
+    pub fn snapshot_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("counters:\n");
+        for (sub, name, v) in self.counters() {
+            let _ = writeln!(out, "  {:<10} {:<28} {:>12}", sub, name, v);
+        }
+        out.push_str("histograms:\n");
+        for (sub, name, h) in self.histograms() {
+            let _ =
+                writeln!(out, "  {:<10} {:<28} n={:<8} mean={:.1}", sub, name, h.total, h.mean());
+            let mut buckets = String::new();
+            for (i, &c) in h.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let edge = match h.edges.get(i) {
+                    Some(e) => format!("<={e}"),
+                    None => format!(">{}", h.edges.last().copied().unwrap_or(0)),
+                };
+                let _ = write!(buckets, " {edge}:{c}");
+            }
+            if !buckets.is_empty() {
+                let _ = writeln!(out, "  {:<10} {:<28}{}", "", "", buckets);
+            }
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object with stable key order.
+    /// Keys are `"subsystem/name"` (names themselves contain dots).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (sub, name, v)) in self.counters().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{sub}/{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (sub, name, h)) in self.histograms().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{sub}/{name}\":{{\"edges\":[");
+            for (j, e) in h.edges.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{e}");
+            }
+            out.push_str("],\"counts\":[");
+            for (j, c) in h.counts.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"total\":{},\"sum\":{}}}", h.total, h.sum);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.count("service", "rate_limited", 1);
+        m.count("service", "rate_limited", 2);
+        assert_eq!(m.counter("service", "rate_limited"), 3);
+        assert_eq!(m.counter("service", "missing"), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_value_on_upper_inclusive_edge() {
+        let mut m = MetricsRegistry::new();
+        for v in [1, 2, 3, 2_000_000] {
+            m.observe("player", "join_time_ms", &MS_BUCKETS, v);
+        }
+        let h = m.histogram("player", "join_time_ms").unwrap();
+        assert_eq!(h.counts[0], 1); // value 1 lands in <=1 (upper-inclusive)
+        assert_eq!(h.counts[1], 1); // value 2 lands in <=2
+        assert_eq!(h.counts[2], 1); // value 3 lands in <=5
+        assert_eq!(*h.counts.last().unwrap(), 1); // 2e6 overflows
+        assert_eq!(h.total, 4);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let build = |values: &[u64]| {
+            let mut m = MetricsRegistry::new();
+            for &v in values {
+                m.count("tcp", "transfers", 1);
+                m.observe("tcp", "fetch_ms", &MS_BUCKETS, v);
+            }
+            m
+        };
+        let a = build(&[5, 80]);
+        let b = build(&[900]);
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("tcp", "transfers"), 3);
+    }
+
+    #[test]
+    fn snapshot_order_is_stable_across_recording_order() {
+        let mut a = MetricsRegistry::new();
+        a.count("zz", "last", 1);
+        a.count("aa", "first", 1);
+        let mut b = MetricsRegistry::new();
+        b.count("aa", "first", 1);
+        b.count("zz", "last", 1);
+        assert_eq!(a.snapshot_text(), b.snapshot_text());
+        assert_eq!(a.snapshot_json(), b.snapshot_json());
+        let text = a.snapshot_text();
+        assert!(text.find("aa").unwrap() < text.find("zz").unwrap());
+    }
+
+    #[test]
+    fn subsystems_are_sorted_and_deduped() {
+        let mut m = MetricsRegistry::new();
+        m.count("player", "stalls", 1);
+        m.observe("player", "stall_ms", &MS_BUCKETS, 10);
+        m.count("hls", "segments_fetched", 1);
+        assert_eq!(m.subsystems(), vec!["hls", "player"]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Per-work-unit recorder.
+//!
+//! A [`Trace`] is owned by exactly one unit of work — a session, a crawl,
+//! a service instance — so recording never takes a lock and never observes
+//! another thread's interleaving. The orchestrator absorbs finished traces
+//! into the run-wide [`crate::Observer`] *serially, in plan order*, which
+//! is what makes the merged log byte-identical at any thread count.
+
+use crate::event::{Event, Field};
+use crate::metrics::{HistogramSpec, MetricsRegistry};
+
+/// A per-unit event and metrics recorder. Every operation early-returns
+/// when the trace is disabled, so the enabled check is the entire cost of
+/// instrumentation on untraced runs.
+#[derive(Debug, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<Event>,
+    metrics: MetricsRegistry,
+}
+
+impl Trace {
+    /// A permanently disabled trace (usable in `const` contexts).
+    pub const fn disabled() -> Trace {
+        Trace { enabled: false, events: Vec::new(), metrics: MetricsRegistry::new() }
+    }
+
+    /// A trace that records iff `enabled`.
+    pub fn new(enabled: bool) -> Trace {
+        Trace { enabled, events: Vec::new(), metrics: MetricsRegistry::new() }
+    }
+
+    /// Whether events/metrics are being recorded. Call sites that must
+    /// allocate to build event fields should guard on this first.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event at sim-time `t_us` (microseconds).
+    pub fn event(
+        &mut self,
+        t_us: u64,
+        subsystem: &'static str,
+        name: &'static str,
+        fields: Vec<(&'static str, Field)>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.events.push(Event { t_us, subsystem, name, fields });
+    }
+
+    /// Adds `by` to a counter.
+    pub fn count(&mut self, subsystem: &'static str, name: &'static str, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.count(subsystem, name, by);
+    }
+
+    /// Records one histogram observation.
+    pub fn observe(
+        &mut self,
+        subsystem: &'static str,
+        name: &'static str,
+        spec: &'static HistogramSpec,
+        value: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.observe(subsystem, name, spec, value);
+    }
+
+    /// Appends another trace's events (preserving their order) and folds
+    /// in its metrics.
+    pub fn absorb(&mut self, other: Trace) {
+        if !self.enabled {
+            return;
+        }
+        self.events.extend(other.events);
+        self.metrics.merge(&other.metrics);
+    }
+
+    /// Drains the recorded events and metrics into a fresh trace, keeping
+    /// this one enabled and empty (lets a long-lived owner like the
+    /// service hand its records to each crawl that drives it).
+    pub fn take(&mut self) -> Trace {
+        Trace {
+            enabled: self.enabled,
+            events: std::mem::take(&mut self.events),
+            metrics: std::mem::take(&mut self.metrics),
+        }
+    }
+
+    /// Recorded events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The metrics recorded so far.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Consumes the trace, returning its parts for merging.
+    pub(crate) fn into_parts(self) -> (Vec<Event>, MetricsRegistry) {
+        (self.events, self.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.event(1, "player", "player.stall", vec![]);
+        t.count("player", "stalls", 1);
+        t.observe("player", "stall_ms", &crate::MS_BUCKETS, 42);
+        assert!(t.events().is_empty());
+        assert!(t.metrics().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::new(true);
+        t.event(20, "hls", "hls.segment_fetch", vec![("bytes", Field::U(1000))]);
+        t.event(10, "session", "session.start", vec![]);
+        t.count("hls", "segments_fetched", 1);
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].t_us, 20, "recording order preserved, not sorted here");
+        assert_eq!(t.metrics().counter("hls", "segments_fetched"), 1);
+    }
+
+    #[test]
+    fn take_leaves_an_enabled_empty_trace() {
+        let mut t = Trace::new(true);
+        t.count("service", "rate_limited", 1);
+        let drained = t.take();
+        assert_eq!(drained.metrics().counter("service", "rate_limited"), 1);
+        assert!(t.metrics().is_empty());
+        assert!(t.is_enabled());
+        t.count("service", "rate_limited", 2);
+        assert_eq!(t.metrics().counter("service", "rate_limited"), 2);
+    }
+
+    #[test]
+    fn absorb_appends_and_merges() {
+        let mut a = Trace::new(true);
+        a.event(5, "crawler", "crawler.map_query", vec![]);
+        a.count("crawler", "map_queries", 1);
+        let mut b = Trace::new(true);
+        b.event(7, "crawler", "crawler.rate_limited", vec![]);
+        b.count("crawler", "map_queries", 2);
+        a.absorb(b);
+        assert_eq!(a.events().len(), 2);
+        assert_eq!(a.metrics().counter("crawler", "map_queries"), 3);
+    }
+}

@@ -202,19 +202,13 @@ mod tests {
 
     #[test]
     fn nested_object() {
-        roundtrip(Amf0::object([(
-            "outer",
-            Amf0::object([("inner", Amf0::Number(1.0))]),
-        )]));
+        roundtrip(Amf0::object([("outer", Amf0::object([("inner", Amf0::Number(1.0))]))]));
     }
 
     #[test]
     fn known_number_encoding() {
         // 1.0 encodes as marker 0x00 + IEEE-754 BE.
-        assert_eq!(
-            Amf0::Number(1.0).encode(),
-            vec![0x00, 0x3f, 0xf0, 0, 0, 0, 0, 0, 0]
-        );
+        assert_eq!(Amf0::Number(1.0).encode(), vec![0x00, 0x3f, 0xf0, 0, 0, 0, 0, 0, 0]);
     }
 
     #[test]
@@ -224,11 +218,8 @@ mod tests {
 
     #[test]
     fn command_payload_roundtrip() {
-        let payload = encode_command(
-            "connect",
-            1.0,
-            &[Amf0::object([("app", Amf0::String("live".into()))])],
-        );
+        let payload =
+            encode_command("connect", 1.0, &[Amf0::object([("app", Amf0::String("live".into()))])]);
         let vals = Amf0::decode_all(&payload).unwrap();
         assert_eq!(vals.len(), 3);
         assert_eq!(vals[0].as_str(), Some("connect"));

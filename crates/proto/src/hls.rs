@@ -89,9 +89,8 @@ impl MediaPlaylist {
         let mut pending_duration: Option<f64> = None;
         for line in lines {
             if let Some(v) = line.strip_prefix("#EXT-X-VERSION:") {
-                pl.version = v
-                    .parse()
-                    .map_err(|_| ProtoError::Malformed("bad version".to_string()))?;
+                pl.version =
+                    v.parse().map_err(|_| ProtoError::Malformed("bad version".to_string()))?;
             } else if let Some(v) = line.strip_prefix("#EXT-X-TARGETDURATION:") {
                 pl.target_duration_s = v
                     .parse()

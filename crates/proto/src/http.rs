@@ -98,11 +98,7 @@ impl Response {
 
     /// 200 with opaque bytes (e.g. an MPEG-TS segment).
     pub fn ok_bytes(content_type: &str, body: Vec<u8>) -> Self {
-        Response {
-            status: 200,
-            headers: vec![("content-type".into(), content_type.into())],
-            body,
-        }
+        Response { status: 200, headers: vec![("content-type".into(), content_type.into())], body }
     }
 
     /// 429 Too Many Requests — the crawler's rate-limit signal (§4).
@@ -190,10 +186,11 @@ fn split_message(bytes: &[u8]) -> Result<(String, Headers, Vec<u8>), ProtoError>
         let name = name.trim().to_ascii_lowercase();
         let value = value.trim().to_string();
         if name == "content-length" {
-            content_length =
-                Some(value.parse().map_err(|_| {
-                    ProtoError::Malformed("bad content-length".to_string())
-                })?);
+            content_length = Some(
+                value
+                    .parse()
+                    .map_err(|_| ProtoError::Malformed("bad content-length".to_string()))?,
+            );
         }
         headers.push((name, value));
     }

@@ -289,9 +289,7 @@ impl<'a> Parser<'a> {
                             self.expect(b'u')?;
                             let lo = self.hex4()?;
                             if !(0xDC00..0xE000).contains(&lo) {
-                                return Err(ProtoError::Malformed(
-                                    "bad low surrogate".to_string(),
-                                ));
+                                return Err(ProtoError::Malformed("bad low surrogate".to_string()));
                             }
                             let c = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                             char::from_u32(c)
@@ -303,10 +301,7 @@ impl<'a> Parser<'a> {
                         })?);
                     }
                     e => {
-                        return Err(ProtoError::Malformed(format!(
-                            "bad escape '\\{}'",
-                            e as char
-                        )))
+                        return Err(ProtoError::Malformed(format!("bad escape '\\{}'", e as char)))
                     }
                 },
                 _ => {

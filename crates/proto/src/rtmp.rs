@@ -76,9 +76,7 @@ impl MessageType {
             9 => MessageType::Video,
             18 => MessageType::DataAmf0,
             20 => MessageType::CommandAmf0,
-            other => {
-                return Err(ProtoError::Malformed(format!("unknown message type {other}")))
-            }
+            other => return Err(ProtoError::Malformed(format!("unknown message type {other}"))),
         })
     }
 }
@@ -220,8 +218,8 @@ impl Chunker {
         // change on the same stream id, fmt0 otherwise. (fmt2/fmt3 encoding
         // is a compression nicety; fmt0/fmt1 keep the encoder simple and any
         // compliant decoder — including ours — handles them.)
-        let use_fmt1 = cs.kind.is_some() && cs.stream_id == msg.stream_id
-            && msg.timestamp >= cs.timestamp;
+        let use_fmt1 =
+            cs.kind.is_some() && cs.stream_id == msg.stream_id && msg.timestamp >= cs.timestamp;
         let ext_ts = msg.timestamp >= 0xFF_FFFF;
         if use_fmt1 {
             let delta = msg.timestamp - cs.timestamp;
@@ -260,8 +258,7 @@ impl Chunker {
             first = false;
         }
         if msg.kind == MessageType::SetChunkSize && msg.payload.len() >= 4 {
-            let size =
-                u32::from_be_bytes(msg.payload[..4].try_into().expect("4 bytes")) as usize;
+            let size = u32::from_be_bytes(msg.payload[..4].try_into().expect("4 bytes")) as usize;
             self.chunk_size = size.max(1);
         }
     }
@@ -420,15 +417,11 @@ impl Dechunker {
         let part = self.partial.entry(csid).or_default();
         part.extend_from_slice(&payload_part);
         // Update per-stream state.
-        self.state.insert(
-            csid,
-            CsState { timestamp: ts, length, kind: Some(kind), stream_id },
-        );
+        self.state.insert(csid, CsState { timestamp: ts, length, kind: Some(kind), stream_id });
         if part.len() >= length {
             let payload = std::mem::take(part);
             if kind == MessageType::SetChunkSize && payload.len() >= 4 {
-                let size =
-                    u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+                let size = u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
                 self.chunk_size = size.max(1);
             }
             self.ready.push_back(Message {
@@ -511,10 +504,7 @@ mod tests {
     fn set_chunk_size_applies_to_both_sides() {
         let mut chunker = Chunker::new();
         let mut d = Dechunker::new();
-        let msgs = vec![
-            Message::set_chunk_size(4096),
-            Message::video(10, vec![7; 3000]),
-        ];
+        let msgs = vec![Message::set_chunk_size(4096), Message::video(10, vec![7; 3000])];
         let bytes = chunker.encode_all(&msgs);
         assert_eq!(chunker.chunk_size(), 4096);
         d.feed(&bytes).unwrap();

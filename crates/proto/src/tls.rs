@@ -84,9 +84,8 @@ impl TlsChannel {
         let mut keystream = KeyStream::new(self.key, nonce);
         let plaintext: Vec<u8> = ct.iter().map(|&b| b ^ keystream.next_byte()).collect();
         let want = tag(self.key, nonce, &plaintext);
-        let got = u64::from_be_bytes(
-            bytes[13 + frag_len..13 + frag_len + 8].try_into().expect("8"),
-        );
+        let got =
+            u64::from_be_bytes(bytes[13 + frag_len..13 + frag_len + 8].try_into().expect("8"));
         if want != got {
             return Err(ProtoError::Protocol("TLS tag mismatch (wrong key?)".to_string()));
         }
@@ -187,9 +186,7 @@ mod tests {
         let plaintext = b"RTMP handshake C0C1 would be visible here".repeat(10);
         let wire = tx.seal(&plaintext);
         // No 16-byte window of the plaintext appears in the wire bytes.
-        assert!(!wire
-            .windows(16)
-            .any(|w| plaintext.windows(16).any(|p| p == w)));
+        assert!(!wire.windows(16).any(|w| plaintext.windows(16).any(|p| p == w)));
     }
 
     #[test]

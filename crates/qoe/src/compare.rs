@@ -35,16 +35,8 @@ pub fn device_comparison(dataset: &SessionDataset) -> Vec<MetricComparison> {
         let result = welch_t_test(&a, &b).ok();
         out.push(MetricComparison { metric, result });
     };
-    push(
-        "stall ratio",
-        SessionDataset::stall_ratios(&s3),
-        SessionDataset::stall_ratios(&s4),
-    );
-    push(
-        "join time",
-        SessionDataset::join_times_s(&s3),
-        SessionDataset::join_times_s(&s4),
-    );
+    push("stall ratio", SessionDataset::stall_ratios(&s3), SessionDataset::stall_ratios(&s4));
+    push("join time", SessionDataset::join_times_s(&s3), SessionDataset::join_times_s(&s4));
     push(
         "playback latency",
         SessionDataset::playback_latencies_s(&s3),

@@ -55,9 +55,7 @@ impl SessionDataset {
         self.sessions
             .iter()
             .filter(|s| {
-                s.bandwidth_limit_bps
-                    .map(|b| (b / 1e6 - mbps).abs() < 1e-6)
-                    .unwrap_or(false)
+                s.bandwidth_limit_bps.map(|b| (b / 1e6 - mbps).abs() < 1e-6).unwrap_or(false)
             })
             .collect()
     }
@@ -76,10 +74,7 @@ impl SessionDataset {
     /// the full watch duration, matching the paper's 60 s − (play+stall)
     /// formula which yields 60 s when nothing played.
     pub fn join_times_s(group: &[&SessionOutcome]) -> Vec<f64> {
-        group
-            .iter()
-            .map(|s| s.join_time_s().unwrap_or(s.player.session_s))
-            .collect()
+        group.iter().map(|s| s.join_time_s().unwrap_or(s.player.session_s)).collect()
     }
 
     /// Reported playback latencies of a group (RTMP only — HLS sessions
@@ -125,11 +120,7 @@ impl SessionDataset {
     /// Distinct serving endpoints seen, per protocol — the §5 "87 Amazon
     /// servers vs 2 HLS addresses" observation.
     pub fn distinct_servers(&self, protocol: Protocol) -> std::collections::HashSet<String> {
-        self.sessions
-            .iter()
-            .filter(|s| s.protocol == protocol)
-            .map(|s| s.server.clone())
-            .collect()
+        self.sessions.iter().filter(|s| s.protocol == protocol).map(|s| s.server.clone()).collect()
     }
 
     /// Mean viewers at join per protocol, the basis of the paper's ~100
@@ -161,7 +152,10 @@ mod tests {
         use pscp_client::player::Stall;
         use pscp_simnet::{SimDuration, SimTime};
         let stalls = if stall_s > 0.0 {
-            vec![Stall { start: SimTime::from_secs(10), duration: SimDuration::from_secs_f64(stall_s) }]
+            vec![Stall {
+                start: SimTime::from_secs(10),
+                duration: SimDuration::from_secs_f64(stall_s),
+            }]
         } else {
             Vec::new()
         };
@@ -231,9 +225,7 @@ mod tests {
     #[test]
     fn boxplots_by_limit_includes_unlimited_as_100() {
         let d = dataset();
-        let plots = d.boxplots_by_limit(&[0.5, 2.0, 100.0], |g| {
-            SessionDataset::stall_ratios(g)
-        });
+        let plots = d.boxplots_by_limit(&[0.5, 2.0, 100.0], |g| SessionDataset::stall_ratios(g));
         assert_eq!(plots.len(), 3);
         assert!(plots[2].1.is_some()); // unlimited bucket non-empty
     }

@@ -11,8 +11,8 @@ use pscp_proto::http::Request;
 use pscp_proto::json::{parse, Value};
 use pscp_proto::ProtoError;
 use pscp_simnet::GeoRect;
-use pscp_workload::broadcast::{Broadcast, BroadcastId};
 use pscp_simnet::SimTime;
+use pscp_workload::broadcast::{Broadcast, BroadcastId};
 
 /// API base path.
 pub const API_BASE: &str = "/api/v2/";
@@ -123,10 +123,7 @@ impl ApiRequest {
         match name {
             "mapGeoBroadcastFeed" => Ok(ApiRequest::MapGeoBroadcastFeed {
                 rect: GeoRect::new(num("p1_lat")?, num("p1_lng")?, num("p2_lat")?, num("p2_lng")?),
-                include_replay: body
-                    .get("include_replay")
-                    .and_then(Value::as_bool)
-                    .unwrap_or(true),
+                include_replay: body.get("include_replay").and_then(Value::as_bool).unwrap_or(true),
             }),
             "getBroadcasts" => {
                 let ids = body
@@ -244,9 +241,7 @@ mod tests {
 
     #[test]
     fn get_broadcasts_roundtrip() {
-        let req = ApiRequest::GetBroadcasts {
-            ids: vec![BroadcastId(1), BroadcastId(999_999)],
-        };
+        let req = ApiRequest::GetBroadcasts { ids: vec![BroadcastId(1), BroadcastId(999_999)] };
         let http = req.to_http("tok");
         assert_eq!(ApiRequest::from_http(&http).unwrap(), req);
     }

@@ -228,8 +228,7 @@ mod tests {
     #[test]
     fn no_viewers_no_messages() {
         let (mut room, mut rng) = room();
-        let msgs =
-            room.messages_between(SimTime::ZERO, SimTime::from_secs(60), 0, &mut rng);
+        let msgs = room.messages_between(SimTime::ZERO, SimTime::from_secs(60), 0, &mut rng);
         assert!(msgs.is_empty());
     }
 
@@ -264,8 +263,7 @@ mod tests {
     #[test]
     fn picture_urls_stable_per_user() {
         let (mut room, mut rng) = room();
-        let msgs =
-            room.messages_between(SimTime::ZERO, SimTime::from_secs(1200), 80, &mut rng);
+        let msgs = room.messages_between(SimTime::ZERO, SimTime::from_secs(1200), 80, &mut rng);
         let mut by_user: std::collections::HashMap<u64, &PictureRef> =
             std::collections::HashMap::new();
         let mut repeats = 0;
@@ -288,8 +286,7 @@ mod tests {
     #[test]
     fn some_users_lack_pictures() {
         let (mut room, mut rng) = room();
-        let msgs =
-            room.messages_between(SimTime::ZERO, SimTime::from_secs(1200), 100, &mut rng);
+        let msgs = room.messages_between(SimTime::ZERO, SimTime::from_secs(1200), 100, &mut rng);
         let with: usize = msgs.iter().filter(|m| m.picture.is_some()).count();
         let without = msgs.len() - with;
         assert!(with > 0 && without > 0, "with={with} without={without}");
@@ -298,8 +295,7 @@ mod tests {
     #[test]
     fn json_body_parses() {
         let (mut room, mut rng) = room();
-        let msgs =
-            room.messages_between(SimTime::ZERO, SimTime::from_secs(120), 50, &mut rng);
+        let msgs = room.messages_between(SimTime::ZERO, SimTime::from_secs(120), 50, &mut rng);
         let m = msgs.iter().find(|m| m.picture.is_some()).expect("some picture");
         let v = pscp_proto::json::parse(&m.to_json().to_json()).unwrap();
         assert_eq!(v.get("kind").unwrap().as_str(), Some("chat"));
@@ -311,10 +307,7 @@ mod tests {
         let cfg = ChatConfig::default();
         assert_eq!(expected_message_rate(&cfg, 0), 0.0);
         assert!((expected_message_rate(&cfg, 50) - 6.0).abs() < 1e-9);
-        assert_eq!(
-            expected_message_rate(&cfg, 10_000),
-            expected_message_rate(&cfg, 100)
-        );
+        assert_eq!(expected_message_rate(&cfg, 10_000), expected_message_rate(&cfg, 100));
     }
 
     #[test]

@@ -74,10 +74,8 @@ impl RateLimiter {
     /// Accounts a request from `user` at `now`. Returns false if the
     /// request must be rejected with 429.
     pub fn allow(&mut self, user: &str, now: SimTime) -> bool {
-        let (tokens, updated) = self
-            .state
-            .entry(user.to_string())
-            .or_insert((self.burst as f64, now));
+        let (tokens, updated) =
+            self.state.entry(user.to_string()).or_insert((self.burst as f64, now));
         let dt = now.saturating_since(*updated).as_secs_f64();
         let rate = 1.0 / self.interval.as_secs_f64();
         *tokens = (*tokens + dt * rate).min(self.burst as f64);
@@ -199,9 +197,7 @@ mod tests {
 
     fn test_population() -> &'static Population {
         static POP: std::sync::OnceLock<Population> = std::sync::OnceLock::new();
-        POP.get_or_init(|| {
-            Population::generate(PopulationConfig::medium(), &RngFactory::new(31))
-        })
+        POP.get_or_init(|| Population::generate(PopulationConfig::medium(), &RngFactory::new(31)))
     }
 
     #[test]

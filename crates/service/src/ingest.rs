@@ -55,20 +55,10 @@ impl IngestServer {
     /// observed (`ec2-….compute.amazonaws.com`).
     pub fn reverse_dns(&self) -> String {
         // Stable pseudo-IP from region and index, in EC2's public ranges.
-        let h = self
-            .region
-            .bytes()
-            .fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
-        let ip = (
-            54,
-            64 + (h % 128) as u8,
-            (h / 7 % 256) as u8,
-            (self.index * 3 + 7) as u8,
-        );
-        format!(
-            "ec2-{}-{}-{}-{}.{}.compute.amazonaws.com",
-            ip.0, ip.1, ip.2, ip.3, self.region
-        )
+        let h =
+            self.region.bytes().fold(0u32, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u32));
+        let ip = (54, 64 + (h % 128) as u8, (h / 7 % 256) as u8, (self.index * 3 + 7) as u8);
+        format!("ec2-{}-{}-{}-{}.{}.compute.amazonaws.com", ip.0, ip.1, ip.2, ip.3, self.region)
     }
 
     /// The region's location (for RTT modeling).

@@ -96,13 +96,9 @@ impl Segmenter {
     /// requires independently decodable segments) regardless of the GOP
     /// pattern, including intra-only streams where *every* frame is an I.
     pub fn push_frame(&mut self, frame: &EncodedFrame, arrival: SimTime) {
-        let pending_ms = self
-            .pending_first_pts
-            .map(|first| frame.pts_ms.saturating_sub(first))
-            .unwrap_or(0);
-        if frame.kind == FrameKind::I
-            && pending_ms as f64 >= self.config.min_segment_s * 1000.0
-        {
+        let pending_ms =
+            self.pending_first_pts.map(|first| frame.pts_ms.saturating_sub(first)).unwrap_or(0);
+        if frame.kind == FrameKind::I && pending_ms as f64 >= self.config.min_segment_s * 1000.0 {
             self.cut(arrival);
         }
         if let Some(first) = self.pending_first_pts {
@@ -147,11 +143,8 @@ impl Segmenter {
         };
         // PTS span misses the final frame's display time; add one frame
         // duration estimated from the span itself.
-        let tail_ms = if n_video >= 2 {
-            span_ms / (n_video - 1) as f64
-        } else {
-            self.last_pts_delta_ms
-        };
+        let tail_ms =
+            if n_video >= 2 { span_ms / (n_video - 1) as f64 } else { self.last_pts_delta_ms };
         let duration_s = (span_ms + tail_ms) / 1000.0;
         let bytes = self.muxer.mux_segment(&units);
         let seq = self.next_seq;
@@ -248,17 +241,12 @@ mod tests {
         assert!((4.0..5.2).contains(&t), "available_at={t}");
         // Not fetchable before availability.
         assert!(seg.segment_by_uri(&first.uri(), SimTime::from_secs(3)).is_none());
-        assert!(seg
-            .segment_by_uri(&first.uri(), first.available_at)
-            .is_some());
+        assert!(seg.segment_by_uri(&first.uri(), first.available_at).is_some());
     }
 
     #[test]
     fn playlist_respects_availability_and_window() {
-        let mut seg = Segmenter::new(SegmenterConfig {
-            playlist_window: 3,
-            ..Default::default()
-        });
+        let mut seg = Segmenter::new(SegmenterConfig { playlist_window: 3, ..Default::default() });
         feed_seconds(&mut seg, 60, 4);
         let early = seg.playlist_at(SimTime::from_secs(9));
         assert!(early.segments.len() <= 2, "early={}", early.segments.len());

@@ -19,6 +19,9 @@ pub struct ServiceConfig {
     pub visibility: VisibilityConfig,
     /// Protocol selection policy.
     pub selection: SelectionPolicy,
+    /// Record per-request events/metrics into the service trace (DESIGN.md
+    /// §7). Off by default; the simulation is identical either way.
+    pub trace: bool,
 }
 
 /// A stored playbackMeta upload (what the paper's mitmproxy script dumped
@@ -57,10 +60,8 @@ impl VideoAccess {
             fields.push(("rtmp_url", Value::str(format!("rtmp://{}:80/live", s.hostname()))));
         }
         if let Some(pop) = self.cdn_pop {
-            fields.push((
-                "hls_url",
-                Value::str(format!("http://{}/playlist.m3u8", pop.hostname())),
-            ));
+            fields
+                .push(("hls_url", Value::str(format!("http://{}/playlist.m3u8", pop.hostname()))));
         }
         Value::object(fields)
     }
@@ -76,18 +77,27 @@ pub struct PeriscopeService {
     config: ServiceConfig,
     /// All playbackMeta uploads received.
     pub playback_meta: Vec<PlaybackMetaRecord>,
+    trace: pscp_obs::Trace,
 }
 
 impl PeriscopeService {
     /// Creates the service over a population.
     pub fn new(population: Population, config: ServiceConfig) -> Self {
+        let trace = pscp_obs::Trace::new(config.trace);
         PeriscopeService {
             population,
             directory: Directory::new(config.visibility.clone()),
             limiter: RateLimiter::periscope_default(),
             config,
             playback_meta: Vec::new(),
+            trace,
         }
+    }
+
+    /// Drains the service-side trace (per-verb counters, 429 events) so a
+    /// crawl or lab can absorb it; the service keeps recording afterwards.
+    pub fn take_trace(&mut self) -> pscp_obs::Trace {
+        self.trace.take()
     }
 
     /// Handles one HTTP API request from `user` at `now`. `viewer_loc` is
@@ -102,18 +112,35 @@ impl PeriscopeService {
     ) -> Response {
         if !self.limiter.allow(user, now) {
             // §4: "too frequent requests will be answered with HTTP 429".
+            self.trace.count("service", "rate_limited", 1);
+            if self.trace.is_enabled() {
+                self.trace.event(
+                    now.as_micros(),
+                    "service",
+                    "service.rate_limited",
+                    vec![("user", pscp_obs::Field::S(user.to_string()))],
+                );
+            }
             return Response::too_many_requests();
         }
         let api = match ApiRequest::from_http(req) {
             Ok(api) => api,
             Err(e) => {
+                self.trace.count("service", "bad_requests", 1);
                 return Response {
                     status: 400,
                     headers: Vec::new(),
                     body: e.to_string().into_bytes(),
-                }
+                };
             }
         };
+        let verb = match &api {
+            ApiRequest::MapGeoBroadcastFeed { .. } => "api.mapGeoBroadcastFeed",
+            ApiRequest::GetBroadcasts { .. } => "api.getBroadcasts",
+            ApiRequest::PlaybackMeta { .. } => "api.playbackMeta",
+            ApiRequest::AccessVideo { .. } => "api.accessVideo",
+        };
+        self.trace.count("service", verb, 1);
         match api {
             ApiRequest::MapGeoBroadcastFeed { rect, include_replay } => {
                 // include_replay=false (the crawler's setting) restricts to
@@ -222,11 +249,8 @@ mod tests {
     #[test]
     fn map_feed_returns_ids() {
         let mut svc = service();
-        let req = ApiRequest::MapGeoBroadcastFeed {
-            rect: GeoRect::WORLD,
-            include_replay: false,
-        }
-        .to_http("u1");
+        let req = ApiRequest::MapGeoBroadcastFeed { rect: GeoRect::WORLD, include_replay: false }
+            .to_http("u1");
         let resp = svc.handle_http("u1", &req, SimTime::from_secs(3600), &helsinki());
         assert_eq!(resp.status, 200);
         let v = parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
@@ -253,8 +277,7 @@ mod tests {
     #[test]
     fn unknown_ids_silently_skipped() {
         let mut svc = service();
-        let req =
-            ApiRequest::GetBroadcasts { ids: vec![BroadcastId(0xdead_beef)] }.to_http("u1");
+        let req = ApiRequest::GetBroadcasts { ids: vec![BroadcastId(0xdead_beef)] }.to_http("u1");
         let resp = svc.handle_http("u1", &req, SimTime::from_secs(10), &helsinki());
         let v = parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert!(v.get("broadcasts").unwrap().as_array().unwrap().is_empty());

@@ -110,8 +110,7 @@ mod tests {
         let mut r = rng();
         let xs: Vec<f64> = (0..20_000).map(|_| normal(&mut r, 5.0, 2.0)).collect();
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var =
-            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((mean - 5.0).abs() < 0.1, "mean={mean}");
         assert!((var - 4.0).abs() < 0.25, "var={var}");
     }

@@ -89,8 +89,10 @@ impl GeoRect {
     /// Whether `p` lies inside (inclusive south/west, exclusive north/east,
     /// except at the world's edges so nothing falls off the map).
     pub fn contains(&self, p: &GeoPoint) -> bool {
-        let lat_ok = p.lat >= self.south && (p.lat < self.north || (self.north >= 90.0 && p.lat <= 90.0));
-        let lon_ok = p.lon >= self.west && (p.lon < self.east || (self.east >= 180.0 && p.lon <= 180.0));
+        let lat_ok =
+            p.lat >= self.south && (p.lat < self.north || (self.north >= 90.0 && p.lat <= 90.0));
+        let lon_ok =
+            p.lon >= self.west && (p.lon < self.east || (self.east >= 180.0 && p.lon <= 180.0));
         lat_ok && lon_ok
     }
 

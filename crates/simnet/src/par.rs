@@ -90,6 +90,94 @@ where
     collected.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Wall-clock accounting for one [`indexed_map_timed`] call.
+///
+/// Strictly profiling data: none of it feeds back into simulation state,
+/// so the timed variant produces the same results as [`indexed_map`].
+#[derive(Debug, Clone)]
+pub struct ParProfile {
+    /// Workers that actually ran (1 = the inline serial path).
+    pub workers: usize,
+    /// Wall-clock seconds for the whole map.
+    pub wall_secs: f64,
+    /// Seconds each worker spent inside the work function (one entry per
+    /// worker; the gap to `wall_secs` is that worker's idle tail).
+    pub busy_secs: Vec<f64>,
+}
+
+impl ParProfile {
+    /// Summed busy time across all workers.
+    pub fn busy_total(&self) -> f64 {
+        self.busy_secs.iter().sum()
+    }
+}
+
+/// [`indexed_map`] plus per-worker busy timing.
+///
+/// Results are identical to [`indexed_map`] (same ordering contract, same
+/// panic propagation); the extra cost is two `Instant::now()` calls per
+/// item, paid only by callers that asked for profiling.
+pub fn indexed_map_timed<T, R, F>(items: &[T], threads: usize, f: F) -> (Vec<R>, ParProfile)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    use std::time::Instant;
+    let workers = resolve_threads(threads).min(items.len()).max(1);
+    let started = Instant::now();
+    if workers == 1 {
+        let mut busy = 0.0;
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let t0 = Instant::now();
+                let r = f(i, item);
+                busy += t0.elapsed().as_secs_f64();
+                r
+            })
+            .collect();
+        let profile = ParProfile {
+            workers: 1,
+            wall_secs: started.elapsed().as_secs_f64(),
+            busy_secs: vec![busy],
+        };
+        return (out, profile);
+    }
+    let next = AtomicUsize::new(0);
+    let mut collected: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    let mut busy_secs: Vec<f64> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    let mut busy = 0.0;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        local.push((i, f(i, &items[i])));
+                        busy += t0.elapsed().as_secs_f64();
+                    }
+                    (local, busy)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (local, busy) = h.join().expect("parallel worker panicked");
+            collected.extend(local);
+            busy_secs.push(busy);
+        }
+    });
+    collected.sort_by_key(|&(i, _)| i);
+    let out = collected.into_iter().map(|(_, r)| r).collect();
+    (out, ParProfile { workers, wall_secs: started.elapsed().as_secs_f64(), busy_secs })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +222,29 @@ mod tests {
     fn more_threads_than_items_ok() {
         let out = indexed_map(&[1, 2, 3], 64, |_, &x| x + 1);
         assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn timed_map_matches_untimed() {
+        let items: Vec<u64> = (0..40).collect();
+        let work = |i: usize, &x: &u64| x.wrapping_mul(17).wrapping_add(i as u64);
+        let plain = indexed_map(&items, 4, work);
+        for threads in [1, 4] {
+            let (timed, profile) = indexed_map_timed(&items, threads, work);
+            assert_eq!(plain, timed, "threads={threads}");
+            assert_eq!(profile.workers, threads);
+            assert_eq!(profile.busy_secs.len(), threads);
+            assert!(profile.wall_secs >= 0.0);
+            assert!(profile.busy_total() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn timed_map_empty_input_ok() {
+        let (out, profile) = indexed_map_timed(&[] as &[u32], 4, |_, &x| x);
+        assert!(out.is_empty());
+        assert_eq!(profile.workers, 1);
+        assert_eq!(profile.busy_secs, vec![0.0]);
     }
 
     #[test]

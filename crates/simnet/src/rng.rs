@@ -76,8 +76,10 @@ mod tests {
     #[test]
     fn same_label_same_stream() {
         let f = RngFactory::new(7);
-        let a: Vec<u64> = f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> = f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> =
+            f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let b: Vec<u64> =
+            f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
         assert_eq!(a, b);
     }
 
@@ -128,8 +130,7 @@ mod tests {
         // A crude sanity check that bits look uniform: mean of 10k u8 draws.
         let f = RngFactory::new(11);
         let mut rng = f.stream("uniformity");
-        let mean: f64 =
-            (0..10_000).map(|_| rng.gen::<u8>() as f64).sum::<f64>() / 10_000.0;
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<u8>() as f64).sum::<f64>() / 10_000.0;
         assert!((mean - 127.5).abs() < 3.0, "mean={mean}");
     }
 }

@@ -113,7 +113,7 @@ mod tests {
     fn idle_refills_up_to_burst() {
         let mut tb = TokenBucket::new(8e6, 2_000);
         tb.release_time(SimTime::ZERO, 2_000); // drain
-        // After 10 s idle, bucket holds exactly the burst, no more.
+                                               // After 10 s idle, bucket holds exactly the burst, no more.
         assert!((tb.tokens_at(SimTime::from_secs(10)) - 2_000.0).abs() < 1e-9);
     }
 

@@ -3,7 +3,9 @@
 use proptest::prelude::*;
 use pscp_simnet::link::Delivery;
 use pscp_simnet::tcp::INIT_CWND_SEGMENTS;
-use pscp_simnet::{EventQueue, GeoPoint, GeoRect, Link, SimDuration, SimTime, TcpModel, TokenBucket};
+use pscp_simnet::{
+    EventQueue, GeoPoint, GeoRect, Link, SimDuration, SimTime, TcpModel, TokenBucket,
+};
 
 proptest! {
     #[test]

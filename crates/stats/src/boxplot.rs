@@ -34,10 +34,8 @@ impl BoxplotSummary {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let whisker_low = *sorted
-            .iter()
-            .find(|&&x| x >= lo_fence)
-            .expect("q1 itself is within the lower fence");
+        let whisker_low =
+            *sorted.iter().find(|&&x| x >= lo_fence).expect("q1 itself is within the lower fence");
         let whisker_high = *sorted
             .iter()
             .rev()

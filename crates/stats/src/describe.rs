@@ -50,7 +50,14 @@ pub struct Accumulator {
 impl Accumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Accumulator { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY, sum: 0.0 }
+        Accumulator {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
     }
 
     /// Adds one observation.

@@ -61,13 +61,8 @@ impl Histogram {
                     .collect::<Vec<_>>()
             }
         };
-        let mut h = Histogram {
-            counts: vec![0; edges.len() - 1],
-            edges,
-            below: 0,
-            above: 0,
-            total: 0,
-        };
+        let mut h =
+            Histogram { counts: vec![0; edges.len() - 1], edges, below: 0, above: 0, total: 0 };
         for &x in data {
             h.add(x);
         }

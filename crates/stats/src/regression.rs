@@ -4,7 +4,7 @@
 //! duration" — experiment E4 checks this with Pearson and Spearman
 //! correlation over the crawled broadcast dataset.
 
-use crate::{StatsError, validate};
+use crate::{validate, StatsError};
 
 /// Pearson product-moment correlation coefficient of paired samples.
 pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {

@@ -60,8 +60,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Result<WelchResult, StatsError> {
     }
     let t = (da.mean - db.mean) / se2.sqrt();
     // Welch–Satterthwaite approximation.
-    let df = se2 * se2
-        / (va_n * va_n / (da.n as f64 - 1.0) + vb_n * vb_n / (db.n as f64 - 1.0));
+    let df = se2 * se2 / (va_n * va_n / (da.n as f64 - 1.0) + vb_n * vb_n / (db.n as f64 - 1.0));
     let p_value = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
     Ok(WelchResult { t, df, p_value: p_value.clamp(0.0, 1.0), mean_a: da.mean, mean_b: db.mean })
 }

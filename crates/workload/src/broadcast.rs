@@ -134,8 +134,8 @@ impl Broadcast {
         if !self.is_live_at(t) || self.avg_viewers <= 0.0 {
             return 0;
         }
-        let progress = t.saturating_since(self.start).as_secs_f64()
-            / self.duration.as_secs_f64().max(1e-9);
+        let progress =
+            t.saturating_since(self.start).as_secs_f64() / self.duration.as_secs_f64().max(1e-9);
         viewers::viewers_at(self.avg_viewers, progress, self.viewer_seed, t)
     }
 

@@ -123,18 +123,10 @@ impl Population {
         let public_buckets = buckets
             .iter()
             .map(|bucket| {
-                bucket
-                    .iter()
-                    .copied()
-                    .filter(|&i| !broadcasts[i as usize].private)
-                    .collect()
+                bucket.iter().copied().filter(|&i| !broadcasts[i as usize].private).collect()
             })
             .collect();
-        let by_id = broadcasts
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (b.id, i as u32))
-            .collect();
+        let by_id = broadcasts.iter().enumerate().map(|(i, b)| (b.id, i as u32)).collect();
         Population { broadcasts, config, buckets, public_buckets, by_id }
     }
 
@@ -178,11 +170,8 @@ impl Population {
         };
         // Replay availability: most zero-viewer broadcasts are not kept
         // (>80% per §4); broadcasters with an audience keep replays more.
-        let replay_available = if zero_viewers {
-            dist::coin(rng, 0.18)
-        } else {
-            dist::coin(rng, 0.62)
-        };
+        let replay_available =
+            if zero_viewers { dist::coin(rng, 0.18) } else { dist::coin(rng, 0.62) };
         let device = match dist::categorical(rng, &[0.795, 0.20, 0.005]) {
             0 => DeviceProfile::Modern,
             1 => DeviceProfile::NoBFrames,
@@ -193,14 +182,13 @@ impl Population {
             // Talking heads dominate; TV/sports rebroadcasts are common too.
             &[0.35, 0.25, 0.18, 0.12, 0.10],
         )];
-        let audio =
-            if dist::coin(rng, 0.6) { AudioBitrate::Kbps32 } else { AudioBitrate::Kbps64 };
+        let audio = if dist::coin(rng, 0.6) { AudioBitrate::Kbps32 } else { AudioBitrate::Kbps64 };
         // Rate-control targets vary by broadcaster app version / settings;
         // intra-only encoders need far more bits for the same quality
         // ("poor efficiency coding schemes", §5.2).
         let efficiency = if device == DeviceProfile::IntraOnly { 1.7 } else { 1.0 };
-        let target_bitrate_bps =
-            (dist::lognormal(rng, (280_000f64).ln(), 0.45) * efficiency).clamp(80_000.0, 1_300_000.0);
+        let target_bitrate_bps = (dist::lognormal(rng, (280_000f64).ln(), 0.45) * efficiency)
+            .clamp(80_000.0, 1_300_000.0);
         Broadcast {
             id: BroadcastId(id.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1),
             location,
@@ -313,9 +301,7 @@ mod tests {
     /// instead of regenerating ~100K broadcasts per test.
     fn shared() -> &'static Population {
         static POP: std::sync::OnceLock<Population> = std::sync::OnceLock::new();
-        POP.get_or_init(|| {
-            Population::generate(PopulationConfig::default(), &RngFactory::new(1))
-        })
+        POP.get_or_init(|| Population::generate(PopulationConfig::default(), &RngFactory::new(1)))
     }
 
     #[test]
@@ -369,8 +355,7 @@ mod tests {
         // paper's observed floor because ranking bias hides some from the
         // crawler.
         assert!((0.13..0.19).contains(&zero), "zero={zero}");
-        let under20 =
-            p.broadcasts.iter().filter(|b| b.avg_viewers < 20.0).count() as f64 / n;
+        let under20 = p.broadcasts.iter().filter(|b| b.avg_viewers < 20.0).count() as f64 / n;
         // "Over 90% of broadcasts have less than 20 viewers on average"
         assert!(under20 > 0.87, "under20={under20}");
         // "some attract thousands of viewers"
@@ -381,12 +366,8 @@ mod tests {
     fn zero_viewer_broadcasts_shorter() {
         let p = shared();
         let avg = |pred: &dyn Fn(&Broadcast) -> bool| {
-            let xs: Vec<f64> = p
-                .broadcasts
-                .iter()
-                .filter(|b| pred(b))
-                .map(|b| b.duration.as_secs_f64())
-                .collect();
+            let xs: Vec<f64> =
+                p.broadcasts.iter().filter(|b| pred(b)).map(|b| b.duration.as_secs_f64()).collect();
             xs.iter().sum::<f64>() / xs.len() as f64
         };
         let zero = avg(&|b| b.avg_viewers == 0.0);
@@ -400,8 +381,7 @@ mod tests {
     #[test]
     fn zero_viewer_replay_mostly_unavailable() {
         let p = shared();
-        let zs: Vec<&Broadcast> =
-            p.broadcasts.iter().filter(|b| b.avg_viewers == 0.0).collect();
+        let zs: Vec<&Broadcast> = p.broadcasts.iter().filter(|b| b.avg_viewers == 0.0).collect();
         let unavailable =
             zs.iter().filter(|b| !b.replay_available).count() as f64 / zs.len() as f64;
         assert!(unavailable > 0.8, "unavailable={unavailable}");
@@ -412,11 +392,9 @@ mod tests {
         let p = shared();
         let n = p.broadcasts.len() as f64;
         let no_b =
-            p.broadcasts.iter().filter(|b| b.device == DeviceProfile::NoBFrames).count() as f64
-                / n;
+            p.broadcasts.iter().filter(|b| b.device == DeviceProfile::NoBFrames).count() as f64 / n;
         assert!((no_b - 0.20).abs() < 0.02, "no_b={no_b}");
-        let intra =
-            p.broadcasts.iter().filter(|b| b.device == DeviceProfile::IntraOnly).count();
+        let intra = p.broadcasts.iter().filter(|b| b.device == DeviceProfile::IntraOnly).count();
         assert!(intra > 0);
     }
 
@@ -426,8 +404,7 @@ mod tests {
         for s in [0u64, 300, 600, 900] {
             let t = SimTime::from_secs(s);
             let live = p.live_at(t);
-            let brute: Vec<&Broadcast> =
-                p.broadcasts.iter().filter(|b| b.is_live_at(t)).collect();
+            let brute: Vec<&Broadcast> = p.broadcasts.iter().filter(|b| b.is_live_at(t)).collect();
             assert_eq!(live.len(), brute.len(), "t={s}");
         }
     }
@@ -444,23 +421,14 @@ mod tests {
         for s in [60u64, 300, 600, 900, 1100] {
             let t = SimTime::from_secs(s);
             let picked = p.sample_live_weighted(t, &mut fast);
-            let live: Vec<&Broadcast> = p
-                .live_at(t)
-                .into_iter()
-                .filter(|b| !b.private)
-                .collect();
+            let live: Vec<&Broadcast> = p.live_at(t).into_iter().filter(|b| !b.private).collect();
             let expected = if live.is_empty() {
                 None
             } else {
-                let weights: Vec<f64> =
-                    live.iter().map(|b| b.viewers_at(t) as f64 + 1.0).collect();
+                let weights: Vec<f64> = live.iter().map(|b| b.viewers_at(t) as f64 + 1.0).collect();
                 Some(live[dist::categorical(&mut brute, &weights)])
             };
-            assert_eq!(
-                picked.map(|b| b.id),
-                expected.map(|b| b.id),
-                "t={s}s"
-            );
+            assert_eq!(picked.map(|b| b.id), expected.map(|b| b.id), "t={s}s");
         }
     }
 
@@ -493,11 +461,7 @@ mod tests {
         // Mid-window live count should be in the paper's observed 1K-4K
         // discoverable range (give or take calibration).
         let t = SimTime::from_secs(2 * 3600);
-        let live = p
-            .live_at(t)
-            .iter()
-            .filter(|b| b.discoverable_at(t))
-            .count();
+        let live = p.live_at(t).iter().filter(|b| b.discoverable_at(t)).count();
         assert!((800..6000).contains(&live), "live={live}");
     }
 

@@ -103,9 +103,7 @@ mod tests {
 
     #[test]
     fn mostly_uninformative() {
-        let informative = (0..10_000u64)
-            .filter(|&id| is_informative(title_for(id).0))
-            .count();
+        let informative = (0..10_000u64).filter(|&id| is_informative(title_for(id).0)).count();
         let frac = informative as f64 / 10_000.0;
         assert!((0.08..0.20).contains(&frac), "informative fraction {frac}");
     }

@@ -16,14 +16,7 @@ fn main() {
     );
     for (scenario, wifi, lte) in figure7(&model) {
         let (pw, pl) = scenario.paper_mw();
-        println!(
-            "{:<28} {:>11.0} {:>11.0} {:>12.0} {:>12.0}",
-            scenario.label(),
-            wifi,
-            lte,
-            pw,
-            pl
-        );
+        println!("{:<28} {:>11.0} {:>11.0} {:>12.0} {:>12.0}", scenario.label(), wifi, lte, pw, pl);
     }
 
     // The §5.3 decomposition of the chat-on surprise.
@@ -34,18 +27,16 @@ fn main() {
     let p_on = model.power_mw(&on, Radio::Wifi);
     println!("  chat off: {p_off:.0} mW");
     println!("  chat on:  {p_on:.0} mW  (+{:.0})", p_on - p_off);
-    println!("  drivers:  traffic {} -> {} Mbps (uncached profile pictures),",
-        off.traffic_mbps, on.traffic_mbps);
-    println!("            CPU/GPU clocks x{:.2} (DVFS reacting to image decoding)",
-        on.clock_ratio);
+    println!(
+        "  drivers:  traffic {} -> {} Mbps (uncached profile pictures),",
+        off.traffic_mbps, on.traffic_mbps
+    );
+    println!("            CPU/GPU clocks x{:.2} (DVFS reacting to image decoding)", on.clock_ratio);
 
     // The mitigation the paper suggests: cache pictures / allow disabling.
     let mut mitigated = on;
     mitigated.traffic_mbps = 0.9; // cached pictures: mostly chat JSON again
     mitigated.clock_ratio = 1.1;
     let p_fixed = model.power_mw(&mitigated, Radio::Wifi);
-    println!(
-        "  with picture caching (modelled): {p_fixed:.0} mW — saves {:.0} mW",
-        p_on - p_fixed
-    );
+    println!("  with picture caching (modelled): {p_fixed:.0} mW — saves {:.0} mW", p_on - p_fixed);
 }

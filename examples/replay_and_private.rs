@@ -10,9 +10,9 @@ use periscope_repro::crawler::tap::ApiTap;
 use periscope_repro::media::capture::FlowKind;
 use periscope_repro::proto::tls::TlsChannel;
 use periscope_repro::service::api::ApiRequest;
+use periscope_repro::service::{PeriscopeService, ServiceConfig};
 use periscope_repro::simnet::{GeoPoint, GeoRect, RngFactory, SimDuration, SimTime};
 use periscope_repro::workload::population::{Population, PopulationConfig};
-use periscope_repro::service::{PeriscopeService, ServiceConfig};
 
 fn main() {
     let rngs = RngFactory::new(777);
@@ -33,7 +33,8 @@ fn main() {
             tap.handle("analyst", &world.to_http("tok"), t, &loc);
         }
         for (name, example) in tap.discovered_commands() {
-            let example = if example.len() > 56 { format!("{}…", &example[..56]) } else { example };
+            let example =
+                if example.len() > 56 { format!("{}…", &example[..56]) } else { example };
             println!("  {name:<22} {example}");
         }
         println!("  429s observed: {} (the crawler must pace itself)", tap.rate_limited_count());
@@ -54,9 +55,11 @@ fn main() {
     println!("  server:      {}", out.server);
     println!("  join time:   {:.2} s (the app has the keys)", out.join_time_s().unwrap());
     let flow = out.capture.flow_of_kind(FlowKind::Rtmp).unwrap();
-    let parse =
-        periscope_repro::media::analysis::analyze_rtmp_flow(flow);
-    println!("  capture dissects as RTMP?  {}", if parse.is_ok() { "yes" } else { "no — ciphertext" });
+    let parse = periscope_repro::media::analysis::analyze_rtmp_flow(flow);
+    println!(
+        "  capture dissects as RTMP?  {}",
+        if parse.is_ok() { "yes" } else { "no — ciphertext" }
+    );
     let mut tls = TlsChannel::new(private.viewer_seed);
     let decrypted = tls.open_all(&flow.byte_stream()).map(|p| p.len()).unwrap_or(0);
     println!(

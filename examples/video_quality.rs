@@ -34,10 +34,8 @@ fn main() {
     }
 
     let n = analyzed.len().max(1);
-    let in_range = analyzed
-        .iter()
-        .filter(|r| (200_000.0..=400_000.0).contains(&r.bitrate_bps))
-        .count();
+    let in_range =
+        analyzed.iter().filter(|r| (200_000.0..=400_000.0).contains(&r.bitrate_bps)).count();
     let ip_only = analyzed.iter().filter(|r| r.gop == GopClass::IpOnly).count();
     println!("\n{in_range}/{n} streams in the paper's typical 200-400 kbps band");
     println!(

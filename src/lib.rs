@@ -34,13 +34,14 @@
 
 pub use pscp_client as client;
 pub use pscp_core as core;
-pub use pscp_simnet::par;
 pub use pscp_crawler as crawler;
 pub use pscp_energy as energy;
 pub use pscp_media as media;
+pub use pscp_obs as obs;
 pub use pscp_proto as proto;
 pub use pscp_qoe as qoe;
 pub use pscp_service as service;
 pub use pscp_simnet as simnet;
+pub use pscp_simnet::par;
 pub use pscp_stats as stats;
 pub use pscp_workload as workload;

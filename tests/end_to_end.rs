@@ -45,28 +45,24 @@ fn two_mbps_is_the_qoe_boundary() {
     let mut lab = Lab::new(LabConfig::small(22));
     let rngs = *lab.rngs();
     let svc = lab.service();
-    let run_at = |svc: &mut periscope_repro::service::PeriscopeService,
-                  label: &str,
-                  mbps: Option<f64>| {
-        let network = match mbps {
-            Some(m) => NetworkSetup::finland_limited(m),
-            None => NetworkSetup::finland_unlimited(),
+    let run_at =
+        |svc: &mut periscope_repro::service::PeriscopeService, label: &str, mbps: Option<f64>| {
+            let network = match mbps {
+                Some(m) => NetworkSetup::finland_limited(m),
+                None => NetworkSetup::finland_unlimited(),
+            };
+            let tp = Teleport::new(svc, rngs.child(label));
+            tp.run_dataset(&TeleportConfig {
+                sessions: 12,
+                session: SessionConfig { network, ..Default::default() },
+                ..Default::default()
+            })
         };
-        let tp = Teleport::new(svc, rngs.child(label));
-        tp.run_dataset(&TeleportConfig {
-            sessions: 12,
-            session: SessionConfig { network, ..Default::default() },
-            ..Default::default()
-        })
-    };
     let slow = run_at(svc, "slow", Some(0.5));
     let fast = run_at(svc, "fast", None);
     let refs = |v: &[periscope_repro::client::SessionOutcome]| -> (f64, f64) {
         let r: Vec<&_> = v.iter().collect();
-        (
-            mean(&SessionDataset::stall_ratios(&r)),
-            mean(&SessionDataset::join_times_s(&r)),
-        )
+        (mean(&SessionDataset::stall_ratios(&r)), mean(&SessionDataset::join_times_s(&r)))
     };
     let (slow_stall, slow_join) = refs(&slow);
     let (fast_stall, fast_join) = refs(&fast);
@@ -130,11 +126,7 @@ fn chat_traffic_explosion_end_to_end() {
     // paper's 500 kbps -> 3.5 Mbps observation; the join bootstrap is the
     // same in both runs.
     let rate = |o: &periscope_repro::client::SessionOutcome| {
-        o.capture.rate_of_kinds(&[
-            FlowKind::Rtmp,
-            FlowKind::Chat,
-            FlowKind::PictureHttp,
-        ])
+        o.capture.rate_of_kinds(&[FlowKind::Rtmp, FlowKind::Chat, FlowKind::PictureHttp])
     };
     assert!(
         rate(&chatty) > rate(&quiet) * 2.0,

@@ -12,11 +12,7 @@ fn every_experiment_runs_and_renders() {
     for exp in experiments::all() {
         let figure = (exp.run)(&mut lab);
         let text = figure.render();
-        assert!(
-            text.lines().count() >= 3,
-            "experiment {} rendered too little:\n{text}",
-            exp.id
-        );
+        assert!(text.lines().count() >= 3, "experiment {} rendered too little:\n{text}", exp.id);
         // Shape sanity per kind.
         match &figure {
             FigureData::Cdf { series, .. } => {

@@ -1,0 +1,194 @@
+//! Observability-layer invariants (DESIGN.md §7): tracing must be a pure
+//! read-only tap — figures and datasets byte-identical with it on or off,
+//! the merged event log byte-identical at any thread count, and the metric
+//! snapshot stable and complete.
+
+use periscope_repro::core::{experiments, Lab, LabConfig};
+use periscope_repro::obs::{MetricsRegistry, MS_BUCKETS};
+
+/// Per-session fingerprint of the full QoE dataset (mirrors
+/// `tests/determinism.rs` so a single diverging draw shows up).
+fn dataset_fingerprint(trace: bool, threads: usize, seed: u64) -> Vec<String> {
+    let mut config = LabConfig::small(seed);
+    config.trace = trace;
+    config.threads = threads;
+    let mut lab = Lab::new(config);
+    let dataset = lab.session_dataset();
+    dataset
+        .sessions
+        .iter()
+        .map(|s| {
+            format!(
+                "{:?} {:?} {:?} {} {} {} {:?} {:?}",
+                s.broadcast_id,
+                s.protocol,
+                s.device,
+                s.viewers_at_join,
+                s.meta.n_stalls,
+                s.capture.total_bytes(),
+                s.join_time_s().map(|j| (j * 1e6) as u64),
+                s.meta.playback_latency_s.map(|l| (l * 1e6) as u64),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn tracing_does_not_change_the_dataset() {
+    let off = dataset_fingerprint(false, 1, 21);
+    let on = dataset_fingerprint(true, 1, 21);
+    assert_eq!(off, on, "tracing changed simulation results");
+}
+
+#[test]
+fn tracing_does_not_change_the_dataset_parallel() {
+    let off = dataset_fingerprint(false, 8, 22);
+    let on = dataset_fingerprint(true, 8, 22);
+    assert_eq!(off, on, "tracing changed parallel simulation results");
+}
+
+#[test]
+fn figures_identical_with_tracing_on_and_off() {
+    let render = |trace: bool, id: &str| {
+        let mut config = LabConfig::small(23);
+        config.trace = trace;
+        let mut lab = Lab::new(config);
+        let exp = experiments::by_id(id).expect("experiment exists");
+        (exp.run)(&mut lab).render()
+    };
+    for id in ["fig1a", "fig3b", "fig7"] {
+        assert_eq!(render(false, id), render(true, id), "experiment {id}");
+    }
+}
+
+/// The merged event log must be byte-identical at every thread count:
+/// per-unit traces are absorbed in plan order, never completion order.
+fn event_log(threads: usize, seed: u64) -> (String, String) {
+    let mut config = LabConfig::small(seed);
+    config.trace = true;
+    config.threads = threads;
+    let mut lab = Lab::new(config);
+    lab.session_dataset();
+    lab.deep_crawl_at(14.0);
+    let obs = lab.observer();
+    (obs.events_jsonl(), obs.metrics().snapshot_text())
+}
+
+#[test]
+fn event_log_invariant_under_thread_count() {
+    let (log1, metrics1) = event_log(1, 24);
+    let (log8, metrics8) = event_log(8, 24);
+    assert!(!log1.is_empty(), "tracing produced no events");
+    assert_eq!(log1, log8, "event log diverged across thread counts");
+    assert_eq!(metrics1, metrics8, "metrics diverged across thread counts");
+}
+
+#[test]
+fn event_log_lines_are_valid_json() {
+    let (log, _) = event_log(1, 25);
+    let mut lines = 0;
+    for line in log.lines() {
+        let v = periscope_repro::proto::json::parse(line)
+            .unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e:?}"));
+        assert!(v.get("t_us").is_some(), "missing t_us: {line}");
+        assert!(v.get("unit").is_some(), "missing unit: {line}");
+        assert!(v.get("sub").is_some(), "missing sub: {line}");
+        assert!(v.get("ev").is_some(), "missing ev: {line}");
+        lines += 1;
+    }
+    assert!(lines > 100, "expected a substantial log, got {lines} lines");
+}
+
+#[test]
+fn metrics_cover_the_required_subsystems() {
+    let mut config = LabConfig::small(26);
+    config.trace = true;
+    let mut lab = Lab::new(config);
+    lab.session_dataset();
+    lab.deep_crawl_at(14.0);
+    let metrics = lab.observer().metrics();
+    let subs = metrics.subsystems();
+    for required in ["session", "player", "tcp", "service", "crawler", "hls", "rtmp"] {
+        assert!(subs.contains(&required), "subsystem {required} missing from {subs:?}");
+    }
+    assert!(subs.len() >= 5, "need >= 5 subsystems, got {subs:?}");
+}
+
+#[test]
+fn metrics_snapshot_ordering_is_stable() {
+    // Insertion order must not leak into the snapshot: the registry is
+    // keyed on BTreeMaps, so two differently-ordered merges render the same.
+    let mut a = MetricsRegistry::new();
+    a.count("zeta", "last", 1);
+    a.count("alpha", "first", 2);
+    a.observe("mid", "lat_ms", &MS_BUCKETS, 42);
+    let mut b = MetricsRegistry::new();
+    b.observe("mid", "lat_ms", &MS_BUCKETS, 42);
+    b.count("alpha", "first", 2);
+    b.count("zeta", "last", 1);
+    assert_eq!(a.snapshot_text(), b.snapshot_text());
+    assert_eq!(a.snapshot_json(), b.snapshot_json());
+    let text = a.snapshot_text();
+    let alpha = text.find("alpha").expect("alpha present");
+    let zeta = text.find("zeta").expect("zeta present");
+    assert!(alpha < zeta, "subsystems not sorted:\n{text}");
+}
+
+#[test]
+fn histogram_bucket_edges_are_fixed() {
+    // The bucket layout is part of the output contract; changing it silently
+    // would break downstream dashboards diffing TRACE_metrics.json.
+    assert_eq!(
+        MS_BUCKETS.edges,
+        &[1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 60_000]
+    );
+}
+
+#[test]
+fn counter_totals_match_expected_for_seed_2() {
+    // LabConfig::small(2): 30 unlimited sessions + 3 limits x 6 sessions.
+    // These totals are structural (they count work items, not stochastic
+    // outcomes), so they are exact for any seed with this config.
+    let mut config = LabConfig::small(2);
+    config.trace = true;
+    let mut lab = Lab::new(config);
+    lab.session_dataset();
+    let metrics = lab.observer().metrics();
+    assert_eq!(metrics.counter("session", "started"), 48);
+    assert_eq!(metrics.counter("shaper", "limited_sessions"), 18);
+    assert_eq!(metrics.counter("service", "access_video"), 48);
+    let rtmp = metrics.counter("session", "rtmp");
+    let hls = metrics.counter("session", "hls");
+    assert_eq!(rtmp + hls, 48, "every session is rtmp or hls");
+    // Every session joins or is recorded as never joining.
+    let joined = metrics.counter("player", "joined");
+    let never = metrics.counter("player", "never_joined");
+    assert_eq!(joined + never, 48);
+}
+
+#[test]
+fn disabled_observer_stays_empty() {
+    let mut lab = Lab::new(LabConfig::small(27));
+    lab.session_dataset();
+    let obs = lab.observer();
+    assert!(!obs.tracing());
+    assert_eq!(obs.event_count(), 0);
+    assert!(obs.metrics().is_empty());
+    assert!(obs.phases().is_empty());
+}
+
+#[test]
+fn profile_only_records_phases_without_events() {
+    let mut config = LabConfig::small(28);
+    config.profile = true;
+    let mut lab = Lab::new(config);
+    lab.session_dataset();
+    let obs = lab.observer();
+    assert!(!obs.tracing());
+    assert_eq!(obs.event_count(), 0, "profiling must not record events");
+    let phases = obs.phases();
+    let names: Vec<&str> = phases.iter().map(|p| p.name.as_str()).collect();
+    assert!(names.contains(&"dataset.plan"), "missing dataset.plan in {names:?}");
+    assert!(names.contains(&"dataset.execute"), "missing dataset.execute in {names:?}");
+    assert!(names.contains(&"dataset.sweep"), "missing dataset.sweep in {names:?}");
+}

@@ -34,11 +34,8 @@ fn fig1b_concentration() {
     let fig = run("fig1b", &mut lab);
     let FigureData::Scatter { series, .. } = &fig else { panic!("scatter expected") };
     for (label, pts) in series {
-        let at_half = pts
-            .iter()
-            .find(|(area_pct, _)| *area_pct >= 50.0)
-            .map(|(_, b)| *b)
-            .unwrap_or(0.0);
+        let at_half =
+            pts.iter().find(|(area_pct, _)| *area_pct >= 50.0).map(|(_, b)| *b).unwrap_or(0.0);
         assert!(at_half >= 75.0, "{label}: at_half={at_half}%");
     }
 }
@@ -71,8 +68,7 @@ fn fig6b_bitrate_varies_at_fixed_qp() {
     let mut lab = Lab::new(LabConfig::small(304));
     let fig = run("fig6b", &mut lab);
     let FigureData::Scatter { series, .. } = &fig else { panic!("scatter expected") };
-    let all: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
     assert!(all.len() >= 20, "points={}", all.len());
     // Within a central QP band, the bitrate spread is wide.
     let qps: Vec<f64> = all.iter().map(|(_, qp)| *qp).collect();
@@ -81,11 +77,8 @@ fn fig6b_bitrate_varies_at_fixed_qp() {
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         v[v.len() / 2]
     };
-    let band: Vec<f64> = all
-        .iter()
-        .filter(|(_, qp)| (qp - median_qp).abs() <= 3.0)
-        .map(|(r, _)| *r)
-        .collect();
+    let band: Vec<f64> =
+        all.iter().filter(|(_, qp)| (qp - median_qp).abs() <= 3.0).map(|(r, _)| *r).collect();
     if band.len() >= 5 {
         let min = band.iter().cloned().fold(f64::MAX, f64::min);
         let max = band.iter().cloned().fold(f64::MIN, f64::max);
@@ -101,10 +94,8 @@ fn ttest_only_frame_rate_significant() {
     let mut lab = Lab::new(LabConfig::small(305));
     let fig = run("table-ttest", &mut lab);
     let FigureData::Table { rows, .. } = &fig else { panic!("table expected") };
-    let significant: Vec<(&str, &str)> = rows
-        .iter()
-        .map(|r| (r[0].as_str(), r[4].as_str()))
-        .collect();
+    let significant: Vec<(&str, &str)> =
+        rows.iter().map(|r| (r[0].as_str(), r[4].as_str())).collect();
     let fps_row = significant.iter().find(|(m, _)| *m == "frame rate").unwrap();
     assert_eq!(fps_row.1, "YES", "frame rate must differ (S3 caps at 26 fps)");
     for (metric, sig) in &significant {
@@ -119,11 +110,8 @@ fn ttest_only_frame_rate_significant() {
 fn segment_durations_modal() {
     let mut lab = Lab::new(LabConfig::small(306));
     let fig = run("table-video", &mut lab);
-    let modal: f64 = fig
-        .table_value("segment durations at 3.6s")
-        .expect("row exists")
-        .parse()
-        .expect("numeric");
+    let modal: f64 =
+        fig.table_value("segment durations at 3.6s").expect("row exists").parse().expect("numeric");
     assert!(modal > 0.5, "modal={modal}");
     let range = fig.table_value("segment duration range (s)").unwrap();
     let (lo, hi) = range.split_once("..").unwrap();
@@ -138,12 +126,10 @@ fn fig7_orderings() {
     let mut lab = Lab::new(LabConfig::small(307));
     let fig = run("fig7", &mut lab);
     let FigureData::Bars { groups, .. } = &fig else { panic!("bars expected") };
-    let wifi = |name: &str| {
-        groups.iter().find(|(g, _)| g.contains(name)).map(|(_, v)| v[0]).unwrap()
-    };
-    let lte = |name: &str| {
-        groups.iter().find(|(g, _)| g.contains(name)).map(|(_, v)| v[1]).unwrap()
-    };
+    let wifi =
+        |name: &str| groups.iter().find(|(g, _)| g.contains(name)).map(|(_, v)| v[0]).unwrap();
+    let lte =
+        |name: &str| groups.iter().find(|(g, _)| g.contains(name)).map(|(_, v)| v[1]).unwrap();
     // Chat-on viewing beats broadcasting — the paper's surprise.
     assert!(wifi("chat on") > wifi("Broadcast"));
     // LTE > WiFi on every non-idle scenario.

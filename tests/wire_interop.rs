@@ -43,11 +43,8 @@ fn rtmp_stack_roundtrip() {
     for part in wire.chunks(1448) {
         d.feed(part).unwrap();
     }
-    let recovered: Vec<FramePayload> = d
-        .pop_all()
-        .into_iter()
-        .map(|m| VideoTag::decode(&m.payload).unwrap().frame)
-        .collect();
+    let recovered: Vec<FramePayload> =
+        d.pop_all().into_iter().map(|m| VideoTag::decode(&m.payload).unwrap().frame).collect();
     assert_eq!(recovered, originals);
 }
 
@@ -108,7 +105,8 @@ fn playlist_roundtrip() {
     use periscope_repro::simnet::{RngFactory, SimTime};
     let mut rng = RngFactory::new(5).stream("interop");
     let content = ContentProcess::new(ContentClass::Indoor, &mut rng);
-    let mut enc = Encoder::new(EncoderConfig { frame_drop_prob: 0.0, ..Default::default() }, content);
+    let mut enc =
+        Encoder::new(EncoderConfig { frame_drop_prob: 0.0, ..Default::default() }, content);
     let mut seg = Segmenter::new(SegmenterConfig::default());
     for i in 0..600 {
         let t = SimTime::from_micros(i as u64 * 33_333);
