@@ -15,6 +15,7 @@
 //! repro bench                     # time 1-thread vs N-thread generation
 //! repro trace                     # traced run → TRACE_events.jsonl + summary
 //! repro metrics                   # traced run → metrics table + TRACE_metrics.json
+//! repro chaos                     # fault-intensity sweep → CHAOS_sweep.json
 //! ```
 //!
 //! Any command also honors `PSCP_TRACE=1` to record the structured event
@@ -59,6 +60,10 @@ fn main() {
         // amortize setup, so `bench` defaults to medium scale.
         let bench_scale = if scale_explicit { scale.clone() } else { "medium".to_string() };
         bench_parallel(&bench_scale, seed);
+        return;
+    }
+    if targets.iter().any(|t| t == "chaos") {
+        chaos_sweep(&scale, seed);
         return;
     }
     if targets.iter().any(|t| t == "trace") {
@@ -119,6 +124,10 @@ fn main() {
         println!(
             "{:<16} {:<18} traced run: per-subsystem metrics (TRACE_metrics.json)",
             "metrics", "observability"
+        );
+        println!(
+            "{:<16} {:<18} fault-intensity sweep: QoE vs loss (CHAOS_sweep.json)",
+            "chaos", "DESIGN.md §8"
         );
         return;
     }
@@ -211,6 +220,26 @@ fn bench_parallel(scale: &str, seed: u64) {
     );
     std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
     println!("speedup: {speedup:.2}x — wrote BENCH_parallel.json");
+}
+
+/// Runs the DESIGN.md §8 chaos sweep: the same planned sessions under the
+/// chaos fault preset at increasing loss intensity, reporting stall-ratio
+/// and join-time ECDFs plus per-class fault/recovery counters, and writing
+/// the machine-readable sweep to `CHAOS_sweep.json`.
+fn chaos_sweep(scale: &str, seed: u64) {
+    let config = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
+    let mut lab = Lab::new(config);
+    let cfg = pscp_core::ChaosConfig::small(seed);
+    println!(
+        "chaos sweep: scale {scale}, seed {seed}, {} sessions/point, loss scales {:?}",
+        cfg.sessions, cfg.loss_scales
+    );
+    let sweep = pscp_core::run_chaos(&mut lab, &cfg);
+    for fig in sweep.figures() {
+        println!("\n{}", fig.render());
+    }
+    std::fs::write("CHAOS_sweep.json", sweep.sweep_json()).expect("write CHAOS_sweep.json");
+    println!("\nwrote CHAOS_sweep.json ({} points)", sweep.points.len());
 }
 
 /// Builds a trace-enabled lab and runs the standard traced workload:
@@ -308,7 +337,7 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale small|medium|paper] [--seed N] \
-         <ids...|all|list|bench|trace|metrics>"
+         <ids...|all|list|bench|trace|metrics|chaos>"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

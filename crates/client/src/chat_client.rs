@@ -16,10 +16,15 @@ use pscp_media::capture::{Capture, FlowKind};
 use pscp_proto::http::Response;
 use pscp_proto::ws::Frame;
 use pscp_service::chat::{ChatConfig, ChatRoom};
+use pscp_simnet::fault::in_windows;
 use pscp_simnet::link::MTU_BYTES;
-use pscp_simnet::{Link, SimTime, WallClock};
+use pscp_simnet::{Link, SimDuration, SimTime, WallClock};
 use pscp_workload::broadcast::Broadcast;
 use rand::rngs::StdRng;
+
+/// Gap an injected WebSocket chat drop leaves before the client's
+/// reconnect completes (DESIGN.md §8). Shared by the RTMP and HLS paths.
+pub(crate) const CHAT_RECONNECT_GAP: SimDuration = SimDuration::from_secs(6);
 
 /// One chat-related downstream transmission.
 #[derive(Debug, Clone)]
@@ -90,6 +95,24 @@ pub fn generate(
     capture: &mut Capture,
     rng: &mut StdRng,
 ) {
+    generate_with_faults(broadcast, from, to, config, link, capture_clock, capture, rng, &[]);
+}
+
+/// [`generate`] with injected chat-drop windows (DESIGN.md §8): sends that
+/// fall inside a window are lost with the dropped WebSocket and never reach
+/// the wire. With no windows this is exactly [`generate`].
+#[allow(clippy::too_many_arguments)]
+pub fn generate_with_faults(
+    broadcast: &Broadcast,
+    from: SimTime,
+    to: SimTime,
+    config: &SessionConfig,
+    link: &mut Link,
+    capture_clock: &WallClock,
+    capture: &mut Capture,
+    rng: &mut StdRng,
+    drop_windows: &[(SimTime, SimTime)],
+) {
     let sends = events(broadcast, from, to, config, rng);
     if sends.is_empty() {
         return;
@@ -98,6 +121,9 @@ pub fn generate(
     let pic_flow =
         config.chat_on.then(|| capture.open_flow(FlowKind::PictureHttp, "s3.amazonaws.com"));
     for send in sends {
+        if !drop_windows.is_empty() && in_windows(drop_windows, send.at) {
+            continue;
+        }
         let flow = match send.kind {
             FlowKind::Chat => ws_flow,
             FlowKind::PictureHttp => match pic_flow {

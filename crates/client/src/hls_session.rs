@@ -10,6 +10,7 @@
 
 use crate::chat_client;
 use crate::player::{run_playback, MediaArrival};
+use crate::retry::RetryPolicy;
 use crate::rtmp_session::rendered_fps;
 use crate::session::{PlaybackMetaReport, SessionConfig, SessionOutcome};
 use crate::uplink::Uplink;
@@ -23,6 +24,7 @@ use pscp_service::cdn;
 use pscp_service::ingest::assign_server;
 use pscp_service::segmenter::{Segmenter, SegmenterConfig};
 use pscp_service::select::Protocol;
+use pscp_simnet::fault::{self, FaultRng, LinkFaults};
 use pscp_simnet::tcp::{TcpModel, INIT_CWND_SEGMENTS};
 use pscp_simnet::{Link, RngFactory, SimDuration, SimTime, WallClock};
 use pscp_workload::broadcast::Broadcast;
@@ -136,21 +138,41 @@ pub fn run_traced(
     let mut cwnd = INIT_CWND_SEGMENTS;
     let mut arrivals: Vec<MediaArrival> = Vec::new();
     let session_end = join_at + config.watch;
+
+    // --- fault injection (DESIGN.md §8), every class gated on its own
+    // rate so a disabled layer draws no variate and changes no byte ---
+    let faults = &config.faults;
+    let fault_seed = faults.seed ^ rngs.seed();
+    let mut link_faults =
+        LinkFaults::active(faults).then(|| LinkFaults::new(faults, rngs.seed(), "hls/link"));
+    let mut seg_rng = FaultRng::from_label(fault_seed, "hls/segment");
+    let pop_host = pop.hostname().to_string();
+
     // App bootstrap traffic first: metadata, thumbnails, chat backlog.
     let overhead_bytes = pscp_simnet::dist::lognormal(&mut net_rng, (900_000f64).ln(), 0.7)
         .clamp(150_000.0, 4_000_000.0) as usize;
     let misc_flow = capture.open_flow(FlowKind::AppMisc, "api.periscope.tv");
     let boot = tcp.transfer(join_at, overhead_bytes, &mut cwnd, true);
+    let mut boot_extra = SimDuration::ZERO;
     for &(at, n) in &boot.chunks {
+        let at = match link_faults.as_mut() {
+            Some(lf) => {
+                // Cumulative extra keeps intra-transfer chunk order intact.
+                boot_extra += lf.packet_extra();
+                at + boot_extra
+            }
+            None => at,
+        };
         let wall = capture_clock.read(at, &mut net_rng);
         capture.record(misc_flow, at, wall, vec![0u8; n]);
     }
+    let boot_done = boot.completion + boot_extra;
     trace.count("tcp", "transfers", 1);
     trace.count("tcp", "bytes", overhead_bytes as u64);
     if trace.is_enabled() {
-        let boot_ms = (boot.completion.saturating_since(join_at).as_secs_f64() * 1000.0) as u64;
+        let boot_ms = (boot_done.saturating_since(join_at).as_secs_f64() * 1000.0) as u64;
         trace.event(
-            boot.completion.as_micros(),
+            boot_done.as_micros(),
             "tcp",
             "tcp.bootstrap",
             vec![
@@ -160,11 +182,25 @@ pub fn run_traced(
         );
     }
     // Initial playlist fetch after bootstrap completes.
-    let mut now = boot.completion + rtt;
+    let mut now = boot_done + rtt;
     let mut next_seq: Option<u64> = None;
     let mut media_end_s = 0.0_f64;
     let mut fetched = 0u64;
     while now < session_end {
+        if faults.pop_outage.is_active() && faults.pop_outage.in_outage(faults.seed, &pop_host, now)
+        {
+            // The POP is down (outage schedules are keyed on the fault seed
+            // alone, so every session agrees on when this POP was out). The
+            // playlist poll fails; the client re-polls until it is back.
+            trace.count("fault", "pop_outage_polls", 1);
+            trace.count("recovery", "playlist_repolls", 1);
+            if trace.is_enabled() {
+                trace.event(now.as_micros(), "fault", "fault.pop_outage", vec![]);
+            }
+            let up = faults.pop_outage.outage_end(faults.seed, &pop_host, now);
+            now = up.max(now + POLL);
+            continue;
+        }
         let playlist = segmenter.playlist_at(now);
         let record_playlist = |capture: &mut Capture, at: SimTime, rng: &mut rand::rngs::StdRng| {
             let resp =
@@ -205,17 +241,40 @@ pub fn run_traced(
             now += POLL;
             continue;
         };
+        if faults.segment_error_rate > 0.0 {
+            // Injected segment-fetch errors: each failed attempt costs an
+            // RTT plus a capped backoff, then the fetch is retried; after
+            // the policy's budget the fetch goes through regardless (the
+            // CDN has more than one disk).
+            let policy = RetryPolicy::segment_fetch();
+            let mut attempt = 0;
+            while attempt + 1 < policy.max_attempts && seg_rng.chance(faults.segment_error_rate) {
+                trace.count("fault", "segment_errors", 1);
+                trace.count("recovery", "segment_refetches", 1);
+                now += rtt + policy.backoff(attempt, &mut seg_rng);
+                attempt += 1;
+            }
+        }
         let resp = Response::ok_bytes("video/mp2t", segment.bytes.clone());
         let body = resp.encode();
         let schedule = tcp.transfer(now, body.len(), &mut cwnd, fetched == 0);
         // Record the response bytes sliced along the arrival schedule.
         let mut off = 0usize;
+        let mut extra_total = SimDuration::ZERO;
         for &(at, n) in &schedule.chunks {
+            let at = match link_faults.as_mut() {
+                Some(lf) => {
+                    extra_total += lf.packet_extra();
+                    at + extra_total
+                }
+                None => at,
+            };
             let end_off = (off + n).min(body.len());
             let wall = capture_clock.read(at, &mut net_rng);
             capture.record(flow, at, wall, body[off..end_off].to_vec());
             off = end_off;
         }
+        let completion = schedule.completion + extra_total;
         media_end_s += segment.duration_s;
         // Latency anchor: the capture wall time of the segment's last frame.
         let last_frame_wall = segment_video_frames(&segment.bytes)
@@ -223,11 +282,11 @@ pub fn run_traced(
             .and_then(|frames| frames.last().map(|f| f.pts_ms))
             .and_then(|pts| capture_wall_by_pts.get(&pts).copied());
         arrivals.push(MediaArrival {
-            at: schedule.completion,
+            at: completion,
             media_end_s,
             capture_wall_s: last_frame_wall,
         });
-        let fetch_ms = (schedule.completion.saturating_since(now).as_secs_f64() * 1000.0) as u64;
+        let fetch_ms = (completion.saturating_since(now).as_secs_f64() * 1000.0) as u64;
         trace.count("hls", "segments_fetched", 1);
         trace.count("tcp", "transfers", 1);
         trace.count("tcp", "bytes", body.len() as u64);
@@ -235,7 +294,7 @@ pub fn run_traced(
         trace.observe("tcp", "fetch_ms", &pscp_obs::MS_BUCKETS, fetch_ms);
         if trace.is_enabled() {
             trace.event(
-                schedule.completion.as_micros(),
+                completion.as_micros(),
                 "hls",
                 "hls.segment_fetch",
                 vec![
@@ -245,9 +304,14 @@ pub fn run_traced(
                 ],
             );
         }
-        now = schedule.completion;
+        now = completion;
         next_seq = Some(want + 1);
         fetched += 1;
+    }
+    if let Some(lf) = link_faults {
+        trace.count("fault", "lost_packets", lf.lost);
+        trace.count("fault", "latency_spikes", lf.spiked);
+        trace.count("recovery", "retransmits", lf.lost);
     }
 
     // Chat traffic: on HLS sessions the popular broadcasts have busy, often
@@ -258,7 +322,23 @@ pub fn run_traced(
         config.network.bottleneck_bps(),
         pop.location().propagation_to(&config.network.location),
     );
-    chat_client::generate(
+    let chat_windows = if faults.chat_drop_per_min > 0.0 {
+        fault::drop_windows(
+            fault_seed,
+            "hls/chat",
+            join_at,
+            session_end,
+            faults.chat_drop_per_min,
+            chat_client::CHAT_RECONNECT_GAP,
+        )
+    } else {
+        Vec::new()
+    };
+    if !chat_windows.is_empty() {
+        trace.count("fault", "chat_drops", chat_windows.len() as u64);
+        trace.count("recovery", "chat_reconnects", chat_windows.len() as u64);
+    }
+    chat_client::generate_with_faults(
         broadcast,
         join_at,
         session_end,
@@ -267,6 +347,7 @@ pub fn run_traced(
         &capture_clock,
         &mut capture,
         &mut net_rng,
+        &chat_windows,
     );
 
     let log = run_playback(join_at, config.watch, config.player_hls, &arrivals);

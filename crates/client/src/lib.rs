@@ -19,6 +19,8 @@
 //!   "Video on (not live)" scenario);
 //! * [`chat_client`] — chat-on traffic: WebSocket messages plus uncached
 //!   profile-picture downloads (§5.1's 0.5 → 3.5 Mbps blow-up);
+//! * [`retry`] — capped-exponential-backoff policies driving API retries,
+//!   stream reconnects, and HLS segment re-fetches under injected faults;
 //! * [`teleport`] — the automation loop generating a session dataset.
 
 pub mod chat_client;
@@ -26,6 +28,7 @@ pub mod device;
 pub mod hls_session;
 pub mod player;
 pub mod replay_session;
+pub mod retry;
 pub mod rtmp_session;
 pub mod session;
 pub mod teleport;
@@ -33,5 +36,6 @@ pub mod uplink;
 
 pub use device::{NetworkSetup, ViewerDevice};
 pub use player::{PlayerConfig, PlayerLog};
+pub use retry::{RetryClass, RetryPolicy};
 pub use session::{SessionConfig, SessionOutcome};
 pub use teleport::{Teleport, TeleportConfig};

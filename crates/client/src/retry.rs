@@ -1,0 +1,181 @@
+//! Client retry policy: capped exponential backoff with deterministic
+//! jitter (DESIGN.md §8).
+//!
+//! Real Periscope clients retry transient API failures (429 rate limits,
+//! 5xx backend errors) and re-fetch failed HLS segments; the measured join
+//! times and stall tails include those waits. [`RetryPolicy`] reproduces
+//! that behaviour on the simulation clock: delays are `base · 2^attempt`
+//! capped at `cap`, jittered multiplicatively with a draw from a
+//! [`FaultRng`] stream, so the full retry timeline is a pure function of
+//! the fault seed.
+
+use pscp_simnet::fault::FaultRng;
+use pscp_simnet::time::SimDuration;
+
+/// How an HTTP status should be handled by a retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// 2xx — the request succeeded.
+    Success,
+    /// 429 — rate limited; back off and retry.
+    RetryRateLimited,
+    /// 5xx — transient server failure; back off and retry.
+    RetryBackoff,
+    /// Anything else — retrying will not help.
+    Fatal,
+}
+
+/// Classifies an HTTP status code for the retry loop.
+pub fn classify(status: u16) -> RetryClass {
+    match status {
+        200..=299 => RetryClass::Success,
+        429 => RetryClass::RetryRateLimited,
+        500..=599 => RetryClass::RetryBackoff,
+        _ => RetryClass::Fatal,
+    }
+}
+
+/// A capped-exponential-backoff retry policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Hard ceiling on any single backoff delay (jitter included).
+    pub cap: SimDuration,
+    /// Total attempts allowed (first try included).
+    pub max_attempts: u32,
+    /// Multiplicative jitter half-width: the delay is scaled by a uniform
+    /// factor in `[1 - jitter_frac, 1 + jitter_frac]`.
+    pub jitter_frac: f64,
+}
+
+impl RetryPolicy {
+    /// Policy for API calls (follow/search-style verbs and playback
+    /// bootstrap requests).
+    pub fn api() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_millis(400),
+            cap: SimDuration::from_secs(5),
+            max_attempts: 4,
+            jitter_frac: 0.25,
+        }
+    }
+
+    /// Policy for stream reconnects (RTMP ingest, chat WebSocket).
+    pub fn reconnect() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_secs(1),
+            cap: SimDuration::from_secs(15),
+            max_attempts: 5,
+            jitter_frac: 0.25,
+        }
+    }
+
+    /// Policy for HLS segment re-fetches, where waiting long is worse than
+    /// giving the playlist another poll.
+    pub fn segment_fetch() -> Self {
+        RetryPolicy {
+            base: SimDuration::from_millis(250),
+            cap: SimDuration::from_secs(2),
+            max_attempts: 3,
+            jitter_frac: 0.25,
+        }
+    }
+
+    /// Backoff delay before retry number `attempt` (0-based: the delay
+    /// after the first failure is `backoff(0, ..)`). Always consumes
+    /// exactly one jitter variate, and the returned delay never exceeds
+    /// [`RetryPolicy::cap`].
+    pub fn backoff(&self, attempt: u32, rng: &mut FaultRng) -> SimDuration {
+        let exp = self.base.as_micros().saturating_mul(1u64 << attempt.min(32));
+        let capped = exp.min(self.cap.as_micros());
+        let u = rng.next_f64();
+        let factor = 1.0 + self.jitter_frac * (2.0 * u - 1.0);
+        let jittered = (capped as f64 * factor).round().max(0.0) as u64;
+        SimDuration::from_micros(jittered.min(self.cap.as_micros()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_the_verbs() {
+        assert_eq!(classify(200), RetryClass::Success);
+        assert_eq!(classify(204), RetryClass::Success);
+        assert_eq!(classify(429), RetryClass::RetryRateLimited);
+        assert_eq!(classify(500), RetryClass::RetryBackoff);
+        assert_eq!(classify(503), RetryClass::RetryBackoff);
+        assert_eq!(classify(404), RetryClass::Fatal);
+        assert_eq!(classify(301), RetryClass::Fatal);
+    }
+
+    #[test]
+    fn backoff_is_deterministic() {
+        let p = RetryPolicy::api();
+        let mut a = FaultRng::from_label(9, "retry");
+        let mut b = FaultRng::from_label(9, "retry");
+        for attempt in 0..4 {
+            assert_eq!(p.backoff(attempt, &mut a), p.backoff(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    fn backoff_grows_then_caps() {
+        let p = RetryPolicy { jitter_frac: 0.0, ..RetryPolicy::api() };
+        let mut rng = FaultRng::new(1);
+        let d0 = p.backoff(0, &mut rng);
+        let d1 = p.backoff(1, &mut rng);
+        let d9 = p.backoff(9, &mut rng);
+        assert_eq!(d0, p.base);
+        assert_eq!(d1, p.base * 2);
+        assert_eq!(d9, p.cap);
+    }
+
+    #[test]
+    fn cap_is_strict_even_with_jitter() {
+        let p = RetryPolicy::reconnect();
+        let mut rng = FaultRng::new(7);
+        for attempt in 0..40 {
+            assert!(p.backoff(attempt, &mut rng) <= p.cap);
+        }
+    }
+
+    #[test]
+    fn huge_attempt_does_not_overflow() {
+        let p = RetryPolicy::api();
+        let mut rng = FaultRng::new(3);
+        assert!(p.backoff(u32::MAX, &mut rng) <= p.cap);
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let p = RetryPolicy { jitter_frac: 0.25, ..RetryPolicy::api() };
+        let mut rng = FaultRng::new(5);
+        let lo = (p.base.as_micros() as f64 * 0.75) as u64;
+        let hi = (p.base.as_micros() as f64 * 1.25) as u64;
+        for _ in 0..200 {
+            let d = p.backoff(0, &mut rng).as_micros();
+            assert!(d >= lo && d <= hi + 1, "d={d}");
+        }
+    }
+
+    #[test]
+    fn max_attempts_is_exhaustion_budget() {
+        // The retry loop contract: attempts 1..=max_attempts run, then the
+        // caller gives up. Encode it here so the constant is load-bearing.
+        let p = RetryPolicy::api();
+        let mut rng = FaultRng::new(2);
+        let mut waited = SimDuration::ZERO;
+        let mut attempts = 0;
+        while attempts < p.max_attempts {
+            attempts += 1;
+            if attempts < p.max_attempts {
+                waited += p.backoff(attempts - 1, &mut rng);
+            }
+        }
+        assert_eq!(attempts, 4);
+        assert!(waited < p.cap * 4);
+    }
+}

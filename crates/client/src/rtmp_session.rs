@@ -23,8 +23,10 @@ use pscp_proto::amf::{encode_command, Amf0};
 use pscp_proto::rtmp::{handshake_c0c1, handshake_s0s1s2, Chunker, Message};
 use pscp_service::ingest::assign_server;
 use pscp_service::select::Protocol;
+use pscp_simnet::fault::{self, LinkFaults};
 use pscp_simnet::{Link, RngFactory, SimDuration, SimTime, WallClock};
 use pscp_workload::broadcast::Broadcast;
+use std::collections::HashMap;
 
 /// Encode-side latency on the broadcaster phone (capture → packet out).
 const ENCODE_LATENCY: SimDuration = SimDuration::from_millis(120);
@@ -33,6 +35,9 @@ const SERVER_FORWARD: SimDuration = SimDuration::from_millis(5);
 /// How much already-uploaded media the server replays from (at most one
 /// GOP back to the latest keyframe, so playback can start immediately).
 const WARMUP: SimDuration = SimDuration::from_secs(6);
+/// Gap an injected mid-stream RTMP disconnect leaves before the client's
+/// reconnect completes (DESIGN.md §8).
+const RTMP_RECONNECT_GAP: SimDuration = SimDuration::from_secs(4);
 
 /// Runs one RTMP session: the viewer joins `broadcast` at absolute time
 /// `join_at` and watches for `config.watch`.
@@ -278,6 +283,51 @@ pub fn run_traced(
         }
     }
 
+    // --- fault injection (DESIGN.md §8): deterministic drop windows for
+    // mid-stream disconnects and chat drops, plus per-packet link faults
+    // during transmission. Every class is gated on its own rate, so with
+    // faults off none of this executes and no variate is drawn. ---
+    let faults = &config.faults;
+    let fault_seed = faults.seed ^ rngs.seed();
+    let dc_windows = if faults.rtmp_disconnect_per_min > 0.0 {
+        fault::drop_windows(
+            fault_seed,
+            "rtmp/disconnect",
+            join_at,
+            end,
+            faults.rtmp_disconnect_per_min,
+            RTMP_RECONNECT_GAP,
+        )
+    } else {
+        Vec::new()
+    };
+    let chat_windows = if faults.chat_drop_per_min > 0.0 {
+        fault::drop_windows(
+            fault_seed,
+            "rtmp/chat",
+            join_at,
+            join_at + config.watch,
+            faults.chat_drop_per_min,
+            chat_client::CHAT_RECONNECT_GAP,
+        )
+    } else {
+        Vec::new()
+    };
+    if !dc_windows.is_empty() {
+        trace.count("fault", "rtmp_disconnects", dc_windows.len() as u64);
+        trace.count("recovery", "rtmp_reconnects", dc_windows.len() as u64);
+    }
+    if !chat_windows.is_empty() {
+        trace.count("fault", "chat_drops", chat_windows.len() as u64);
+        trace.count("recovery", "chat_reconnects", chat_windows.len() as u64);
+    }
+    let mut link_faults =
+        LinkFaults::active(faults).then(|| LinkFaults::new(faults, rngs.seed(), "rtmp/link"));
+    // Losses surface as retransmission delay, which can reorder packets
+    // relative to the fault-free FIFO; the capture stays per-flow monotone
+    // by flooring each arrival at its flow's previous one.
+    let mut flow_floor: HashMap<usize, SimTime> = HashMap::new();
+
     // Merge by send time (stable: equal-time sends keep their push order,
     // which keeps the RTMP chunker byte order intact) and transmit. Per
     // flow, FIFO enqueueing keeps arrival order non-decreasing.
@@ -285,9 +335,23 @@ pub fn run_traced(
     let mut arrivals: Vec<MediaArrival> = Vec::new();
     let mtu = config.network.mtu.max(256);
     for send in sends {
+        if (send.flow == flow_rtmp && fault::in_windows(&dc_windows, send.at))
+            || (send.flow == flow_chat && fault::in_windows(&chat_windows, send.at))
+        {
+            continue; // the connection is down; these bytes never leave
+        }
         let mut last = None;
         for chunk in send.bytes.chunks(mtu) {
             if let Some(arr) = link.enqueue(send.at, chunk.len()).time() {
+                let arr = match link_faults.as_mut() {
+                    Some(lf) => {
+                        let floor = flow_floor.entry(send.flow).or_insert(SimTime::ZERO);
+                        let a = (arr + lf.packet_extra()).max(*floor);
+                        *floor = a;
+                        a
+                    }
+                    None => arr,
+                };
                 let wall = capture_clock.read(arr, &mut clock_rng);
                 capture.record(send.flow, arr, wall, chunk.to_vec());
                 last = Some(arr);
@@ -300,6 +364,11 @@ pub fn run_traced(
                 capture_wall_s: Some(meta.capture_wall_s),
             });
         }
+    }
+    if let Some(lf) = link_faults {
+        trace.count("fault", "lost_packets", lf.lost);
+        trace.count("fault", "latency_spikes", lf.spiked);
+        trace.count("recovery", "retransmits", lf.lost);
     }
 
     let log = run_playback(join_at, config.watch, config.player_rtmp, &arrivals);

@@ -32,6 +32,10 @@ pub struct SessionConfig {
     pub player_rtmp: PlayerConfig,
     /// HLS player thresholds.
     pub player_hls: PlayerConfig,
+    /// Fault injection (DESIGN.md §8). Default all-off: the session draws
+    /// no fault variate and its capture is byte-identical to a fault-free
+    /// build.
+    pub faults: pscp_simnet::fault::FaultConfig,
 }
 
 impl Default for SessionConfig {
@@ -45,6 +49,7 @@ impl Default for SessionConfig {
             uplink: UplinkConfig::default(),
             player_rtmp: PlayerConfig::rtmp(),
             player_hls: PlayerConfig::hls(),
+            faults: pscp_simnet::fault::FaultConfig::default(),
         }
     }
 }

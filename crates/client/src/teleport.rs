@@ -32,15 +32,23 @@
 //! while output remains byte-identical to a serial run at any thread count.
 
 use crate::device::ViewerDevice;
-use crate::session::{SessionConfig, SessionOutcome};
+use crate::player::run_playback;
+use crate::retry::{classify, RetryClass, RetryPolicy};
+use crate::session::{PlaybackMetaReport, SessionConfig, SessionOutcome};
 use crate::{hls_session, rtmp_session};
 use pscp_obs::{Observer, PhaseSpan, Trace};
 use pscp_service::select::Protocol;
 use pscp_service::PeriscopeService;
+use pscp_simnet::fault::FaultRng;
 use pscp_simnet::{RngFactory, SimDuration, SimTime};
 use pscp_workload::broadcast::Broadcast;
 use rand::rngs::StdRng;
 use rand::Rng;
+
+/// How long an RTMP client waits out an ingest outage before falling back
+/// to HLS (DESIGN.md §8): outages shorter than this are ridden out as a
+/// delayed join, longer ones trigger the failover path.
+const FAILOVER_PATIENCE: SimDuration = SimDuration::from_secs(8);
 
 /// Dataset generation settings.
 #[derive(Debug, Clone)]
@@ -124,9 +132,127 @@ impl<'a> Teleport<'a> {
             .expect("picked broadcast is live");
         trace.count("service", "access_video", 1);
         let rngs = self.rngs.child(&format!("session/{session_idx}"));
-        match access.protocol {
-            Protocol::Rtmp => rtmp_session::run_traced(broadcast, join_at, config, &rngs, trace),
-            Protocol::Hls => hls_session::run_traced(broadcast, join_at, config, &rngs, trace),
+        let faults = &config.faults;
+
+        // API bootstrap under injected 429/5xx (DESIGN.md §8): each error
+        // delays the join by a capped, jittered backoff; exhausting the
+        // budget abandons the session. The draw stream is keyed per session
+        // so the schedule is thread-invariant; with both rates zero this
+        // block never runs and no variate is drawn.
+        let mut join_eff = join_at;
+        if faults.api_429_rate > 0.0 || faults.api_5xx_rate > 0.0 {
+            let mut api_rng = FaultRng::from_label(faults.seed ^ rngs.seed(), "api");
+            let policy = RetryPolicy::api();
+            let mut attempt: u32 = 1;
+            loop {
+                let r = api_rng.next_f64();
+                let status: u16 = if r < faults.api_429_rate {
+                    429
+                } else if r < faults.api_429_rate + faults.api_5xx_rate {
+                    503
+                } else {
+                    200
+                };
+                match classify(status) {
+                    RetryClass::Success | RetryClass::Fatal => break,
+                    RetryClass::RetryRateLimited => trace.count("fault", "api_429", 1),
+                    RetryClass::RetryBackoff => trace.count("fault", "api_5xx", 1),
+                }
+                if attempt >= policy.max_attempts {
+                    trace.count("recovery", "api_exhausted", 1);
+                    return self.dead_outcome(broadcast, join_at, config, access.protocol, trace);
+                }
+                trace.count("recovery", "api_retries", 1);
+                join_eff += policy.backoff(attempt - 1, &mut api_rng);
+                attempt += 1;
+            }
+        }
+
+        // RTMP → HLS failover on persistent ingest-server outage; brief
+        // outages are ridden out as a delayed join (reconnect). Outage
+        // membership is keyed on the fault seed alone, so every session
+        // agrees on when each ingest server was down.
+        let mut protocol = access.protocol;
+        if protocol == Protocol::Rtmp && faults.ingest_outage.is_active() {
+            if let Some(server) = &access.rtmp_server {
+                let host = server.hostname();
+                if faults.ingest_outage.in_outage(faults.seed, &host, join_eff) {
+                    trace.count("fault", "ingest_outages", 1);
+                    let up = faults.ingest_outage.outage_end(faults.seed, &host, join_eff);
+                    if up.saturating_since(join_eff) > FAILOVER_PATIENCE {
+                        trace.count("recovery", "failovers", 1);
+                        protocol = Protocol::Hls;
+                    } else {
+                        trace.count("recovery", "ingest_reconnects", 1);
+                        join_eff = up;
+                    }
+                }
+            }
+        }
+
+        let delay = join_eff.saturating_since(join_at);
+        let mut outcome = match protocol {
+            Protocol::Rtmp => rtmp_session::run_traced(broadcast, join_eff, config, &rngs, trace),
+            Protocol::Hls => hls_session::run_traced(broadcast, join_eff, config, &rngs, trace),
+        };
+        if delay > SimDuration::ZERO {
+            // The retries happened before the stream view opened; the user's
+            // join clock started at the original Teleport tap.
+            if let Some(j) = outcome.player.join_time {
+                outcome.player.join_time = Some(j + delay);
+            }
+        }
+        outcome
+    }
+
+    /// Outcome of a session whose API bootstrap never succeeded: nothing
+    /// was ever fetched or played, but the attempt still appears in the
+    /// dataset (and its trace counters) as a never-joined session.
+    fn dead_outcome(
+        &self,
+        broadcast: &Broadcast,
+        join_at: SimTime,
+        config: &SessionConfig,
+        protocol: Protocol,
+        trace: &mut Trace,
+    ) -> SessionOutcome {
+        let (proto_name, player_cfg) = match protocol {
+            Protocol::Rtmp => ("rtmp", config.player_rtmp),
+            Protocol::Hls => ("hls", config.player_hls),
+        };
+        crate::session::trace_session_start(
+            trace,
+            proto_name,
+            broadcast.id,
+            broadcast.viewers_at(join_at),
+            join_at.as_micros(),
+            config,
+        );
+        let log = run_playback(join_at, config.watch, player_cfg, &[]);
+        log.record_events(join_at, trace);
+        let capture = pscp_media::capture::Capture::new();
+        crate::session::trace_session_end(
+            trace,
+            (join_at + config.watch).as_micros(),
+            &log,
+            &capture,
+        );
+        let meta = PlaybackMetaReport {
+            n_stalls: log.n_stalls(),
+            avg_stall_time_s: None,
+            playback_latency_s: None,
+        };
+        SessionOutcome {
+            broadcast_id: broadcast.id,
+            protocol,
+            device: config.device,
+            bandwidth_limit_bps: config.network.tc_limit_bps,
+            player: log,
+            capture,
+            meta,
+            viewers_at_join: broadcast.viewers_at(join_at),
+            rendered_fps: 0.0,
+            server: "unreachable".to_string(),
         }
     }
 

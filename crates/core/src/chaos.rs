@@ -1,0 +1,306 @@
+//! The chaos sweep: QoE degradation under increasing fault intensity.
+//!
+//! DESIGN.md §8: the fault layer exists to answer "how does Periscope-style
+//! QoE degrade when the network misbehaves?" — a question the paper could
+//! only probe with its `tc` bandwidth sweep (Fig 6). This experiment sweeps
+//! the *loss* intensity of the [`FaultConfig::chaos`] preset while every
+//! other fault class (outages, API errors, disconnects) stays fixed, and
+//! reports the stall-ratio and join-time ECDFs per intensity plus the
+//! per-class fault/recovery counters harvested from `pscp-obs`.
+//!
+//! Every sweep point reuses the same `"chaos"` Teleport RNG namespace, so
+//! all points run the *same planned sessions* (same broadcasts, same join
+//! times) and differ only in the injected loss — a paired comparison.
+//! Because [`LossConfig::scaled`] leaves the Gilbert–Elliott state
+//! transitions untouched and the chain draws a fixed number of variates
+//! per packet, a higher scale loses a *superset* of the packets a lower
+//! scale loses, which is what makes the stall ratio monotone in the scale.
+//!
+//! [`FaultConfig::chaos`]: pscp_simnet::fault::FaultConfig::chaos
+//! [`LossConfig::scaled`]: pscp_simnet::fault::LossConfig::scaled
+
+use crate::figures::FigureData;
+use crate::lab::Lab;
+use pscp_client::session::SessionConfig;
+use pscp_client::{Teleport, TeleportConfig};
+use pscp_obs::Observer;
+use pscp_simnet::fault::FaultConfig;
+use pscp_stats::Ecdf;
+
+/// Chaos-sweep settings.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Fault-schedule seed (independent of the lab's world seed).
+    pub seed: u64,
+    /// Sessions per sweep point.
+    pub sessions: usize,
+    /// Loss-intensity multipliers applied to the chaos preset's
+    /// Gilbert–Elliott loss probabilities (`0.0` = loss off, other fault
+    /// classes still active).
+    pub loss_scales: Vec<f64>,
+    /// Worker threads per point (`0` = auto). Results are identical at
+    /// every setting.
+    pub threads: usize,
+}
+
+impl ChaosConfig {
+    /// The default sweep: 40 sessions per point over five intensities.
+    pub fn small(seed: u64) -> ChaosConfig {
+        ChaosConfig { seed, sessions: 40, loss_scales: vec![0.0, 0.5, 1.0, 2.0, 4.0], threads: 0 }
+    }
+}
+
+/// One sweep point: QoE samples plus fault/recovery counters.
+#[derive(Debug, Clone)]
+pub struct ChaosPoint {
+    /// Loss multiplier this point ran at.
+    pub loss_scale: f64,
+    /// Sessions that actually ran.
+    pub sessions: usize,
+    /// Sessions that never started playback.
+    pub never_joined: usize,
+    /// Per-session stall ratios (includes never-joined sessions at 1.0).
+    pub stall_ratios: Vec<f64>,
+    /// Join times in seconds for sessions that joined.
+    pub join_times_s: Vec<f64>,
+    /// `fault`/`recovery` subsystem counters, sorted by name.
+    pub counters: Vec<(String, String, u64)>,
+}
+
+impl ChaosPoint {
+    /// Mean stall ratio across all sessions of the point.
+    pub fn mean_stall_ratio(&self) -> f64 {
+        if self.stall_ratios.is_empty() {
+            return 0.0;
+        }
+        self.stall_ratios.iter().sum::<f64>() / self.stall_ratios.len() as f64
+    }
+
+    /// Mean join time over joined sessions (NaN if none joined).
+    pub fn mean_join_s(&self) -> f64 {
+        if self.join_times_s.is_empty() {
+            return f64::NAN;
+        }
+        self.join_times_s.iter().sum::<f64>() / self.join_times_s.len() as f64
+    }
+
+    /// Looks up one counter value (0 when the counter never fired).
+    pub fn counter(&self, subsystem: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(s, n, _)| s == subsystem && n == name)
+            .map(|&(_, _, v)| v)
+            .unwrap_or(0)
+    }
+}
+
+/// The full sweep result.
+#[derive(Debug, Clone)]
+pub struct ChaosSweep {
+    /// Fault seed the sweep ran with.
+    pub seed: u64,
+    /// One point per loss scale, in sweep order.
+    pub points: Vec<ChaosPoint>,
+}
+
+/// Runs the chaos sweep against a lab's service.
+///
+/// Each point gets its own tracing [`Observer`] so the harvested counters
+/// are per-intensity, and its own [`Teleport`] over the *same* RNG
+/// namespace so the planned sessions are identical across points.
+pub fn run_chaos(lab: &mut Lab, cfg: &ChaosConfig) -> ChaosSweep {
+    let rngs = *lab.rngs();
+    let svc = lab.service();
+    let mut points = Vec::with_capacity(cfg.loss_scales.len());
+    for &scale in &cfg.loss_scales {
+        let obs = Observer::with_flags(true, false);
+        let tp = Teleport::new(svc, rngs.child("chaos"));
+        let tcfg = TeleportConfig {
+            sessions: cfg.sessions,
+            session: SessionConfig {
+                faults: FaultConfig::chaos(cfg.seed, scale),
+                ..Default::default()
+            },
+            alternate_devices: true,
+            keep_captures_per_protocol: 0,
+            threads: cfg.threads,
+        };
+        let outcomes = tp.run_dataset_observed(&tcfg, &obs);
+        let stall_ratios: Vec<f64> = outcomes.iter().map(|o| o.stall_ratio()).collect();
+        let join_times_s: Vec<f64> = outcomes.iter().filter_map(|o| o.join_time_s()).collect();
+        let never_joined = outcomes.iter().filter(|o| o.player.join_time.is_none()).count();
+        let mut counters: Vec<(String, String, u64)> = obs
+            .metrics()
+            .counters()
+            .filter(|(sub, _, _)| *sub == "fault" || *sub == "recovery")
+            .map(|(sub, name, v)| (sub.to_string(), name.to_string(), v))
+            .collect();
+        counters.sort();
+        points.push(ChaosPoint {
+            loss_scale: scale,
+            sessions: outcomes.len(),
+            never_joined,
+            stall_ratios,
+            join_times_s,
+            counters,
+        });
+    }
+    ChaosSweep { seed: cfg.seed, points }
+}
+
+impl ChaosSweep {
+    /// Renders the sweep as figures: stall-ratio and join-time ECDFs (one
+    /// series per intensity) plus the fault/recovery counter table.
+    pub fn figures(&self) -> Vec<FigureData> {
+        let series = |samples: fn(&ChaosPoint) -> &[f64]| {
+            self.points
+                .iter()
+                .filter_map(|p| {
+                    let ecdf = Ecdf::new(samples(p)).ok()?;
+                    Some((format!("loss x{}", p.loss_scale), ecdf.sampled(20)))
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut figures = vec![
+            FigureData::Cdf {
+                x_label: "stall ratio".to_string(),
+                series: series(|p| &p.stall_ratios),
+            },
+            FigureData::Cdf {
+                x_label: "join time (s)".to_string(),
+                series: series(|p| &p.join_times_s),
+            },
+        ];
+        // Counter table: one row per counter seen anywhere, one value
+        // column per sweep point.
+        let mut names: Vec<(String, String)> = self
+            .points
+            .iter()
+            .flat_map(|p| p.counters.iter().map(|(s, n, _)| (s.clone(), n.clone())))
+            .collect();
+        names.sort();
+        names.dedup();
+        let mut columns = vec!["counter".to_string()];
+        columns.extend(self.points.iter().map(|p| format!("loss x{}", p.loss_scale)));
+        let mut rows: Vec<Vec<String>> = Vec::with_capacity(names.len() + 2);
+        rows.push(
+            std::iter::once("sessions".to_string())
+                .chain(self.points.iter().map(|p| p.sessions.to_string()))
+                .collect(),
+        );
+        rows.push(
+            std::iter::once("never_joined".to_string())
+                .chain(self.points.iter().map(|p| p.never_joined.to_string()))
+                .collect(),
+        );
+        for (sub, name) in names {
+            rows.push(
+                std::iter::once(format!("{sub}/{name}"))
+                    .chain(self.points.iter().map(|p| p.counter(&sub, &name).to_string()))
+                    .collect(),
+            );
+        }
+        figures.push(FigureData::Table { columns, rows });
+        figures
+    }
+
+    /// Hand-rolled JSON for the `CHAOS_sweep.json` artifact.
+    pub fn sweep_json(&self) -> String {
+        let mut out = format!("{{\n  \"seed\": {},\n  \"points\": [\n", self.seed);
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"loss_scale\": {}, \"sessions\": {}, \"never_joined\": {}, \
+                 \"mean_stall_ratio\": {:.6}, \"mean_join_s\": {:.6}, \"counters\": {{",
+                p.loss_scale,
+                p.sessions,
+                p.never_joined,
+                p.mean_stall_ratio(),
+                if p.join_times_s.is_empty() { -1.0 } else { p.mean_join_s() },
+            ));
+            for (j, (sub, name, v)) in p.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{sub}/{name}\": {v}"));
+            }
+            out.push_str("}}");
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(scale: f64, ratios: Vec<f64>, joins: Vec<f64>) -> ChaosPoint {
+        ChaosPoint {
+            loss_scale: scale,
+            sessions: ratios.len(),
+            never_joined: ratios.len() - joins.len(),
+            stall_ratios: ratios,
+            join_times_s: joins,
+            counters: vec![
+                ("fault".into(), "lost_packets".into(), (scale * 100.0) as u64),
+                ("recovery".into(), "retransmits".into(), (scale * 90.0) as u64),
+            ],
+        }
+    }
+
+    fn sweep() -> ChaosSweep {
+        ChaosSweep {
+            seed: 9,
+            points: vec![
+                point(0.0, vec![0.0, 0.0, 0.1], vec![1.0, 1.2, 1.1]),
+                point(2.0, vec![0.1, 0.2, 1.0], vec![1.4, 1.9]),
+            ],
+        }
+    }
+
+    #[test]
+    fn point_statistics() {
+        let p = point(2.0, vec![0.1, 0.2, 1.0], vec![1.4, 1.9]);
+        assert!((p.mean_stall_ratio() - 13.0 / 30.0).abs() < 1e-12);
+        assert!((p.mean_join_s() - 1.65).abs() < 1e-12);
+        assert_eq!(p.counter("fault", "lost_packets"), 200);
+        assert_eq!(p.counter("fault", "nonexistent"), 0);
+    }
+
+    #[test]
+    fn figures_have_series_per_point_and_counter_table() {
+        let figs = sweep().figures();
+        assert_eq!(figs.len(), 3);
+        match &figs[0] {
+            FigureData::Cdf { x_label, series } => {
+                assert_eq!(x_label, "stall ratio");
+                assert_eq!(series.len(), 2);
+                assert_eq!(series[0].0, "loss x0");
+                assert_eq!(series[1].0, "loss x2");
+            }
+            other => panic!("expected Cdf, got {other:?}"),
+        }
+        match &figs[2] {
+            FigureData::Table { columns, rows } => {
+                assert_eq!(columns.len(), 3);
+                assert!(rows.iter().any(|r| r[0] == "fault/lost_packets"));
+                assert!(rows.iter().any(|r| r[0] == "sessions"));
+            }
+            other => panic!("expected Table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_json_shape() {
+        let json = sweep().sweep_json();
+        assert!(json.contains("\"seed\": 9"));
+        assert!(json.contains("\"loss_scale\": 2"));
+        assert!(json.contains("\"fault/lost_packets\": 200"));
+        // Crude balance check on the hand-rolled JSON.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -21,9 +21,11 @@
 //! assert!(!dataset.sessions.is_empty());
 //! ```
 
+pub mod chaos;
 pub mod experiments;
 pub mod figures;
 pub mod lab;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosSweep};
 pub use figures::FigureData;
 pub use lab::{Lab, LabConfig, Scale};

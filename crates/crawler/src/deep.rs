@@ -166,6 +166,13 @@ impl DeepCrawl {
                 *now += config.pace * 2; // back off
                 continue;
             }
+            if resp.status >= 500 {
+                // Injected backend failure (DESIGN.md §8): back off and retry
+                // like a 429 rather than choking on a non-JSON error body.
+                crawl.trace.count("crawler", "server_errors", 1);
+                *now += config.pace * 2;
+                continue;
+            }
             let at = *now;
             let body = String::from_utf8(resp.body).expect("API responses are UTF-8 JSON");
             let v = pscp_proto::json::parse(&body).expect("API responses are valid JSON");
@@ -200,6 +207,11 @@ impl DeepCrawl {
                     crawl.rate_limited += 1;
                     crawl.trace.count("crawler", "rate_limited", 1);
                     crawl.trace.event(now.as_micros(), "crawler", "crawler.rate_limited", vec![]);
+                    *now += config.pace * 2;
+                    continue;
+                }
+                if resp.status >= 500 {
+                    crawl.trace.count("crawler", "server_errors", 1);
                     *now += config.pace * 2;
                     continue;
                 }

@@ -153,6 +153,12 @@ impl TargetedCrawl {
             }
             return Vec::new();
         }
+        if resp.status >= 500 {
+            // Injected backend failure (DESIGN.md §8); the round budget
+            // leaves no room to retry, so this area is skipped this round.
+            crawl.trace.count("crawler", "server_errors", 1);
+            return Vec::new();
+        }
         let body = String::from_utf8(resp.body).expect("UTF-8 JSON");
         let v = pscp_proto::json::parse(&body).expect("valid JSON");
         v.get("broadcasts")
@@ -180,6 +186,10 @@ impl TargetedCrawl {
             if resp.status == 429 {
                 crawl.rate_limited += 1;
                 crawl.trace.count("crawler", "rate_limited", 1);
+                continue;
+            }
+            if resp.status >= 500 {
+                crawl.trace.count("crawler", "server_errors", 1);
                 continue;
             }
             let body = String::from_utf8(resp.body).expect("UTF-8 JSON");

@@ -111,6 +111,12 @@ impl Response {
         Response { status: 404, headers: Vec::new(), body: Vec::new() }
     }
 
+    /// 503 Service Unavailable — what an injected backend fault looks like
+    /// on the wire (DESIGN.md §8).
+    pub fn server_error() -> Self {
+        Response { status: 503, headers: Vec::new(), body: b"Service unavailable".to_vec() }
+    }
+
     /// Standard reason phrase for this status.
     pub fn reason(&self) -> &'static str {
         match self.status {
@@ -245,6 +251,15 @@ mod tests {
         assert_eq!(resp.reason(), "Too Many Requests");
         let decoded = Response::decode(&resp.encode()).unwrap();
         assert_eq!(decoded.status, 429);
+    }
+
+    #[test]
+    fn server_error_response() {
+        let resp = Response::server_error();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.reason(), "Service Unavailable");
+        let decoded = Response::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.status, 503);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use crate::ingest::{assign_server, IngestServer};
 use crate::select::{Protocol, SelectionPolicy};
 use pscp_proto::http::{Request, Response};
 use pscp_proto::json::Value;
+use pscp_simnet::fault::{FaultConfig, FaultRng};
 use pscp_simnet::{GeoPoint, SimTime};
 use pscp_workload::broadcast::BroadcastId;
 use pscp_workload::population::Population;
@@ -22,6 +23,11 @@ pub struct ServiceConfig {
     /// Record per-request events/metrics into the service trace (DESIGN.md
     /// §7). Off by default; the simulation is identical either way.
     pub trace: bool,
+    /// Fault injection (DESIGN.md §8): only `api_429_rate`/`api_5xx_rate`
+    /// apply on the service side. Default all-off, in which case no fault
+    /// variate is ever drawn and responses are byte-identical to a
+    /// fault-free build.
+    pub faults: FaultConfig,
 }
 
 /// A stored playbackMeta upload (what the paper's mitmproxy script dumped
@@ -78,12 +84,16 @@ pub struct PeriscopeService {
     /// All playbackMeta uploads received.
     pub playback_meta: Vec<PlaybackMetaRecord>,
     trace: pscp_obs::Trace,
+    /// Stream for injected API errors. Stateful is fine here: `handle_http`
+    /// takes `&mut self`, so all API traffic is serialized already.
+    fault_rng: FaultRng,
 }
 
 impl PeriscopeService {
     /// Creates the service over a population.
     pub fn new(population: Population, config: ServiceConfig) -> Self {
         let trace = pscp_obs::Trace::new(config.trace);
+        let fault_rng = FaultRng::from_label(config.faults.seed, "service/http");
         PeriscopeService {
             population,
             directory: Directory::new(config.visibility.clone()),
@@ -91,6 +101,7 @@ impl PeriscopeService {
             config,
             playback_meta: Vec::new(),
             trace,
+            fault_rng,
         }
     }
 
@@ -122,6 +133,21 @@ impl PeriscopeService {
                 );
             }
             return Response::too_many_requests();
+        }
+        let f = &self.config.faults;
+        if f.api_429_rate > 0.0 || f.api_5xx_rate > 0.0 {
+            // One draw per request decides between injected 429, injected
+            // 5xx, and normal handling; with both rates zero the branch is
+            // never entered and no variate is consumed.
+            let r = self.fault_rng.next_f64();
+            if r < f.api_429_rate {
+                self.trace.count("fault", "injected_429", 1);
+                return Response::too_many_requests();
+            }
+            if r < f.api_429_rate + f.api_5xx_rate {
+                self.trace.count("fault", "injected_5xx", 1);
+                return Response::server_error();
+            }
         }
         let api = match ApiRequest::from_http(req) {
             Ok(api) => api,
@@ -300,6 +326,37 @@ mod tests {
         // A different user is unaffected.
         let resp = svc.handle_http("u2", &req, t, &helsinki());
         assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn injected_api_errors_fire_and_reproduce() {
+        let mk = || {
+            let pop = Population::generate(PopulationConfig::medium(), &RngFactory::new(21));
+            let config = ServiceConfig {
+                faults: FaultConfig {
+                    seed: 77,
+                    api_429_rate: 0.2,
+                    api_5xx_rate: 0.2,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            PeriscopeService::new(pop, config)
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let req = ApiRequest::GetBroadcasts { ids: vec![] }.to_http("u");
+        let run = |svc: &mut PeriscopeService| -> Vec<u16> {
+            (0..40)
+                .map(|i| {
+                    // One request per user per second stays under the limiter.
+                    let t = SimTime::from_secs(i);
+                    svc.handle_http(&format!("u{i}"), &req, t, &helsinki()).status
+                })
+                .collect()
+        };
+        let (sa, sb) = (run(&mut a), run(&mut b));
+        assert_eq!(sa, sb, "same fault seed, same injected statuses");
+        assert!(sa.contains(&429) && sa.contains(&503) && sa.contains(&200), "statuses={sa:?}");
     }
 
     #[test]

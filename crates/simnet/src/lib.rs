@@ -26,6 +26,7 @@
 pub mod clock;
 pub mod dist;
 pub mod event;
+pub mod fault;
 pub mod geo;
 pub mod link;
 pub mod par;
@@ -36,6 +37,7 @@ pub mod time;
 
 pub use clock::WallClock;
 pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultRng};
 pub use geo::{GeoPoint, GeoRect};
 pub use link::Link;
 pub use rng::RngFactory;

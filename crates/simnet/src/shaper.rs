@@ -99,7 +99,7 @@ mod tests {
     fn long_run_rate_is_enforced() {
         let mut tb = TokenBucket::new(2e6, 10_000); // 2 Mbps
         let mut last = SimTime::ZERO;
-        let total_bytes = 250_000 * 8; // 2 Mbit worth of data = 1 s at rate... actually 2 MB
+        let total_bytes = 250_000 * 8; // 2,000,000 bytes = 16 Mbit = 8 s at 2 Mbps
         let pkt = 1_000;
         for _ in 0..(total_bytes / pkt) {
             last = tb.release_time(SimTime::ZERO, pkt);
