@@ -13,6 +13,9 @@
 //! repro --scale medium experiments-md > EXPERIMENTS.md   # regenerate the record
 //! repro --scale medium export <dir>   # CSV dumps for external plotting
 //! repro bench                     # time 1-thread vs N-thread generation
+//! repro bench-components          # hot-path micro-benches → BENCH_components.json
+//! repro bench-figures             # per-experiment timing → BENCH_figures.json
+//! repro bench-ablations           # ablation sweep timing → BENCH_ablations.json
 //! repro trace                     # traced run → TRACE_events.jsonl + summary
 //! repro metrics                   # traced run → metrics table + TRACE_metrics.json
 //! repro chaos                     # fault-intensity sweep → CHAOS_sweep.json
@@ -60,6 +63,18 @@ fn main() {
         // amortize setup, so `bench` defaults to medium scale.
         let bench_scale = if scale_explicit { scale.clone() } else { "medium".to_string() };
         bench_parallel(&bench_scale, seed);
+        return;
+    }
+    if targets.iter().any(|t| t == "bench-components") {
+        println!("{}", pscp_bench::micro::bench_components(seed));
+        return;
+    }
+    if targets.iter().any(|t| t == "bench-figures") {
+        println!("{}", pscp_bench::micro::bench_figures(seed));
+        return;
+    }
+    if targets.iter().any(|t| t == "bench-ablations") {
+        println!("{}", pscp_bench::micro::bench_ablations(seed));
         return;
     }
     if targets.iter().any(|t| t == "chaos") {
@@ -116,6 +131,18 @@ fn main() {
         println!(
             "{:<16} {:<18} serial vs parallel generation timing (BENCH_parallel.json)",
             "bench", "perf"
+        );
+        println!(
+            "{:<16} {:<18} hot-path micro-benches (BENCH_components.json)",
+            "bench-components", "perf"
+        );
+        println!(
+            "{:<16} {:<18} per-experiment regeneration timing (BENCH_figures.json)",
+            "bench-figures", "perf"
+        );
+        println!(
+            "{:<16} {:<18} ablation sweep timing (BENCH_ablations.json)",
+            "bench-ablations", "perf"
         );
         println!(
             "{:<16} {:<18} traced run: event log (TRACE_events.jsonl) + summary",
@@ -337,7 +364,8 @@ fn usage(err: &str) -> ! {
     }
     eprintln!(
         "usage: repro [--scale small|medium|paper] [--seed N] \
-         <ids...|all|list|bench|trace|metrics|chaos>"
+         <ids...|all|list|bench|bench-components|bench-figures|bench-ablations|\
+         trace|metrics|chaos>"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

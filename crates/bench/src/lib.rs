@@ -5,7 +5,10 @@
 //! (`repro all`, `repro fig5`, `repro list`); the functions here back its
 //! `ablation-*` subcommands, quantifying the design decisions the paper
 //! speculates about (player buffer sizing, map visibility, picture
-//! caching).
+//! caching), and the [`micro`] module backs its `bench-*` micro-benchmark
+//! subcommands.
+
+pub mod micro;
 
 use pscp_client::player::PlayerConfig;
 use pscp_client::session::SessionConfig;

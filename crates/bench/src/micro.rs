@@ -1,0 +1,335 @@
+//! Micro-benchmarks on the phase-span harness.
+//!
+//! These replace the former criterion benches (`components`, `figures`,
+//! `ablations`) with a dependency-free timing loop: each bench body runs
+//! under a [`pscp_obs::Observer`] phase span, iteration counts are
+//! auto-calibrated to a per-bench time budget (`PSCP_BENCH_SECS`, default
+//! 0.2 s), and every suite writes a `BENCH_<suite>.json` artifact in the
+//! same phase-span JSON format `repro bench` uses for
+//! `BENCH_parallel.json`. Beyond performance tracking, the `figures` suite
+//! doubles as a continuously-exercised guarantee that every figure still
+//! regenerates.
+
+use pscp_core::{experiments, Lab, LabConfig};
+use pscp_obs::Observer;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One timed bench: name, calibrated iteration count, and per-iteration
+/// wall time (optionally with a bytes-processed throughput).
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Bench name (`suite/case`).
+    pub name: String,
+    /// Measured iterations (excludes warmup and calibration runs).
+    pub iters: u64,
+    /// Total measured wall time.
+    pub total_secs: f64,
+    /// Bytes processed per iteration, when the bench is throughput-shaped.
+    pub bytes_per_iter: Option<u64>,
+}
+
+impl BenchResult {
+    /// Wall time of one iteration.
+    pub fn per_iter_secs(&self) -> f64 {
+        self.total_secs / self.iters.max(1) as f64
+    }
+
+    /// Throughput in MB/s, when bytes were declared.
+    pub fn mb_per_sec(&self) -> Option<f64> {
+        self.bytes_per_iter.map(|b| b as f64 * self.iters as f64 / self.total_secs.max(1e-12) / 1e6)
+    }
+}
+
+/// A bench suite: runs bodies under phase spans and renders the artifact.
+pub struct MicroBench {
+    suite: String,
+    seed: u64,
+    target_secs: f64,
+    observer: Observer,
+    results: Vec<BenchResult>,
+}
+
+impl MicroBench {
+    /// A suite writing `BENCH_<suite>.json`; `seed` is recorded for
+    /// provenance.
+    pub fn new(suite: &str, seed: u64) -> Self {
+        let target_secs =
+            std::env::var("PSCP_BENCH_SECS").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2);
+        MicroBench {
+            suite: suite.to_string(),
+            seed,
+            target_secs,
+            observer: Observer::profile_only(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` (which must return a value derived from its work, to keep
+    /// the optimizer honest): one warmup, one calibration run to pick the
+    /// iteration count for the time budget, then the measured loop.
+    pub fn run(&mut self, name: &str, bytes_per_iter: Option<u64>, mut f: impl FnMut() -> u64) {
+        let mut sink = f(); // warmup
+        let calib_start = Instant::now();
+        sink ^= f();
+        let once = calib_start.elapsed().as_secs_f64();
+        let iters = ((self.target_secs / once.max(1e-9)).ceil() as u64).clamp(1, 100_000);
+        let start = Instant::now();
+        self.observer.phase(name, || {
+            for _ in 0..iters {
+                sink ^= f();
+            }
+        });
+        let total_secs = start.elapsed().as_secs_f64();
+        black_box(sink);
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            iters,
+            total_secs,
+            bytes_per_iter,
+        });
+    }
+
+    /// Human-readable results table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<34} {:>8} {:>14} {:>10}\n{}\n",
+            "bench",
+            "iters",
+            "per-iter",
+            "MB/s",
+            "-".repeat(70)
+        ));
+        for r in &self.results {
+            let per = r.per_iter_secs();
+            let per_h = if per >= 1.0 {
+                format!("{per:.2} s")
+            } else if per >= 1e-3 {
+                format!("{:.2} ms", per * 1e3)
+            } else {
+                format!("{:.2} µs", per * 1e6)
+            };
+            let tp = r.mb_per_sec().map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into());
+            out.push_str(&format!("{:<34} {:>8} {:>14} {:>10}\n", r.name, r.iters, per_h, tp));
+        }
+        out
+    }
+
+    /// The machine-readable artifact body (`BENCH_<suite>.json`).
+    pub fn json(&self) -> String {
+        let results: Vec<String> = self
+            .results
+            .iter()
+            .map(|r| {
+                let tp = r.mb_per_sec().map(|t| format!("{t:.2}")).unwrap_or_else(|| "null".into());
+                format!(
+                    "    {{\"name\":\"{}\",\"iters\":{},\"per_iter_secs\":{:.9},\
+                     \"mb_per_sec\":{}}}",
+                    r.name,
+                    r.iters,
+                    r.per_iter_secs(),
+                    tp
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"suite\": \"{}\",\n  \"seed\": {},\n  \"target_secs\": {},\n  \
+             \"results\": [\n{}\n  ],\n  \"phases\": {}\n}}\n",
+            self.suite,
+            self.seed,
+            self.target_secs,
+            results.join(",\n"),
+            pscp_obs::phases_json(&self.observer.phases()),
+        )
+    }
+
+    /// Writes the artifact and prints the table plus the artifact path.
+    pub fn finish(self) -> String {
+        let path = format!("BENCH_{}.json", self.suite);
+        std::fs::write(&path, self.json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        format!("{}\nwrote {path} ({} benches)", self.table(), self.results.len())
+    }
+}
+
+/// Component hot paths: protocol (de)framing, TS mux/demux, the encoder,
+/// stats kernels, TLS record framing, and one full RTMP session. These
+/// guard against regressions that would make paper-scale figure
+/// regeneration impractically slow.
+pub fn bench_components(seed: u64) -> String {
+    use pscp_media::bitstream::{FrameKind, FramePayload};
+    use pscp_media::content::{ContentClass, ContentProcess};
+    use pscp_media::encoder::{Encoder, EncoderConfig};
+    use pscp_media::flv::VideoTag;
+    use pscp_media::ts::{demux_segment, TsMuxer, TsUnit};
+    use pscp_proto::json;
+    use pscp_proto::rtmp::{Chunker, Dechunker, Message};
+    use pscp_simnet::{Link, RngFactory, SimDuration, SimTime};
+    use pscp_stats::{welch_t_test, Ecdf};
+
+    fn frame(pts: u32, size: usize) -> FramePayload {
+        FramePayload {
+            kind: if pts.is_multiple_of(1200) { FrameKind::I } else { FrameKind::P },
+            qp: 30,
+            width: 320,
+            height: 568,
+            pts_ms: pts,
+            ntp_s: None,
+            size,
+        }
+    }
+
+    let mut suite = MicroBench::new("components", seed);
+
+    // One second of video: 30 frames of ~1 kB.
+    let msgs: Vec<Message> = (0..30u32)
+        .map(|i| Message::video(i * 33, VideoTag::for_frame(frame(i * 33, 1000)).encode()))
+        .collect();
+    let rtmp_bytes: usize = msgs.iter().map(|m| m.payload.len()).sum();
+    suite.run("rtmp/chunk+dechunk 1s of video", Some(rtmp_bytes as u64), || {
+        let mut chunker = Chunker::new();
+        let wire = chunker.encode_all(&msgs);
+        let mut d = Dechunker::new();
+        d.feed(&wire).expect("dechunk");
+        d.pop_all().len() as u64
+    });
+
+    let units: Vec<TsUnit> = (0..108u32)
+        .map(|i| TsUnit::Video { pts_ms: i * 33, data: frame(i * 33, 1200).encode() })
+        .collect();
+    let segment = TsMuxer::new().mux_segment(&units);
+    suite.run("mpegts/mux 3.6s segment", Some(segment.len() as u64), || {
+        TsMuxer::new().mux_segment(&units).len() as u64
+    });
+    suite.run("mpegts/demux 3.6s segment", Some(segment.len() as u64), || {
+        demux_segment(&segment).expect("demux").len() as u64
+    });
+
+    suite.run("encoder/60s of video", None, || {
+        let mut rng = RngFactory::new(1).stream("bench");
+        let content = ContentProcess::new(ContentClass::Indoor, &mut rng);
+        let mut enc = Encoder::new(EncoderConfig::default(), content);
+        let mut total = 0usize;
+        for i in 0..1800 {
+            if let Some(f) = enc.next_frame(i as f64 / 30.0, &mut rng) {
+                total += f.size();
+            }
+        }
+        total as u64
+    });
+
+    let doc = {
+        let items: Vec<String> = (0..100)
+            .map(|i| format!(r#"{{"id":"brdcst{i:07}","lat":41.2,"lng":28.9,"n":{i}}}"#))
+            .collect();
+        format!(r#"{{"broadcasts":[{}]}}"#, items.join(","))
+    };
+    suite.run("json/parse map-feed response", Some(doc.len() as u64), || {
+        json::parse(&doc).expect("parse");
+        doc.len() as u64
+    });
+
+    suite.run("link/enqueue 1000 packets", None, || {
+        let mut link = Link::unbounded(10e6, SimDuration::from_millis(20));
+        let mut t = SimTime::ZERO;
+        let mut n = 0u64;
+        for i in 0..1000usize {
+            t += SimDuration::from_micros(100);
+            black_box(link.enqueue(t, 1448 - (i % 3)));
+            n += 1;
+        }
+        n
+    });
+
+    let mut rng = RngFactory::new(2).stream("stats-bench");
+    let data: Vec<f64> =
+        (0..10_000).map(|_| pscp_simnet::dist::lognormal(&mut rng, 0.0, 1.0)).collect();
+    suite
+        .run("stats/ecdf build 10k samples", None, || Ecdf::new(&data).expect("ecdf").len() as u64);
+    let (a, b) = data.split_at(5000);
+    suite.run("stats/welch t-test 2x5k", None, || {
+        welch_t_test(a, b).expect("welch").p_value.to_bits()
+    });
+
+    {
+        use pscp_proto::tls::TlsChannel;
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        suite.run("tls/seal+open 100kB", Some(payload.len() as u64), || {
+            let mut tx = TlsChannel::new(42);
+            let mut rx = TlsChannel::new(42);
+            let wire = tx.seal(&payload);
+            rx.open_all(&wire).expect("open").len() as u64
+        });
+    }
+
+    {
+        use pscp_client::rtmp_session;
+        use pscp_client::session::SessionConfig;
+        use pscp_media::audio::AudioBitrate;
+        use pscp_simnet::GeoPoint;
+        use pscp_workload::broadcast::{Broadcast, BroadcastId, DeviceProfile};
+        let broadcast = Broadcast {
+            id: BroadcastId(5),
+            location: GeoPoint::new(41.01, 28.98),
+            city: "Istanbul",
+            start: SimTime::from_secs(100),
+            duration: SimDuration::from_secs(1800),
+            content: ContentClass::Indoor,
+            device: DeviceProfile::Modern,
+            audio: AudioBitrate::Kbps32,
+            avg_viewers: 25.0,
+            replay_available: true,
+            private: false,
+            location_public: true,
+            viewer_seed: 5,
+            target_bitrate_bps: 300_000.0,
+        };
+        let mut i = 0u64;
+        suite.run("session/rtmp 60s end-to-end", None, || {
+            i += 1;
+            let rngs = RngFactory::new(i).child("bench-session");
+            rtmp_session::run(&broadcast, SimTime::from_secs(400), &SessionConfig::default(), &rngs)
+                .capture
+                .total_bytes() as u64
+        });
+    }
+
+    suite.finish()
+}
+
+/// One bench per paper figure/table: how long each experiment takes to
+/// regenerate at small scale (world generation is warmed outside the timed
+/// body, so the numbers isolate the experiment itself).
+pub fn bench_figures(seed: u64) -> String {
+    let mut suite = MicroBench::new("figures", seed);
+    for exp in experiments::all() {
+        // The session-dataset experiments share a memoized dataset inside a
+        // Lab; warming it here keeps world generation out of the timing.
+        let mut lab = Lab::new(LabConfig::small(seed));
+        let _ = (exp.run)(&mut lab);
+        suite.run(exp.id, None, || (exp.run)(&mut lab).render().len() as u64);
+    }
+    suite.finish()
+}
+
+/// Times the DESIGN.md §4 design-choice sweeps. The *results* of the
+/// ablations are printed by `repro ablation-*`; these track their cost so
+/// the sweeps stay usable interactively.
+pub fn bench_ablations(seed: u64) -> String {
+    let mut suite = MicroBench::new("ablations", seed);
+    {
+        let mut lab = Lab::new(LabConfig::small(seed ^ 17));
+        lab.service();
+        suite.run("buffer_sizing", None, || crate::ablation_buffer(&mut lab, 3).len() as u64);
+    }
+    {
+        let lab = Lab::new(LabConfig::small(seed ^ 18));
+        suite.run("visibility_caps", None, || crate::ablation_visibility(&lab).len() as u64);
+    }
+    {
+        let mut lab = Lab::new(LabConfig::small(seed ^ 19));
+        lab.service();
+        suite.run("picture_cache", None, || crate::ablation_cache(&mut lab, 3).len() as u64);
+    }
+    suite.finish()
+}

@@ -1,0 +1,195 @@
+//! Generator combinators.
+//!
+//! A generator is any `Fn(&mut Gen) -> T`; these helpers build and compose
+//! them functionally. Because generation draws through the choice tape,
+//! every combinator — including `map`, `filter` and `flat_map` — shrinks
+//! automatically: the shrinker edits the tape and replays the whole
+//! composition.
+
+use crate::gen::Gen;
+use std::ops::{Range, RangeBounds};
+use std::rc::Rc;
+
+/// A heap-allocated generator, for recursion and heterogeneous lists
+/// (`one_of`, `weighted`).
+pub type BoxGen<T> = Rc<dyn Fn(&mut Gen) -> T>;
+
+/// Boxes a generator into a [`BoxGen`].
+pub fn boxed<T>(g: impl Fn(&mut Gen) -> T + 'static) -> BoxGen<T> {
+    Rc::new(g)
+}
+
+/// Always generates a clone of `v` (proptest's `Just`).
+pub fn just<T: Clone>(v: T) -> impl Fn(&mut Gen) -> T + Clone {
+    move |_| v.clone()
+}
+
+/// Uniform signed integers in `range`.
+pub fn ints(range: impl RangeBounds<i64> + Clone) -> impl Fn(&mut Gen) -> i64 + Clone {
+    move |g| g.i64(range.clone())
+}
+
+/// Uniform unsigned integers in `range`.
+pub fn u64s(range: impl RangeBounds<u64> + Clone) -> impl Fn(&mut Gen) -> u64 + Clone {
+    move |g| g.u64(range.clone())
+}
+
+/// Uniform floats in `[range.start, range.end)`.
+pub fn floats(range: Range<f64>) -> impl Fn(&mut Gen) -> f64 + Clone {
+    move |g| g.f64(range.clone())
+}
+
+/// Uniform booleans.
+pub fn bools() -> impl Fn(&mut Gen) -> bool + Clone {
+    |g| g.bool()
+}
+
+/// Vectors of `elem` with lengths in `len`.
+pub fn vecs<T>(
+    elem: impl Fn(&mut Gen) -> T + Clone,
+    len: impl RangeBounds<usize> + Clone,
+) -> impl Fn(&mut Gen) -> Vec<T> + Clone {
+    move |g| g.vec(len.clone(), |g| elem(g))
+}
+
+/// Strings over `charset` with lengths in `len`.
+pub fn strings(
+    charset: &'static [char],
+    len: impl RangeBounds<usize> + Clone,
+) -> impl Fn(&mut Gen) -> String + Clone {
+    move |g| g.string(charset, len.clone())
+}
+
+/// Applies `f` to every generated value (proptest's `prop_map`).
+pub fn map<A, B>(
+    g: impl Fn(&mut Gen) -> A + Clone,
+    f: impl Fn(A) -> B + Clone,
+) -> impl Fn(&mut Gen) -> B + Clone {
+    move |gen| f(g(gen))
+}
+
+/// Keeps only values satisfying `pred` (proptest's `prop_filter`): retries
+/// a few times with fresh draws, then rejects the case.
+pub fn filter<T>(
+    g: impl Fn(&mut Gen) -> T + Clone,
+    pred: impl Fn(&T) -> bool + Clone,
+) -> impl Fn(&mut Gen) -> T + Clone {
+    move |gen| {
+        for _ in 0..4 {
+            let v = g(gen);
+            if pred(&v) {
+                return v;
+            }
+        }
+        gen.accept_if(false);
+        unreachable!("accept_if(false) rejects the case")
+    }
+}
+
+/// Generates with `g`, then with the generator `f` builds from its value
+/// (proptest's `prop_flat_map`).
+pub fn flat_map<A, B, GB>(
+    g: impl Fn(&mut Gen) -> A + Clone,
+    f: impl Fn(A) -> GB + Clone,
+) -> impl Fn(&mut Gen) -> B + Clone
+where
+    GB: Fn(&mut Gen) -> B,
+{
+    move |gen| {
+        let a = g(gen);
+        f(a)(gen)
+    }
+}
+
+/// Picks one of the alternatives uniformly (proptest's `prop_oneof`). Put
+/// the simplest alternative first: it is what failures shrink toward.
+pub fn one_of<T>(alternatives: Vec<BoxGen<T>>) -> impl Fn(&mut Gen) -> T + Clone {
+    assert!(!alternatives.is_empty(), "one_of needs at least one alternative");
+    move |g| {
+        let i = g.choice(alternatives.len());
+        (alternatives[i])(g)
+    }
+}
+
+/// Picks an alternative according to integer weights.
+pub fn weighted<T>(alternatives: Vec<(u32, BoxGen<T>)>) -> impl Fn(&mut Gen) -> T + Clone {
+    assert!(!alternatives.is_empty(), "weighted needs at least one alternative");
+    let weights: Vec<u32> = alternatives.iter().map(|(w, _)| *w).collect();
+    move |g| {
+        let i = g.weighted(&weights);
+        (alternatives[i].1)(g)
+    }
+}
+
+/// `None` a quarter of the time, otherwise `Some` of the inner generator
+/// (proptest's `prop::option::of`).
+pub fn option_of<T>(g: impl Fn(&mut Gen) -> T + Clone) -> impl Fn(&mut Gen) -> Option<T> + Clone {
+    move |gen| gen.option(|gen| g(gen))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::Tape;
+
+    fn run<T>(seed: u64, g: impl Fn(&mut Gen) -> T) -> T {
+        g(&mut Gen::new(Tape::recording(seed)))
+    }
+
+    #[test]
+    fn map_transforms() {
+        let g = map(u64s(0..10), |x| x * 2);
+        for s in 0..50 {
+            let v = run(s, &g);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let g = filter(u64s(0..100), |&x| x % 3 == 0);
+        for s in 0..50 {
+            // A 1-in-3 predicate virtually never exhausts 4 retries.
+            let v = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(s, &g)));
+            if let Ok(v) = v {
+                assert_eq!(v % 3, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_dependent_generation() {
+        // Length drawn first, then a vec of exactly that length.
+        let g = flat_map(u64s(1..10), |n| {
+            move |gen: &mut Gen| gen.vec(n as usize..=n as usize, |g| g.bool())
+        });
+        for s in 0..50 {
+            let v = run(s, &g);
+            assert!((1..10).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn one_of_covers_all_alternatives() {
+        let g = one_of(vec![boxed(just(1u8)), boxed(just(2u8)), boxed(just(3u8))]);
+        let mut seen = [false; 4];
+        for s in 0..100 {
+            seen[run(s, &g) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_alternatives() {
+        let g = weighted(vec![(1, boxed(just(0u8))), (9, boxed(just(1u8)))]);
+        let ones: usize = (0..500).map(|s| run(s, &g) as usize).sum();
+        assert!(ones > 350, "ones={ones}");
+    }
+
+    #[test]
+    fn option_of_mixes() {
+        let g = option_of(u64s(0..5));
+        let nones = (0..200).filter(|&s| run(s, &g).is_none()).count();
+        assert!((10..120).contains(&nones), "nones={nones}");
+    }
+}

@@ -1,0 +1,315 @@
+//! The choice tape and the [`Gen`] draw handle.
+//!
+//! Every primitive draw consumes one 64-bit word. In *recording* mode the
+//! word comes from a SplitMix64 stream and is appended to the tape; in
+//! *replay* mode (shrinking, regression replay) words are read back from
+//! the tape, and an exhausted tape yields zeros — which every draw maps to
+//! its minimal value, so truncating a tape always produces a simpler case.
+
+use crate::splitmix64;
+use std::ops::{Bound, RangeBounds};
+
+/// A recorded (or replayed) sequence of raw draw words.
+#[derive(Debug, Clone, Default)]
+pub struct Tape {
+    words: Vec<u64>,
+    /// Stream state for recording mode; `None` replays only.
+    rng_state: Option<u64>,
+}
+
+impl Tape {
+    /// A fresh tape that records draws from the stream seeded by `seed`.
+    pub fn recording(seed: u64) -> Self {
+        Tape { words: Vec::new(), rng_state: Some(splitmix64(seed ^ 0x0007_ca5e_2016)) }
+    }
+
+    /// A tape that replays `words` and yields zeros past the end.
+    pub fn replaying(words: Vec<u64>) -> Self {
+        Tape { words, rng_state: None }
+    }
+
+    /// The recorded words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Hard cap on tape growth: a runaway generator stops drawing entropy here
+/// (draws return minimal values) instead of exhausting memory.
+const MAX_TAPE_WORDS: usize = 1 << 21;
+
+/// The draw handle passed to generator closures.
+#[derive(Debug)]
+pub struct Gen {
+    tape: Tape,
+    pos: usize,
+}
+
+impl Gen {
+    /// Wraps a tape in a draw handle (exposed for harness internals and for
+    /// deterministic one-off draws in tests).
+    pub fn new(tape: Tape) -> Self {
+        Gen { tape, pos: 0 }
+    }
+
+    pub(crate) fn into_tape(self) -> Tape {
+        self.tape
+    }
+
+    /// One raw word: replayed from the tape if available, freshly drawn and
+    /// recorded otherwise, zero once the tape is exhausted in replay mode.
+    fn word(&mut self) -> u64 {
+        let w = if self.pos < self.tape.words.len() {
+            self.tape.words[self.pos]
+        } else if let Some(state) = self.tape.rng_state.as_mut() {
+            if self.tape.words.len() >= MAX_TAPE_WORDS {
+                0
+            } else {
+                *state = splitmix64(*state);
+                self.tape.words.push(*state);
+                *state
+            }
+        } else {
+            0
+        };
+        self.pos += 1;
+        w
+    }
+
+    /// Rejects the whole case unless `cond` holds (the engine discards it
+    /// and draws a fresh one; see `Config::max_reject_ratio`).
+    pub fn accept_if(&self, cond: bool) {
+        if !cond {
+            std::panic::panic_any(crate::Rejected);
+        }
+    }
+
+    /// Uniform `u64` in the given range (word 0 maps to the low bound).
+    pub fn u64(&mut self, range: impl RangeBounds<u64>) -> u64 {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.checked_sub(1).expect("empty range"),
+            Bound::Unbounded => u64::MAX,
+        };
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.word();
+        }
+        lo + self.word() % (span + 1)
+    }
+
+    /// Uniform `i64` in the given range.
+    pub fn i64(&mut self, range: impl RangeBounds<i64>) -> i64 {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v + 1,
+            Bound::Unbounded => i64::MIN,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v - 1,
+            Bound::Unbounded => i64::MAX,
+        };
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        if span == u64::MAX {
+            return self.word() as i64;
+        }
+        lo.wrapping_add((self.word() % (span + 1)) as i64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)` — word 0 maps to `lo`. Inclusive ranges
+    /// are accepted and treated as half-open (a measure-zero distinction).
+    pub fn f64(&mut self, range: impl RangeBounds<f64>) -> f64 {
+        let lo = match range.start_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => -1e308,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) | Bound::Excluded(&v) => v,
+            Bound::Unbounded => 1e308,
+        };
+        assert!(lo <= hi, "empty range {lo}..{hi}");
+        let frac = (self.word() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + frac * (hi - lo)
+    }
+
+    /// Uniform `bool` (word 0 maps to `false`).
+    pub fn bool(&mut self) -> bool {
+        self.word() & 1 == 1
+    }
+
+    /// `Some` with the given probability-ish bias (3 in 4 by default draw).
+    pub fn option<T>(&mut self, f: impl FnOnce(&mut Gen) -> T) -> Option<T> {
+        if self.word().is_multiple_of(4) {
+            None
+        } else {
+            Some(f(self))
+        }
+    }
+
+    /// Index into `n` equally-weighted alternatives (word 0 maps to 0).
+    pub fn choice(&mut self, n: usize) -> usize {
+        assert!(n > 0, "choice needs at least one alternative");
+        (self.word() % n as u64) as usize
+    }
+
+    /// Index drawn according to integer `weights` (word 0 maps to 0, so
+    /// list the simplest alternative first for the best shrinking).
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "weights must not all be zero");
+        let mut u = self.word() % total;
+        for (i, &w) in weights.iter().enumerate() {
+            if u < w as u64 {
+                return i;
+            }
+            u -= w as u64;
+        }
+        weights.len() - 1
+    }
+
+    /// A vector with a length in `len` and elements drawn by `f`.
+    ///
+    /// Encoding is length-prefix-free: after the mandatory minimum, each
+    /// element is preceded by a continue/stop word, so deleting an element's
+    /// span from the tape (or zeroing its continue word) shortens the vector
+    /// without desynchronizing later draws — this is what makes structural
+    /// shrinking work.
+    pub fn vec<T>(
+        &mut self,
+        len: impl RangeBounds<usize>,
+        mut f: impl FnMut(&mut Gen) -> T,
+    ) -> Vec<T> {
+        let min = match len.start_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v + 1,
+            Bound::Unbounded => 0,
+        };
+        let max = match len.end_bound() {
+            Bound::Included(&v) => v,
+            Bound::Excluded(&v) => v.saturating_sub(1),
+            Bound::Unbounded => min + 64,
+        };
+        assert!(min <= max, "empty length range");
+        let mut v = Vec::with_capacity(min);
+        while v.len() < min {
+            v.push(f(self));
+        }
+        // Continue with probability extra/(extra+1): expected extra length
+        // ≈ half the span, occasionally reaching max.
+        let extra = ((max - min) / 2).max(1) as u64;
+        while v.len() < max {
+            if self.word().is_multiple_of(extra + 1) {
+                break;
+            }
+            v.push(f(self));
+        }
+        v
+    }
+
+    /// A string of `len` chars drawn uniformly from `charset`.
+    pub fn string(&mut self, charset: &[char], len: impl RangeBounds<usize>) -> String {
+        assert!(!charset.is_empty(), "empty charset");
+        self.vec(len, |g| charset[g.choice(charset.len())]).into_iter().collect()
+    }
+
+    /// A byte vector with a length in `len`.
+    pub fn bytes(&mut self, len: impl RangeBounds<usize>) -> Vec<u8> {
+        self.vec(len, |g| g.u64(0..=255) as u8)
+    }
+}
+
+macro_rules! narrow_uint {
+    ($($name:ident: $t:ty),*) => {$(
+        impl Gen {
+            #[doc = concat!("Uniform `", stringify!($t), "` in the given range.")]
+            pub fn $name(&mut self, range: impl RangeBounds<$t>) -> $t {
+                let lo = match range.start_bound() {
+                    Bound::Included(&v) => v as u64,
+                    Bound::Excluded(&v) => v as u64 + 1,
+                    Bound::Unbounded => 0,
+                };
+                let hi = match range.end_bound() {
+                    Bound::Included(&v) => v as u64,
+                    Bound::Excluded(&v) => (v as u64).checked_sub(1).expect("empty range"),
+                    Bound::Unbounded => <$t>::MAX as u64,
+                };
+                self.u64(lo..=hi) as $t
+            }
+        }
+    )*};
+}
+narrow_uint!(u8: u8, u16: u16, u32: u32, usize: usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(seed: u64) -> Gen {
+        Gen::new(Tape::recording(seed))
+    }
+
+    #[test]
+    fn draws_respect_ranges() {
+        let mut g = g(1);
+        for _ in 0..2000 {
+            assert!((5..10).contains(&g.u64(5..10)));
+            assert!((0..=51).contains(&g.u8(0..=51)));
+            assert!((-3..=7).contains(&g.i64(-3..=7)));
+            let f = g.f64(2.5..3.5);
+            assert!((2.5..3.5).contains(&f), "f={f}");
+        }
+    }
+
+    #[test]
+    fn exhausted_replay_yields_minimal_values() {
+        let mut g = Gen::new(Tape::replaying(vec![]));
+        assert_eq!(g.u64(7..100), 7);
+        assert_eq!(g.f64(1.5..9.0), 1.5);
+        assert!(!g.bool());
+        assert_eq!(g.vec(0..10, |g| g.u64(0..5)), Vec::<u64>::new());
+        assert_eq!(g.weighted(&[1, 2, 3]), 0);
+    }
+
+    #[test]
+    fn replay_reproduces_recording() {
+        let record = |seed| {
+            let mut g = g(seed);
+            let v = (g.u64(0..1000), g.vec(1..10, |g| g.f64(0.0..1.0)), g.bool());
+            (v, g.into_tape())
+        };
+        let (v1, tape) = record(42);
+        let mut g2 = Gen::new(Tape::replaying(tape.words().to_vec()));
+        let v2 = (g2.u64(0..1000), g2.vec(1..10, |g| g.f64(0.0..1.0)), g2.bool());
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn vec_lengths_cover_range() {
+        let mut g = g(7);
+        let mut seen_min = false;
+        let mut seen_long = false;
+        for _ in 0..300 {
+            let v = g.vec(1..40, |g| g.u64(0..2));
+            assert!((1..40).contains(&v.len()));
+            seen_min |= v.len() == 1;
+            seen_long |= v.len() > 20;
+        }
+        assert!(seen_min && seen_long, "length distribution too narrow");
+    }
+
+    #[test]
+    fn string_uses_charset() {
+        let mut g = g(9);
+        let s = g.string(&['a', 'b', 'c'], 10..20);
+        assert!((10..20).contains(&s.len()));
+        assert!(s.chars().all(|c| "abc".contains(c)));
+    }
+}

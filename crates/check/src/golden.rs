@@ -1,0 +1,101 @@
+//! Golden-value assertion helpers: exact comparisons with readable diffs.
+//!
+//! Used by the snapshot tests (`tests/golden_figures.rs`) that pin the
+//! regenerated EXPERIMENTS.md headline numbers, and by any test comparing
+//! multi-line rendered output.
+
+/// Line-oriented diff between two texts, `None` when identical. The format
+/// is a compact unified-style listing of the first differing region.
+pub fn diff_text(expected: &str, actual: &str) -> Option<String> {
+    if expected == actual {
+        return None;
+    }
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let common_prefix = exp.iter().zip(&act).take_while(|(a, b)| a == b).count();
+    let common_suffix = exp
+        .iter()
+        .rev()
+        .zip(act.iter().rev())
+        .take_while(|(a, b)| a == b)
+        .count()
+        .min(exp.len().saturating_sub(common_prefix))
+        .min(act.len().saturating_sub(common_prefix));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "text differs at line {} ({} expected / {} actual lines)\n",
+        common_prefix + 1,
+        exp.len(),
+        act.len()
+    ));
+    for line in &exp[common_prefix..exp.len() - common_suffix] {
+        out.push_str(&format!("  - {line}\n"));
+    }
+    for line in &act[common_prefix..act.len() - common_suffix] {
+        out.push_str(&format!("  + {line}\n"));
+    }
+    Some(out)
+}
+
+/// Panics with a line diff when `actual` differs from `expected`.
+#[track_caller]
+pub fn assert_text_eq(expected: &str, actual: &str) {
+    if let Some(diff) = diff_text(expected, actual) {
+        panic!("[pscp-check] golden text mismatch\n{diff}");
+    }
+}
+
+/// Panics unless `actual` is within `tol` of `expected` (absolute). Exact
+/// golden floats should use `tol = 0.0`: the whole stack is deterministic.
+#[track_caller]
+pub fn assert_close(expected: f64, actual: f64, tol: f64) {
+    let ok = if tol == 0.0 {
+        expected == actual || (expected.is_nan() && actual.is_nan())
+    } else {
+        (expected - actual).abs() <= tol
+    };
+    assert!(
+        ok,
+        "[pscp-check] golden value mismatch: expected {expected}, got {actual} (tol {tol})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_text_has_no_diff() {
+        assert_eq!(diff_text("a\nb\n", "a\nb\n"), None);
+        assert_text_eq("same", "same");
+    }
+
+    #[test]
+    fn diff_localizes_change() {
+        let d = diff_text("a\nb\nc\nd", "a\nX\nc\nd").unwrap();
+        assert!(d.contains("line 2"), "{d}");
+        assert!(d.contains("- b"), "{d}");
+        assert!(d.contains("+ X"), "{d}");
+        assert!(!d.contains("- a"), "common prefix must not appear: {d}");
+        assert!(!d.contains("- d"), "common suffix must not appear: {d}");
+    }
+
+    #[test]
+    fn diff_handles_insertions() {
+        let d = diff_text("a\nc", "a\nb\nc").unwrap();
+        assert!(d.contains("+ b"), "{d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "golden value mismatch")]
+    fn close_rejects_out_of_tolerance() {
+        assert_close(1.0, 1.2, 0.1);
+    }
+
+    #[test]
+    fn close_exact_and_nan() {
+        assert_close(1.5, 1.5, 0.0);
+        assert_close(f64::NAN, f64::NAN, 0.0);
+        assert_close(1.0, 1.05, 0.1);
+    }
+}

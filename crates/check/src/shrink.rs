@@ -1,0 +1,164 @@
+//! Tape shrinking: structural span deletion plus per-word binary search.
+//!
+//! The shrinker never sees values — it edits the raw choice tape and asks
+//! the harness to re-run generator + property. A candidate is kept only if
+//! the property still fails on it (rejected candidates — e.g. a filter no
+//! longer satisfied — are abandoned). Because draws map word 0 to their
+//! minimal value and collections are length-prefix-free encoded, deleting
+//! spans shortens collections and zeroing words minimizes scalars.
+
+use crate::Outcome;
+
+/// Shrinks `tape` within a budget of `max_iters` property executions.
+/// Returns the smallest failing tape found (at worst the input itself).
+pub(crate) fn shrink(
+    tape: Vec<u64>,
+    max_iters: u64,
+    mut run: impl FnMut(&[u64]) -> Outcome,
+) -> Vec<u64> {
+    let mut best = tape;
+    let mut iters = 0u64;
+    let mut try_candidate = |candidate: &[u64], best: &mut Vec<u64>, iters: &mut u64| -> bool {
+        if *iters >= max_iters {
+            return false;
+        }
+        *iters += 1;
+        if matches!(run(candidate), Outcome::Fail(_)) {
+            *best = candidate.to_vec();
+            true
+        } else {
+            false
+        }
+    };
+
+    loop {
+        let before = best.clone();
+
+        // Pass 1 — structural: delete spans, halving the span size down to
+        // single words. Scanning back-to-front keeps indices stable.
+        let mut size = (best.len() / 2).max(1);
+        while size >= 1 && iters < max_iters {
+            let mut start = best.len().saturating_sub(size);
+            loop {
+                if start + size <= best.len() {
+                    let mut candidate = best.clone();
+                    candidate.drain(start..start + size);
+                    try_candidate(&candidate, &mut best, &mut iters);
+                }
+                if start == 0 || iters >= max_iters {
+                    break;
+                }
+                start = start.saturating_sub(size);
+            }
+            if size == 1 {
+                break;
+            }
+            size /= 2;
+        }
+
+        // Pass 2 — zero whole spans (collapses runs of draws to minimal
+        // values without changing the parse shape).
+        let mut size = (best.len() / 2).max(1);
+        while size > 1 && iters < max_iters {
+            let mut start = 0;
+            while start + size <= best.len() && iters < max_iters {
+                if best[start..start + size].iter().any(|&w| w != 0) {
+                    let mut candidate = best.clone();
+                    candidate[start..start + size].fill(0);
+                    try_candidate(&candidate, &mut best, &mut iters);
+                }
+                start += size;
+            }
+            size /= 2;
+        }
+
+        // Pass 3 — per-word binary search toward zero.
+        for i in 0..best.len() {
+            if iters >= max_iters {
+                break;
+            }
+            if best[i] == 0 {
+                continue;
+            }
+            // Fast path: straight to zero.
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            if try_candidate(&candidate, &mut best, &mut iters) {
+                continue;
+            }
+            // Binary search the smallest failing replacement in (0, w).
+            let (mut lo, mut hi) = (1u64, best[i]);
+            while lo < hi && iters < max_iters {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[i] = mid;
+                if try_candidate(&candidate, &mut best, &mut iters) {
+                    hi = mid;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+        }
+
+        if best == before || iters >= max_iters {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fail_if(cond: bool) -> Outcome {
+        if cond {
+            Outcome::Fail("x".into())
+        } else {
+            Outcome::Pass
+        }
+    }
+
+    #[test]
+    fn scalar_shrinks_to_boundary() {
+        // Fails when word[0] >= 137: minimum failing tape is [137].
+        let out = shrink(vec![90_000], 4096, |w| fail_if(w.first().copied().unwrap_or(0) >= 137));
+        assert_eq!(out, vec![137]);
+    }
+
+    #[test]
+    fn spans_are_deleted() {
+        // Fails as long as the tape sums to >= 3 — minimal is 3 words of 1
+        // or fewer words with larger values; zeros pass shrinks first, so
+        // expect a short tape.
+        let tape: Vec<u64> = (0..64).map(|i| i % 5).collect();
+        let out = shrink(tape, 8192, |w| fail_if(w.iter().sum::<u64>() >= 3));
+        assert!(out.len() <= 3, "tape still {} words", out.len());
+        assert_eq!(out.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn rejected_candidates_are_not_kept() {
+        // Reject every tape shorter than 4 words; fail on word[3] > 10.
+        let out = shrink(vec![99, 99, 99, 99, 99], 4096, |w| {
+            if w.len() < 4 {
+                Outcome::Rejected
+            } else if w[3] > 10 {
+                Outcome::Fail("x".into())
+            } else {
+                Outcome::Pass
+            }
+        });
+        assert!(out.len() >= 4);
+        assert_eq!(out[3], 11);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let mut calls = 0u64;
+        let _ = shrink((0..1000).collect(), 50, |_| {
+            calls += 1;
+            Outcome::Fail("x".into())
+        });
+        assert!(calls <= 50, "calls={calls}");
+    }
+}

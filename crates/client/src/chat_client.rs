@@ -18,9 +18,9 @@ use pscp_proto::ws::Frame;
 use pscp_service::chat::{ChatConfig, ChatRoom};
 use pscp_simnet::fault::in_windows;
 use pscp_simnet::link::MTU_BYTES;
+use pscp_simnet::rng::CounterRng;
 use pscp_simnet::{Link, SimDuration, SimTime, WallClock};
 use pscp_workload::broadcast::Broadcast;
-use rand::rngs::StdRng;
 
 /// Gap an injected WebSocket chat drop leaves before the client's
 /// reconnect completes (DESIGN.md §8). Shared by the RTMP and HLS paths.
@@ -46,7 +46,7 @@ pub fn events(
     from: SimTime,
     to: SimTime,
     config: &SessionConfig,
-    rng: &mut StdRng,
+    rng: &mut CounterRng,
 ) -> Vec<ChatSend> {
     let mut room = ChatRoom::new(ChatConfig::default());
     let viewers = broadcast.viewers_at(from);
@@ -93,7 +93,7 @@ pub fn generate(
     link: &mut Link,
     capture_clock: &WallClock,
     capture: &mut Capture,
-    rng: &mut StdRng,
+    rng: &mut CounterRng,
 ) {
     generate_with_faults(broadcast, from, to, config, link, capture_clock, capture, rng, &[]);
 }
@@ -110,7 +110,7 @@ pub fn generate_with_faults(
     link: &mut Link,
     capture_clock: &WallClock,
     capture: &mut Capture,
-    rng: &mut StdRng,
+    rng: &mut CounterRng,
     drop_windows: &[(SimTime, SimTime)],
 ) {
     let sends = events(broadcast, from, to, config, rng);
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn events_are_time_ordered() {
-        let mut rng = RngFactory::new(3).stream("chat-events");
+        let mut rng = RngFactory::new(4).stream("chat-events");
         let sends = events(
             &broadcast(60.0),
             SimTime::from_secs(5),

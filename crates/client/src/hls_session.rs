@@ -202,12 +202,15 @@ pub fn run_traced(
             continue;
         }
         let playlist = segmenter.playlist_at(now);
-        let record_playlist = |capture: &mut Capture, at: SimTime, rng: &mut rand::rngs::StdRng| {
-            let resp =
-                Response::ok_bytes("application/vnd.apple.mpegurl", playlist.render().into_bytes());
-            let wall = capture_clock.read(at, rng);
-            capture.record(flow, at, wall, resp.encode());
-        };
+        let record_playlist =
+            |capture: &mut Capture, at: SimTime, rng: &mut pscp_simnet::rng::CounterRng| {
+                let resp = Response::ok_bytes(
+                    "application/vnd.apple.mpegurl",
+                    playlist.render().into_bytes(),
+                );
+                let wall = capture_clock.read(at, rng);
+                capture.record(flow, at, wall, resp.encode());
+            };
         let Some(last) = playlist.last_sequence() else {
             record_playlist(&mut capture, now, &mut net_rng);
             trace.count("hls", "playlist_polls", 1);

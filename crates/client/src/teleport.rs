@@ -40,10 +40,9 @@ use pscp_obs::{Observer, PhaseSpan, Trace};
 use pscp_service::select::Protocol;
 use pscp_service::PeriscopeService;
 use pscp_simnet::fault::FaultRng;
+use pscp_simnet::rng::{CounterRng, Rng};
 use pscp_simnet::{RngFactory, SimDuration, SimTime};
 use pscp_workload::broadcast::Broadcast;
-use rand::rngs::StdRng;
-use rand::Rng;
 
 /// How long an RTMP client waits out an ingest outage before falling back
 /// to HLS (DESIGN.md §8): outages shorter than this are ridden out as a
@@ -100,7 +99,7 @@ impl<'a> Teleport<'a> {
     ///
     /// Delegates to the population's time-bucketed weighted sampler, which
     /// avoids rebuilding an O(population) candidate list per pick.
-    pub fn pick(&self, now: SimTime, rng: &mut StdRng) -> Option<&'a Broadcast> {
+    pub fn pick(&self, now: SimTime, rng: &mut CounterRng) -> Option<&'a Broadcast> {
         self.service.population.sample_live_weighted(now, rng)
     }
 
@@ -351,7 +350,7 @@ impl<'a> Teleport<'a> {
         };
         let results: Vec<(SessionOutcome, Trace)> = if obs.profiling() {
             let (results, profile) =
-                pscp_simnet::par::indexed_map_timed(&plan, config.threads, &work);
+                pscp_simnet::par::indexed_map_timed(&plan, config.threads, work);
             obs.record_phase(PhaseSpan {
                 name: "dataset.execute".into(),
                 wall_secs: profile.wall_secs,
@@ -361,7 +360,7 @@ impl<'a> Teleport<'a> {
             });
             results
         } else {
-            pscp_simnet::par::indexed_map(&plan, config.threads, &work)
+            pscp_simnet::par::indexed_map(&plan, config.threads, work)
         };
         let mut outcomes = Vec::with_capacity(results.len());
         for (p, (outcome, trace)) in plan.iter().zip(results) {

@@ -11,8 +11,8 @@
 //! queue drains the backlog after each outage.
 
 use pscp_simnet::dist;
+use pscp_simnet::rng::Rng;
 use pscp_simnet::{SimDuration, SimTime};
-use rand::Rng;
 
 /// Uplink model parameters.
 #[derive(Debug, Clone)]

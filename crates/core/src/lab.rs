@@ -271,7 +271,7 @@ impl Lab {
             (outcomes, local)
         };
         let sweeps = if obs.profiling() {
-            let (out, prof) = pscp_simnet::par::indexed_map_timed(&limits, threads, &work);
+            let (out, prof) = pscp_simnet::par::indexed_map_timed(&limits, threads, work);
             obs.record_phase(PhaseSpan {
                 name: "dataset.sweep".to_string(),
                 wall_secs: prof.wall_secs,
@@ -281,7 +281,7 @@ impl Lab {
             });
             out
         } else {
-            pscp_simnet::par::indexed_map(&limits, threads, &work)
+            pscp_simnet::par::indexed_map(&limits, threads, work)
         };
         for (mbps, (sweep, local)) in limits.iter().zip(sweeps) {
             if obs.tracing() || obs.profiling() {

@@ -6,7 +6,7 @@
 //! around the nominal rate.
 
 use pscp_simnet::dist;
-use rand::Rng;
+use pscp_simnet::rng::Rng;
 
 /// AAC sample rate used by the Periscope apps.
 pub const SAMPLE_RATE_HZ: u32 = 44_100;

@@ -9,7 +9,7 @@
 //! bitrate vary widely at a fixed QP (Fig 6b).
 
 use pscp_simnet::dist;
-use rand::Rng;
+use pscp_simnet::rng::Rng;
 
 /// Broad classes of captured content, with their typical coding complexity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -127,7 +127,7 @@ mod tests {
     use super::*;
     use pscp_simnet::RngFactory;
 
-    fn rng() -> rand::rngs::StdRng {
+    fn rng() -> pscp_simnet::rng::CounterRng {
         RngFactory::new(77).stream("content-tests")
     }
 
@@ -155,7 +155,7 @@ mod tests {
     #[test]
     fn sports_more_volatile_than_talk() {
         let mut r = rng();
-        let observe = |class: ContentClass, r: &mut rand::rngs::StdRng| {
+        let observe = |class: ContentClass, r: &mut pscp_simnet::rng::CounterRng| {
             let mut p = ContentProcess::new(class, r);
             let mut values = Vec::new();
             for _ in 0..2000 {

@@ -12,7 +12,7 @@
 use crate::bitstream::{FrameKind, FramePayload, HEADER_LEN_NTP};
 use crate::content::ContentProcess;
 use pscp_simnet::dist;
-use rand::Rng;
+use pscp_simnet::rng::Rng;
 
 /// GOP structure choices observed in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -250,14 +250,18 @@ mod tests {
         class: ContentClass,
         config: EncoderConfig,
         seed: u64,
-    ) -> (Encoder, rand::rngs::StdRng) {
+    ) -> (Encoder, pscp_simnet::rng::CounterRng) {
         let f = RngFactory::new(seed);
         let mut rng = f.stream("enc-test");
         let content = ContentProcess::new(class, &mut rng);
         (Encoder::new(config, content), rng)
     }
 
-    fn run(enc: &mut Encoder, rng: &mut rand::rngs::StdRng, n: usize) -> Vec<EncodedFrame> {
+    fn run(
+        enc: &mut Encoder,
+        rng: &mut pscp_simnet::rng::CounterRng,
+        n: usize,
+    ) -> Vec<EncodedFrame> {
         (0..n).filter_map(|i| enc.next_frame(i as f64 / 30.0, rng)).collect()
     }
 

@@ -1,150 +1,189 @@
 //! Property-based tests of the media pipeline: container round-trips over
 //! arbitrary access units and player-facing invariants of the encoder.
+//! Ported from proptest to the in-tree `pscp-check` harness.
 
-use proptest::prelude::*;
+use pscp_check::{check, ensure_eq, Gen};
 use pscp_media::bitstream::{FrameKind, FramePayload};
 use pscp_media::flv::VideoTag;
 use pscp_media::ts::{demux_segment, TsMuxer, TsUnit};
 
-fn arb_kind() -> impl Strategy<Value = FrameKind> {
-    prop_oneof![Just(FrameKind::I), Just(FrameKind::P), Just(FrameKind::B)]
+fn arb_kind(g: &mut Gen) -> FrameKind {
+    [FrameKind::I, FrameKind::P, FrameKind::B][g.choice(3)]
 }
 
-fn arb_frame() -> impl Strategy<Value = FramePayload> {
-    (arb_kind(), 0u8..=51, 0u32..3_600_000, prop::option::of(0.0f64..1e6), 0usize..5000).prop_map(
-        |(kind, qp, pts_ms, ntp_s, extra)| {
-            let min = if ntp_s.is_some() {
-                pscp_media::bitstream::HEADER_LEN_NTP
-            } else {
-                pscp_media::bitstream::HEADER_LEN
-            };
-            FramePayload { kind, qp, width: 320, height: 568, pts_ms, ntp_s, size: min + extra }
-        },
-    )
+fn arb_frame(g: &mut Gen) -> FramePayload {
+    let kind = arb_kind(g);
+    let qp = g.u8(0..=51);
+    let pts_ms = g.u32(0..3_600_000);
+    let ntp_s = g.option(|g| g.f64(0.0..1e6));
+    let extra = g.usize(0..5000);
+    let min = if ntp_s.is_some() {
+        pscp_media::bitstream::HEADER_LEN_NTP
+    } else {
+        pscp_media::bitstream::HEADER_LEN
+    };
+    FramePayload { kind, qp, width: 320, height: 568, pts_ms, ntp_s, size: min + extra }
 }
 
-proptest! {
-    #[test]
-    fn bitstream_roundtrip(f in arb_frame()) {
+#[test]
+fn bitstream_roundtrip() {
+    check("bitstream_roundtrip", arb_frame, |f| {
         let enc = f.encode();
-        prop_assert_eq!(enc.len(), f.size);
-        let dec = FramePayload::decode(&enc).unwrap();
-        prop_assert_eq!(dec, f);
-    }
+        ensure_eq!(enc.len(), f.size);
+        let dec = FramePayload::decode(&enc).map_err(|e| format!("decode: {e:?}"))?;
+        ensure_eq!(&dec, f);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn bitstream_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = FramePayload::decode(&bytes);
-    }
+#[test]
+fn bitstream_decoder_never_panics() {
+    check(
+        "bitstream_decoder_never_panics",
+        |g: &mut Gen| g.bytes(0..256),
+        |bytes| {
+            let _ = FramePayload::decode(bytes);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn flv_tag_roundtrip(f in arb_frame()) {
-        let tag = VideoTag::for_frame(f);
-        let dec = VideoTag::decode(&tag.encode()).unwrap();
-        prop_assert_eq!(dec, tag);
-    }
+#[test]
+fn flv_tag_roundtrip() {
+    check("flv_tag_roundtrip", arb_frame, |f| {
+        let tag = VideoTag::for_frame(f.clone());
+        let dec = VideoTag::decode(&tag.encode()).map_err(|e| format!("decode: {e:?}"))?;
+        ensure_eq!(dec, tag);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn ts_roundtrip_arbitrary_units(
-        sizes in prop::collection::vec(20usize..4000, 1..30),
-        audio_every in 1usize..5,
-    ) {
-        // Build units with increasing PTS: video frames with periodic audio.
-        let mut units = Vec::new();
-        for (i, &s) in sizes.iter().enumerate() {
-            let pts = i as u32 * 33;
-            let f = FramePayload {
-                kind: if i == 0 { FrameKind::I } else { FrameKind::P },
-                qp: 30,
-                width: 320,
-                height: 568,
-                pts_ms: pts,
-                ntp_s: None,
-                size: s.max(pscp_media::bitstream::HEADER_LEN),
-            };
-            units.push(TsUnit::Video { pts_ms: pts, data: f.encode() });
-            if i % audio_every == 0 {
-                units.push(TsUnit::Audio { pts_ms: pts + 1, data: vec![0xAA; 40 + s % 100] });
+#[test]
+fn ts_roundtrip_arbitrary_units() {
+    check(
+        "ts_roundtrip_arbitrary_units",
+        |g: &mut Gen| (g.vec(1..30, |g| g.usize(20..4000)), g.usize(1..5)),
+        |(sizes, audio_every)| {
+            // Build units with increasing PTS: video frames with periodic audio.
+            let mut units = Vec::new();
+            for (i, &s) in sizes.iter().enumerate() {
+                let pts = i as u32 * 33;
+                let f = FramePayload {
+                    kind: if i == 0 { FrameKind::I } else { FrameKind::P },
+                    qp: 30,
+                    width: 320,
+                    height: 568,
+                    pts_ms: pts,
+                    ntp_s: None,
+                    size: s.max(pscp_media::bitstream::HEADER_LEN),
+                };
+                units.push(TsUnit::Video { pts_ms: pts, data: f.encode() });
+                if i % audio_every == 0 {
+                    units.push(TsUnit::Audio { pts_ms: pts + 1, data: vec![0xAA; 40 + s % 100] });
+                }
             }
-        }
-        let mut mux = TsMuxer::new();
-        let seg = mux.mux_segment(&units);
-        prop_assert_eq!(seg.len() % 188, 0);
-        let got = demux_segment(&seg).unwrap();
-        prop_assert_eq!(got, units);
-    }
+            let mut mux = TsMuxer::new();
+            let seg = mux.mux_segment(&units);
+            ensure_eq!(seg.len() % 188, 0);
+            let got = demux_segment(&seg).map_err(|e| format!("demux: {e:?}"))?;
+            ensure_eq!(got, units);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ts_demux_never_panics_on_corruption(
-        mut flips in prop::collection::vec((0usize..2000, any::<u8>()), 1..8),
-    ) {
-        // A valid small segment with random byte corruptions must error or
-        // parse, never panic.
-        let mut mux = TsMuxer::new();
-        let f = FramePayload {
-            kind: FrameKind::I,
-            qp: 30,
-            width: 320,
-            height: 568,
-            pts_ms: 0,
-            ntp_s: None,
-            size: 900,
-        };
-        let mut seg = mux.mux_segment(&[TsUnit::Video { pts_ms: 0, data: f.encode() }]);
-        flips.retain(|(i, _)| *i < seg.len());
-        for (i, b) in flips {
-            seg[i] ^= b;
+/// Demuxing a corrupted-but-valid-sized segment must error or parse, never
+/// panic. Shared by the sweep and the committed regression case.
+fn ts_demux_corruption_prop(flips: &[(usize, u8)]) -> Result<(), String> {
+    let mut mux = TsMuxer::new();
+    let f = FramePayload {
+        kind: FrameKind::I,
+        qp: 30,
+        width: 320,
+        height: 568,
+        pts_ms: 0,
+        ntp_s: None,
+        size: 900,
+    };
+    let mut seg = mux.mux_segment(&[TsUnit::Video { pts_ms: 0, data: f.encode() }]);
+    for (i, b) in flips {
+        if *i < seg.len() {
+            seg[*i] ^= b;
         }
-        let _ = demux_segment(&seg);
     }
+    let _ = demux_segment(&seg);
+    Ok(())
+}
+
+#[test]
+fn ts_demux_never_panics_on_corruption() {
+    check(
+        "ts_demux_never_panics_on_corruption",
+        |g: &mut Gen| g.vec(1..8, |g| (g.usize(0..2000), g.u8(..))),
+        |flips| ts_demux_corruption_prop(flips),
+    );
+}
+
+// Shrunk counterexample from the proptest era (`.proptest-regressions`):
+// a single-bit-pattern flip inside the adaptation field.
+#[test]
+fn ts_demux_corruption_regression_flip_4_128() {
+    ts_demux_corruption_prop(&[(4, 128)]).unwrap();
 }
 
 mod player_props {
-    use proptest::prelude::*;
+    use pscp_check::{check, ensure, ensure_eq, Gen};
     use pscp_client::player::{run_playback, MediaArrival, PlayerConfig};
     use pscp_simnet::{SimDuration, SimTime};
 
-    proptest! {
-        #[test]
-        fn playback_invariants(
-            raw in prop::collection::vec((0.0f64..120.0, 0.0f64..120.0), 1..60),
-            initial in 0.5f64..8.0,
-            resume in 0.2f64..4.0,
-        ) {
-            // Arrivals: sort by time, make media monotone by running max.
-            let mut arrivals: Vec<MediaArrival> = Vec::new();
-            let mut sorted = raw.clone();
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-            let mut media = 0.0f64;
-            for (at, m) in sorted {
-                media = media.max(m);
-                arrivals.push(MediaArrival {
-                    at: SimTime::from_micros((at * 1e6) as u64),
-                    media_end_s: media,
-                    capture_wall_s: Some(media),
-                });
-            }
-            let session = SimDuration::from_secs(60);
-            let cfg = PlayerConfig { initial_buffer_s: initial, resume_buffer_s: resume };
-            let log = run_playback(SimTime::ZERO, session, cfg, &arrivals);
-            // Invariants: accounting can never exceed the session.
-            prop_assert!(log.played_s >= -1e-9);
-            prop_assert!(log.played_s <= 60.0 + 1e-6, "played={}", log.played_s);
-            let total = log.played_s + log.total_stall_s();
-            prop_assert!(total <= 60.0 + 1e-6, "played+stall={total}");
-            let ratio = log.stall_ratio();
-            prop_assert!((0.0..=1.0).contains(&ratio), "ratio={ratio}");
-            if let Some(j) = log.join_time {
-                prop_assert!(j.as_secs_f64() <= 60.0 + 1e-9);
-                // After joining, play + stall + join covers at most session.
-                prop_assert!(j.as_secs_f64() + total <= 60.0 + 1e-6);
-            } else {
-                prop_assert_eq!(log.played_s, 0.0);
-            }
-            // Stalls are disjoint and within the session.
-            for w in log.stalls.windows(2) {
-                prop_assert!(w[0].start + w[0].duration <= w[1].start);
-            }
-        }
+    #[test]
+    fn playback_invariants() {
+        check(
+            "playback_invariants",
+            |g: &mut Gen| {
+                (
+                    g.vec(1..60, |g| (g.f64(0.0..120.0), g.f64(0.0..120.0))),
+                    g.f64(0.5..8.0),
+                    g.f64(0.2..4.0),
+                )
+            },
+            |(raw, initial, resume)| {
+                // Arrivals: sort by time, make media monotone by running max.
+                let mut arrivals: Vec<MediaArrival> = Vec::new();
+                let mut sorted = raw.clone();
+                sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+                let mut media = 0.0f64;
+                for (at, m) in sorted {
+                    media = media.max(m);
+                    arrivals.push(MediaArrival {
+                        at: SimTime::from_micros((at * 1e6) as u64),
+                        media_end_s: media,
+                        capture_wall_s: Some(media),
+                    });
+                }
+                let session = SimDuration::from_secs(60);
+                let cfg = PlayerConfig { initial_buffer_s: *initial, resume_buffer_s: *resume };
+                let log = run_playback(SimTime::ZERO, session, cfg, &arrivals);
+                // Invariants: accounting can never exceed the session.
+                ensure!(log.played_s >= -1e-9, "negative play time");
+                ensure!(log.played_s <= 60.0 + 1e-6, "played={}", log.played_s);
+                let total = log.played_s + log.total_stall_s();
+                ensure!(total <= 60.0 + 1e-6, "played+stall={total}");
+                let ratio = log.stall_ratio();
+                ensure!((0.0..=1.0).contains(&ratio), "ratio={ratio}");
+                if let Some(j) = log.join_time {
+                    ensure!(j.as_secs_f64() <= 60.0 + 1e-9, "join after session end");
+                    // After joining, play + stall + join covers at most session.
+                    ensure!(j.as_secs_f64() + total <= 60.0 + 1e-6, "join+play+stall overflow");
+                } else {
+                    ensure_eq!(log.played_s, 0.0);
+                }
+                // Stalls are disjoint and within the session.
+                for w in log.stalls.windows(2) {
+                    ensure!(w[0].start + w[0].duration <= w[1].start, "overlapping stalls");
+                }
+                Ok(())
+            },
+        );
     }
 }

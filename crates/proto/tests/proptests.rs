@@ -1,211 +1,338 @@
 //! Property-based tests for the wire protocols: every encoder/decoder pair
 //! must round-trip arbitrary valid inputs, and decoders must never panic on
-//! arbitrary bytes.
+//! arbitrary bytes. Ported from proptest to the in-tree `pscp-check`
+//! harness: generators are plain `Fn(&mut Gen) -> T` closures.
 
-use proptest::prelude::*;
+use pscp_check::{check, check_with, ensure_eq, Config, Gen};
 use pscp_proto::amf::Amf0;
 use pscp_proto::hls::{MediaPlaylist, SegmentEntry};
 use pscp_proto::http::{Request, Response};
 use pscp_proto::json::{parse, Value};
 use pscp_proto::rtmp::{Chunker, Dechunker, Message, MessageType};
 use pscp_proto::ws::{Frame, Opcode};
+use std::collections::BTreeMap;
+
+/// Characters exercised in JSON/HTTP string fields: identifiers, spacing,
+/// punctuation that needs escaping, and multi-byte UTF-8.
+const TEXT_CHARS: &[char] = &[
+    'a',
+    'b',
+    'z',
+    'A',
+    'Z',
+    '0',
+    '9',
+    ' ',
+    '_',
+    '-',
+    '.',
+    '"',
+    '\\',
+    '/',
+    ':',
+    ',',
+    '{',
+    '}',
+    '[',
+    ']',
+    '<',
+    '>',
+    '\'',
+    '\t',
+    '\u{00e9}',
+    '\u{4e2d}',
+    '\u{1d11e}',
+];
+
+const KEY_CHARS: &[char] = &['a', 'b', 'c', 'k', 'q', 'x', 'y', 'z'];
 
 // ------------------------------------------------------------------- JSON
 
 /// Generates arbitrary JSON values up to a modest depth.
-fn arb_json() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
+fn arb_json(g: &mut Gen, depth: u32) -> Value {
+    let alts = if depth == 0 { 4 } else { 6 };
+    match g.choice(alts) {
+        0 => Value::Null,
+        1 => Value::Bool(g.bool()),
         // Finite doubles; NaN/inf are not JSON.
-        (-1e12f64..1e12).prop_map(Value::Number),
-        "[a-zA-Z0-9 _\\-\\.\u{00e9}\u{4e2d}]{0,20}".prop_map(Value::String),
-    ];
-    leaf.prop_recursive(3, 24, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            prop::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Object),
-        ]
-    })
+        2 => Value::Number(g.f64(-1e12..1e12)),
+        3 => Value::String(g.string(TEXT_CHARS, 0..=20)),
+        4 => Value::Array(g.vec(0..6, |g| arb_json(g, depth - 1))),
+        _ => {
+            let entries: BTreeMap<String, Value> = g
+                .vec(0..6, |g| (g.string(KEY_CHARS, 1..=8), arb_json(g, depth - 1)))
+                .into_iter()
+                .collect();
+            Value::Object(entries)
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn json_roundtrip(v in arb_json()) {
-        let text = v.to_json();
-        let back = parse(&text).unwrap();
-        // Numbers may lose the integer/float distinction but not value.
-        prop_assert_eq!(back.to_json(), text);
-    }
+#[test]
+fn json_roundtrip() {
+    check(
+        "json_roundtrip",
+        |g: &mut Gen| arb_json(g, 3),
+        |v| {
+            let text = v.to_json();
+            let back = parse(&text).map_err(|e| format!("parse failed: {e:?}"))?;
+            // Numbers may lose the integer/float distinction but not value.
+            ensure_eq!(back.to_json(), text);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn json_parser_never_panics(s in "\\PC{0,200}") {
-        let _ = parse(&s);
-    }
+#[test]
+fn json_parser_never_panics() {
+    check(
+        "json_parser_never_panics",
+        |g: &mut Gen| g.string(TEXT_CHARS, 0..=200),
+        |s| {
+            let _ = parse(s);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn json_string_escaping_total(s in "\\PC{0,64}") {
-        let v = Value::String(s.clone());
-        let back = parse(&v.to_json()).unwrap();
-        prop_assert_eq!(back.as_str().unwrap(), s);
-    }
+#[test]
+fn json_string_escaping_total() {
+    check(
+        "json_string_escaping_total",
+        |g: &mut Gen| g.string(TEXT_CHARS, 0..=64),
+        |s| {
+            let v = Value::String(s.clone());
+            let back = parse(&v.to_json()).map_err(|e| format!("parse failed: {e:?}"))?;
+            ensure_eq!(back.as_str().unwrap_or("<not a string>"), s.as_str());
+            Ok(())
+        },
+    );
 }
 
 // ------------------------------------------------------------------- AMF0
 
-fn arb_amf() -> impl Strategy<Value = Amf0> {
-    let leaf = prop_oneof![
-        Just(Amf0::Null),
-        any::<bool>().prop_map(Amf0::Boolean),
-        (-1e9f64..1e9).prop_map(Amf0::Number),
-        "[a-zA-Z0-9 ]{0,32}".prop_map(Amf0::String),
-    ];
-    leaf.prop_recursive(2, 16, 5, |inner| {
-        prop::collection::btree_map("[a-z]{1,6}", inner, 0..5).prop_map(Amf0::Object)
-    })
+const AMF_CHARS: &[char] = &['a', 'z', 'A', 'Z', '0', '9', ' '];
+
+fn arb_amf(g: &mut Gen, depth: u32) -> Amf0 {
+    let alts = if depth == 0 { 4 } else { 5 };
+    match g.choice(alts) {
+        0 => Amf0::Null,
+        1 => Amf0::Boolean(g.bool()),
+        2 => Amf0::Number(g.f64(-1e9..1e9)),
+        3 => Amf0::String(g.string(AMF_CHARS, 0..=32)),
+        _ => {
+            let entries: BTreeMap<String, Amf0> = g
+                .vec(0..5, |g| (g.string(KEY_CHARS, 1..=6), arb_amf(g, depth - 1)))
+                .into_iter()
+                .collect();
+            Amf0::Object(entries)
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn amf_roundtrip(v in arb_amf()) {
-        let enc = v.encode();
-        let (dec, used) = Amf0::decode(&enc).unwrap();
-        prop_assert_eq!(used, enc.len());
-        prop_assert_eq!(dec, v);
-    }
+#[test]
+fn amf_roundtrip() {
+    check(
+        "amf_roundtrip",
+        |g: &mut Gen| arb_amf(g, 2),
+        |v| {
+            let enc = v.encode();
+            let (dec, used) = Amf0::decode(&enc).map_err(|e| format!("decode failed: {e:?}"))?;
+            ensure_eq!(used, enc.len());
+            ensure_eq!(&dec, v);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn amf_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
-        let _ = Amf0::decode(&bytes);
-    }
+#[test]
+fn amf_decoder_never_panics() {
+    check(
+        "amf_decoder_never_panics",
+        |g: &mut Gen| g.bytes(0..128),
+        |bytes| {
+            let _ = Amf0::decode(bytes);
+            Ok(())
+        },
+    );
 }
 
 // ------------------------------------------------------------------- RTMP
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    (
-        2u8..=63,
-        0u32..0x0200_0000,
-        prop_oneof![
-            Just(MessageType::Audio),
-            Just(MessageType::Video),
-            Just(MessageType::DataAmf0),
-            Just(MessageType::CommandAmf0),
-        ],
-        0u32..4,
-        prop::collection::vec(any::<u8>(), 0..600),
-    )
-        .prop_map(|(csid, timestamp, kind, stream_id, payload)| Message {
-            chunk_stream_id: csid,
-            timestamp,
-            kind,
-            stream_id,
-            payload,
-        })
+fn arb_message(g: &mut Gen) -> Message {
+    let kind = match g.choice(4) {
+        0 => MessageType::Audio,
+        1 => MessageType::Video,
+        2 => MessageType::DataAmf0,
+        _ => MessageType::CommandAmf0,
+    };
+    Message {
+        chunk_stream_id: g.u8(2..=63),
+        timestamp: g.u32(0..0x0200_0000),
+        kind,
+        stream_id: g.u32(0..4),
+        payload: g.bytes(0..600),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn rtmp_messages_roundtrip_any_order() {
+    check_with(
+        Config::with_cases(64),
+        "rtmp_messages_roundtrip_any_order",
+        |g: &mut Gen| g.vec(1..20, arb_message),
+        |msgs| {
+            // fmt1 headers require non-decreasing timestamps per chunk
+            // stream; the encoder handles regressions by falling back to
+            // fmt0, so no sorting is needed — any sequence must survive.
+            let mut chunker = Chunker::new();
+            let wire = chunker.encode_all(msgs);
+            let mut d = Dechunker::new();
+            // Feed in ragged 7-byte pieces.
+            for part in wire.chunks(7) {
+                d.feed(part).map_err(|e| format!("feed failed: {e:?}"))?;
+            }
+            ensure_eq!(&d.pop_all(), msgs);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn rtmp_messages_roundtrip_any_order(mut msgs in prop::collection::vec(arb_message(), 1..20)) {
-        // fmt1 headers require non-decreasing timestamps per chunk stream;
-        // the encoder handles regressions by falling back to fmt0, so no
-        // sorting is needed — any sequence must survive.
-        let mut chunker = Chunker::new();
-        let wire = chunker.encode_all(&msgs);
-        let mut d = Dechunker::new();
-        // Feed in ragged 7-byte pieces.
-        for part in wire.chunks(7) {
-            d.feed(part).unwrap();
-        }
-        let got = d.pop_all();
-        msgs.retain(|_| true);
-        prop_assert_eq!(got, msgs);
-    }
-
-    #[test]
-    fn rtmp_dechunker_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
-        let mut d = Dechunker::new();
-        let _ = d.feed(&bytes);
-    }
+#[test]
+fn rtmp_dechunker_never_panics() {
+    check(
+        "rtmp_dechunker_never_panics",
+        |g: &mut Gen| g.bytes(0..600),
+        |bytes| {
+            let mut d = Dechunker::new();
+            let _ = d.feed(bytes);
+            Ok(())
+        },
+    );
 }
 
 // --------------------------------------------------------------------- WS
 
-proptest! {
-    #[test]
-    fn ws_roundtrip(payload in prop::collection::vec(any::<u8>(), 0..70_000),
-                    masked in any::<bool>(),
-                    key in any::<[u8; 4]>()) {
-        let f = Frame { opcode: Opcode::Binary, payload };
-        let enc = f.encode(masked.then_some(key));
-        let (dec, used) = Frame::decode(&enc).unwrap();
-        prop_assert_eq!(used, enc.len());
-        prop_assert_eq!(dec, f);
-    }
+#[test]
+fn ws_roundtrip() {
+    check(
+        "ws_roundtrip",
+        |g: &mut Gen| {
+            // Deliberate length buckets so the 16-bit and 64-bit extended
+            // payload-length encodings both get exercised every run.
+            let len = match g.choice(3) {
+                0 => g.usize(0..=200),
+                1 => g.usize(200..=2_000),
+                _ => g.usize(60_000..70_000),
+            };
+            let payload = g.bytes(len..=len);
+            let masked = g.bool();
+            let key = [g.u8(..), g.u8(..), g.u8(..), g.u8(..)];
+            (payload, masked, key)
+        },
+        |(payload, masked, key)| {
+            let f = Frame { opcode: Opcode::Binary, payload: payload.clone() };
+            let enc = f.encode(masked.then_some(*key));
+            let (dec, used) = Frame::decode(&enc).map_err(|e| format!("decode failed: {e:?}"))?;
+            ensure_eq!(used, enc.len());
+            ensure_eq!(dec, f);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ws_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
-        let _ = Frame::decode(&bytes);
-    }
+#[test]
+fn ws_decoder_never_panics() {
+    check(
+        "ws_decoder_never_panics",
+        |g: &mut Gen| g.bytes(0..256),
+        |bytes| {
+            let _ = Frame::decode(bytes);
+            Ok(())
+        },
+    );
 }
 
 // -------------------------------------------------------------------- HLS
 
-proptest! {
-    #[test]
-    fn hls_playlist_roundtrip(
-        target in 1u32..10,
-        seq in 0u64..1000,
-        ended in any::<bool>(),
-        durations in prop::collection::vec(0.5f64..9.5, 0..12),
-    ) {
-        let mut pl = MediaPlaylist::new(target);
-        pl.media_sequence = seq;
-        pl.ended = ended;
-        for (i, d) in durations.iter().enumerate() {
-            // Round to the 3-decimal EXTINF precision the renderer emits.
-            let d = (d * 1000.0).round() / 1000.0;
-            pl.segments.push(SegmentEntry { duration_s: d, uri: format!("seg_{i}.ts") });
-        }
-        let parsed = MediaPlaylist::parse(&pl.render()).unwrap();
-        prop_assert_eq!(parsed, pl);
-    }
+#[test]
+fn hls_playlist_roundtrip() {
+    check(
+        "hls_playlist_roundtrip",
+        |g: &mut Gen| (g.u32(1..10), g.u64(0..1000), g.bool(), g.vec(0..12, |g| g.f64(0.5..9.5))),
+        |(target, seq, ended, durations)| {
+            let mut pl = MediaPlaylist::new(*target);
+            pl.media_sequence = *seq;
+            pl.ended = *ended;
+            for (i, d) in durations.iter().enumerate() {
+                // Round to the 3-decimal EXTINF precision the renderer emits.
+                let d = (d * 1000.0).round() / 1000.0;
+                pl.segments.push(SegmentEntry { duration_s: d, uri: format!("seg_{i}.ts") });
+            }
+            let parsed =
+                MediaPlaylist::parse(&pl.render()).map_err(|e| format!("parse failed: {e:?}"))?;
+            ensure_eq!(parsed, pl);
+            Ok(())
+        },
+    );
 }
 
 // ------------------------------------------------------------------- HTTP
 
-proptest! {
-    #[test]
-    fn http_request_roundtrip(
-        path in "/[a-z0-9/]{0,30}",
-        body in prop::collection::vec(any::<u8>(), 0..500),
-        header_val in "[a-zA-Z0-9]{0,16}",
-    ) {
-        let mut req = Request::get(path);
-        req.body = body;
-        let req = req.header("x-test", &header_val);
-        let dec = Request::decode(&req.encode()).unwrap();
-        prop_assert_eq!(dec.get_header("x-test").unwrap_or(""), header_val);
-        prop_assert_eq!(&dec.path, &req.path);
-        prop_assert_eq!(dec.body, req.body);
-    }
+const PATH_CHARS: &[char] = &['a', 'k', 'z', '0', '9', '/'];
+const HEADER_CHARS: &[char] = &['a', 'z', 'A', 'Z', '0', '9'];
 
-    #[test]
-    fn http_response_roundtrip(
-        status in prop_oneof![Just(200u16), Just(404), Just(429), Just(500)],
-        body in prop::collection::vec(any::<u8>(), 0..500),
-    ) {
-        let resp = Response { status, headers: vec![], body };
-        let dec = Response::decode(&resp.encode()).unwrap();
-        prop_assert_eq!(dec.status, status);
-        prop_assert_eq!(dec.body, resp.body);
-    }
+#[test]
+fn http_request_roundtrip() {
+    check(
+        "http_request_roundtrip",
+        |g: &mut Gen| {
+            (
+                format!("/{}", g.string(PATH_CHARS, 0..=30)),
+                g.bytes(0..500),
+                g.string(HEADER_CHARS, 0..=16),
+            )
+        },
+        |(path, body, header_val)| {
+            let mut req = Request::get(path.clone());
+            req.body = body.clone();
+            let req = req.header("x-test", header_val);
+            let dec = Request::decode(&req.encode()).map_err(|e| format!("decode: {e:?}"))?;
+            ensure_eq!(dec.get_header("x-test").unwrap_or(""), header_val.as_str());
+            ensure_eq!(&dec.path, &req.path);
+            ensure_eq!(dec.body, req.body);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn http_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
-        let _ = Request::decode(&bytes);
-        let _ = Response::decode(&bytes);
-    }
+#[test]
+fn http_response_roundtrip() {
+    check(
+        "http_response_roundtrip",
+        |g: &mut Gen| {
+            let status = [200u16, 404, 429, 500][g.choice(4)];
+            (status, g.bytes(0..500))
+        },
+        |(status, body)| {
+            let resp = Response { status: *status, headers: vec![], body: body.clone() };
+            let dec = Response::decode(&resp.encode()).map_err(|e| format!("decode: {e:?}"))?;
+            ensure_eq!(dec.status, *status);
+            ensure_eq!(dec.body, resp.body);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn http_decoder_never_panics() {
+    check(
+        "http_decoder_never_panics",
+        |g: &mut Gen| g.bytes(0..300),
+        |bytes| {
+            let _ = Request::decode(bytes);
+            let _ = Response::decode(bytes);
+            Ok(())
+        },
+    );
 }

@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn boxplots_by_limit_includes_unlimited_as_100() {
         let d = dataset();
-        let plots = d.boxplots_by_limit(&[0.5, 2.0, 100.0], |g| SessionDataset::stall_ratios(g));
+        let plots = d.boxplots_by_limit(&[0.5, 2.0, 100.0], SessionDataset::stall_ratios);
         assert_eq!(plots.len(), 3);
         assert!(plots[2].1.is_some()); // unlimited bucket non-empty
     }

@@ -11,8 +11,8 @@
 
 use pscp_proto::json::Value;
 use pscp_simnet::dist;
+use pscp_simnet::rng::Rng;
 use pscp_simnet::SimTime;
-use rand::Rng;
 
 /// Chat room behaviour parameters.
 #[derive(Debug, Clone)]
@@ -221,7 +221,7 @@ mod tests {
     use super::*;
     use pscp_simnet::RngFactory;
 
-    fn room() -> (ChatRoom, rand::rngs::StdRng) {
+    fn room() -> (ChatRoom, pscp_simnet::rng::CounterRng) {
         (ChatRoom::new(ChatConfig::default()), RngFactory::new(8).stream("chat"))
     }
 
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn message_rate_scales_with_viewers_up_to_full() {
         let (mut room, mut rng) = room();
-        let count = |viewers: u32, rng: &mut rand::rngs::StdRng, room: &mut ChatRoom| {
+        let count = |viewers: u32, rng: &mut pscp_simnet::rng::CounterRng, room: &mut ChatRoom| {
             room.messages_between(SimTime::ZERO, SimTime::from_secs(600), viewers, rng).len()
         };
         let small = count(10, &mut rng, &mut room);
@@ -313,7 +313,7 @@ mod tests {
     #[test]
     fn hearts_scale_with_viewers_and_batch() {
         let (room, mut rng) = room();
-        let hearts = |viewers: u32, rng: &mut rand::rngs::StdRng| {
+        let hearts = |viewers: u32, rng: &mut pscp_simnet::rng::CounterRng| {
             room.hearts_between(SimTime::ZERO, SimTime::from_secs(60), viewers, rng)
         };
         let none = hearts(0, &mut rng);

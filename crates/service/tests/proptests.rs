@@ -1,96 +1,109 @@
-//! Property-based tests for service-side invariants.
+//! Property-based tests for service-side invariants, on the in-tree
+//! `pscp-check` harness.
 
-use proptest::prelude::*;
+use pscp_check::{check, ensure, Gen};
 use pscp_service::chat::{ChatConfig, ChatRoom};
 use pscp_service::directory::{RateLimiter, VisibilityConfig};
 use pscp_service::ingest::assign_server;
 use pscp_simnet::{GeoPoint, GeoRect, SimDuration, SimTime};
 
-proptest! {
-    /// Visibility caps grow (weakly) as the queried area shrinks.
-    #[test]
-    fn visibility_cap_monotone_in_zoom(
-        south in -80.0f64..60.0,
-        west in -170.0f64..150.0,
-        dlat in 0.5f64..30.0,
-        dlon in 0.5f64..30.0,
-    ) {
-        let cfg = VisibilityConfig::default();
-        let rect = GeoRect::new(south, west, south + dlat, west + dlon);
-        let [q, ..] = rect.quadrants();
-        prop_assert!(cfg.cap_for(&q) >= cfg.cap_for(&rect));
-        prop_assert!(cfg.cap_for(&rect) >= cfg.cap_for(&GeoRect::WORLD));
-        prop_assert!(cfg.cap_for(&q) <= cfg.max_cap);
-    }
+/// Visibility caps grow (weakly) as the queried area shrinks.
+#[test]
+fn visibility_cap_monotone_in_zoom() {
+    check(
+        "visibility_cap_monotone_in_zoom",
+        |g: &mut Gen| {
+            (g.f64(-80.0..60.0), g.f64(-170.0..150.0), g.f64(0.5..30.0), g.f64(0.5..30.0))
+        },
+        |(south, west, dlat, dlon)| {
+            let cfg = VisibilityConfig::default();
+            let rect = GeoRect::new(*south, *west, south + dlat, west + dlon);
+            let [q, ..] = rect.quadrants();
+            ensure!(cfg.cap_for(&q) >= cfg.cap_for(&rect), "zoom-in lowered the cap");
+            ensure!(cfg.cap_for(&rect) >= cfg.cap_for(&GeoRect::WORLD), "world cap too high");
+            ensure!(cfg.cap_for(&q) <= cfg.max_cap, "cap above max_cap");
+            Ok(())
+        },
+    );
+}
 
-    /// The rate limiter never admits more than burst + rate×time requests,
-    /// for any request pattern.
-    #[test]
-    fn rate_limiter_admission_bound(
-        gaps_ms in prop::collection::vec(0u64..3000, 1..120),
-        burst in 1u32..10,
-        interval_ms in 100u64..2000,
-    ) {
-        let mut rl = RateLimiter::new(burst, SimDuration::from_millis(interval_ms));
-        let mut t = SimTime::from_secs(1);
-        let mut admitted = 0u32;
-        for gap in &gaps_ms {
-            t += SimDuration::from_millis(*gap);
-            if rl.allow("u", t) {
-                admitted += 1;
+/// The rate limiter never admits more than burst + rate×time requests,
+/// for any request pattern.
+#[test]
+fn rate_limiter_admission_bound() {
+    check(
+        "rate_limiter_admission_bound",
+        |g: &mut Gen| (g.vec(1..120, |g| g.u64(0..3000)), g.u32(1..10), g.u64(100..2000)),
+        |(gaps_ms, burst, interval_ms)| {
+            let mut rl = RateLimiter::new(*burst, SimDuration::from_millis(*interval_ms));
+            let mut t = SimTime::from_secs(1);
+            let mut admitted = 0u32;
+            for gap in gaps_ms {
+                t += SimDuration::from_millis(*gap);
+                if rl.allow("u", t) {
+                    admitted += 1;
+                }
             }
-        }
-        let elapsed_ms: u64 = gaps_ms.iter().sum();
-        let bound = burst as f64 + elapsed_ms as f64 / interval_ms as f64;
-        prop_assert!(
-            (admitted as f64) <= bound + 1.0,
-            "admitted={admitted} bound={bound}"
-        );
-    }
+            let elapsed_ms: u64 = gaps_ms.iter().sum();
+            let bound = *burst as f64 + elapsed_ms as f64 / *interval_ms as f64;
+            ensure!((admitted as f64) <= bound + 1.0, "admitted={admitted} bound={bound}");
+            Ok(())
+        },
+    );
+}
 
-    /// Ingest assignment always picks the nearest region.
-    #[test]
-    fn ingest_nearest_region(
-        lat in -60.0f64..70.0,
-        lon in -179.0f64..179.0,
-        id in any::<u64>(),
-    ) {
-        let p = GeoPoint::new(lat, lon);
-        let chosen = assign_server(&p, id);
-        let chosen_d = p.distance_km(&chosen.location());
-        for r in pscp_service::ingest::REGIONS {
-            let d = p.distance_km(&GeoPoint::new(r.lat, r.lon));
-            prop_assert!(chosen_d <= d + 1e-6, "{} at {chosen_d} beaten by {} at {d}", chosen.region, r.name);
-        }
-        // Index stays within the region's fleet.
-        let region = pscp_service::ingest::REGIONS
-            .iter()
-            .find(|r| r.name == chosen.region)
-            .unwrap();
-        prop_assert!(chosen.index < region.servers);
-    }
+/// Ingest assignment always picks the nearest region.
+#[test]
+fn ingest_nearest_region() {
+    check(
+        "ingest_nearest_region",
+        |g: &mut Gen| (g.f64(-60.0..70.0), g.f64(-179.0..179.0), g.u64(..)),
+        |(lat, lon, id)| {
+            let p = GeoPoint::new(*lat, *lon);
+            let chosen = assign_server(&p, *id);
+            let chosen_d = p.distance_km(&chosen.location());
+            for r in pscp_service::ingest::REGIONS {
+                let d = p.distance_km(&GeoPoint::new(r.lat, r.lon));
+                ensure!(
+                    chosen_d <= d + 1e-6,
+                    "{} at {chosen_d} beaten by {} at {d}",
+                    chosen.region,
+                    r.name
+                );
+            }
+            // Index stays within the region's fleet.
+            let region = pscp_service::ingest::REGIONS
+                .iter()
+                .find(|r| r.name == chosen.region)
+                .ok_or_else(|| format!("unknown region {}", chosen.region))?;
+            ensure!(chosen.index < region.servers, "server index outside fleet");
+            Ok(())
+        },
+    );
+}
 
-    /// Chat rooms: message counts respect the fullness cap for any viewer
-    /// count, and all messages stay in-window.
-    #[test]
-    fn chat_room_caps_and_windows(
-        viewers in 0u32..20_000,
-        from_s in 0u64..1000,
-        span_s in 1u64..300,
-        seed in any::<u64>(),
-    ) {
-        let mut room = ChatRoom::new(ChatConfig::default());
-        let mut rng = pscp_simnet::RngFactory::new(seed).stream("chat-prop");
-        let from = SimTime::from_secs(from_s);
-        let to = from + SimDuration::from_secs(span_s);
-        let msgs = room.messages_between(from, to, viewers, &mut rng);
-        for m in &msgs {
-            prop_assert!(m.at >= from && m.at < to);
-        }
-        // Expected rate bound: capped chatters × rate × span, with slack.
-        let cap = ChatConfig::default().full_at.min(viewers) as f64
-            * ChatConfig::default().per_user_msg_rate
-            * span_s as f64;
-        prop_assert!((msgs.len() as f64) < cap * 3.0 + 20.0, "n={} cap={cap}", msgs.len());
-    }
+/// Chat rooms: message counts respect the fullness cap for any viewer
+/// count, and all messages stay in-window.
+#[test]
+fn chat_room_caps_and_windows() {
+    check(
+        "chat_room_caps_and_windows",
+        |g: &mut Gen| (g.u32(0..20_000), g.u64(0..1000), g.u64(1..300), g.u64(..)),
+        |(viewers, from_s, span_s, seed)| {
+            let mut room = ChatRoom::new(ChatConfig::default());
+            let mut rng = pscp_simnet::RngFactory::new(*seed).stream("chat-prop");
+            let from = SimTime::from_secs(*from_s);
+            let to = from + SimDuration::from_secs(*span_s);
+            let msgs = room.messages_between(from, to, *viewers, &mut rng);
+            for m in &msgs {
+                ensure!(m.at >= from && m.at < to, "message outside window");
+            }
+            // Expected rate bound: capped chatters × rate × span, with slack.
+            let cap = ChatConfig::default().full_at.min(*viewers) as f64
+                * ChatConfig::default().per_user_msg_rate
+                * *span_s as f64;
+            ensure!((msgs.len() as f64) < cap * 3.0 + 20.0, "n={} cap={cap}", msgs.len());
+            Ok(())
+        },
+    );
 }

@@ -8,8 +8,8 @@
 //! exactly that: each host's wall time is simulation time plus a fixed
 //! offset, a slow drift, and per-reading jitter.
 
+use crate::rng::Rng;
 use crate::time::SimTime;
-use rand::Rng;
 
 /// A host's wall clock.
 #[derive(Debug, Clone)]

@@ -1,11 +1,11 @@
 //! Random distributions used across the reproduction.
 //!
-//! `rand` ships only uniform sampling; the distributions the workload model
-//! needs (normal, lognormal, exponential, Pareto, Zipf, categorical) are
-//! implemented here with standard textbook methods so the whole stack stays
-//! on the approved dependency set.
+//! The in-tree [`Rng`] core ships only uniform sampling; the distributions
+//! the workload model needs (normal, lognormal, exponential, Pareto, Zipf,
+//! categorical) are implemented here with standard textbook methods so the
+//! whole stack stays dependency-free.
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Samples a standard normal via Box–Muller (polar form avoided for clarity;
 /// the trig form is branch-free and fine at simulation rates).
@@ -101,7 +101,7 @@ mod tests {
     use super::*;
     use crate::rng::RngFactory;
 
-    fn rng() -> rand::rngs::StdRng {
+    fn rng() -> crate::rng::CounterRng {
         RngFactory::new(1234).stream("dist-tests")
     }
 

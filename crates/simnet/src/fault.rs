@@ -37,8 +37,8 @@ const OUTAGE_SLOT_US: u64 = 60_000_000;
 /// Upper bound on consecutive outage slots scanned by [`OutageConfig::outage_end`].
 const OUTAGE_SCAN_SLOTS: u64 = 240;
 
-/// SplitMix64 mixer (duplicated from `rng.rs`, which needs the `rand` crate;
-/// the fault layer is dependency-free so its schedules stay portable).
+/// SplitMix64 mixer (kept local to `fault.rs` even though `rng.rs` has the
+/// same core, so fault schedules stay decoupled from media stream layout).
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -59,8 +59,9 @@ fn mix_label(seed: u64, label: &str) -> u64 {
 }
 
 /// A tiny, dependency-free deterministic RNG (SplitMix64 sequence) for
-/// fault draws. Separate from `RngFactory`'s `StdRng` streams so the fault
-/// layer adds no draws to — and can never perturb — the media randomness.
+/// fault draws. Separate from `RngFactory`'s `CounterRng` streams so the
+/// fault layer adds no draws to — and can never perturb — the media
+/// randomness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRng {
     state: u64,

@@ -40,7 +40,7 @@ pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultRng};
 pub use geo::{GeoPoint, GeoRect};
 pub use link::Link;
-pub use rng::RngFactory;
+pub use rng::{CounterRng, Rng, RngFactory};
 pub use shaper::TokenBucket;
 pub use tcp::TcpModel;
 pub use time::{SimDuration, SimTime};

@@ -5,11 +5,112 @@
 //! with a SplitMix64-based hash of the label, so adding or removing one
 //! consumer never shifts the randomness another consumer sees — the property
 //! that keeps figure regeneration stable as the code evolves.
+//!
+//! The streams themselves are in-tree, dependency-free [`CounterRng`]s: a
+//! Weyl counter stepped by the golden-ratio increment and finalized with the
+//! SplitMix64 mixer (the same core the fault layer's `FaultRng` uses). The
+//! whole workspace draws randomness through the [`Rng`] trait below, so
+//! `cargo tree` stays free of external crates.
+//!
+//! ```
+//! use pscp_simnet::rng::{Rng, RngFactory};
+//!
+//! let f = RngFactory::new(2016);
+//! let mut stream = f.stream("workload/durations");
+//! let u: f64 = stream.gen();           // uniform in [0, 1)
+//! let word: u64 = stream.gen();        // 64 uniform bits
+//! assert!((0.0..1.0).contains(&u));
+//!
+//! // Same label, same stream — always.
+//! let a: u64 = f.stream("x").gen();
+//! let b: u64 = f.stream("x").gen();
+//! assert_eq!(a, b);
+//! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+/// Uniform random source. Implemented by [`CounterRng`]; consumers bound
+/// generic parameters as `R: Rng + ?Sized` so tests can substitute
+/// instrumented sources.
+pub trait Rng {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
 
-/// Derives independent [`StdRng`] streams from a master seed.
+    /// Uniform draw in `[0, 1)` with 53-bit resolution.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Draws a value of any [`Sample`] type: `rng.gen::<f64>()` is uniform
+    /// in `[0, 1)`, integer types get full-width uniform bits.
+    fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+}
+
+/// Types drawable from an [`Rng`] via [`Rng::gen`].
+pub trait Sample: Sized {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! sample_int {
+    ($($t:ty),*) => {$(
+        impl Sample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_f64()
+    }
+}
+
+impl Sample for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+/// A counter-based deterministic RNG: the state is a Weyl sequence (adds the
+/// golden-ratio constant each step) and each output is the SplitMix64
+/// finalizer of the state. Period 2^64 per stream; streams for different
+/// labels start from independently mixed states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterRng {
+    state: u64,
+}
+
+impl CounterRng {
+    /// Creates a stream from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        CounterRng { state: splitmix64(seed ^ 0xa54f_f53a_5f1d_36f1) }
+    }
+}
+
+impl Rng for CounterRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64_mix(self.state)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Derives independent [`CounterRng`] streams from a master seed.
 #[derive(Debug, Clone, Copy)]
 pub struct RngFactory {
     seed: u64,
@@ -27,24 +128,19 @@ impl RngFactory {
     }
 
     /// Returns the RNG stream for `label`.
-    pub fn stream(&self, label: &str) -> StdRng {
-        let mut key = [0u8; 32];
+    pub fn stream(&self, label: &str) -> CounterRng {
         let mut state = self.seed ^ 0x9e37_79b9_7f4a_7c15;
         for chunk in label.as_bytes().chunks(8) {
             let mut word = [0u8; 8];
             word[..chunk.len()].copy_from_slice(chunk);
             state = splitmix64(state ^ u64::from_le_bytes(word));
         }
-        for (i, slot) in key.chunks_exact_mut(8).enumerate() {
-            state = splitmix64(state.wrapping_add(i as u64 + 1));
-            slot.copy_from_slice(&state.to_le_bytes());
-        }
-        StdRng::from_seed(key)
+        CounterRng::new(state)
     }
 
     /// Convenience: stream for a label with a numeric suffix, e.g. per
     /// session or per broadcast.
-    pub fn stream_n(&self, label: &str, n: u64) -> StdRng {
+    pub fn stream_n(&self, label: &str, n: u64) -> CounterRng {
         self.stream(&format!("{label}/{n}"))
     }
 
@@ -60,9 +156,13 @@ impl RngFactory {
     }
 }
 
-/// SplitMix64 step: a strong, fast 64-bit mixer.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+/// SplitMix64 step: advance by the golden-ratio increment, then mix.
+fn splitmix64(z: u64) -> u64 {
+    splitmix64_mix(z.wrapping_add(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The SplitMix64 finalizer on its own (no increment).
+fn splitmix64_mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)
@@ -71,15 +171,18 @@ fn splitmix64(mut z: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_label_same_stream() {
         let f = RngFactory::new(7);
-        let a: Vec<u64> =
-            f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
-        let b: Vec<u64> =
-            f.stream("x").sample_iter(rand::distributions::Standard).take(8).collect();
+        let a: Vec<u64> = {
+            let mut r = f.stream("x");
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = f.stream("x");
+            (0..8).map(|_| r.gen::<u64>()).collect()
+        };
         assert_eq!(a, b);
     }
 
@@ -132,5 +235,32 @@ mod tests {
         let mut rng = f.stream("uniformity");
         let mean: f64 = (0..10_000).map(|_| rng.gen::<u8>() as f64).sum::<f64>() / 10_000.0;
         assert!((mean - 127.5).abs() < 3.0, "mean={mean}");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = RngFactory::new(13).stream("unit");
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x), "x={x}");
+        }
+    }
+
+    #[test]
+    fn bool_roughly_balanced() {
+        let mut rng = RngFactory::new(15).stream("bool");
+        let trues = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&trues), "trues={trues}");
+    }
+
+    #[test]
+    fn rng_through_mut_ref_advances_underlying() {
+        let mut rng = RngFactory::new(17).stream("ref");
+        let a: u64 = {
+            let r: &mut CounterRng = &mut rng;
+            Sample::sample(r)
+        };
+        let b: u64 = rng.gen();
+        assert_ne!(a, b);
     }
 }

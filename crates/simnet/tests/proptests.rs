@@ -1,147 +1,216 @@
-//! Property-based tests of the simulation substrate invariants.
+//! Property-based tests of the simulation substrate invariants, on the
+//! in-tree `pscp-check` harness. Historical proptest regression cases are
+//! committed as constants and replayed by plain `#[test]`s below.
 
-use proptest::prelude::*;
+use pscp_check::{check, ensure, ensure_eq, Gen};
 use pscp_simnet::link::Delivery;
 use pscp_simnet::tcp::INIT_CWND_SEGMENTS;
 use pscp_simnet::{
     EventQueue, GeoPoint, GeoRect, Link, SimDuration, SimTime, TcpModel, TokenBucket,
 };
 
-proptest! {
-    #[test]
-    fn event_queue_pops_sorted(times in prop::collection::vec(0u64..1_000_000, 1..100)) {
-        let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(SimTime::from_micros(t), i);
-        }
-        let mut last = SimTime::ZERO;
-        let mut count = 0;
-        while let Some((at, _)) = q.pop() {
-            prop_assert!(at >= last);
-            last = at;
-            count += 1;
-        }
-        prop_assert_eq!(count, times.len());
-    }
+#[test]
+fn event_queue_pops_sorted() {
+    check(
+        "event_queue_pops_sorted",
+        |g: &mut Gen| g.vec(1..100, |g| g.u64(0..1_000_000)),
+        |times| {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(t), i);
+            }
+            let mut last = SimTime::ZERO;
+            let mut count = 0;
+            while let Some((at, _)) = q.pop() {
+                ensure!(at >= last, "pop out of order: {at} after {last}");
+                last = at;
+                count += 1;
+            }
+            ensure_eq!(count, times.len());
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn link_deliveries_fifo_and_rate_bounded(
-        sizes in prop::collection::vec(1usize..3000, 1..80),
-        rate_mbps in 0.1f64..100.0,
-        gap_us in 0u64..10_000,
-    ) {
-        let mut link = Link::unbounded(rate_mbps * 1e6, SimDuration::from_millis(5));
-        let mut t = SimTime::ZERO;
-        let mut last_arrival = SimTime::ZERO;
-        let mut total_bytes = 0usize;
-        for &s in &sizes {
-            let d = link.enqueue(t, s);
-            let Delivery::At(arr) = d else { panic!("unbounded link never drops") };
-            // FIFO: arrivals are non-decreasing.
-            prop_assert!(arr >= last_arrival);
-            last_arrival = arr;
-            total_bytes += s;
-            t += SimDuration::from_micros(gap_us);
-        }
-        // The last arrival cannot beat the physical minimum: total
-        // serialization at the link rate plus propagation.
-        let min_finish = SimDuration::from_secs_f64(total_bytes as f64 * 8.0 / (rate_mbps * 1e6));
-        prop_assert!(
-            last_arrival >= SimTime::ZERO + min_finish,
-            "arrival {last_arrival} before physical bound"
-        );
-    }
+#[test]
+fn link_deliveries_fifo_and_rate_bounded() {
+    check(
+        "link_deliveries_fifo_and_rate_bounded",
+        |g: &mut Gen| (g.vec(1..80, |g| g.usize(1..3000)), g.f64(0.1..100.0), g.u64(0..10_000)),
+        |(sizes, rate_mbps, gap_us)| {
+            let mut link = Link::unbounded(rate_mbps * 1e6, SimDuration::from_millis(5));
+            let mut t = SimTime::ZERO;
+            let mut last_arrival = SimTime::ZERO;
+            let mut total_bytes = 0usize;
+            for &s in sizes {
+                let d = link.enqueue(t, s);
+                let Delivery::At(arr) = d else { return Err("unbounded link dropped".into()) };
+                // FIFO: arrivals are non-decreasing.
+                ensure!(arr >= last_arrival, "FIFO violated");
+                last_arrival = arr;
+                total_bytes += s;
+                t += SimDuration::from_micros(*gap_us);
+            }
+            // The last arrival cannot beat the physical minimum: total
+            // serialization at the link rate plus propagation.
+            let min_finish =
+                SimDuration::from_secs_f64(total_bytes as f64 * 8.0 / (rate_mbps * 1e6));
+            ensure!(
+                last_arrival >= SimTime::ZERO + min_finish,
+                "arrival {last_arrival} before physical bound"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn token_bucket_never_exceeds_rate(
-        sizes in prop::collection::vec(1usize..2000, 2..60),
-        rate_mbps in 0.1f64..50.0,
-        burst in 1500usize..100_000,
-    ) {
-        let mut tb = TokenBucket::new(rate_mbps * 1e6, burst);
-        let mut last = SimTime::ZERO;
-        let mut total = 0usize;
-        for &s in &sizes {
-            let t = tb.release_time(SimTime::ZERO, s);
-            prop_assert!(t >= last, "FIFO violated");
-            last = t;
-            total += s;
-        }
-        // Long-run: bytes released by `last` cannot exceed burst + rate*t.
-        // Equality holds exactly at the last byte's release; each release
-        // additionally rounds its wait onto the µs SimTime grid (up to
-        // 0.5 µs of credit per packet at the shaper rate).
-        let per_packet_slack = sizes.len() as f64 * rate_mbps * 1e6 / 8.0 * 1e-6;
-        let cap = burst as f64 + rate_mbps * 1e6 / 8.0 * last.as_secs_f64() + per_packet_slack;
-        prop_assert!(total as f64 <= cap + 8.0, "total={total} cap={cap}");
+/// The token-bucket long-run rate invariant, shared by the random sweep and
+/// the committed regression cases below.
+fn token_bucket_rate_prop(
+    (sizes, rate_mbps, burst): &(Vec<usize>, f64, usize),
+) -> Result<(), String> {
+    let mut tb = TokenBucket::new(rate_mbps * 1e6, *burst);
+    let mut last = SimTime::ZERO;
+    let mut total = 0usize;
+    for &s in sizes {
+        let t = tb.release_time(SimTime::ZERO, s);
+        ensure!(t >= last, "FIFO violated");
+        last = t;
+        total += s;
     }
+    // Long-run: bytes released by `last` cannot exceed burst + rate*t.
+    // Equality holds exactly at the last byte's release; each release
+    // additionally rounds its wait onto the µs SimTime grid (up to
+    // 0.5 µs of credit per packet at the shaper rate).
+    let per_packet_slack = sizes.len() as f64 * rate_mbps * 1e6 / 8.0 * 1e-6;
+    let cap = *burst as f64 + rate_mbps * 1e6 / 8.0 * last.as_secs_f64() + per_packet_slack;
+    ensure!(total as f64 <= cap + 8.0, "total={total} cap={cap}");
+    Ok(())
+}
 
-    #[test]
-    fn tcp_transfer_conserves_bytes_and_orders_chunks(
-        bytes in 1usize..2_000_000,
-        rtt_ms in 1u64..300,
-        mbps in 0.2f64..200.0,
-    ) {
-        let m = TcpModel::new(1448, SimDuration::from_millis(rtt_ms), mbps * 1e6);
-        let mut cwnd = INIT_CWND_SEGMENTS;
-        let s = m.transfer(SimTime::from_secs(1), bytes, &mut cwnd, true);
-        let sum: usize = s.chunks.iter().map(|&(_, n)| n).sum();
-        prop_assert_eq!(sum, bytes);
-        for w in s.chunks.windows(2) {
-            prop_assert!(w[1].0 >= w[0].0);
-        }
-        // Completion bounded below by serialization time and above by a
-        // generous slow-start bound.
-        let serialize = bytes as f64 * 8.0 / (mbps * 1e6);
-        prop_assert!(s.completion.as_secs_f64() >= 1.0 + serialize * 0.99);
-    }
+#[test]
+fn token_bucket_never_exceeds_rate() {
+    check(
+        "token_bucket_never_exceeds_rate",
+        |g: &mut Gen| {
+            (g.vec(2..60, |g| g.usize(1..2000)), g.f64(0.1..50.0), g.usize(1500..100_000))
+        },
+        token_bucket_rate_prop,
+    );
+}
 
-    #[test]
-    fn tcp_monotone_in_bytes(
-        small in 1usize..100_000,
-        extra in 1usize..100_000,
-        rtt_ms in 1u64..200,
-        mbps in 0.2f64..100.0,
-    ) {
-        let m = TcpModel::new(1448, SimDuration::from_millis(rtt_ms), mbps * 1e6);
-        let t1 = m.cold_transfer_completion(SimTime::ZERO, small);
-        let t2 = m.cold_transfer_completion(SimTime::ZERO, small + extra);
-        prop_assert!(t2 >= t1);
-    }
+// Shrunk counterexamples from the proptest era (`.proptest-regressions`),
+// committed as exact inputs so they replay forever.
+#[test]
+fn token_bucket_regression_burst_8455() {
+    let sizes = vec![
+        1032, 1105, 560, 346, 1440, 1042, 814, 1092, 974, 1072, 928, 1417, 804, 1200, 1961, 1735,
+        764, 1428, 455, 925, 646,
+    ];
+    token_bucket_rate_prop(&(sizes, 30.349284117100737, 8455)).unwrap();
+}
 
-    #[test]
-    fn geo_distance_metric_properties(
-        lat1 in -89.0f64..89.0, lon1 in -179.0f64..179.0,
-        lat2 in -89.0f64..89.0, lon2 in -179.0f64..179.0,
-    ) {
-        let a = GeoPoint::new(lat1, lon1);
-        let b = GeoPoint::new(lat2, lon2);
-        let d_ab = a.distance_km(&b);
-        let d_ba = b.distance_km(&a);
-        prop_assert!((d_ab - d_ba).abs() < 1e-6, "symmetry");
-        prop_assert!(d_ab >= 0.0);
-        prop_assert!(d_ab <= 20_038.0, "half circumference bound, got {d_ab}");
-    }
+#[test]
+fn token_bucket_regression_burst_1988() {
+    let sizes = vec![1496, 506, 1077, 1185, 47, 76, 690, 1281, 459, 676, 1694, 551];
+    token_bucket_rate_prop(&(sizes, 45.266766059397014, 1988)).unwrap();
+}
 
-    #[test]
-    fn quadrants_partition(
-        south in -80.0f64..70.0, west in -170.0f64..160.0,
-        dlat in 1.0f64..20.0, dlon in 1.0f64..20.0,
-        plat in 0.001f64..0.999, plon in 0.001f64..0.999,
-    ) {
-        let rect = GeoRect::new(south, west, south + dlat, west + dlon);
-        let p = GeoPoint::new(south + dlat * plat, west + dlon * plon);
-        prop_assert!(rect.contains(&p));
-        let n = rect.quadrants().iter().filter(|q| q.contains(&p)).count();
-        prop_assert_eq!(n, 1, "point must fall in exactly one quadrant");
-    }
+#[test]
+fn tcp_transfer_conserves_bytes_and_orders_chunks() {
+    check(
+        "tcp_transfer_conserves_bytes_and_orders_chunks",
+        |g: &mut Gen| (g.usize(1..2_000_000), g.u64(1..300), g.f64(0.2..200.0)),
+        |(bytes, rtt_ms, mbps)| {
+            let m = TcpModel::new(1448, SimDuration::from_millis(*rtt_ms), mbps * 1e6);
+            let mut cwnd = INIT_CWND_SEGMENTS;
+            let s = m.transfer(SimTime::from_secs(1), *bytes, &mut cwnd, true);
+            let sum: usize = s.chunks.iter().map(|&(_, n)| n).sum();
+            ensure_eq!(sum, *bytes);
+            for w in s.chunks.windows(2) {
+                ensure!(w[1].0 >= w[0].0, "chunks out of order");
+            }
+            // Completion bounded below by serialization time.
+            let serialize = *bytes as f64 * 8.0 / (mbps * 1e6);
+            ensure!(
+                s.completion.as_secs_f64() >= 1.0 + serialize * 0.99,
+                "completion beat serialization"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn rng_streams_reproducible(seed in any::<u64>(), label in "[a-z/]{1,20}") {
-        use rand::Rng;
-        let f = pscp_simnet::RngFactory::new(seed);
-        let a: Vec<u32> = (0..4).map(|_| 0u32).collect::<Vec<_>>().iter()
-            .map(|_| f.stream(&label).gen::<u32>()).collect();
-        prop_assert!(a.windows(2).all(|w| w[0] == w[1]));
-    }
+#[test]
+fn tcp_monotone_in_bytes() {
+    check(
+        "tcp_monotone_in_bytes",
+        |g: &mut Gen| (g.usize(1..100_000), g.usize(1..100_000), g.u64(1..200), g.f64(0.2..100.0)),
+        |(small, extra, rtt_ms, mbps)| {
+            let m = TcpModel::new(1448, SimDuration::from_millis(*rtt_ms), mbps * 1e6);
+            let t1 = m.cold_transfer_completion(SimTime::ZERO, *small);
+            let t2 = m.cold_transfer_completion(SimTime::ZERO, small + extra);
+            ensure!(t2 >= t1, "more bytes finished earlier: {t2} < {t1}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn geo_distance_metric_properties() {
+    check(
+        "geo_distance_metric_properties",
+        |g: &mut Gen| {
+            (g.f64(-89.0..89.0), g.f64(-179.0..179.0), g.f64(-89.0..89.0), g.f64(-179.0..179.0))
+        },
+        |(lat1, lon1, lat2, lon2)| {
+            let a = GeoPoint::new(*lat1, *lon1);
+            let b = GeoPoint::new(*lat2, *lon2);
+            let d_ab = a.distance_km(&b);
+            let d_ba = b.distance_km(&a);
+            ensure!((d_ab - d_ba).abs() < 1e-6, "symmetry: {d_ab} vs {d_ba}");
+            ensure!(d_ab >= 0.0, "negative distance");
+            ensure!(d_ab <= 20_038.0, "half circumference bound, got {d_ab}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn quadrants_partition() {
+    check(
+        "quadrants_partition",
+        |g: &mut Gen| {
+            (
+                g.f64(-80.0..70.0),
+                g.f64(-170.0..160.0),
+                (g.f64(1.0..20.0), g.f64(1.0..20.0)),
+                (g.f64(0.001..0.999), g.f64(0.001..0.999)),
+            )
+        },
+        |(south, west, (dlat, dlon), (plat, plon))| {
+            let rect = GeoRect::new(*south, *west, south + dlat, west + dlon);
+            let p = GeoPoint::new(south + dlat * plat, west + dlon * plon);
+            ensure!(rect.contains(&p), "point outside its own rect");
+            let n = rect.quadrants().iter().filter(|q| q.contains(&p)).count();
+            ensure_eq!(n, 1);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rng_streams_reproducible() {
+    const LABEL_CHARS: &[char] = &['a', 'b', 'k', 'z', '/'];
+    check(
+        "rng_streams_reproducible",
+        |g: &mut Gen| (g.u64(..), g.string(LABEL_CHARS, 1..=20)),
+        |(seed, label)| {
+            use pscp_simnet::rng::Rng;
+            let f = pscp_simnet::RngFactory::new(*seed);
+            let draws: Vec<u32> = (0..4).map(|_| f.stream(label).gen::<u32>()).collect();
+            ensure!(draws.windows(2).all(|w| w[0] == w[1]), "stream not reproducible");
+            Ok(())
+        },
+    );
 }

@@ -1,6 +1,7 @@
-//! Property-based tests of the statistical invariants.
+//! Property-based tests of the statistical invariants, on the in-tree
+//! `pscp-check` harness.
 
-use proptest::prelude::*;
+use pscp_check::{check, ensure, ensure_eq, Gen};
 use pscp_stats::boxplot::BoxplotSummary;
 use pscp_stats::describe::{Accumulator, Description};
 use pscp_stats::ecdf::Ecdf;
@@ -9,135 +10,201 @@ use pscp_stats::quantile::{median, quantile};
 use pscp_stats::regression::{linear_fit, pearson, spearman};
 use pscp_stats::ttest::welch_t_test;
 
-fn arb_data() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6f64..1e6, 1..200)
+fn arb_data(g: &mut Gen) -> Vec<f64> {
+    g.vec(1..200, |g| g.f64(-1e6..1e6))
 }
 
-proptest! {
-    #[test]
-    fn quantile_within_range(data in arb_data(), p in 0.0f64..=1.0) {
-        let q = quantile(&data, p).unwrap();
-        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        prop_assert!(q >= min && q <= max);
-    }
+#[test]
+fn quantile_within_range() {
+    check(
+        "quantile_within_range",
+        |g: &mut Gen| (arb_data(g), g.f64(0.0..=1.0)),
+        |(data, p)| {
+            let q = quantile(data, *p).map_err(|e| format!("{e:?}"))?;
+            let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            ensure!(q >= min && q <= max, "q={q} outside [{min}, {max}]");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn quantile_monotone(data in arb_data(), p1 in 0.0f64..=1.0, p2 in 0.0f64..=1.0) {
-        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
-        prop_assert!(quantile(&data, lo).unwrap() <= quantile(&data, hi).unwrap());
-    }
+#[test]
+fn quantile_monotone() {
+    check(
+        "quantile_monotone",
+        |g: &mut Gen| (arb_data(g), g.f64(0.0..=1.0), g.f64(0.0..=1.0)),
+        |(data, p1, p2)| {
+            let (lo, hi) = if p1 <= p2 { (*p1, *p2) } else { (*p2, *p1) };
+            let q_lo = quantile(data, lo).map_err(|e| format!("{e:?}"))?;
+            let q_hi = quantile(data, hi).map_err(|e| format!("{e:?}"))?;
+            ensure!(q_lo <= q_hi, "quantile not monotone: F({lo})={q_lo} > F({hi})={q_hi}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn ecdf_bounds_and_monotonicity(data in arb_data(), x1 in -1e6f64..1e6, x2 in -1e6f64..1e6) {
-        let e = Ecdf::new(&data).unwrap();
-        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
-        let f_lo = e.eval(lo);
-        let f_hi = e.eval(hi);
-        prop_assert!((0.0..=1.0).contains(&f_lo));
-        prop_assert!(f_lo <= f_hi);
-        // Inverse is a quasi-inverse: F(F^{-1}(p)) >= p.
-        let p = 0.37;
-        prop_assert!(e.eval(e.inverse(p)) >= p - 1e-12);
-    }
+#[test]
+fn ecdf_bounds_and_monotonicity() {
+    check(
+        "ecdf_bounds_and_monotonicity",
+        |g: &mut Gen| (arb_data(g), g.f64(-1e6..1e6), g.f64(-1e6..1e6)),
+        |(data, x1, x2)| {
+            let e = Ecdf::new(data).map_err(|e| format!("{e:?}"))?;
+            let (lo, hi) = if x1 <= x2 { (*x1, *x2) } else { (*x2, *x1) };
+            let f_lo = e.eval(lo);
+            let f_hi = e.eval(hi);
+            ensure!((0.0..=1.0).contains(&f_lo), "F out of [0,1]: {f_lo}");
+            ensure!(f_lo <= f_hi, "ECDF not monotone");
+            // Inverse is a quasi-inverse: F(F^{-1}(p)) >= p.
+            let p = 0.37;
+            ensure!(e.eval(e.inverse(p)) >= p - 1e-12, "quasi-inverse violated");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn boxplot_ordering_invariants(data in arb_data()) {
-        let b = BoxplotSummary::of(&data).unwrap();
-        prop_assert!(b.whisker_low <= b.q1 + 1e-9);
-        prop_assert!(b.q1 <= b.median && b.median <= b.q3);
-        prop_assert!(b.q3 <= b.whisker_high + 1e-9);
+#[test]
+fn boxplot_ordering_invariants() {
+    check("boxplot_ordering_invariants", arb_data, |data| {
+        let b = BoxplotSummary::of(data).map_err(|e| format!("{e:?}"))?;
+        ensure!(b.whisker_low <= b.q1 + 1e-9, "whisker_low above q1");
+        ensure!(b.q1 <= b.median && b.median <= b.q3, "quartiles out of order");
+        ensure!(b.q3 <= b.whisker_high + 1e-9, "q3 above whisker_high");
         // Outliers lie strictly outside the whiskers.
         for &o in &b.outliers {
-            prop_assert!(o < b.whisker_low || o > b.whisker_high);
+            ensure!(o < b.whisker_low || o > b.whisker_high, "inlier flagged: {o}");
         }
         // Outliers + in-range = n.
-        prop_assert!(b.outliers.len() < b.n || b.n == b.outliers.len());
-    }
+        ensure!(b.outliers.len() < b.n || b.n == b.outliers.len(), "outlier count > n");
+        Ok(())
+    });
+}
 
-    #[test]
-    fn welch_p_value_in_unit_interval(
-        a in prop::collection::vec(-100f64..100.0, 2..50),
-        b in prop::collection::vec(-100f64..100.0, 2..50),
-    ) {
-        let r = welch_t_test(&a, &b).unwrap();
-        prop_assert!((0.0..=1.0).contains(&r.p_value), "p={}", r.p_value);
-        prop_assert!(r.df >= 1.0 || a.len() == 2 && b.len() == 2);
-    }
+#[test]
+fn welch_p_value_in_unit_interval() {
+    check(
+        "welch_p_value_in_unit_interval",
+        |g: &mut Gen| {
+            (g.vec(2..50, |g| g.f64(-100.0..100.0)), g.vec(2..50, |g| g.f64(-100.0..100.0)))
+        },
+        |(a, b)| {
+            let r = welch_t_test(a, b).map_err(|e| format!("{e:?}"))?;
+            ensure!((0.0..=1.0).contains(&r.p_value), "p={}", r.p_value);
+            ensure!(r.df >= 1.0 || a.len() == 2 && b.len() == 2, "df={} too small", r.df);
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn welch_shift_invariance(
-        a in prop::collection::vec(-100f64..100.0, 3..30),
-        b in prop::collection::vec(-100f64..100.0, 3..30),
-        shift in -1000f64..1000.0,
-    ) {
-        let r1 = welch_t_test(&a, &b).unwrap();
-        let a2: Vec<f64> = a.iter().map(|x| x + shift).collect();
-        let b2: Vec<f64> = b.iter().map(|x| x + shift).collect();
-        let r2 = welch_t_test(&a2, &b2).unwrap();
-        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-6);
-    }
+#[test]
+fn welch_shift_invariance() {
+    check(
+        "welch_shift_invariance",
+        |g: &mut Gen| {
+            (
+                g.vec(3..30, |g| g.f64(-100.0..100.0)),
+                g.vec(3..30, |g| g.f64(-100.0..100.0)),
+                g.f64(-1000.0..1000.0),
+            )
+        },
+        |(a, b, shift)| {
+            let r1 = welch_t_test(a, b).map_err(|e| format!("{e:?}"))?;
+            let a2: Vec<f64> = a.iter().map(|x| x + shift).collect();
+            let b2: Vec<f64> = b.iter().map(|x| x + shift).collect();
+            let r2 = welch_t_test(&a2, &b2).map_err(|e| format!("{e:?}"))?;
+            ensure!(
+                (r1.p_value - r2.p_value).abs() < 1e-6,
+                "shift changed p: {} vs {}",
+                r1.p_value,
+                r2.p_value
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn correlation_in_unit_ball(
-        pairs in prop::collection::vec((-100f64..100.0, -100f64..100.0), 3..80),
-    ) {
-        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-        if let Ok(r) = pearson(&x, &y) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
-        }
-        if let Ok(rs) = spearman(&x, &y) {
-            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rs));
-        }
-    }
+#[test]
+fn correlation_in_unit_ball() {
+    check(
+        "correlation_in_unit_ball",
+        |g: &mut Gen| g.vec(3..80, |g| (g.f64(-100.0..100.0), g.f64(-100.0..100.0))),
+        |pairs| {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(r) = pearson(&x, &y) {
+                ensure!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "pearson={r}");
+            }
+            if let Ok(rs) = spearman(&x, &y) {
+                ensure!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rs), "spearman={rs}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn linear_fit_residual_orthogonality(
-        pairs in prop::collection::vec((-100f64..100.0, -100f64..100.0), 3..50),
-    ) {
-        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
-        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
-        if let Ok(f) = linear_fit(&x, &y) {
-            // Residuals sum to ~0 (least squares normal equations).
-            let resid_sum: f64 = x
-                .iter()
-                .zip(&y)
-                .map(|(&xi, &yi)| yi - (f.slope * xi + f.intercept))
-                .sum();
-            prop_assert!(resid_sum.abs() < 1e-6 * (y.len() as f64) * 100.0,
-                "resid_sum={resid_sum}");
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&f.r_squared));
-        }
-    }
+#[test]
+fn linear_fit_residual_orthogonality() {
+    check(
+        "linear_fit_residual_orthogonality",
+        |g: &mut Gen| g.vec(3..50, |g| (g.f64(-100.0..100.0), g.f64(-100.0..100.0))),
+        |pairs| {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(f) = linear_fit(&x, &y) {
+                // Residuals sum to ~0 (least squares normal equations).
+                let resid_sum: f64 =
+                    x.iter().zip(&y).map(|(&xi, &yi)| yi - (f.slope * xi + f.intercept)).sum();
+                ensure!(resid_sum.abs() < 1e-6 * (y.len() as f64) * 100.0, "resid_sum={resid_sum}");
+                ensure!((0.0..=1.0 + 1e-9).contains(&f.r_squared), "r²={}", f.r_squared);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn accumulator_equals_batch(data in arb_data()) {
+#[test]
+fn accumulator_equals_batch() {
+    check("accumulator_equals_batch", arb_data, |data| {
         let mut acc = Accumulator::new();
-        for &x in &data {
+        for &x in data {
             acc.push(x);
         }
-        let streamed = acc.finish().unwrap();
-        let batch = Description::of(&data).unwrap();
-        prop_assert!((streamed.mean - batch.mean).abs() < 1e-6);
-        prop_assert!((streamed.variance - batch.variance).abs() < 1e-3 * batch.variance.max(1.0));
-        prop_assert_eq!(streamed.min, batch.min);
-        prop_assert_eq!(streamed.max, batch.max);
-    }
-
-    #[test]
-    fn histogram_conserves_samples(data in arb_data(), count in 1usize..20) {
-        let h = Histogram::new(&data, Binning::Linear { lo: -1e5, hi: 1e5, count }).unwrap();
-        let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(
-            binned + h.underflow() + h.overflow(),
-            data.len() as u64
+        let streamed = acc.finish().ok_or("empty accumulator")?;
+        let batch = Description::of(data).map_err(|e| format!("{e:?}"))?;
+        ensure!((streamed.mean - batch.mean).abs() < 1e-6, "means differ");
+        ensure!(
+            (streamed.variance - batch.variance).abs() < 1e-3 * batch.variance.max(1.0),
+            "variances differ"
         );
-        prop_assert_eq!(h.total(), data.len() as u64);
-    }
+        ensure_eq!(streamed.min, batch.min);
+        ensure_eq!(streamed.max, batch.max);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn median_is_half_quantile(data in arb_data()) {
-        prop_assert_eq!(median(&data).unwrap(), quantile(&data, 0.5).unwrap());
-    }
+#[test]
+fn histogram_conserves_samples() {
+    check(
+        "histogram_conserves_samples",
+        |g: &mut Gen| (arb_data(g), g.usize(1..20)),
+        |(data, count)| {
+            let h = Histogram::new(data, Binning::Linear { lo: -1e5, hi: 1e5, count: *count })
+                .map_err(|e| format!("{e:?}"))?;
+            let binned: u64 = h.counts().iter().sum();
+            ensure_eq!(binned + h.underflow() + h.overflow(), data.len() as u64);
+            ensure_eq!(h.total(), data.len() as u64);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn median_is_half_quantile() {
+    check("median_is_half_quantile", arb_data, |data| {
+        let m = median(data).map_err(|e| format!("{e:?}"))?;
+        let q = quantile(data, 0.5).map_err(|e| format!("{e:?}"))?;
+        ensure_eq!(m, q);
+        Ok(())
+    });
 }

@@ -7,8 +7,8 @@ use crate::diurnal;
 use pscp_media::audio::AudioBitrate;
 use pscp_media::content::ContentClass;
 use pscp_simnet::dist;
+use pscp_simnet::rng::Rng;
 use pscp_simnet::{GeoPoint, RngFactory, SimDuration, SimTime};
-use rand::Rng;
 
 /// Configuration of the synthetic population.
 #[derive(Debug, Clone)]

@@ -1,0 +1,118 @@
+//! Hermeticity guard: the workspace must build with zero network access,
+//! which means no external crates anywhere in the dependency graph. This
+//! walks every `Cargo.toml` in the repo and fails if any dependency section
+//! names a crate that is not an in-tree `pscp-*` workspace member. A
+//! teammate adding `rand = "0.8"` back gets a test failure with the file
+//! and line, not a registry timeout three PRs later.
+
+use std::path::{Path, PathBuf};
+
+/// All Cargo.toml files: the workspace root plus every crate.
+fn manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    let entries = std::fs::read_dir(&crates).expect("read crates/");
+    for entry in entries {
+        let manifest = entry.expect("dir entry").path().join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(out.len() > 10, "expected the workspace root plus every crate, got {}", out.len());
+    out
+}
+
+/// Dependency keys allowed everywhere: in-tree workspace members only.
+fn is_internal(name: &str) -> bool {
+    name.starts_with("pscp-")
+}
+
+/// Extracts `(line_number, dependency_name)` pairs from every dependency
+/// section of a manifest. Hand-rolled because the repo has no TOML crate —
+/// the format in-tree is plain `name = { ... }` / `name.workspace = true`
+/// lines under `[...dependencies...]` headers.
+fn dependency_names(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            // [dependencies], [dev-dependencies], [build-dependencies],
+            // [workspace.dependencies], [target.'...'.dependencies]
+            in_dep_section = line.trim_end_matches(']').ends_with("dependencies");
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(key) = line.split('=').next() {
+            let name = key.trim().split('.').next().unwrap_or("").trim();
+            if !name.is_empty() {
+                out.push((i + 1, name.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn no_external_dependencies_anywhere() {
+    let mut violations = Vec::new();
+    for manifest in manifests() {
+        let text = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        for (line, name) in dependency_names(&text) {
+            if !is_internal(&name) {
+                violations
+                    .push(format!("{}:{line}: external dependency `{name}`", manifest.display()));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "external dependencies break the offline build:\n  {}",
+        violations.join("\n  ")
+    );
+}
+
+#[test]
+fn workspace_dependency_table_is_path_only() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = std::fs::read_to_string(root).expect("read workspace manifest");
+    let mut in_table = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if in_table && !line.is_empty() && !line.starts_with('#') {
+            assert!(
+                line.contains("path ="),
+                "[workspace.dependencies] entry without a path (registry dep?): {line}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_crate_is_a_pscp_crate() {
+    // The `cargo tree` acceptance criterion, testable without cargo: every
+    // package name in the workspace is either the root or `pscp-*`.
+    for manifest in manifests() {
+        let text = std::fs::read_to_string(&manifest).expect("read manifest");
+        let name = text
+            .lines()
+            .skip_while(|l| l.trim() != "[package]")
+            .find_map(|l| l.trim().strip_prefix("name = "))
+            .map(|v| v.trim_matches('"').to_string());
+        if let Some(name) = name {
+            assert!(
+                name == "periscope-repro" || name.starts_with("pscp-"),
+                "unexpected package `{name}` in {}",
+                manifest.display()
+            );
+        }
+    }
+}

@@ -91,7 +91,12 @@ fn fig6b_bitrate_varies_at_fixed_qp() {
 /// statistical machinery must recover it.
 #[test]
 fn ttest_only_frame_rate_significant() {
-    let mut lab = Lab::new(LabConfig::small(305));
+    // The default small dataset (~50 sessions) is underpowered for a Welch
+    // test on rendered fps; quadruple the unlimited-session pool so the
+    // device gap (S3 caps at 26 fps, S4 at 30) is detectable at α = 0.05.
+    let mut config = LabConfig::small(305);
+    config.sessions_unlimited = 120;
+    let mut lab = Lab::new(config);
     let fig = run("table-ttest", &mut lab);
     let FigureData::Table { rows, .. } = &fig else { panic!("table expected") };
     let significant: Vec<(&str, &str)> =
