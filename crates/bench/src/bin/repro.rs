@@ -16,10 +16,17 @@
 //! repro bench-components          # hot-path micro-benches → BENCH_components.json
 //! repro bench-figures             # per-experiment timing → BENCH_figures.json
 //! repro bench-ablations           # ablation sweep timing → BENCH_ablations.json
-//! repro trace                     # traced run → TRACE_events.jsonl + summary
-//! repro metrics                   # traced run → metrics table + TRACE_metrics.json
+//! repro trace                     # traced run → TRACE_events.jsonl + TRACE_chrome.json
+//! repro metrics                   # traced run → TRACE_metrics.json + TRACE_metrics.prom
+//! repro slo                       # traced run → SLO_report.json (paper-derived SLOs)
+//! repro explain session/3         # one session's causal join span tree
+//! repro bench-diff <old> <new>    # regression gate over two BENCH_*.json files
 //! repro chaos                     # fault-intensity sweep → CHAOS_sweep.json
 //! ```
+//!
+//! `trace`, `metrics`, `slo` and `explain` share one traced simulation:
+//! requesting several at once (`repro trace metrics slo`) runs the workload
+//! a single time and writes every artifact from the same run.
 //!
 //! Any command also honors `PSCP_TRACE=1` to record the structured event
 //! log and metrics while it runs (sim results are byte-identical either way).
@@ -81,28 +88,87 @@ fn main() {
         chaos_sweep(&scale, seed);
         return;
     }
-    if targets.iter().any(|t| t == "trace") {
-        let lab = traced_lab(&scale, seed);
-        let obs = lab.observer();
-        std::fs::write("TRACE_events.jsonl", obs.events_jsonl()).expect("write TRACE_events.jsonl");
-        println!("wrote TRACE_events.jsonl ({} events)", obs.event_count());
-        println!("\nevent counts:");
-        for (name, n) in obs.event_summary() {
-            println!("  {name:<24} {n:>9}");
-        }
-        let phases = obs.phases();
-        if !phases.is_empty() {
-            println!("\n{}", pscp_obs::phases_table(&phases));
-        }
+    if let Some(pos) = targets.iter().position(|t| t == "bench-diff") {
+        let old = targets.get(pos + 1).cloned().unwrap_or_else(|| usage("bench-diff needs <old>"));
+        let new = targets.get(pos + 2).cloned().unwrap_or_else(|| usage("bench-diff needs <new>"));
+        bench_diff(&old, &new);
         return;
     }
-    if targets.iter().any(|t| t == "metrics") {
-        let lab = traced_lab(&scale, seed);
-        let metrics = lab.observer().metrics();
-        std::fs::write("TRACE_metrics.json", metrics.snapshot_json())
-            .expect("write TRACE_metrics.json");
-        println!("{}", metrics.snapshot_text());
-        println!("wrote TRACE_metrics.json ({} subsystems)", metrics.subsystems().len());
+    // The observability verbs (trace / metrics / slo / explain) all read
+    // the same traced workload, so asking for several at once — e.g.
+    // `repro trace metrics slo` — runs the simulation ONCE and emits every
+    // requested artifact from that single run.
+    let wants = |v: &str| targets.iter().any(|t| t == v);
+    let explain_unit = targets.iter().position(|t| t == "explain").map(|pos| {
+        targets
+            .get(pos + 1)
+            .cloned()
+            .unwrap_or_else(|| usage("explain needs a session unit, e.g. `explain session/3`"))
+    });
+    if wants("trace") || wants("metrics") || wants("slo") || explain_unit.is_some() {
+        let mut lab = traced_lab(&scale, seed);
+        let dataset = lab.session_dataset();
+        let obs = lab.observer();
+        if wants("trace") {
+            std::fs::write("TRACE_events.jsonl", obs.events_jsonl())
+                .expect("write TRACE_events.jsonl");
+            println!("wrote TRACE_events.jsonl ({} events)", obs.event_count());
+            let chrome = pscp_obs::chrome_trace(&obs.spans(), &obs.phases());
+            std::fs::write("TRACE_chrome.json", chrome).expect("write TRACE_chrome.json");
+            println!(
+                "wrote TRACE_chrome.json ({} spans) — load it in Perfetto / chrome://tracing",
+                obs.span_count()
+            );
+            println!("\nevent counts:");
+            for (name, n) in obs.event_summary() {
+                println!("  {name:<24} {n:>9}");
+            }
+            let phases = obs.phases();
+            if !phases.is_empty() {
+                println!("\n{}", pscp_obs::phases_table(&phases));
+            }
+        }
+        if wants("metrics") {
+            let metrics = obs.metrics();
+            std::fs::write("TRACE_metrics.json", metrics.snapshot_json())
+                .expect("write TRACE_metrics.json");
+            std::fs::write("TRACE_metrics.prom", pscp_obs::prometheus_text(&metrics))
+                .expect("write TRACE_metrics.prom");
+            println!("{}", metrics.snapshot_text());
+            println!(
+                "wrote TRACE_metrics.json + TRACE_metrics.prom ({} subsystems)",
+                metrics.subsystems().len()
+            );
+        }
+        if wants("slo") {
+            let spans = obs.spans();
+            let report = pscp_qoe::slo::evaluate(
+                &pscp_qoe::SloSpec::paper(),
+                &dataset,
+                &spans,
+                &format!("scale={scale} seed={seed}"),
+            );
+            std::fs::write("SLO_report.json", report.to_json()).expect("write SLO_report.json");
+            println!("{}", report.table());
+            println!(
+                "wrote SLO_report.json — overall: {}",
+                if report.pass() { "PASS" } else { "FAIL" }
+            );
+        }
+        if let Some(unit) = explain_unit {
+            let spans = obs.spans();
+            match pscp_qoe::slo::explain_unit(&unit, &spans) {
+                Some(tree) => println!("{tree}"),
+                None => {
+                    eprintln!(
+                        "no join span tree for '{unit}' — sessions are session/<i>, \
+                         sweep sessions limit-<mbps>/session/<i> (never-joined \
+                         sessions record no tree)"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
         return;
     }
     if targets.iter().any(|t| t == "experiments-md") {
@@ -145,12 +211,24 @@ fn main() {
             "bench-ablations", "perf"
         );
         println!(
-            "{:<16} {:<18} traced run: event log (TRACE_events.jsonl) + summary",
+            "{:<16} {:<18} traced run: event log + Chrome trace (TRACE_events.jsonl, TRACE_chrome.json)",
             "trace", "observability"
         );
         println!(
-            "{:<16} {:<18} traced run: per-subsystem metrics (TRACE_metrics.json)",
+            "{:<16} {:<18} traced run: per-subsystem metrics (TRACE_metrics.json, TRACE_metrics.prom)",
             "metrics", "observability"
+        );
+        println!(
+            "{:<16} {:<18} traced run: SLO + phase attribution report (SLO_report.json)",
+            "slo", "observability"
+        );
+        println!(
+            "{:<16} {:<18} print one session's causal join span tree (explain session/3)",
+            "explain", "observability"
+        );
+        println!(
+            "{:<16} {:<18} regression gate over two BENCH_*.json artifacts",
+            "bench-diff", "perf"
         );
         println!(
             "{:<16} {:<18} fault-intensity sweep: QoE vs loss (CHAOS_sweep.json)",
@@ -249,6 +327,26 @@ fn bench_parallel(scale: &str, seed: u64) {
     println!("speedup: {speedup:.2}x — wrote BENCH_parallel.json");
 }
 
+/// Compares two `BENCH_*.json` artifacts and exits non-zero when any
+/// shared timing regressed past the noise threshold (25 %, or
+/// `PSCP_BENCH_THRESHOLD` as a fraction, e.g. `0.4`).
+fn bench_diff(old_path: &str, new_path: &str) {
+    let threshold = std::env::var("PSCP_BENCH_THRESHOLD")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(pscp_bench::diff::DEFAULT_THRESHOLD);
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| usage(&format!("read {path}: {e}")))
+    };
+    let report = pscp_bench::diff::diff(&read(old_path), &read(new_path), threshold)
+        .unwrap_or_else(|e| usage(&e));
+    println!("bench-diff: {old_path} → {new_path} (threshold {:.0}%)", threshold * 100.0);
+    print!("{}", report.table());
+    if report.has_regressions() {
+        std::process::exit(1);
+    }
+}
+
 /// Runs the DESIGN.md §8 chaos sweep: the same planned sessions under the
 /// chaos fault preset at increasing loss intensity, reporting stall-ratio
 /// and join-time ECDFs plus per-class fault/recovery counters, and writing
@@ -271,7 +369,8 @@ fn chaos_sweep(scale: &str, seed: u64) {
 
 /// Builds a trace-enabled lab and runs the standard traced workload:
 /// the QoE dataset (unlimited block + bandwidth sweep), one deep crawl,
-/// and the Fig 7 energy scenarios. Used by `repro trace` / `repro metrics`.
+/// and the Fig 7 energy scenarios. One such lab backs all of
+/// `repro trace` / `metrics` / `slo` / `explain` in a single invocation.
 fn traced_lab(scale: &str, seed: u64) -> Lab {
     let mut config = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
     config.trace = true;
@@ -365,7 +464,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--scale small|medium|paper] [--seed N] \
          <ids...|all|list|bench|bench-components|bench-figures|bench-ablations|\
-         trace|metrics|chaos>"
+         bench-diff <old> <new>|trace|metrics|slo|explain <unit>|chaos>\n\
+         trace/metrics/slo/explain share one traced run when requested together"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

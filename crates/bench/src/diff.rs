@@ -1,0 +1,250 @@
+//! Bench-regression gate: compare two `BENCH_*.json` artifacts.
+//!
+//! `repro bench-diff <old> <new>` parses both files with the in-tree JSON
+//! parser and compares every timing they share — `results[].per_iter_secs`
+//! from the micro-bench suites and `phases[].wall_secs` (plus the
+//! `phases_serial`/`phases_parallel` pair and `serial_secs`/`parallel_secs`
+//! totals that `BENCH_parallel.json` carries). A timing that grew by more
+//! than the noise threshold (default 25 %) is a regression; CI runs the
+//! gate against the committed `BENCH_baseline.json` in warn-only mode so a
+//! noisy runner cannot fail the build.
+
+use pscp_proto::json::{parse, Value};
+use pscp_stats::table::{fnum, TextTable};
+
+/// Relative slowdown above which a timing counts as a regression.
+pub const DEFAULT_THRESHOLD: f64 = 0.25;
+
+/// One timing present in both artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffEntry {
+    /// Qualified metric name, e.g. `result/stats.quantile` or
+    /// `phase/dataset.plan`.
+    pub name: String,
+    /// Seconds in the old (baseline) artifact.
+    pub old_secs: f64,
+    /// Seconds in the new artifact.
+    pub new_secs: f64,
+}
+
+impl DiffEntry {
+    /// `new/old` — 1.0 means unchanged, 2.0 means twice as slow.
+    pub fn ratio(&self) -> f64 {
+        self.new_secs / self.old_secs.max(1e-12)
+    }
+
+    /// Whether this entry slowed down past the threshold.
+    pub fn is_regression(&self, threshold: f64) -> bool {
+        self.ratio() > 1.0 + threshold
+    }
+}
+
+/// The comparison of two bench artifacts.
+#[derive(Debug, Clone)]
+pub struct BenchDiff {
+    /// Timings present in both artifacts, in the old artifact's order.
+    pub entries: Vec<DiffEntry>,
+    /// Metric names only the old artifact has (removed benches).
+    pub only_old: Vec<String>,
+    /// Metric names only the new artifact has (added benches).
+    pub only_new: Vec<String>,
+    /// Noise threshold the gate was run with.
+    pub threshold: f64,
+}
+
+impl BenchDiff {
+    /// Entries that slowed down past the threshold, worst first.
+    pub fn regressions(&self) -> Vec<&DiffEntry> {
+        let mut out: Vec<&DiffEntry> =
+            self.entries.iter().filter(|e| e.is_regression(self.threshold)).collect();
+        out.sort_by(|a, b| b.ratio().total_cmp(&a.ratio()));
+        out
+    }
+
+    /// Whether any shared timing regressed past the threshold.
+    pub fn has_regressions(&self) -> bool {
+        self.entries.iter().any(|e| e.is_regression(self.threshold))
+    }
+
+    /// Human-readable report: every shared timing with its ratio, flagged
+    /// when past the threshold, plus added/removed benches.
+    pub fn table(&self) -> String {
+        let mut table = TextTable::new(["metric", "old (s)", "new (s)", "ratio", "verdict"]);
+        for e in &self.entries {
+            let verdict = if e.is_regression(self.threshold) {
+                "REGRESSION"
+            } else if e.ratio() < 1.0 - self.threshold {
+                "improved"
+            } else {
+                "ok"
+            };
+            table.row([
+                e.name.clone(),
+                format!("{:.6}", e.old_secs),
+                format!("{:.6}", e.new_secs),
+                fnum(e.ratio(), 2),
+                verdict.to_string(),
+            ]);
+        }
+        let mut out = table.render();
+        if !self.only_old.is_empty() {
+            out.push_str(&format!("only in old: {}\n", self.only_old.join(", ")));
+        }
+        if !self.only_new.is_empty() {
+            out.push_str(&format!("only in new: {}\n", self.only_new.join(", ")));
+        }
+        let n = self.regressions().len();
+        out.push_str(&format!(
+            "{} shared timings, {} regression(s) past {:.0}%\n",
+            self.entries.len(),
+            n,
+            self.threshold * 100.0
+        ));
+        out
+    }
+}
+
+/// Pulls every `(name, seconds)` timing out of a parsed bench artifact.
+///
+/// Understands both artifact shapes in the repo: the micro-bench suites
+/// (`results` + `phases`) and `BENCH_parallel.json` (`serial_secs`,
+/// `parallel_secs`, `phases_serial`, `phases_parallel`).
+fn extract_timings(v: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(results) = v.get("results").and_then(Value::as_array) {
+        for r in results {
+            if let (Some(name), Some(secs)) = (
+                r.get("name").and_then(Value::as_str),
+                r.get("per_iter_secs").and_then(Value::as_f64),
+            ) {
+                out.push((format!("result/{name}"), secs));
+            }
+        }
+    }
+    let phase_list = |key: &str, prefix: &str| {
+        let mut acc = Vec::new();
+        if let Some(phases) = v.get(key).and_then(Value::as_array) {
+            for p in phases {
+                if let (Some(name), Some(secs)) = (
+                    p.get("name").and_then(Value::as_str),
+                    p.get("wall_secs").and_then(Value::as_f64),
+                ) {
+                    acc.push((format!("{prefix}/{name}"), secs));
+                }
+            }
+        }
+        acc
+    };
+    out.extend(phase_list("phases", "phase"));
+    out.extend(phase_list("phases_serial", "phase-serial"));
+    out.extend(phase_list("phases_parallel", "phase-parallel"));
+    for (key, name) in [("serial_secs", "total/serial"), ("parallel_secs", "total/parallel")] {
+        if let Some(secs) = v.get(key).and_then(Value::as_f64) {
+            out.push((name.to_string(), secs));
+        }
+    }
+    out
+}
+
+/// Compares two bench artifacts (raw JSON text) under a noise threshold.
+pub fn diff(old_json: &str, new_json: &str, threshold: f64) -> Result<BenchDiff, String> {
+    let old = parse(old_json).map_err(|e| format!("old artifact: {e:?}"))?;
+    let new = parse(new_json).map_err(|e| format!("new artifact: {e:?}"))?;
+    let old_timings = extract_timings(&old);
+    let new_timings = extract_timings(&new);
+    if old_timings.is_empty() {
+        return Err("old artifact has no recognizable timings".to_string());
+    }
+    if new_timings.is_empty() {
+        return Err("new artifact has no recognizable timings".to_string());
+    }
+    let mut entries = Vec::new();
+    let mut only_old = Vec::new();
+    for (name, old_secs) in &old_timings {
+        match new_timings.iter().find(|(n, _)| n == name) {
+            Some((_, new_secs)) => entries.push(DiffEntry {
+                name: name.clone(),
+                old_secs: *old_secs,
+                new_secs: *new_secs,
+            }),
+            None => only_old.push(name.clone()),
+        }
+    }
+    let only_new = new_timings
+        .iter()
+        .filter(|(n, _)| !old_timings.iter().any(|(o, _)| o == n))
+        .map(|(n, _)| n.clone())
+        .collect();
+    Ok(BenchDiff { entries, only_old, only_new, threshold })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OLD: &str = r#"{
+      "suite": "components", "seed": 2016, "target_secs": 0.2,
+      "results": [
+        {"name":"rtmp.frame","iters":100,"per_iter_secs":0.000010,"mb_per_sec":12.0},
+        {"name":"stats.quantile","iters":100,"per_iter_secs":0.000020,"mb_per_sec":null},
+        {"name":"gone.bench","iters":10,"per_iter_secs":0.001,"mb_per_sec":null}
+      ],
+      "phases": [{"name":"suite","wall_secs":0.5,"workers":1,"items":3,"busy_secs":0.5,"idle_secs":0.0}]
+    }"#;
+
+    const NEW: &str = r#"{
+      "suite": "components", "seed": 2016, "target_secs": 0.2,
+      "results": [
+        {"name":"rtmp.frame","iters":100,"per_iter_secs":0.000010,"mb_per_sec":12.0},
+        {"name":"stats.quantile","iters":100,"per_iter_secs":0.000031,"mb_per_sec":null},
+        {"name":"new.bench","iters":10,"per_iter_secs":0.001,"mb_per_sec":null}
+      ],
+      "phases": [{"name":"suite","wall_secs":0.4,"workers":1,"items":3,"busy_secs":0.4,"idle_secs":0.0}]
+    }"#;
+
+    #[test]
+    fn flags_only_the_regressed_timing() {
+        let d = diff(OLD, NEW, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(d.entries.len(), 3, "two shared results plus the suite phase");
+        let regs = d.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "result/stats.quantile");
+        assert!(d.has_regressions());
+        assert!(d.table().contains("REGRESSION"));
+    }
+
+    #[test]
+    fn tracks_added_and_removed_benches() {
+        let d = diff(OLD, NEW, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(d.only_old, vec!["result/gone.bench".to_string()]);
+        assert_eq!(d.only_new, vec!["result/new.bench".to_string()]);
+    }
+
+    #[test]
+    fn a_slack_threshold_suppresses_the_flag() {
+        let d = diff(OLD, NEW, 0.60).unwrap();
+        assert!(!d.has_regressions());
+    }
+
+    #[test]
+    fn parallel_artifact_shape_is_understood() {
+        let old = r#"{"scale":"medium","seed":2016,"sessions":100,"threads":8,
+          "serial_secs":10.0,"parallel_secs":2.0,
+          "phases_serial":[{"name":"dataset.plan","wall_secs":1.0,"workers":1,"items":1,"busy_secs":1.0,"idle_secs":0.0}],
+          "phases_parallel":[{"name":"dataset.plan","wall_secs":1.0,"workers":8,"items":1,"busy_secs":1.0,"idle_secs":0.0}]}"#;
+        let new = r#"{"scale":"medium","seed":2016,"sessions":100,"threads":8,
+          "serial_secs":10.1,"parallel_secs":3.5,
+          "phases_serial":[{"name":"dataset.plan","wall_secs":1.0,"workers":1,"items":1,"busy_secs":1.0,"idle_secs":0.0}],
+          "phases_parallel":[{"name":"dataset.plan","wall_secs":1.1,"workers":8,"items":1,"busy_secs":1.1,"idle_secs":0.0}]}"#;
+        let d = diff(old, new, DEFAULT_THRESHOLD).unwrap();
+        let regs = d.regressions();
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].name, "total/parallel");
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(diff("{not json", "{}", 0.25).is_err());
+        assert!(diff("{}", "{}", 0.25).is_err(), "no timings at all");
+    }
+}

@@ -5,9 +5,11 @@
 //! (`repro all`, `repro fig5`, `repro list`); the functions here back its
 //! `ablation-*` subcommands, quantifying the design decisions the paper
 //! speculates about (player buffer sizing, map visibility, picture
-//! caching), and the [`micro`] module backs its `bench-*` micro-benchmark
-//! subcommands.
+//! caching), the [`micro`] module backs its `bench-*` micro-benchmark
+//! subcommands, and the [`diff`] module backs the `bench-diff`
+//! regression gate.
 
+pub mod diff;
 pub mod micro;
 
 use pscp_client::player::PlayerConfig;

@@ -186,6 +186,10 @@ pub fn run_traced(
     let mut next_seq: Option<u64> = None;
     let mut media_end_s = 0.0_f64;
     let mut fetched = 0u64;
+    // When the first segment fetch began — the boundary between the
+    // playlist-discovery phase and the segment-download phase of the join.
+    let mut first_fetch_start: Option<SimTime> = None;
+    let seg_cfg = SegmenterConfig::default();
     while now < session_end {
         if faults.pop_outage.is_active() && faults.pop_outage.in_outage(faults.seed, &pop_host, now)
         {
@@ -244,6 +248,9 @@ pub fn run_traced(
             now += POLL;
             continue;
         };
+        if first_fetch_start.is_none() {
+            first_fetch_start = Some(now);
+        }
         if faults.segment_error_rate > 0.0 {
             // Injected segment-fetch errors: each failed attempt costs an
             // RTT plus a capped backoff, then the fetch is retried; after
@@ -258,6 +265,7 @@ pub fn run_traced(
                 attempt += 1;
             }
         }
+        let fetch_started = now;
         let resp = Response::ok_bytes("video/mp2t", segment.bytes.clone());
         let body = resp.encode();
         let schedule = tcp.transfer(now, body.len(), &mut cwnd, fetched == 0);
@@ -290,6 +298,18 @@ pub fn run_traced(
             capture_wall_s: last_frame_wall,
         });
         let fetch_ms = (completion.saturating_since(now).as_secs_f64() * 1000.0) as u64;
+        // Service/CDN side-channel spans: transcode+packaging of this
+        // segment (ends when the POP can serve it) and the CDN delivery.
+        // Parentless on purpose — the join tree's children must tile the
+        // root exactly, and these overlap it.
+        trace.span(
+            (segment.available_at - seg_cfg.packaging_delay).as_micros(),
+            segment.available_at.as_micros(),
+            "service",
+            "service.transcode",
+            None,
+        );
+        trace.span(fetch_started.as_micros(), completion.as_micros(), "cdn", "cdn.fetch", None);
         trace.count("hls", "segments_fetched", 1);
         trace.count("tcp", "transfers", 1);
         trace.count("tcp", "bytes", body.len() as u64);
@@ -354,6 +374,20 @@ pub fn run_traced(
     );
 
     let log = run_playback(join_at, config.watch, config.player_hls, &arrivals);
+    // Join decomposition (paper Fig 11 analogue): app bootstrap, playlist
+    // discovery (first poll round-trips and POP re-polls), then segment
+    // downloads until the initial buffer fills. The three child spans tile
+    // [join_at, first_frame] exactly, so they sum to the join time; the
+    // parent is the teleport driver's session root when one is open.
+    if let Some(j) = log.join_time {
+        let parent = trace.current_span();
+        let first_frame = join_at + j;
+        let boot_end = boot_done.min(first_frame);
+        let fetch_start = first_fetch_start.unwrap_or(first_frame).clamp(boot_end, first_frame);
+        trace.span(join_at.as_micros(), boot_end.as_micros(), "tcp", "tcp.bootstrap", parent);
+        trace.span(boot_end.as_micros(), fetch_start.as_micros(), "hls", "hls.playlist", parent);
+        trace.span(fetch_start.as_micros(), first_frame.as_micros(), "hls", "hls.segments", parent);
+    }
     log.record_events(join_at, trace);
     crate::session::trace_session_end(trace, session_end.as_micros(), &log, &capture);
     // §2: "after an HTTP Live Streaming (HLS) session, the app reports only

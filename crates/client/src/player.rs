@@ -154,6 +154,15 @@ impl PlayerLog {
                     vec![("duration_ms", Field::U(ms))],
                 );
             }
+            // Stall intervals as parentless spans: they happen *after* the
+            // join, so they live beside the join tree, not inside it.
+            trace.span(
+                stall.start.as_micros(),
+                (stall.start + stall.duration).as_micros(),
+                "player",
+                "player.stall",
+                None,
+            );
         }
     }
 }

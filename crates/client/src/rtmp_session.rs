@@ -372,6 +372,30 @@ pub fn run_traced(
     }
 
     let log = run_playback(join_at, config.watch, config.player_rtmp, &arrivals);
+    // Join decomposition (paper Fig 11 analogue): TCP/TLS/RTMP handshakes
+    // until the play command, then buffer fill until first render. The two
+    // child spans tile [join_at, first_frame] exactly, so they sum to the
+    // session's join time; the parent is the teleport driver's session
+    // root when one is open.
+    if let Some(j) = log.join_time {
+        let parent = trace.current_span();
+        let first_frame = join_at + j;
+        let handshake_end = play_cmd_at.min(first_frame);
+        trace.span(
+            join_at.as_micros(),
+            handshake_end.as_micros(),
+            "rtmp",
+            "rtmp.handshake",
+            parent,
+        );
+        trace.span(
+            handshake_end.as_micros(),
+            first_frame.as_micros(),
+            "rtmp",
+            "rtmp.buffering",
+            parent,
+        );
+    }
     log.record_events(join_at, trace);
     crate::session::trace_session_end(trace, (join_at + config.watch).as_micros(), &log, &capture);
     let meta = PlaybackMetaReport {

@@ -130,6 +130,12 @@ impl<'a> Teleport<'a> {
             .access_video(broadcast.id, &config.network.location, join_at)
             .expect("picked broadcast is live");
         trace.count("service", "access_video", 1);
+        // Root of the session's causal tree: opened at the Teleport tap,
+        // closed at first rendered frame — so its duration *is* the join
+        // time. Sessions that never join leave it open, and open spans are
+        // dropped when the trace is drained. Children below tile the root
+        // contiguously, so their durations sum exactly to the join time.
+        let root = trace.span_start(join_at.as_micros(), "session", "session.join");
         let rngs = self.rngs.child(&format!("session/{session_idx}"));
         let faults = &config.faults;
 
@@ -139,6 +145,7 @@ impl<'a> Teleport<'a> {
         // so the schedule is thread-invariant; with both rates zero this
         // block never runs and no variate is drawn.
         let mut join_eff = join_at;
+        let mut retry_waits: Vec<(u64, u64)> = Vec::new();
         if faults.api_429_rate > 0.0 || faults.api_5xx_rate > 0.0 {
             let mut api_rng = FaultRng::from_label(faults.seed ^ rngs.seed(), "api");
             let policy = RetryPolicy::api();
@@ -162,9 +169,19 @@ impl<'a> Teleport<'a> {
                     return self.dead_outcome(broadcast, join_at, config, access.protocol, trace);
                 }
                 trace.count("recovery", "api_retries", 1);
+                let wait_from = join_eff;
                 join_eff += policy.backoff(attempt - 1, &mut api_rng);
+                retry_waits.push((wait_from.as_micros(), join_eff.as_micros()));
                 attempt += 1;
             }
+        }
+        // The API phase covers the tap through the last retry backoff
+        // (zero-length on the common no-fault path), with one child span
+        // per backoff wait.
+        let api_span =
+            trace.span(join_at.as_micros(), join_eff.as_micros(), "api", "api.request", Some(root));
+        for (from_us, to_us) in retry_waits {
+            trace.span(from_us, to_us, "api", "api.retry", Some(api_span));
         }
 
         // RTMP → HLS failover on persistent ingest-server outage; brief
@@ -180,9 +197,25 @@ impl<'a> Teleport<'a> {
                     let up = faults.ingest_outage.outage_end(faults.seed, &host, join_eff);
                     if up.saturating_since(join_eff) > FAILOVER_PATIENCE {
                         trace.count("recovery", "failovers", 1);
+                        // Zero-length marker: the switch itself takes no sim
+                        // time, so it doesn't disturb the root's tiling.
+                        trace.span(
+                            join_eff.as_micros(),
+                            join_eff.as_micros(),
+                            "recovery",
+                            "recovery.failover",
+                            Some(root),
+                        );
                         protocol = Protocol::Hls;
                     } else {
                         trace.count("recovery", "ingest_reconnects", 1);
+                        trace.span(
+                            join_eff.as_micros(),
+                            up.as_micros(),
+                            "recovery",
+                            "recovery.reconnect",
+                            Some(root),
+                        );
                         join_eff = up;
                     }
                 }
@@ -200,6 +233,11 @@ impl<'a> Teleport<'a> {
             if let Some(j) = outcome.player.join_time {
                 outcome.player.join_time = Some(j + delay);
             }
+        }
+        // Close the root at first rendered frame; a session that never
+        // joined leaves it open and the drain drops it.
+        if let Some(j) = outcome.player.join_time {
+            trace.span_end(root, (join_at + j).as_micros());
         }
         outcome
     }

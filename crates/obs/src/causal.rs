@@ -1,0 +1,95 @@
+//! Causal sim-time spans.
+//!
+//! A [`Span`] is an interval of *simulated* time attributed to one named
+//! phase of one work unit, with an optional parent forming a causal tree.
+//! Span IDs are allocated per-[`crate::Trace`] in recording order, so the
+//! same plan always yields the same IDs — they carry no thread identity
+//! and no wall-clock, which is what keeps span output byte-identical at
+//! any `PSCP_THREADS`. Wall-clock profiling stays in [`crate::PhaseSpan`],
+//! deliberately segregated from this deterministic channel.
+
+/// Identifier of a span within one trace (and, after absorption, within
+/// one unit of the run-wide log). Stable across runs and thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u32);
+
+impl SpanId {
+    /// The id handed out by disabled traces; all span operations on a
+    /// disabled trace ignore it.
+    pub const NONE: SpanId = SpanId(u32::MAX);
+}
+
+/// One causal interval of sim-time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Per-unit id, allocated in recording order.
+    pub id: u32,
+    /// Parent span id within the same unit, if any.
+    pub parent: Option<u32>,
+    /// Start, in sim microseconds.
+    pub start_us: u64,
+    /// End, in sim microseconds. [`Span::OPEN`] while unfinished.
+    pub end_us: u64,
+    /// Owning subsystem (e.g. `"session"`, `"hls"`).
+    pub subsystem: &'static str,
+    /// Phase name (e.g. `"session.join"`, `"hls.playlist"`).
+    pub name: &'static str,
+}
+
+impl Span {
+    /// Sentinel `end_us` of a span that was started but never ended.
+    /// Such spans are dropped when the trace is drained.
+    pub const OPEN: u64 = u64::MAX;
+
+    /// Whether the span has been ended.
+    pub fn is_closed(&self) -> bool {
+        self.end_us != Span::OPEN
+    }
+
+    /// Sim-time duration in microseconds (0 for open spans).
+    pub fn duration_us(&self) -> u64 {
+        if !self.is_closed() {
+            return 0;
+        }
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    /// Sim-time duration in seconds (0 for open spans).
+    pub fn duration_s(&self) -> f64 {
+        self.duration_us() as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_span_has_zero_duration() {
+        let s = Span {
+            id: 0,
+            parent: None,
+            start_us: 10,
+            end_us: Span::OPEN,
+            subsystem: "session",
+            name: "session.join",
+        };
+        assert!(!s.is_closed());
+        assert_eq!(s.duration_us(), 0);
+    }
+
+    #[test]
+    fn closed_span_duration() {
+        let s = Span {
+            id: 1,
+            parent: Some(0),
+            start_us: 1_000_000,
+            end_us: 3_500_000,
+            subsystem: "rtmp",
+            name: "rtmp.handshake",
+        };
+        assert!(s.is_closed());
+        assert_eq!(s.duration_us(), 2_500_000);
+        assert!((s.duration_s() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+//! Interchange exporters: Chrome trace-event JSON and Prometheus text.
+//!
+//! Both renderers are pure functions of their inputs with fixed float
+//! precision and fixed iteration order, so exporting the deterministic
+//! channels (causal spans, metrics) yields byte-identical files at any
+//! thread count. Wall-clock [`PhaseSpan`]s can be included in the Chrome
+//! export on their own process track — callers wanting a byte-stable
+//! artifact simply pass an empty phase slice.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::causal::Span;
+use crate::event::escape;
+use crate::metrics::MetricsRegistry;
+use crate::span::PhaseSpan;
+
+/// Renders causal spans (one Chrome "thread" per work unit, in first-
+/// appearance order) plus optional wall-clock phases (a separate Chrome
+/// "process") as a Chrome trace-event JSON document. Loadable by
+/// Perfetto / `chrome://tracing`; `ts`/`dur` are sim-microseconds for
+/// spans and wall-microseconds (cumulative) for phases.
+pub fn chrome_trace(spans: &[(String, Span)], phases: &[PhaseSpan]) -> String {
+    let mut out = String::with_capacity(64 + spans.len() * 128 + phases.len() * 128);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, line: String| {
+        if !*first {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&line);
+        *first = false;
+    };
+    push(
+        &mut out,
+        &mut first,
+        "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"sim\"}}"
+            .to_string(),
+    );
+
+    // Units become tids in first-appearance order — spans arrive in plan
+    // order, so the numbering is deterministic.
+    let mut tid_of: HashMap<&str, u32> = HashMap::new();
+    let mut next_tid = 1u32;
+    for (unit, span) in spans {
+        let tid = match tid_of.get(unit.as_str()) {
+            Some(&tid) => tid,
+            None => {
+                let tid = next_tid;
+                next_tid += 1;
+                tid_of.insert(unit.as_str(), tid);
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":\"thread_name\",\
+                         \"args\":{{\"name\":\"{}\"}}}}",
+                        escape(unit)
+                    ),
+                );
+                tid
+            }
+        };
+        let mut args = format!("{{\"id\":{}", span.id);
+        if let Some(parent) = span.parent {
+            let _ = write!(args, ",\"parent\":{parent}");
+        }
+        args.push('}');
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                 \"name\":\"{}\",\"cat\":\"{}\",\"args\":{args}}}",
+                span.start_us,
+                span.duration_us(),
+                escape(span.name),
+                escape(span.subsystem),
+            ),
+        );
+    }
+
+    if !phases.is_empty() {
+        push(
+            &mut out,
+            &mut first,
+            "{\"ph\":\"M\",\"pid\":2,\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{\"name\":\"wall-clock\"}}"
+                .to_string(),
+        );
+        let mut ts_us = 0u64;
+        for phase in phases {
+            let dur_us = (phase.wall_secs * 1e6).round().max(0.0) as u64;
+            push(
+                &mut out,
+                &mut first,
+                format!(
+                    "{{\"ph\":\"X\",\"pid\":2,\"tid\":1,\"ts\":{ts_us},\"dur\":{dur_us},\
+                     \"name\":\"{}\",\"cat\":\"phase\",\"args\":{{\"workers\":{},\
+                     \"items\":{},\"busy_secs\":{:.6}}}}}",
+                    escape(&phase.name),
+                    phase.workers,
+                    phase.items,
+                    phase.busy_secs,
+                ),
+            );
+            ts_us += dur_us;
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Renders the registry in Prometheus text exposition format. Metric
+/// names are fixed (`pscp_counter`, `pscp_histogram_*`); the repo's
+/// dotted `(subsystem, name)` keys become label values, escaped per the
+/// exposition rules. Buckets are emitted cumulatively with a final
+/// `+Inf` bucket, as Prometheus requires.
+pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("# HELP pscp_counter Deterministic sim counters keyed by subsystem/name.\n");
+    out.push_str("# TYPE pscp_counter counter\n");
+    for (sub, name, v) in metrics.counters() {
+        let _ = writeln!(
+            out,
+            "pscp_counter{{subsystem=\"{}\",name=\"{}\"}} {v}",
+            escape_label(sub),
+            escape_label(name)
+        );
+    }
+    out.push_str("# HELP pscp_histogram Fixed-bucket sim histograms keyed by subsystem/name.\n");
+    out.push_str("# TYPE pscp_histogram histogram\n");
+    for (sub, name, h) in metrics.histograms() {
+        let labels = format!("subsystem=\"{}\",name=\"{}\"", escape_label(sub), escape_label(name));
+        let mut cumulative = 0u64;
+        for (i, &count) in h.counts.iter().enumerate() {
+            cumulative += count;
+            let le = match h.edges.get(i) {
+                Some(e) => e.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let _ = writeln!(out, "pscp_histogram_bucket{{{labels},le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "pscp_histogram_sum{{{labels}}} {}", h.sum);
+        let _ = writeln!(out, "pscp_histogram_count{{{labels}}} {}", h.total);
+    }
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double-quote and newline.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MS_BUCKETS;
+
+    fn span(id: u32, parent: Option<u32>, start_us: u64, end_us: u64) -> Span {
+        Span { id, parent, start_us, end_us, subsystem: "session", name: "session.join" }
+    }
+
+    #[test]
+    fn chrome_trace_units_become_threads_in_first_appearance_order() {
+        let spans = vec![
+            ("session/1".to_string(), span(0, None, 10, 50)),
+            ("session/1".to_string(), span(1, Some(0), 10, 20)),
+            ("session/0".to_string(), span(0, None, 5, 9)),
+        ];
+        let doc = chrome_trace(&spans, &[]);
+        let s1 = doc.find("\"name\":\"session/1\"").expect("session/1 thread");
+        let s0 = doc.find("\"name\":\"session/0\"").expect("session/0 thread");
+        assert!(s1 < s0, "tids follow span (plan) order, not label order");
+        assert!(doc.contains("\"ts\":10,\"dur\":40"));
+        assert!(doc.contains("\"parent\":0"));
+        assert!(!doc.contains("wall-clock"), "no phase track when phases empty");
+    }
+
+    #[test]
+    fn chrome_trace_places_phases_on_their_own_process() {
+        let phases = vec![PhaseSpan {
+            name: "dataset.execute".to_string(),
+            wall_secs: 0.25,
+            workers: 8,
+            items: 48,
+            busy_secs: 1.5,
+        }];
+        let doc = chrome_trace(&[], &phases);
+        assert!(doc.contains("\"name\":\"wall-clock\""));
+        assert!(doc.contains("\"pid\":2,\"tid\":1,\"ts\":0,\"dur\":250000"));
+        assert!(doc.contains("\"busy_secs\":1.500000"));
+    }
+
+    #[test]
+    fn prometheus_text_shape_and_cumulative_buckets() {
+        let mut m = MetricsRegistry::new();
+        m.count("service", "api.accessVideo", 3);
+        m.observe("player", "join_time_ms", &MS_BUCKETS, 1);
+        m.observe("player", "join_time_ms", &MS_BUCKETS, 3);
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE pscp_counter counter\n"));
+        assert!(text.contains("pscp_counter{subsystem=\"service\",name=\"api.accessVideo\"} 3\n"));
+        // value 1 → bucket le=1; value 3 → le=5; buckets are cumulative.
+        assert!(text.contains("le=\"1\"} 1\n"));
+        assert!(text.contains("le=\"2\"} 1\n"));
+        assert!(text.contains("le=\"5\"} 2\n"));
+        assert!(text.contains("le=\"+Inf\"} 2\n"));
+        assert!(text.contains("pscp_histogram_sum{subsystem=\"player\",name=\"join_time_ms\"} 4\n"));
+        assert!(
+            text.contains("pscp_histogram_count{subsystem=\"player\",name=\"join_time_ms\"} 2\n")
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+}

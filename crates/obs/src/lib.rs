@@ -9,9 +9,15 @@
 //! * a **metrics registry** — named u64 counters and fixed-bucket
 //!   histograms ([`MetricsRegistry`]); integer-only so per-worker deltas
 //!   merge order-independently into a stable-ordered snapshot;
+//! * **causal sim-time spans** ([`Span`]) — parent-linked intervals
+//!   recorded per unit with stable ids, merged in plan order like events,
+//!   so a session's join time decomposes into a deterministic tree;
 //! * **wall-clock phase spans** ([`PhaseSpan`]) with per-thread busy/idle
 //!   accounting — the one intentionally non-deterministic output, kept
-//!   segregated from the event log and metrics.
+//!   segregated from the event log, spans and metrics.
+//!
+//! [`export`] renders the deterministic channels as Chrome trace-event
+//! JSON and Prometheus text exposition.
 //!
 //! The split between [`Trace`] (per-unit, `&mut`, lock-free) and
 //! [`Observer`] (run-wide, serial merge points only) is the determinism
@@ -20,13 +26,17 @@
 
 #![warn(missing_docs)]
 
+mod causal;
 mod event;
+pub mod export;
 mod metrics;
 mod observer;
 mod span;
 mod trace;
 
+pub use causal::{Span, SpanId};
 pub use event::{Event, Field};
+pub use export::{chrome_trace, prometheus_text};
 pub use metrics::{
     Histogram, HistogramSpec, MetricsRegistry, BYTE_BUCKETS, KBPS_BUCKETS, MILLIWATT_BUCKETS,
     MS_BUCKETS,

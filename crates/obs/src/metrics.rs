@@ -262,6 +262,15 @@ mod tests {
     }
 
     #[test]
+    fn empty_histogram_mean_is_zero_not_nan() {
+        let h = Histogram::new(&MS_BUCKETS);
+        assert_eq!(h.total, 0);
+        let mean = h.mean();
+        assert!(!mean.is_nan(), "empty mean must never print NaN into JSON");
+        assert_eq!(mean, 0.0);
+    }
+
+    #[test]
     fn merge_is_order_independent() {
         let build = |values: &[u64]| {
             let mut m = MetricsRegistry::new();

@@ -10,6 +10,7 @@
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::causal::Span;
 use crate::event::Event;
 use crate::metrics::MetricsRegistry;
 use crate::span::PhaseSpan;
@@ -28,6 +29,10 @@ struct Inner {
     /// `(unit label, event)` in absorb order; events within a unit are
     /// sim-time sorted at absorb time (stable, so ties keep record order).
     log: Vec<(String, Event)>,
+    /// `(unit label, span)` in absorb order; spans within a unit are
+    /// start-time sorted at absorb time (stable; ids stay valid because
+    /// parent links are by explicit id, not position).
+    spans: Vec<(String, Span)>,
     metrics: MetricsRegistry,
     phases: Vec<PhaseSpan>,
 }
@@ -40,6 +45,7 @@ impl Observer {
             profiling: false,
             inner: Mutex::new(Inner {
                 log: Vec::new(),
+                spans: Vec::new(),
                 metrics: MetricsRegistry::new(),
                 phases: Vec::new(),
             }),
@@ -72,6 +78,7 @@ impl Observer {
             profiling,
             inner: Mutex::new(Inner {
                 log: Vec::new(),
+                spans: Vec::new(),
                 metrics: MetricsRegistry::new(),
                 phases: Vec::new(),
             }),
@@ -94,7 +101,9 @@ impl Observer {
     }
 
     /// Merges one unit's finished trace under `unit`. Events are sim-time
-    /// sorted within the unit (stable: ties keep recording order).
+    /// sorted within the unit, spans start-time sorted (both stable: ties
+    /// keep recording order); open spans were already dropped by the
+    /// drain.
     ///
     /// Determinism contract: callers absorb units serially in *plan*
     /// order, never in completion order.
@@ -102,10 +111,12 @@ impl Observer {
         if !self.tracing {
             return;
         }
-        let (mut events, metrics) = trace.into_parts();
+        let (mut events, mut spans, metrics) = trace.into_parts();
         events.sort_by_key(|e| e.t_us);
+        spans.sort_by_key(|s| s.start_us);
         let mut inner = self.inner.lock().expect("observer lock");
         inner.log.extend(events.into_iter().map(|e| (unit.to_string(), e)));
+        inner.spans.extend(spans.into_iter().map(|s| (unit.to_string(), s)));
         inner.metrics.merge(&metrics);
     }
 
@@ -122,6 +133,9 @@ impl Observer {
             inner
                 .log
                 .extend(child_inner.log.into_iter().map(|(u, e)| (format!("{prefix}/{u}"), e)));
+            inner
+                .spans
+                .extend(child_inner.spans.into_iter().map(|(u, s)| (format!("{prefix}/{u}"), s)));
             inner.metrics.merge(&child_inner.metrics);
         }
         if self.profiling {
@@ -198,6 +212,17 @@ impl Observer {
     pub fn phases(&self) -> Vec<PhaseSpan> {
         self.inner.lock().expect("observer lock").phases.clone()
     }
+
+    /// Number of causal spans absorbed so far.
+    pub fn span_count(&self) -> usize {
+        self.inner.lock().expect("observer lock").spans.len()
+    }
+
+    /// The merged `(unit, span)` log, in absorb order — plan order, so
+    /// identical at any thread count for the same seed.
+    pub fn spans(&self) -> Vec<(String, Span)> {
+        self.inner.lock().expect("observer lock").spans.clone()
+    }
 }
 
 #[cfg(test)]
@@ -264,6 +289,30 @@ mod tests {
         assert_eq!(spans.len(), 1);
         assert_eq!(spans[0].workers, 1);
         assert!((spans[0].busy_secs - spans[0].wall_secs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_collects_closed_spans_in_plan_order() {
+        let obs = Observer::new(true);
+        let mut a = obs.trace();
+        let root = a.span_start(100, "session", "session.join");
+        a.span(100, 150, "api", "api.request", Some(root));
+        a.span_end(root, 400);
+        let open = a.span_start(500, "session", "session.join");
+        let _ = open; // abandoned: dropped at absorb
+        obs.absorb("session/0", a);
+        let child = Observer::new(true);
+        let mut b = child.trace();
+        let r = b.span_start(7, "session", "session.join");
+        b.span_end(r, 9);
+        child.absorb("session/0", b);
+        obs.merge_child("limit-2", child);
+        let spans = obs.spans();
+        assert_eq!(obs.span_count(), 3);
+        assert_eq!(spans[0].0, "session/0");
+        assert_eq!(spans[0].1.name, "session.join");
+        assert_eq!(spans[1].1.parent, Some(spans[0].1.id));
+        assert_eq!(spans[2].0, "limit-2/session/0");
     }
 
     #[test]

@@ -6,28 +6,39 @@
 //! into the run-wide [`crate::Observer`] *serially, in plan order*, which
 //! is what makes the merged log byte-identical at any thread count.
 
+use crate::causal::{Span, SpanId};
 use crate::event::{Event, Field};
 use crate::metrics::{HistogramSpec, MetricsRegistry};
 
-/// A per-unit event and metrics recorder. Every operation early-returns
-/// when the trace is disabled, so the enabled check is the entire cost of
-/// instrumentation on untraced runs.
+/// A per-unit event, span and metrics recorder. Every operation
+/// early-returns when the trace is disabled, so the enabled check is the
+/// entire cost of instrumentation on untraced runs.
 #[derive(Debug, Default)]
 pub struct Trace {
     enabled: bool,
     events: Vec<Event>,
+    spans: Vec<Span>,
+    /// Stack of currently-open span ids; the top is the parent of the
+    /// next `span_start`.
+    open: Vec<u32>,
     metrics: MetricsRegistry,
 }
 
 impl Trace {
     /// A permanently disabled trace (usable in `const` contexts).
     pub const fn disabled() -> Trace {
-        Trace { enabled: false, events: Vec::new(), metrics: MetricsRegistry::new() }
+        Trace {
+            enabled: false,
+            events: Vec::new(),
+            spans: Vec::new(),
+            open: Vec::new(),
+            metrics: MetricsRegistry::new(),
+        }
     }
 
     /// A trace that records iff `enabled`.
     pub fn new(enabled: bool) -> Trace {
-        Trace { enabled, events: Vec::new(), metrics: MetricsRegistry::new() }
+        Trace { enabled, ..Trace::disabled() }
     }
 
     /// Whether events/metrics are being recorded. Call sites that must
@@ -48,6 +59,69 @@ impl Trace {
             return;
         }
         self.events.push(Event { t_us, subsystem, name, fields });
+    }
+
+    /// Opens a span at sim-time `start_us`. Its parent is the innermost
+    /// span still open on this trace. Returns the id to pass to
+    /// [`Trace::span_end`]; spans never ended are dropped when the trace
+    /// is drained.
+    pub fn span_start(
+        &mut self,
+        start_us: u64,
+        subsystem: &'static str,
+        name: &'static str,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let id = self.spans.len() as u32;
+        let parent = self.open.last().copied();
+        self.spans.push(Span { id, parent, start_us, end_us: Span::OPEN, subsystem, name });
+        self.open.push(id);
+        SpanId(id)
+    }
+
+    /// Closes a span opened by [`Trace::span_start`] at sim-time `end_us`.
+    /// Unknown or already-closed ids are ignored (a disabled trace hands
+    /// out [`SpanId::NONE`]).
+    pub fn span_end(&mut self, id: SpanId, end_us: u64) {
+        if !self.enabled {
+            return;
+        }
+        let Some(span) = self.spans.get_mut(id.0 as usize) else {
+            return;
+        };
+        if span.is_closed() {
+            return;
+        }
+        span.end_us = end_us;
+        self.open.retain(|&open_id| open_id != id.0);
+    }
+
+    /// Records an already-finished span with an explicit parent, without
+    /// touching the open-span stack. The natural fit for retrospective
+    /// phases whose boundaries are only known after the fact, and for
+    /// parentless side-channel spans (stalls, per-segment service work).
+    pub fn span(
+        &mut self,
+        start_us: u64,
+        end_us: u64,
+        subsystem: &'static str,
+        name: &'static str,
+        parent: Option<SpanId>,
+    ) -> SpanId {
+        if !self.enabled {
+            return SpanId::NONE;
+        }
+        let id = self.spans.len() as u32;
+        let parent = parent.and_then(|p| (p != SpanId::NONE).then_some(p.0));
+        self.spans.push(Span { id, parent, start_us, end_us, subsystem, name });
+        SpanId(id)
+    }
+
+    /// The innermost span currently open, if any.
+    pub fn current_span(&self) -> Option<SpanId> {
+        self.open.last().map(|&id| SpanId(id))
     }
 
     /// Adds `by` to a counter.
@@ -73,22 +147,44 @@ impl Trace {
     }
 
     /// Appends another trace's events (preserving their order) and folds
-    /// in its metrics.
+    /// in its metrics. The other trace's span ids (and parent links) are
+    /// offset past this trace's so ids stay unique per unit; its open
+    /// spans are dropped — their handles died with it.
     pub fn absorb(&mut self, other: Trace) {
         if !self.enabled {
             return;
         }
         self.events.extend(other.events);
+        // Renumber the other trace's closed spans to follow ours compactly
+        // (so `id == index` keeps holding and later `span_start` calls on
+        // this trace can't collide), remapping parent links through the
+        // same table. Parents that were open (hence dropped) become None.
+        let mut remap: Vec<Option<u32>> = vec![None; other.spans.len()];
+        let first_free = self.spans.len() as u32;
+        for (next, s) in (first_free..).zip(other.spans.iter().filter(|s| s.is_closed())) {
+            remap[s.id as usize] = Some(next);
+        }
+        self.spans.extend(other.spans.into_iter().filter(Span::is_closed).map(|mut s| {
+            s.id = remap[s.id as usize].expect("closed span was remapped");
+            s.parent = s.parent.and_then(|p| remap[p as usize]);
+            s
+        }));
         self.metrics.merge(&other.metrics);
     }
 
-    /// Drains the recorded events and metrics into a fresh trace, keeping
-    /// this one enabled and empty (lets a long-lived owner like the
-    /// service hand its records to each crawl that drives it).
+    /// Drains the recorded events, spans and metrics into a fresh trace,
+    /// keeping this one enabled and empty (lets a long-lived owner like
+    /// the service hand its records to each crawl that drives it). Spans
+    /// still open are dropped: ids don't survive a drain.
     pub fn take(&mut self) -> Trace {
+        self.open.clear();
+        let mut spans = std::mem::take(&mut self.spans);
+        spans.retain(Span::is_closed);
         Trace {
             enabled: self.enabled,
             events: std::mem::take(&mut self.events),
+            spans,
+            open: Vec::new(),
             metrics: std::mem::take(&mut self.metrics),
         }
     }
@@ -98,14 +194,24 @@ impl Trace {
         &self.events
     }
 
+    /// Recorded spans, in id order. Open spans (`end_us == Span::OPEN`)
+    /// are still present here; they are dropped at drain time.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
     /// The metrics recorded so far.
     pub fn metrics(&self) -> &MetricsRegistry {
         &self.metrics
     }
 
-    /// Consumes the trace, returning its parts for merging.
-    pub(crate) fn into_parts(self) -> (Vec<Event>, MetricsRegistry) {
-        (self.events, self.metrics)
+    /// Consumes the trace, returning its parts for merging. Open spans
+    /// are dropped here — a span nobody ended (e.g. the join span of a
+    /// session that never joined) is not data.
+    pub(crate) fn into_parts(self) -> (Vec<Event>, Vec<Span>, MetricsRegistry) {
+        let mut spans = self.spans;
+        spans.retain(Span::is_closed);
+        (self.events, spans, self.metrics)
     }
 }
 
@@ -119,8 +225,14 @@ mod tests {
         t.event(1, "player", "player.stall", vec![]);
         t.count("player", "stalls", 1);
         t.observe("player", "stall_ms", &crate::MS_BUCKETS, 42);
+        let id = t.span_start(0, "session", "session.join");
+        assert_eq!(id, SpanId::NONE);
+        t.span_end(id, 10);
+        t.span(0, 5, "rtmp", "rtmp.handshake", None);
         assert!(t.events().is_empty());
+        assert!(t.spans().is_empty());
         assert!(t.metrics().is_empty());
+        assert!(t.current_span().is_none());
     }
 
     #[test]
@@ -132,6 +244,38 @@ mod tests {
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.events()[0].t_us, 20, "recording order preserved, not sorted here");
         assert_eq!(t.metrics().counter("hls", "segments_fetched"), 1);
+    }
+
+    #[test]
+    fn span_stack_assigns_parents() {
+        let mut t = Trace::new(true);
+        let root = t.span_start(0, "session", "session.join");
+        assert_eq!(t.current_span(), Some(root));
+        let child = t.span_start(5, "api", "api.request");
+        t.span_end(child, 10);
+        assert_eq!(t.current_span(), Some(root), "closing a child pops it off the stack");
+        let sibling = t.span(10, 40, "rtmp", "rtmp.buffering", t.current_span());
+        t.span_end(root, 40);
+        assert!(t.current_span().is_none());
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[child.0 as usize].parent, Some(root.0));
+        assert_eq!(spans[sibling.0 as usize].parent, Some(root.0));
+        assert_eq!(spans[root.0 as usize].duration_us(), 40);
+    }
+
+    #[test]
+    fn open_spans_are_dropped_at_drain() {
+        let mut t = Trace::new(true);
+        let root = t.span_start(0, "session", "session.join");
+        let child = t.span_start(2, "api", "api.request");
+        t.span_end(child, 7);
+        let _ = root; // never ended: the session never joined
+        let drained = t.take();
+        assert_eq!(drained.spans().len(), 1);
+        assert_eq!(drained.spans()[0].name, "api.request");
+        assert!(t.spans().is_empty());
+        assert!(t.current_span().is_none());
     }
 
     #[test]
@@ -157,5 +301,23 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.events().len(), 2);
         assert_eq!(a.metrics().counter("crawler", "map_queries"), 3);
+    }
+
+    #[test]
+    fn absorb_offsets_span_ids_and_parents() {
+        let mut a = Trace::new(true);
+        let ra = a.span_start(0, "session", "session.join");
+        a.span_end(ra, 100);
+        let mut b = Trace::new(true);
+        let rb = b.span_start(10, "crawler", "crawler.sweep");
+        b.span(20, 30, "api", "api.request", Some(rb));
+        b.span_end(rb, 50);
+        let open = b.span_start(60, "crawler", "crawler.sweep");
+        let _ = open; // left open: must not survive the merge
+        a.absorb(b);
+        let spans = a.spans();
+        assert_eq!(spans.len(), 3, "open span dropped");
+        assert_eq!(spans[1].id, 1, "absorbed root re-identified past a's spans");
+        assert_eq!(spans[2].parent, Some(1), "parent link offset with it");
     }
 }

@@ -7,11 +7,16 @@
 //! delivery latency from the raw captures via the NTP-timestamp method
 //! (§5.1), including the handshake stripping a human would do in wireshark;
 //! [`compare`] runs the paper's device-comparison Welch t-tests;
-//! [`export`] dumps per-session/per-broadcast CSVs for external plotting.
+//! [`export`] dumps per-session/per-broadcast CSVs for external plotting;
+//! [`slo`] folds causal span trees into per-session phase breakdowns,
+//! evaluates declarative SLOs against the paper's headline numbers, and
+//! flags MAD-outlier sessions with their dominant phase.
 
 pub mod compare;
 pub mod dataset;
 pub mod delivery;
 pub mod export;
+pub mod slo;
 
 pub use dataset::SessionDataset;
+pub use slo::{SloReport, SloSpec};

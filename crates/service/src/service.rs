@@ -167,6 +167,10 @@ impl PeriscopeService {
             ApiRequest::AccessVideo { .. } => "api.accessVideo",
         };
         self.trace.count("service", verb, 1);
+        // Request handling takes no sim time in this model, so its span is
+        // an instant marker on the service's own trace (absorbed by
+        // whichever crawl drives it).
+        self.trace.span(now.as_micros(), now.as_micros(), "service", "service.request", None);
         match api {
             ApiRequest::MapGeoBroadcastFeed { rect, include_replay } => {
                 // include_replay=false (the crawler's setting) restricts to

@@ -1,0 +1,213 @@
+//! Property tests for the interchange exporters (DESIGN.md §7): arbitrary
+//! span fields, unit labels and metric keys must round-trip through the
+//! Chrome trace-event encoder as valid JSON, and through the Prometheus
+//! text encoder with every label value properly escaped.
+
+use periscope_repro::obs::{chrome_trace, prometheus_text, MetricsRegistry, Span};
+use periscope_repro::obs::{PhaseSpan, MS_BUCKETS};
+use periscope_repro::proto::json::{parse, Value};
+use pscp_check::{check, ensure, Gen};
+
+/// Label/name characters chosen to stress the escapers: JSON structure
+/// characters, both escape triggers (`"`, `\`), control characters, and
+/// multi-byte UTF-8.
+const NASTY_CHARS: &[char] = &[
+    'a', 'z', 'A', '0', '9', ' ', '_', '-', '.', '/', '"', '\\', '\n', '\t', '\r', '\u{1}', '{',
+    '}', '=', ',', '#', '\u{00e9}', '\u{4e2d}',
+];
+
+/// Leaks a generated string into a `&'static str` — span subsystem/name and
+/// metric keys are `&'static` in the real code because they are literals;
+/// the tests leak per-case strings to drive arbitrary bytes through the
+/// same paths (a few KiB over a test run).
+fn leak(s: String) -> &'static str {
+    Box::leak(s.into_boxed_str())
+}
+
+fn arb_span(g: &mut Gen, id: u32) -> Span {
+    // Bounded to f64-exact integers: the checking parser (like JavaScript)
+    // reads JSON numbers as doubles. 2^52 µs is ~142 years of sim time.
+    let start_us = g.u64(0..1 << 52);
+    let end_us = if g.bool() { Span::OPEN } else { start_us + g.u64(0..10_000_000) };
+    Span {
+        id,
+        parent: if id > 0 && g.bool() { Some(g.u64(0..id as u64) as u32) } else { None },
+        start_us,
+        end_us,
+        subsystem: leak(g.string(NASTY_CHARS, 1..=12)),
+        name: leak(g.string(NASTY_CHARS, 1..=16)),
+    }
+}
+
+fn arb_spans(g: &mut Gen) -> Vec<(String, Span)> {
+    let n = g.u64(0..12) as u32;
+    (0..n).map(|id| (g.string(NASTY_CHARS, 0..=16), arb_span(g, id))).collect()
+}
+
+fn arb_phases(g: &mut Gen) -> Vec<PhaseSpan> {
+    g.vec(0..4, |g| PhaseSpan {
+        name: g.string(NASTY_CHARS, 0..=16),
+        wall_secs: g.f64(0.0..1e4),
+        workers: g.u64(1..64) as usize,
+        items: g.u64(0..100_000) as usize,
+        busy_secs: g.f64(0.0..1e5),
+    })
+}
+
+#[test]
+fn chrome_trace_is_valid_json_and_round_trips_span_fields() {
+    check(
+        "chrome_trace_round_trip",
+        |g: &mut Gen| (arb_spans(g), arb_phases(g)),
+        |(spans, phases)| {
+            let doc = chrome_trace(spans, phases);
+            let v = parse(&doc).map_err(|e| format!("exporter emitted invalid JSON: {e:?}"))?;
+            let events = v
+                .get("traceEvents")
+                .and_then(Value::as_array)
+                .ok_or("missing traceEvents array")?;
+            // Span events on pid 1 must round-trip name/cat/ts/dur exactly,
+            // in input order.
+            let xs: Vec<&Value> = events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("X")
+                        && e.get("pid").and_then(Value::as_u64) == Some(1)
+                })
+                .collect();
+            ensure!(xs.len() == spans.len(), "{} spans became {} events", spans.len(), xs.len());
+            for (ev, (_, span)) in xs.iter().zip(spans) {
+                ensure!(ev.get("name").and_then(Value::as_str) == Some(span.name), "name mangled");
+                ensure!(
+                    ev.get("cat").and_then(Value::as_str) == Some(span.subsystem),
+                    "subsystem mangled"
+                );
+                ensure!(
+                    ev.get("ts").and_then(Value::as_u64) == Some(span.start_us),
+                    "ts mangled for {span:?}"
+                );
+                ensure!(
+                    ev.get("dur").and_then(Value::as_u64) == Some(span.duration_us()),
+                    "dur mangled for {span:?}"
+                );
+            }
+            // Unit labels must round-trip through the thread_name metadata,
+            // in first-appearance order.
+            let mut expected_units: Vec<&str> = Vec::new();
+            for (unit, _) in spans {
+                if !expected_units.contains(&unit.as_str()) {
+                    expected_units.push(unit);
+                }
+            }
+            let threads: Vec<&str> = events
+                .iter()
+                .filter(|e| e.get("name").and_then(Value::as_str) == Some("thread_name"))
+                .filter_map(|e| e.get("args")?.get("name")?.as_str())
+                .collect();
+            ensure!(threads == expected_units, "unit labels mangled: {threads:?}");
+            Ok(())
+        },
+    );
+}
+
+type PromLine = (String, Vec<(String, String)>, f64);
+
+/// Splits one Prometheus metric line into (metric name, label pairs, value),
+/// un-escaping label values — fails if quoting/escaping is malformed.
+fn parse_prom_line(line: &str) -> Result<PromLine, String> {
+    let (name, rest) = match line.find('{') {
+        Some(b) => {
+            let name = &line[..b];
+            let rest = &line[b + 1..];
+            let mut labels = Vec::new();
+            let mut chars = rest.chars().peekable();
+            loop {
+                let mut key = String::new();
+                for c in chars.by_ref() {
+                    if c == '=' {
+                        break;
+                    }
+                    key.push(c);
+                }
+                if chars.next() != Some('"') {
+                    return Err(format!("label value not quoted in {line:?}"));
+                }
+                let mut value = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\\') => match chars.next() {
+                            Some('\\') => value.push('\\'),
+                            Some('"') => value.push('"'),
+                            Some('n') => value.push('\n'),
+                            other => return Err(format!("bad escape {other:?} in {line:?}")),
+                        },
+                        Some('"') => break,
+                        Some(c) => value.push(c),
+                        None => return Err(format!("unterminated label value in {line:?}")),
+                    }
+                }
+                labels.push((key, value));
+                match chars.next() {
+                    Some(',') => continue,
+                    Some('}') => break,
+                    other => return Err(format!("bad label separator {other:?} in {line:?}")),
+                }
+            }
+            let tail: String = chars.collect();
+            (name.to_string(), (labels, tail))
+        }
+        None => {
+            let (name, tail) = line.split_once(' ').ok_or(format!("no value in {line:?}"))?;
+            (name.to_string(), (Vec::new(), format!(" {tail}")))
+        }
+    };
+    let (labels, tail) = rest;
+    let value: f64 = tail.trim().parse().map_err(|_| format!("bad value in {line:?}"))?;
+    Ok((name, labels, value))
+}
+
+#[test]
+fn prometheus_text_escapes_arbitrary_label_values() {
+    check(
+        "prometheus_label_escaping",
+        |g: &mut Gen| {
+            let mut m = MetricsRegistry::new();
+            for _ in 0..g.u64(1..8) {
+                m.count(
+                    leak(g.string(NASTY_CHARS, 1..=10)),
+                    leak(g.string(NASTY_CHARS, 1..=10)),
+                    g.u64(0..1_000_000),
+                );
+            }
+            for _ in 0..g.u64(0..4) {
+                m.observe(
+                    leak(g.string(NASTY_CHARS, 1..=10)),
+                    leak(g.string(NASTY_CHARS, 1..=10)),
+                    &MS_BUCKETS,
+                    g.u64(0..100_000),
+                );
+            }
+            m
+        },
+        |m| {
+            let text = prometheus_text(m);
+            // Every metric line must parse — label values recoverable by
+            // un-escaping — and the counter lines must round-trip the
+            // registry's exact (subsystem, name) keys in order.
+            let mut counter_keys: Vec<(String, String)> = Vec::new();
+            for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+                let (metric, labels, _value) = parse_prom_line(line)?;
+                ensure!(metric.starts_with("pscp_"), "unexpected metric {metric:?}");
+                if metric == "pscp_counter" {
+                    ensure!(labels.len() == 2, "counter labels: {labels:?}");
+                    ensure!(labels[0].0 == "subsystem" && labels[1].0 == "name", "{labels:?}");
+                    counter_keys.push((labels[0].1.clone(), labels[1].1.clone()));
+                }
+            }
+            let expected: Vec<(String, String)> =
+                m.counters().map(|(s, n, _)| (s.to_string(), n.to_string())).collect();
+            ensure!(counter_keys == expected, "label values mangled: {counter_keys:?}");
+            Ok(())
+        },
+    );
+}

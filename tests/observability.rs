@@ -177,6 +177,106 @@ fn disabled_observer_stays_empty() {
     assert!(obs.phases().is_empty());
 }
 
+/// One span-enabled run: dataset fingerprint, a rendered figure, the SLO
+/// report JSON and the Chrome trace export — everything the span layer
+/// promises to keep byte-identical across thread counts.
+fn span_run(threads: usize, seed: u64) -> (Vec<String>, String, String, String) {
+    let mut config = LabConfig::small(seed);
+    config.trace = true;
+    config.threads = threads;
+    let mut lab = Lab::new(config);
+    let dataset = lab.session_dataset();
+    let fingerprint: Vec<String> = dataset
+        .sessions
+        .iter()
+        .map(|s| {
+            format!(
+                "{:?} {:?} {} {:?}",
+                s.broadcast_id,
+                s.protocol,
+                s.capture.total_bytes(),
+                s.join_time_s().map(|j| (j * 1e6) as u64),
+            )
+        })
+        .collect();
+    let figure = {
+        let exp = experiments::by_id("fig3b").expect("experiment exists");
+        (exp.run)(&mut lab).render()
+    };
+    let spans = lab.observer().spans();
+    let slo = periscope_repro::qoe::slo::evaluate(
+        &periscope_repro::qoe::SloSpec::paper(),
+        &dataset,
+        &spans,
+        "threads-test",
+    )
+    .to_json();
+    // Wall-clock phases are the one legitimately non-deterministic channel,
+    // so the deterministic export contract is spans-only.
+    let chrome = periscope_repro::obs::chrome_trace(&spans, &[]);
+    (fingerprint, figure, slo, chrome)
+}
+
+#[test]
+fn span_artifacts_identical_across_thread_counts() {
+    let one = span_run(1, 2016);
+    let two = span_run(2, 2016);
+    let eight = span_run(8, 2016);
+    assert_eq!(one.0, two.0, "dataset fingerprint diverged at 2 threads");
+    assert_eq!(one.0, eight.0, "dataset fingerprint diverged at 8 threads");
+    assert_eq!(one.1, two.1, "figure diverged at 2 threads");
+    assert_eq!(one.1, eight.1, "figure diverged at 8 threads");
+    assert_eq!(one.2, two.2, "SLO_report.json diverged at 2 threads");
+    assert_eq!(one.2, eight.2, "SLO_report.json diverged at 8 threads");
+    assert_eq!(one.3, two.3, "Chrome trace diverged at 2 threads");
+    assert_eq!(one.3, eight.3, "Chrome trace diverged at 8 threads");
+    assert!(one.2.contains("\"objectives\""), "SLO report looks empty: {}", one.2);
+    assert!(one.3.contains("session.join"), "Chrome trace has no join spans");
+}
+
+/// The causal-tree contract (DESIGN.md §7): every joined session's
+/// `session.join` root is exactly tiled by its children, and the root's
+/// duration IS the recorded join time, in integer microseconds.
+#[test]
+fn join_span_tree_sums_exactly_to_join_time() {
+    let mut config = LabConfig::small(2016);
+    config.trace = true;
+    let mut lab = Lab::new(config);
+    let dataset = lab.session_dataset();
+    let spans = lab.observer().spans();
+    let mut by_unit: std::collections::BTreeMap<&str, Vec<&periscope_repro::obs::Span>> =
+        std::collections::BTreeMap::new();
+    for (unit, span) in &spans {
+        by_unit.entry(unit.as_str()).or_default().push(span);
+    }
+    let mut trees = 0;
+    let mut pinned = 0;
+    for (unit, unit_spans) in &by_unit {
+        let Some(root) = unit_spans.iter().find(|s| s.name == "session.join") else {
+            continue;
+        };
+        assert!(root.is_closed(), "open root survived drain for {unit}");
+        let child_sum: u64 =
+            unit_spans.iter().filter(|s| s.parent == Some(root.id)).map(|s| s.duration_us()).sum();
+        assert_eq!(child_sum, root.duration_us(), "children do not tile the join root for {unit}");
+        trees += 1;
+        // The unlimited block's units are `session/<dataset index>`; pin the
+        // root duration to the dataset's recorded join time for each.
+        if let Some(idx) = unit.strip_prefix("session/").and_then(|s| s.parse::<usize>().ok()) {
+            let join_s =
+                dataset.sessions[idx].join_time_s().expect("a session with a join tree joined");
+            assert_eq!(
+                root.duration_us(),
+                (join_s * 1e6).round() as u64,
+                "root span duration is not the join time for {unit}"
+            );
+            pinned += 1;
+        }
+    }
+    assert!(trees >= 40, "expected join trees for most of 48 sessions, got {trees}");
+    assert!(pinned >= 25, "expected pinned unlimited-block checks, got {pinned}");
+}
+
 #[test]
 fn profile_only_records_phases_without_events() {
     let mut config = LabConfig::small(28);

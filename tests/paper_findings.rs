@@ -145,3 +145,55 @@ fn fig7_orderings() {
     assert!(wifi("Home") < 1200.0);
     assert!(wifi("chat on") > 3.2 * wifi("Home"));
 }
+
+/// §5.1 join-time attribution, via the causal span layer: the per-protocol
+/// decomposition must carry the paper's structure. RTMP joins are dominated
+/// by the player's initial buffer fill (the handshake is ~1.5 RTTs), while
+/// HLS joins spend their time on connection bootstrap plus playlist/segment
+/// fetches — the CDN indirection the paper blames for HLS's higher latency.
+#[test]
+fn join_decomposition_matches_protocol_structure() {
+    use periscope_repro::qoe::slo::{evaluate, SloSpec};
+    use periscope_repro::service::select::Protocol;
+    let mut config = LabConfig::small(2016);
+    config.trace = true;
+    let mut lab = Lab::new(config);
+    let dataset = lab.session_dataset();
+    let spans = lab.observer().spans();
+    let report = evaluate(&SloSpec::paper(), &dataset, &spans, "paper-findings");
+    assert!(report.pass(), "paper-derived SLOs must hold at seed 2016:\n{}", report.table());
+    let phases = |p: Protocol| {
+        let d = report
+            .decomposition
+            .iter()
+            .find(|d| d.protocol == p)
+            .unwrap_or_else(|| panic!("no {p:?} decomposition"));
+        (d.join_mean_s, d.phase_means.clone())
+    };
+    let get = |means: &[(String, f64)], name: &str| {
+        means.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(0.0)
+    };
+    let (rtmp_join, rtmp) = phases(Protocol::Rtmp);
+    let (hls_join, hls) = phases(Protocol::Hls);
+    // RTMP: buffer fill dominates; the handshake is a small fraction.
+    assert!(
+        get(&rtmp, "rtmp.buffering") > get(&rtmp, "rtmp.handshake"),
+        "rtmp decomposition: {rtmp:?}"
+    );
+    assert!(
+        get(&rtmp, "rtmp.buffering") > 0.5 * rtmp_join,
+        "buffering should dominate the rtmp join: {rtmp:?}"
+    );
+    // HLS: the chunked-delivery phases (bootstrap + playlist + segments)
+    // dominate, and segment fetches outweigh the playlist fetch.
+    let hls_delivery =
+        get(&hls, "tcp.bootstrap") + get(&hls, "hls.playlist") + get(&hls, "hls.segments");
+    assert!(hls_delivery > 0.5 * hls_join, "delivery should dominate the hls join: {hls:?}");
+    assert!(
+        get(&hls, "hls.segments") > get(&hls, "hls.playlist"),
+        "segments should outweigh the playlist fetch: {hls:?}"
+    );
+    // The paper's headline: joining an HLS (popular, CDN-served) stream is
+    // slower on average than joining an RTMP one.
+    assert!(hls_join > rtmp_join, "hls mean join {hls_join} <= rtmp {rtmp_join}");
+}
