@@ -33,6 +33,12 @@
 
 use pscp_core::{experiments, Lab};
 
+/// With `--features count-allocs`, every bench row also reports heap
+/// allocations per iteration (the zero-copy hot paths should show 0).
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: pscp_obs::alloc_count::CountingAlloc = pscp_obs::alloc_count::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = "small".to_string();
@@ -343,6 +349,12 @@ fn bench_diff(old_path: &str, new_path: &str) {
     println!("bench-diff: {old_path} → {new_path} (threshold {:.0}%)", threshold * 100.0);
     print!("{}", report.table());
     if report.has_regressions() {
+        // PSCP_BENCH_GATE=warn is the escape hatch for known-noisy runners:
+        // the report still prints, but the exit code stays green.
+        if std::env::var("PSCP_BENCH_GATE").is_ok_and(|v| v == "warn") {
+            println!("bench-diff: regressions found, but PSCP_BENCH_GATE=warn — not failing");
+            return;
+        }
         std::process::exit(1);
     }
 }

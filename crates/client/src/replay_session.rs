@@ -55,7 +55,7 @@ pub fn run(
         for &(at, n) in &boot.chunks {
             let end = (off + n).min(body.len());
             let wall = capture_clock.read(at, &mut net_rng);
-            capture.record(flow, at, wall, body[off..end].to_vec());
+            capture.record(flow, at, wall, &body[off..end]);
             off = end;
         }
     }
@@ -87,7 +87,7 @@ pub fn run(
         for &(at, n) in &schedule.chunks {
             let end = (off + n).min(body.len());
             let wall = capture_clock.read(at, &mut net_rng);
-            capture.record(flow, at, wall, body[off..end].to_vec());
+            capture.record(flow, at, wall, &body[off..end]);
             off = end;
         }
         media_end_s += segment.duration_s;

@@ -14,17 +14,19 @@ use crate::player::{run_playback, MediaArrival};
 use crate::session::{PlaybackMetaReport, SessionConfig, SessionOutcome};
 use crate::uplink::Uplink;
 use pscp_media::audio::AudioEncoder;
-use pscp_media::bitstream::{FrameKind, FramePayload};
+use pscp_media::bitstream::FrameKind;
 use pscp_media::capture::{Capture, FlowKind};
 use pscp_media::content::ContentProcess;
 use pscp_media::encoder::{Encoder, EncoderConfig};
 use pscp_media::flv::{AudioTag, VideoTag};
 use pscp_proto::amf::{encode_command, Amf0};
-use pscp_proto::rtmp::{handshake_c0c1, handshake_s0s1s2, Chunker, Message};
+use pscp_proto::rtmp::{
+    handshake_c0c1, handshake_s0s1s2, Chunker, Message, MessageRef, MessageType,
+};
 use pscp_service::ingest::assign_server;
 use pscp_service::select::Protocol;
 use pscp_simnet::fault::{self, LinkFaults};
-use pscp_simnet::{Link, RngFactory, SimDuration, SimTime, WallClock};
+use pscp_simnet::{BufPool, Link, RngFactory, SimDuration, SimTime, WallClock};
 use pscp_workload::broadcast::Broadcast;
 use std::collections::HashMap;
 
@@ -164,13 +166,23 @@ pub fn run_traced(
         media_end_s: f64,
         capture_wall_s: f64,
     }
+    // All outbound bytes for the session live in one arena (`send_data`);
+    // each `Send` is a range into it. Sorting by time moves small records,
+    // not payloads, and the transmit loop borrows MTU-sized windows straight
+    // out of the arena — no per-message or per-packet Vec.
     struct Send {
         at: SimTime,
         flow: usize,
-        bytes: Vec<u8>,
+        start: usize,
+        end: usize,
         meta: Option<Meta>,
     }
     let mut sends: Vec<Send> = Vec::new();
+    let mut send_data: Vec<u8> = Vec::with_capacity(
+        video_in.iter().map(|f| f.frame.bytes.len() + 32).sum::<usize>()
+            + audio_in.iter().map(|&(_, _, size)| size + 32).sum::<usize>()
+            + 64 * 1024,
+    );
 
     // App bootstrap: before (and while) the stream starts, the app pulls
     // broadcast metadata, thumbnails and the recent chat backlog. On a fast
@@ -178,10 +190,13 @@ pub fn run_traced(
     // explode (Fig 4a).
     let overhead_bytes = pscp_simnet::dist::lognormal(&mut net_rng, (900_000f64).ln(), 0.7)
         .clamp(150_000.0, 4_000_000.0) as usize;
+    let start = send_data.len();
+    send_data.resize(start + overhead_bytes, 0);
     sends.push(Send {
         at: join_at + config.network.access_rtt,
         flow: flow_misc,
-        bytes: vec![0u8; overhead_bytes],
+        start,
+        end: send_data.len(),
         meta: None,
     });
 
@@ -189,21 +204,34 @@ pub fn run_traced(
     // burst (SetChunkSize + onStatus).
     let c0c1 = handshake_c0c1(0, 0x7e);
     let s_bytes = handshake_s0s1s2(&c0c1, 0).expect("own C0C1 is valid");
-    sends.push(Send { at: join_at + rtt, flow: flow_rtmp, bytes: s_bytes, meta: None });
+    let start = send_data.len();
+    send_data.extend_from_slice(&s_bytes);
+    sends.push(Send {
+        at: join_at + rtt,
+        flow: flow_rtmp,
+        start,
+        end: send_data.len(),
+        meta: None,
+    });
     let mut chunker = Chunker::new();
-    let mut wire = Vec::new();
-    chunker.write(&Message::set_chunk_size(4096), &mut wire);
+    let start = send_data.len();
+    chunker.write(&Message::set_chunk_size(4096), &mut send_data);
     chunker.write(
         &Message::command(encode_command(
             "onStatus",
             0.0,
             &[Amf0::Null, Amf0::object([("code", Amf0::String("NetStream.Play.Start".into()))])],
         )),
-        &mut wire,
+        &mut send_data,
     );
-    sends.push(Send { at: play_cmd_at, flow: flow_rtmp, bytes: wire, meta: None });
+    sends.push(Send { at: play_cmd_at, flow: flow_rtmp, start, end: send_data.len(), meta: None });
 
     // Media messages: backlog burst + live push, interleaved with audio.
+    // One pooled scratch buffer holds each FLV tag body while the chunker
+    // copies it into the arena; it is reused for every message in the
+    // session (and recycled across sessions sharing the pool).
+    let pool = BufPool::default();
+    let mut scratch = pool.take(8 * 1024);
     let first_pts = video_in.get(start_idx).map(|f| f.frame.pts_ms).unwrap_or(0);
     let frame_dur_s = 1.0 / fps;
     let mut ai =
@@ -222,25 +250,55 @@ pub fn run_traced(
             if a_send >= end {
                 continue;
             }
-            let mut bytes = Vec::new();
-            chunker.write(
-                &Message::audio(pts.saturating_sub(first_pts), AudioTag::encode(size)),
-                &mut bytes,
+            scratch.clear();
+            AudioTag::encode_into(size, &mut scratch);
+            let start = send_data.len();
+            chunker.write_ref(
+                MessageRef {
+                    chunk_stream_id: 4,
+                    timestamp: pts.saturating_sub(first_pts),
+                    kind: MessageType::Audio,
+                    stream_id: 1,
+                    payload: &scratch,
+                },
+                &mut send_data,
             );
-            sends.push(Send { at: a_send, flow: flow_rtmp, bytes, meta: None });
+            sends.push(Send {
+                at: a_send,
+                flow: flow_rtmp,
+                start,
+                end: send_data.len(),
+                meta: None,
+            });
             trace.count("rtmp", "audio_msgs", 1);
         }
-        let payload = FramePayload::decode(&f.frame.bytes).expect("encoder output is valid");
-        let tag = VideoTag::for_frame(payload);
-        let mut bytes = Vec::new();
-        chunker.write(
-            &Message::video(f.frame.pts_ms.saturating_sub(first_pts), tag.encode()),
-            &mut bytes,
+        // The encoder output *is* the coded frame body: prepend the 5-byte
+        // FLV tag header and chunk it directly, instead of the old
+        // decode → re-wrap → re-encode roundtrip (byte-identical because
+        // `FramePayload::encode` is deterministic).
+        scratch.clear();
+        VideoTag::write_header(
+            f.frame.kind == FrameKind::I,
+            if f.frame.kind == FrameKind::B { 33 } else { 0 },
+            &mut scratch,
+        );
+        scratch.extend_from_slice(&f.frame.bytes);
+        let start = send_data.len();
+        chunker.write_ref(
+            MessageRef {
+                chunk_stream_id: 6,
+                timestamp: f.frame.pts_ms.saturating_sub(first_pts),
+                kind: MessageType::Video,
+                stream_id: 1,
+                payload: &scratch,
+            },
+            &mut send_data,
         );
         sends.push(Send {
             at: send_at,
             flow: flow_rtmp,
-            bytes,
+            start,
+            end: send_data.len(),
             meta: Some(Meta {
                 media_end_s: (f.frame.pts_ms - first_pts) as f64 / 1000.0 + frame_dur_s,
                 capture_wall_s: broadcaster_clock.read_exact(f.t_cap),
@@ -266,7 +324,9 @@ pub fn run_traced(
             },
             _ => continue,
         };
-        sends.push(Send { at, flow, bytes: ev.bytes, meta: None });
+        let start = send_data.len();
+        send_data.extend_from_slice(&ev.bytes);
+        sends.push(Send { at, flow, start, end: send_data.len(), meta: None });
     }
 
     // Private broadcasts travel over RTMPS (§3): the RTMP bytes are sealed
@@ -276,11 +336,22 @@ pub fn run_traced(
     // which is why it studied public streams.
     if broadcast.private {
         let mut tls = pscp_proto::tls::TlsChannel::new(broadcast.viewer_seed);
+        // Re-build the arena with RTMP ranges sealed (in push order, which
+        // is the order the plaintext ranges were laid down — the TLS record
+        // sequence must match the chunker byte order).
+        let mut sealed = Vec::with_capacity(send_data.len() + send_data.len() / 8);
         for send in &mut sends {
+            let start = sealed.len();
             if send.flow == flow_rtmp {
-                send.bytes = tls.seal(&send.bytes);
+                let record = tls.seal(&send_data[send.start..send.end]);
+                sealed.extend_from_slice(&record);
+            } else {
+                sealed.extend_from_slice(&send_data[send.start..send.end]);
             }
+            send.start = start;
+            send.end = sealed.len();
         }
+        send_data = sealed;
     }
 
     // --- fault injection (DESIGN.md §8): deterministic drop windows for
@@ -332,17 +403,33 @@ pub fn run_traced(
     // which keeps the RTMP chunker byte order intact) and transmit. Per
     // flow, FIFO enqueueing keeps arrival order non-decreasing.
     sends.sort_by_key(|s| s.at);
-    let mut arrivals: Vec<MediaArrival> = Vec::new();
     let mtu = config.network.mtu.max(256);
-    for send in sends {
+    // Pre-size the capture: the arena ranges say exactly how many payload
+    // bytes each flow records, and chunking bounds the packet count.
+    {
+        let mut flow_bytes = vec![0usize; capture.flows.len()];
+        let mut flow_pkts = vec![0usize; capture.flows.len()];
+        for s in &sends {
+            flow_bytes[s.flow] += s.end - s.start;
+            flow_pkts[s.flow] += (s.end - s.start).div_ceil(mtu);
+        }
+        for (i, f) in capture.flows.iter_mut().enumerate() {
+            f.reserve(flow_bytes[i], flow_pkts[i]);
+        }
+    }
+    let mut arrivals: Vec<MediaArrival> = Vec::new();
+    for send in &sends {
         if (send.flow == flow_rtmp && fault::in_windows(&dc_windows, send.at))
             || (send.flow == flow_chat && fault::in_windows(&chat_windows, send.at))
         {
             continue; // the connection is down; these bytes never leave
         }
         let mut last = None;
-        for chunk in send.bytes.chunks(mtu) {
-            if let Some(arr) = link.enqueue(send.at, chunk.len()).time() {
+        let payload = &send_data[send.start..send.end];
+        let mut chunks = payload.chunks(mtu);
+        link.enqueue_batch(send.at, payload.chunks(mtu).map(<[u8]>::len), |delivery| {
+            let chunk = chunks.next().expect("one chunk per offered size");
+            if let Some(arr) = delivery.time() {
                 let arr = match link_faults.as_mut() {
                     Some(lf) => {
                         let floor = flow_floor.entry(send.flow).or_insert(SimTime::ZERO);
@@ -353,11 +440,11 @@ pub fn run_traced(
                     None => arr,
                 };
                 let wall = capture_clock.read(arr, &mut clock_rng);
-                capture.record(send.flow, arr, wall, chunk.to_vec());
+                capture.record(send.flow, arr, wall, chunk);
                 last = Some(arr);
             }
-        }
-        if let (Some(meta), Some(arr)) = (send.meta, last) {
+        });
+        if let (Some(meta), Some(arr)) = (send.meta.as_ref(), last) {
             arrivals.push(MediaArrival {
                 at: arr,
                 media_end_s: meta.media_end_s,
@@ -514,12 +601,12 @@ mod tests {
         let mut stripped = pscp_media::capture::Flow::new(FlowKind::Rtmp, flow.server.clone());
         let mut skipped = 0usize;
         let skip = 1 + 2 * 1536;
-        for p in &flow.packets {
+        for p in flow.packets() {
             if skipped >= skip {
-                stripped.record(p.at, p.wall_ts, p.payload.clone());
+                stripped.record(p.at, p.wall_ts, p.payload);
             } else if skipped + p.payload.len() > skip {
                 let cut = skip - skipped;
-                stripped.record(p.at, p.wall_ts, p.payload[cut..].to_vec());
+                stripped.record(p.at, p.wall_ts, &p.payload[cut..]);
                 skipped = skip;
             } else {
                 skipped += p.payload.len();
@@ -583,7 +670,7 @@ mod tests {
         // record (sizes + timing preserved).
         let mut tls = pscp_proto::tls::TlsChannel::new(b.viewer_seed);
         let stream = flow.byte_stream();
-        let plain = tls.open_all(&stream).unwrap();
+        let plain = tls.open_all(stream).unwrap();
         assert!(plain.len() < stream.len());
     }
 

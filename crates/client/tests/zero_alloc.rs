@@ -1,0 +1,142 @@
+//! Zero-allocation discipline of the steady-state RTMP packet pump.
+//!
+//! DESIGN.md §10 claims that once buffers are warm, pumping media — chunk
+//! the FLV tags, packetize onto the link, record the capture, dechunk the
+//! arrivals — touches the heap zero times per packet. This test registers
+//! the counting allocator (`pscp_obs::alloc_count`) as this binary's global
+//! allocator and falsifies the claim if any per-packet allocation sneaks
+//! back in.
+
+use pscp_media::bitstream::{FrameKind, FramePayload};
+use pscp_media::capture::{Flow, FlowKind};
+use pscp_media::flv::VideoTag;
+use pscp_obs::alloc_count::{self, CountingAlloc};
+use pscp_proto::rtmp::{Chunker, Dechunker, Message};
+use pscp_simnet::{Link, SimDuration, SimTime};
+use std::hint::black_box;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const MTU: usize = 1448;
+
+/// One second of 30 fps video as RTMP messages (~1 kB per frame).
+fn one_second_of_video() -> Vec<Message> {
+    (0..30u32)
+        .map(|i| {
+            let frame = FramePayload {
+                kind: if i == 0 { FrameKind::I } else { FrameKind::P },
+                qp: 30,
+                width: 320,
+                height: 568,
+                pts_ms: i * 33,
+                ntp_s: None,
+                size: 1000,
+            };
+            Message::video(i * 33, VideoTag::for_frame(frame).encode())
+        })
+        .collect()
+}
+
+/// The session inner loop for one second of media: chunk every message
+/// into the reused wire buffer, pump MTU packets through the link in one
+/// batch, record each delivery into the capture flow, and dechunk the
+/// delivered bytes back into message views.
+#[allow(clippy::too_many_arguments)]
+fn pump_one_second(
+    msgs: &[Message],
+    chunker: &mut Chunker,
+    wire: &mut Vec<u8>,
+    dechunker: &mut Dechunker,
+    flow: &mut Flow,
+    link: &mut Link,
+    at: SimTime,
+) -> (u64, u64) {
+    wire.clear();
+    for m in msgs {
+        chunker.write_ref(m.as_ref(), wire);
+    }
+    let mut packets = 0u64;
+    let mut chunks = wire.chunks(MTU);
+    link.enqueue_batch(at, wire.chunks(MTU).map(<[u8]>::len), |delivery| {
+        let chunk = chunks.next().expect("one chunk per offered size");
+        if let Some(arr) = delivery.time() {
+            dechunker.feed(chunk).expect("wire bytes dechunk");
+            flow.record(arr, arr.as_secs_f64(), chunk);
+            packets += 1;
+        }
+    });
+    let mut media_bytes = 0u64;
+    while let Some(msg) = dechunker.next_view() {
+        media_bytes += msg.payload.len() as u64;
+    }
+    (packets, media_bytes)
+}
+
+#[test]
+fn steady_state_rtmp_pump_is_allocation_free() {
+    // Sanity: the counter is live in this binary.
+    let (d, _) = alloc_count::counted(|| black_box(vec![0u8; 4096]).len());
+    assert!(d >= 1, "counting allocator not registered");
+    assert!(alloc_count::installed());
+
+    let msgs = one_second_of_video();
+    let payload_bytes: u64 = msgs.iter().map(|m| m.payload.len() as u64).sum();
+    let mut chunker = Chunker::new();
+    let mut wire: Vec<u8> = Vec::new();
+    let mut dechunker = Dechunker::new();
+    let mut flow = Flow::new(FlowKind::Rtmp, "ingest".to_string());
+    let mut link = Link::unbounded(10e6, SimDuration::from_millis(20));
+
+    // Warm-up: two passes grow every buffer — the wire Vec, the link's
+    // in-flight queue, the dechunker's reassembly arenas — to steady state.
+    // Passes are spaced far apart so the link queue fully drains between
+    // them, as it does between media bursts in a session.
+    let mut at = SimTime::from_secs(10);
+    for _ in 0..2 {
+        let (packets, media) = pump_one_second(
+            &msgs,
+            &mut chunker,
+            &mut wire,
+            &mut dechunker,
+            &mut flow,
+            &mut link,
+            at,
+        );
+        assert!(packets >= 20, "packets={packets}");
+        assert_eq!(media, payload_bytes);
+        at += SimDuration::from_secs(10);
+    }
+
+    // The capture flow legitimately accumulates the whole session, so the
+    // session pre-sizes it once from the arena ranges (rtmp_session.rs does
+    // the same before its transmit loop).
+    const MEASURED_PASSES: u64 = 8;
+    let packets_per_pass = wire.len().div_ceil(MTU);
+    flow.reserve(
+        wire.len() * MEASURED_PASSES as usize,
+        packets_per_pass * MEASURED_PASSES as usize,
+    );
+
+    let (allocs, stats) = alloc_count::counted(|| {
+        let mut total = (0u64, 0u64);
+        for _ in 0..MEASURED_PASSES {
+            let (packets, media) = pump_one_second(
+                &msgs,
+                &mut chunker,
+                &mut wire,
+                &mut dechunker,
+                &mut flow,
+                &mut link,
+                at,
+            );
+            total.0 += packets;
+            total.1 += media;
+            at += SimDuration::from_secs(10);
+        }
+        total
+    });
+    assert!(stats.0 >= 20 * MEASURED_PASSES, "packets={}", stats.0);
+    assert_eq!(stats.1, payload_bytes * MEASURED_PASSES);
+    assert_eq!(allocs, 0, "steady-state pump allocated {allocs} times over {} packets", stats.0);
+}

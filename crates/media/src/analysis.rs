@@ -153,17 +153,17 @@ pub fn analyze_rtmp_flow(flow: &Flow) -> Result<StreamReport, ProtoError> {
     let mut frames: Vec<(usize, FramePayload)> = Vec::new();
     let mut audio: Vec<(u32, usize)> = Vec::new();
     let mut consumed = 0usize;
-    for pkt in &flow.packets {
-        dechunker.feed(&pkt.payload)?;
+    for pkt in flow.packets() {
+        dechunker.feed(pkt.payload)?;
         consumed += pkt.payload.len();
-        for msg in dechunker.pop_all() {
+        while let Some(msg) = dechunker.next_view() {
             match msg.kind {
                 MessageType::Video => {
-                    let tag = VideoTag::decode(&msg.payload)?;
+                    let tag = VideoTag::decode(msg.payload)?;
                     frames.push((consumed.saturating_sub(1), tag.frame));
                 }
                 MessageType::Audio => {
-                    let tag = crate::flv::AudioTag::decode(&msg.payload)?;
+                    let tag = crate::flv::AudioTag::decode(msg.payload)?;
                     audio.push((msg.timestamp, tag.payload_len));
                 }
                 _ => {}
@@ -178,6 +178,7 @@ pub fn analyze_rtmp_flow(flow: &Flow) -> Result<StreamReport, ProtoError> {
 /// each `video/mp2t` body, decode the frames.
 pub fn analyze_hls_flow(flow: &Flow) -> Result<StreamReport, ProtoError> {
     let stream = flow.byte_stream();
+    let mut demux = ts::TsDemuxer::new();
     let mut frames: Vec<(usize, FramePayload)> = Vec::new();
     let mut audio: Vec<(u32, usize)> = Vec::new();
     let mut segment_durations = Vec::new();
@@ -204,22 +205,21 @@ pub fn analyze_hls_flow(flow: &Flow) -> Result<StreamReport, ProtoError> {
         let resp = Response::decode(&rest[..total])?;
         let body_start = pos + header_end + 4;
         if resp.get_header("content-type") == Some("video/mp2t") && resp.status == 200 {
-            let units = ts::demux_segment(&resp.body)?;
+            demux.reset();
+            demux.push(&resp.body)?;
+            demux.finish()?;
             let mut seg_pts: Vec<u32> = Vec::new();
             // Frame byte offsets inside the body: recover per-unit offsets by
             // re-scanning is overkill; attribute all frames of a segment to
             // the segment body's position (HLS arrives segment-at-a-time, so
             // sub-segment timing is not meaningful for delivery latency).
-            for unit in units {
-                match unit {
-                    ts::TsUnit::Video { data, .. } => {
-                        let f = FramePayload::decode(&data)?;
-                        seg_pts.push(f.pts_ms);
-                        frames.push((body_start, f));
-                    }
-                    ts::TsUnit::Audio { pts_ms, data } => {
-                        audio.push((pts_ms, data.len()));
-                    }
+            for unit in demux.units() {
+                if unit.video {
+                    let f = FramePayload::decode(unit.data)?;
+                    seg_pts.push(f.pts_ms);
+                    frames.push((body_start, f));
+                } else {
+                    audio.push((unit.pts_ms, unit.data.len()));
                 }
             }
             if seg_pts.len() >= 2 {
@@ -274,7 +274,7 @@ mod tests {
         for chunk in wire.chunks(1448) {
             let frac = sent as f64 / wire.len() as f64;
             let t = frac * secs as f64 + delay_s;
-            flow.record(SimTime::from_secs_f64_test(t), t, chunk.to_vec());
+            flow.record(SimTime::from_secs_f64_test(t), t, chunk);
             sent += chunk.len();
         }
         flow
@@ -359,7 +359,7 @@ mod tests {
             }
             let seg = mux.mux_segment(&units);
             let resp = pscp_proto::http::Response::ok_bytes("video/mp2t", seg);
-            flow.record(SimTime::from_secs_f64_test(t), t, resp.encode());
+            flow.record(SimTime::from_secs_f64_test(t), t, &resp.encode());
             t += seg_frames as f64 / 30.0;
         }
         flow
@@ -394,7 +394,7 @@ mod tests {
         let flow = hls_flow(2, 60, 52);
         let mut cut = Flow::new(FlowKind::HlsHttp, "fastly-eu");
         let stream = flow.byte_stream();
-        cut.record(SimTime::ZERO, 0.0, stream[..stream.len() - 5].to_vec());
+        cut.record(SimTime::ZERO, 0.0, &stream[..stream.len() - 5]);
         assert!(analyze_hls_flow(&cut).is_err());
     }
 
@@ -407,8 +407,8 @@ mod tests {
             b"#EXTM3U\n#EXT-X-TARGETDURATION:4\n".to_vec(),
         );
         // Append at end so offsets of earlier segments are unchanged.
-        let last_t = flow.packets.last().unwrap().wall_ts + 1.0;
-        flow.record(SimTime::from_secs_f64_test(last_t), last_t, playlist.encode());
+        let last_t = flow.packets().next_back().unwrap().wall_ts + 1.0;
+        flow.record(SimTime::from_secs_f64_test(last_t), last_t, &playlist.encode());
         let report = analyze_hls_flow(&flow).unwrap();
         assert_eq!(report.segment_durations_s.len(), 2);
     }

@@ -89,10 +89,19 @@ impl FramePayload {
     /// Panics if `size` is smaller than the header demands — the encoder's
     /// rate controller enforces the floor.
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.size);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the encoded payload to `out` without allocating (beyond what
+    /// `out` may need to grow). Same byte stream as [`FramePayload::encode`].
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let min = if self.ntp_s.is_some() { HEADER_LEN_NTP } else { HEADER_LEN };
         assert!(self.size >= min, "frame size {} below header {}", self.size, min);
         assert!(self.qp <= 51, "QP out of range");
-        let mut out = Vec::with_capacity(self.size);
+        let end = out.len() + self.size;
+        out.reserve(self.size);
         out.extend_from_slice(&MAGIC.to_be_bytes());
         out.push(self.kind.id());
         out.push(self.qp);
@@ -109,11 +118,10 @@ impl FramePayload {
         // Deterministic filler derived from pts, so captures are
         // reproducible byte-for-byte.
         let mut x = self.pts_ms.wrapping_mul(2654435761);
-        while out.len() < self.size {
+        while out.len() < end {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
             out.push((x >> 24) as u8);
         }
-        out
     }
 
     /// Decodes a payload (accepts trailing filler by construction).

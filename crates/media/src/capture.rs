@@ -12,6 +12,12 @@
 //! delivery-latency computation subtracts from). Reconstruction yields the
 //! ordered byte stream plus a byte-offset → timestamp index, so an analyzer
 //! can ask "when did the packet containing byte N arrive?".
+//!
+//! Storage is arena-based: each [`Flow`] keeps one contiguous payload buffer
+//! plus per-packet metadata (timestamps and an end offset), so recording a
+//! packet is a bounds check and a memcpy — no per-packet `Vec` — and
+//! [`Flow::byte_stream`] is a free borrow of the arena. Packets are exposed
+//! as borrowed [`PacketView`]s.
 
 use pscp_simnet::SimTime;
 
@@ -34,16 +40,26 @@ pub enum FlowKind {
     AppMisc,
 }
 
-/// One recorded packet (downstream direction; upstream requests are logged
-/// by the API tap instead, as in the paper's mitmproxy setup).
-#[derive(Debug, Clone, PartialEq)]
-pub struct PacketRecord {
+/// Per-packet metadata; payload bytes live in the flow's arena, ending at
+/// `end` (the previous packet's `end` — or 0 — marks the start).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PacketMeta {
+    at: SimTime,
+    wall_ts: f64,
+    end: usize,
+}
+
+/// A borrowed view of one recorded packet (downstream direction; upstream
+/// requests are logged by the API tap instead, as in the paper's mitmproxy
+/// setup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PacketView<'a> {
     /// Arrival instant on the simulation clock.
     pub at: SimTime,
     /// Capture host wall-clock timestamp, seconds (with its NTP error).
     pub wall_ts: f64,
     /// TCP payload bytes.
-    pub payload: Vec<u8>,
+    pub payload: &'a [u8],
 }
 
 /// A reconstructed unidirectional TCP flow.
@@ -53,69 +69,110 @@ pub struct Flow {
     pub kind: FlowKind,
     /// Server endpoint label, e.g. `"ec2-54-67-9-120.us-west-1"`.
     pub server: String,
-    /// Packets in arrival order.
-    pub packets: Vec<PacketRecord>,
+    /// Concatenated payload bytes of every packet, in arrival order.
+    data: Vec<u8>,
+    /// Per-packet timestamps + cumulative end offsets into `data`.
+    meta: Vec<PacketMeta>,
 }
 
 impl Flow {
     /// Creates an empty flow.
     pub fn new(kind: FlowKind, server: impl Into<String>) -> Self {
-        Flow { kind, server: server.into(), packets: Vec::new() }
+        Flow { kind, server: server.into(), data: Vec::new(), meta: Vec::new() }
     }
 
-    /// Records a packet.
-    pub fn record(&mut self, at: SimTime, wall_ts: f64, payload: Vec<u8>) {
+    /// Pre-sizes the arena and packet index (e.g. for allocation-free
+    /// steady-state recording).
+    pub fn reserve(&mut self, bytes: usize, packets: usize) {
+        self.data.reserve(bytes);
+        self.meta.reserve(packets);
+    }
+
+    /// Records a packet by copying its payload into the flow arena.
+    pub fn record(&mut self, at: SimTime, wall_ts: f64, payload: &[u8]) {
         debug_assert!(
-            self.packets.last().map(|p| p.at <= at).unwrap_or(true),
+            self.meta.last().map(|p| p.at <= at).unwrap_or(true),
             "packets must be recorded in order"
         );
-        self.packets.push(PacketRecord { at, wall_ts, payload });
+        self.data.extend_from_slice(payload);
+        self.meta.push(PacketMeta { at, wall_ts, end: self.data.len() });
+    }
+
+    /// Records a packet of `len` zero bytes without a source buffer —
+    /// padding/overhead traffic whose contents are never inspected.
+    pub fn record_zeros(&mut self, at: SimTime, wall_ts: f64, len: usize) {
+        debug_assert!(
+            self.meta.last().map(|p| p.at <= at).unwrap_or(true),
+            "packets must be recorded in order"
+        );
+        self.data.resize(self.data.len() + len, 0);
+        self.meta.push(PacketMeta { at, wall_ts, end: self.data.len() });
+    }
+
+    /// Number of packets recorded.
+    pub fn packet_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// The `i`-th packet as a borrowed view.
+    pub fn packet(&self, i: usize) -> PacketView<'_> {
+        let m = self.meta[i];
+        let start = if i == 0 { 0 } else { self.meta[i - 1].end };
+        PacketView { at: m.at, wall_ts: m.wall_ts, payload: &self.data[start..m.end] }
+    }
+
+    /// Iterates packets in arrival order as borrowed views.
+    pub fn packets(&self) -> impl DoubleEndedIterator<Item = PacketView<'_>> + ExactSizeIterator {
+        (0..self.meta.len()).map(|i| self.packet(i))
+    }
+
+    /// Arrival time of the first packet.
+    pub fn first_at(&self) -> Option<SimTime> {
+        self.meta.first().map(|m| m.at)
+    }
+
+    /// Arrival time of the last packet.
+    pub fn last_at(&self) -> Option<SimTime> {
+        self.meta.last().map(|m| m.at)
     }
 
     /// Total payload bytes.
     pub fn byte_count(&self) -> usize {
-        self.packets.iter().map(|p| p.payload.len()).sum()
+        self.data.len()
     }
 
-    /// Reassembles the ordered byte stream.
-    pub fn byte_stream(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.byte_count());
-        for p in &self.packets {
-            out.extend_from_slice(&p.payload);
-        }
-        out
+    /// The reassembled, ordered byte stream — a borrow of the flow arena.
+    pub fn byte_stream(&self) -> &[u8] {
+        &self.data
     }
 
     /// Returns the wall timestamp of the packet containing byte `offset` of
     /// the reassembled stream, or `None` past the end.
     pub fn wall_ts_at_byte(&self, offset: usize) -> Option<f64> {
-        self.index_at_byte(offset).map(|i| self.packets[i].wall_ts)
+        self.index_at_byte(offset).map(|i| self.meta[i].wall_ts)
     }
 
     /// Returns the simulation arrival time of the packet containing byte
     /// `offset`.
     pub fn sim_time_at_byte(&self, offset: usize) -> Option<SimTime> {
-        self.index_at_byte(offset).map(|i| self.packets[i].at)
+        self.index_at_byte(offset).map(|i| self.meta[i].at)
     }
 
     fn index_at_byte(&self, offset: usize) -> Option<usize> {
-        let mut cum = 0usize;
-        for (i, p) in self.packets.iter().enumerate() {
-            cum += p.payload.len();
-            if offset < cum {
-                return Some(i);
-            }
+        if offset >= self.data.len() {
+            return None;
         }
-        None
+        // First packet whose (cumulative) end offset exceeds `offset`.
+        Some(self.meta.partition_point(|m| m.end <= offset))
     }
 
     /// Mean downstream rate over the capture in bits/second (first to last
     /// packet), or 0 for degenerate flows.
     pub fn mean_rate_bps(&self) -> f64 {
-        let (Some(first), Some(last)) = (self.packets.first(), self.packets.last()) else {
+        let (Some(first), Some(last)) = (self.first_at(), self.last_at()) else {
             return 0.0;
         };
-        let dt = last.at.saturating_since(first.at).as_secs_f64();
+        let dt = last.saturating_since(first).as_secs_f64();
         if dt <= 0.0 {
             return 0.0;
         }
@@ -143,8 +200,13 @@ impl Capture {
     }
 
     /// Records a packet on flow `idx`.
-    pub fn record(&mut self, idx: usize, at: SimTime, wall_ts: f64, payload: Vec<u8>) {
+    pub fn record(&mut self, idx: usize, at: SimTime, wall_ts: f64, payload: &[u8]) {
         self.flows[idx].record(at, wall_ts, payload);
+    }
+
+    /// Records a packet of `len` zero bytes on flow `idx`.
+    pub fn record_zeros(&mut self, idx: usize, at: SimTime, wall_ts: f64, len: usize) {
+        self.flows[idx].record_zeros(at, wall_ts, len);
     }
 
     /// First flow of a given kind, if any.
@@ -166,8 +228,8 @@ impl Capture {
     /// e.g. the steady-state media+chat rate excluding join bootstrap.
     pub fn rate_of_kinds(&self, kinds: &[FlowKind]) -> f64 {
         let flows: Vec<&Flow> = self.flows.iter().filter(|f| kinds.contains(&f.kind)).collect();
-        let first = flows.iter().filter_map(|f| f.packets.first()).map(|p| p.at).min();
-        let last = flows.iter().filter_map(|f| f.packets.last()).map(|p| p.at).max();
+        let first = flows.iter().filter_map(|f| f.first_at()).min();
+        let last = flows.iter().filter_map(|f| f.last_at()).max();
         let (Some(first), Some(last)) = (first, last) else { return 0.0 };
         let dt = last.saturating_since(first).as_secs_f64();
         if dt <= 0.0 {
@@ -179,8 +241,8 @@ impl Capture {
     /// Aggregate mean downstream rate across all flows, bits/second,
     /// measured from the earliest to the latest packet in the capture.
     pub fn aggregate_rate_bps(&self) -> f64 {
-        let first = self.flows.iter().filter_map(|f| f.packets.first()).map(|p| p.at).min();
-        let last = self.flows.iter().filter_map(|f| f.packets.last()).map(|p| p.at).max();
+        let first = self.flows.iter().filter_map(|f| f.first_at()).min();
+        let last = self.flows.iter().filter_map(|f| f.last_at()).max();
         let (Some(first), Some(last)) = (first, last) else { return 0.0 };
         let dt = last.saturating_since(first).as_secs_f64();
         if dt <= 0.0 {
@@ -201,18 +263,21 @@ mod tests {
     #[test]
     fn byte_stream_reassembles_in_order() {
         let mut f = Flow::new(FlowKind::Rtmp, "ec2-1");
-        f.record(t(1), 1.0, vec![1, 2]);
-        f.record(t(2), 2.0, vec![3]);
-        f.record(t(3), 3.0, vec![4, 5]);
-        assert_eq!(f.byte_stream(), vec![1, 2, 3, 4, 5]);
+        f.record(t(1), 1.0, &[1, 2]);
+        f.record(t(2), 2.0, &[3]);
+        f.record(t(3), 3.0, &[4, 5]);
+        assert_eq!(f.byte_stream(), &[1, 2, 3, 4, 5]);
         assert_eq!(f.byte_count(), 5);
+        let views: Vec<Vec<u8>> = f.packets().map(|p| p.payload.to_vec()).collect();
+        assert_eq!(views, vec![vec![1, 2], vec![3], vec![4, 5]]);
+        assert_eq!(f.packet_count(), 3);
     }
 
     #[test]
     fn timestamp_lookup_by_offset() {
         let mut f = Flow::new(FlowKind::Rtmp, "ec2-1");
-        f.record(t(1), 1.5, vec![0; 10]);
-        f.record(t(2), 2.5, vec![0; 10]);
+        f.record(t(1), 1.5, &[0; 10]);
+        f.record(t(2), 2.5, &[0; 10]);
         assert_eq!(f.wall_ts_at_byte(0), Some(1.5));
         assert_eq!(f.wall_ts_at_byte(9), Some(1.5));
         assert_eq!(f.wall_ts_at_byte(10), Some(2.5));
@@ -222,10 +287,20 @@ mod tests {
     }
 
     #[test]
+    fn record_zeros_matches_explicit_zero_payload() {
+        let mut a = Flow::new(FlowKind::AppMisc, "misc");
+        let mut b = Flow::new(FlowKind::AppMisc, "misc");
+        a.record(t(1), 1.0, &[0; 37]);
+        b.record_zeros(t(1), 1.0, 37);
+        assert_eq!(a.byte_stream(), b.byte_stream());
+        assert_eq!(a.packet(0), b.packet(0));
+    }
+
+    #[test]
     fn mean_rate() {
         let mut f = Flow::new(FlowKind::HlsHttp, "fastly-eu");
-        f.record(t(0), 0.0, vec![0; 1000]);
-        f.record(t(4), 4.0, vec![0; 1000]);
+        f.record(t(0), 0.0, &[0; 1000]);
+        f.record(t(4), 4.0, &[0; 1000]);
         // 2000 bytes over 4 s = 4000 bps.
         assert!((f.mean_rate_bps() - 4000.0).abs() < 1e-9);
     }
@@ -234,7 +309,7 @@ mod tests {
     fn degenerate_rates_are_zero() {
         let mut f = Flow::new(FlowKind::Chat, "ws");
         assert_eq!(f.mean_rate_bps(), 0.0);
-        f.record(t(1), 1.0, vec![1]);
+        f.record(t(1), 1.0, &[1]);
         assert_eq!(f.mean_rate_bps(), 0.0);
     }
 
@@ -243,8 +318,8 @@ mod tests {
         let mut cap = Capture::new();
         let a = cap.open_flow(FlowKind::Rtmp, "ec2-1");
         let b = cap.open_flow(FlowKind::Chat, "ws-1");
-        cap.record(a, t(1), 1.0, vec![0; 100]);
-        cap.record(b, t(1), 1.0, vec![0; 50]);
+        cap.record(a, t(1), 1.0, &[0; 100]);
+        cap.record(b, t(1), 1.0, &[0; 50]);
         assert_eq!(cap.total_bytes(), 150);
         assert_eq!(cap.flow_of_kind(FlowKind::Chat).unwrap().server, "ws-1");
         assert!(cap.flow_of_kind(FlowKind::HlsHttp).is_none());
@@ -256,8 +331,8 @@ mod tests {
         let mut cap = Capture::new();
         let a = cap.open_flow(FlowKind::HlsHttp, "fastly-1");
         let b = cap.open_flow(FlowKind::HlsHttp, "fastly-2");
-        cap.record(a, t(0), 0.0, vec![0; 500]);
-        cap.record(b, t(2), 2.0, vec![0; 500]);
+        cap.record(a, t(0), 0.0, &[0; 500]);
+        cap.record(b, t(2), 2.0, &[0; 500]);
         // 1000 bytes over 2 s = 4000 bps.
         assert!((cap.aggregate_rate_bps() - 4000.0).abs() < 1e-9);
     }

@@ -38,14 +38,24 @@ impl VideoTag {
 
     /// Encodes the tag body (header + frame bytes).
     pub fn encode(&self) -> Vec<u8> {
-        let frame_type: u8 = if self.keyframe { 1 } else { 2 };
         let mut out = Vec::with_capacity(5 + self.frame.size);
+        Self::write_header(self.keyframe, self.composition_ms, &mut out);
+        self.frame.encode_into(&mut out);
+        out
+    }
+
+    /// Appends just the 5-byte tag header to `out`.
+    ///
+    /// Hot-path variant: when the coded frame bytes already exist (encoder
+    /// output), callers append them after this header instead of paying a
+    /// decode→re-encode roundtrip. Byte-identical to [`VideoTag::encode`]
+    /// because [`FramePayload::encode`] is deterministic.
+    pub fn write_header(keyframe: bool, composition_ms: i32, out: &mut Vec<u8>) {
+        let frame_type: u8 = if keyframe { 1 } else { 2 };
         out.push((frame_type << 4) | CODEC_AVC);
         out.push(1); // AVCPacketType = 1 (NALU)
-        let ct = self.composition_ms;
+        let ct = composition_ms;
         out.extend_from_slice(&[(ct >> 16) as u8, (ct >> 8) as u8, ct as u8]);
-        out.extend_from_slice(&self.frame.encode());
-        out
     }
 
     /// Decodes a tag body.
@@ -78,11 +88,16 @@ impl AudioTag {
     /// Encodes an AAC raw-data tag body with `payload_len` opaque bytes.
     pub fn encode(payload_len: usize) -> Vec<u8> {
         let mut out = Vec::with_capacity(2 + payload_len);
+        Self::encode_into(payload_len, &mut out);
+        out
+    }
+
+    /// Appends the tag body to `out` without allocating.
+    pub fn encode_into(payload_len: usize, out: &mut Vec<u8>) {
         // format=AAC(10), rate=3 (44kHz), size=1 (16 bit), type=1 (stereo)
         out.push((AUDIO_AAC << 4) | (3 << 2) | (1 << 1) | 1);
         out.push(1); // AACPacketType = raw
-        out.extend(std::iter::repeat_n(0xAA, payload_len));
-        out
+        out.resize(out.len() + payload_len, 0xAA);
     }
 
     /// Decodes a tag body.

@@ -187,3 +187,339 @@ mod player_props {
         );
     }
 }
+
+// -------------------------------------------- TS zero-copy ≡ reference
+//
+// The shipping muxer writes 188-byte packets straight into the output
+// buffer and the demuxer reassembles PES payloads into per-pid arenas
+// (ts.rs). These tests pin both to a retained copy of the original
+// implementation — per-packet Vecs, HashMap continuity counters, owned
+// reassembly buffers — across arbitrary unit mixes, segment sequences and
+// push split points.
+
+mod ts_reference {
+    use pscp_media::ts::{
+        crc32_mpeg2, TsUnit, PID_AUDIO, PID_PAT, PID_PMT, PID_VIDEO, SYNC, TS_PACKET,
+    };
+    use pscp_proto::ProtoError;
+    use std::collections::HashMap;
+
+    const STREAM_ID_VIDEO: u8 = 0xE0;
+    const STREAM_ID_AUDIO: u8 = 0xC0;
+
+    /// The pre-zero-copy muxer: HashMap continuity counters, one Vec per
+    /// packet, one Vec per PES.
+    pub struct RefMuxer {
+        continuity: HashMap<u16, u8>,
+    }
+
+    impl RefMuxer {
+        pub fn new() -> Self {
+            RefMuxer { continuity: HashMap::new() }
+        }
+
+        pub fn mux_segment(&mut self, units: &[TsUnit]) -> Vec<u8> {
+            let mut out = Vec::new();
+            self.write_psi(PID_PAT, &pat_section(), &mut out);
+            self.write_psi(PID_PMT, &pmt_section(), &mut out);
+            for unit in units {
+                let (pid, stream_id, pts_ms, data) = match unit {
+                    TsUnit::Video { pts_ms, data } => (PID_VIDEO, STREAM_ID_VIDEO, *pts_ms, data),
+                    TsUnit::Audio { pts_ms, data } => (PID_AUDIO, STREAM_ID_AUDIO, *pts_ms, data),
+                };
+                let pes = pes_packet(stream_id, pts_ms, data);
+                self.write_payload(pid, &pes, true, &mut out);
+            }
+            out
+        }
+
+        fn next_cc(&mut self, pid: u16) -> u8 {
+            let cc = self.continuity.entry(pid).or_insert(0);
+            let current = *cc;
+            *cc = (*cc + 1) & 0x0F;
+            current
+        }
+
+        fn write_psi(&mut self, pid: u16, section: &[u8], out: &mut Vec<u8>) {
+            let mut payload = vec![0u8]; // pointer_field
+            payload.extend_from_slice(section);
+            self.write_payload(pid, &payload, true, out);
+        }
+
+        fn write_payload(&mut self, pid: u16, payload: &[u8], pusi: bool, out: &mut Vec<u8>) {
+            let mut off = 0;
+            let mut first = true;
+            while off < payload.len() {
+                let remaining = payload.len() - off;
+                let mut pkt = Vec::with_capacity(TS_PACKET);
+                pkt.push(SYNC);
+                let pusi_bit = if first && pusi { 0x40 } else { 0x00 };
+                pkt.push(pusi_bit | ((pid >> 8) as u8 & 0x1F));
+                pkt.push(pid as u8);
+                let cc = self.next_cc(pid);
+                let body_space = TS_PACKET - 4;
+                if remaining >= body_space {
+                    pkt.push(0x10 | cc);
+                    pkt.extend_from_slice(&payload[off..off + body_space]);
+                    off += body_space;
+                } else {
+                    pkt.push(0x30 | cc);
+                    let af_len = body_space - remaining - 1;
+                    pkt.push(af_len as u8);
+                    if af_len > 0 {
+                        pkt.push(0x00);
+                        pkt.extend(std::iter::repeat_n(0xFF, af_len - 1));
+                    }
+                    pkt.extend_from_slice(&payload[off..]);
+                    off = payload.len();
+                }
+                assert_eq!(pkt.len(), TS_PACKET);
+                out.extend_from_slice(&pkt);
+                first = false;
+            }
+        }
+    }
+
+    fn pat_section() -> Vec<u8> {
+        let mut body = Vec::new();
+        body.push(0x00);
+        let mut section = vec![0u8; 0];
+        section.extend_from_slice(&[0x00, 0x01]);
+        section.push(0xC1);
+        section.push(0x00);
+        section.push(0x00);
+        section.extend_from_slice(&[0x00, 0x01]);
+        section.push(0xE0 | ((PID_PMT >> 8) as u8 & 0x1F));
+        section.push(PID_PMT as u8);
+        let len = section.len() + 4;
+        body.push(0xB0 | ((len >> 8) as u8 & 0x0F));
+        body.push(len as u8);
+        body.extend_from_slice(&section);
+        let crc = crc32_mpeg2(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        body
+    }
+
+    fn pmt_section() -> Vec<u8> {
+        let mut body = Vec::new();
+        body.push(0x02);
+        let mut section = Vec::new();
+        section.extend_from_slice(&[0x00, 0x01]);
+        section.push(0xC1);
+        section.push(0x00);
+        section.push(0x00);
+        section.push(0xE0 | ((PID_VIDEO >> 8) as u8 & 0x1F));
+        section.push(PID_VIDEO as u8);
+        section.extend_from_slice(&[0xF0, 0x00]);
+        section.push(0x1B);
+        section.push(0xE0 | ((PID_VIDEO >> 8) as u8 & 0x1F));
+        section.push(PID_VIDEO as u8);
+        section.extend_from_slice(&[0xF0, 0x00]);
+        section.push(0x0F);
+        section.push(0xE0 | ((PID_AUDIO >> 8) as u8 & 0x1F));
+        section.push(PID_AUDIO as u8);
+        section.extend_from_slice(&[0xF0, 0x00]);
+        let len = section.len() + 4;
+        body.push(0xB0 | ((len >> 8) as u8 & 0x0F));
+        body.push(len as u8);
+        body.extend_from_slice(&section);
+        let crc = crc32_mpeg2(&body);
+        body.extend_from_slice(&crc.to_be_bytes());
+        body
+    }
+
+    fn pes_packet(stream_id: u8, pts_ms: u32, data: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(data.len() + 14);
+        out.extend_from_slice(&[0x00, 0x00, 0x01, stream_id]);
+        let pes_len = 3 + 5 + data.len();
+        let pes_len_field = if pes_len > u16::MAX as usize { 0 } else { pes_len as u16 };
+        out.extend_from_slice(&pes_len_field.to_be_bytes());
+        out.push(0x80);
+        out.push(0x80);
+        out.push(5);
+        let pts = (pts_ms as u64) * 90;
+        out.push(0b0010_0000 | (((pts >> 30) as u8 & 0x07) << 1) | 1);
+        out.push((pts >> 22) as u8);
+        out.push((((pts >> 14) as u8) & 0xFE) | 1);
+        out.push((pts >> 7) as u8);
+        out.push((((pts << 1) as u8) & 0xFE) | 1);
+        out.extend_from_slice(data);
+        out
+    }
+
+    /// The pre-zero-copy demuxer: whole-segment, owned reassembly Vecs.
+    pub fn ref_demux_segment(bytes: &[u8]) -> Result<Vec<TsUnit>, ProtoError> {
+        if !bytes.len().is_multiple_of(TS_PACKET) {
+            return Err(ProtoError::Malformed("bad length".to_string()));
+        }
+        let mut units = Vec::new();
+        let mut assembling: HashMap<u16, Vec<u8>> = HashMap::new();
+        let mut last_cc: HashMap<u16, u8> = HashMap::new();
+        let mut pat_seen = false;
+        let mut pmt_seen = false;
+        for pkt in bytes.chunks(TS_PACKET) {
+            if pkt[0] != SYNC {
+                return Err(ProtoError::Malformed("lost sync".to_string()));
+            }
+            let pusi = pkt[1] & 0x40 != 0;
+            let pid = (((pkt[1] & 0x1F) as u16) << 8) | pkt[2] as u16;
+            let afc = (pkt[3] >> 4) & 0x03;
+            let cc = pkt[3] & 0x0F;
+            if let Some(&prev) = last_cc.get(&pid) {
+                let expected = (prev + 1) & 0x0F;
+                if cc != expected {
+                    return Err(ProtoError::Protocol("continuity error".to_string()));
+                }
+            }
+            last_cc.insert(pid, cc);
+            let mut off = 4;
+            if afc & 0x02 != 0 {
+                let af_len = pkt[4] as usize;
+                off += 1 + af_len;
+                if off > TS_PACKET {
+                    return Err(ProtoError::Malformed("af overflow".to_string()));
+                }
+            }
+            if afc & 0x01 == 0 {
+                continue;
+            }
+            let payload = &pkt[off..];
+            match pid {
+                PID_PAT | PID_PMT => {
+                    if pusi {
+                        if pid == PID_PAT {
+                            pat_seen = true;
+                        } else {
+                            pmt_seen = true;
+                        }
+                    }
+                }
+                PID_VIDEO | PID_AUDIO => {
+                    if pusi {
+                        if let Some(buf) = assembling.remove(&pid) {
+                            units.push(parse_pes(pid, &buf)?);
+                        }
+                        assembling.insert(pid, payload.to_vec());
+                    } else if let Some(buf) = assembling.get_mut(&pid) {
+                        buf.extend_from_slice(payload);
+                    } else {
+                        return Err(ProtoError::Protocol("continuation w/o start".to_string()));
+                    }
+                }
+                other => {
+                    return Err(ProtoError::Protocol(format!("unexpected pid {other:#x}")));
+                }
+            }
+        }
+        for (pid, buf) in assembling {
+            units.push(parse_pes(pid, &buf)?);
+        }
+        if !pat_seen || !pmt_seen {
+            return Err(ProtoError::Protocol("missing PAT/PMT".to_string()));
+        }
+        units.sort_by_key(|u| u.pts_ms());
+        Ok(units)
+    }
+
+    fn parse_pes(pid: u16, buf: &[u8]) -> Result<TsUnit, ProtoError> {
+        if buf.len() < 14 {
+            return Err(ProtoError::Truncated);
+        }
+        if buf[0] != 0 || buf[1] != 0 || buf[2] != 1 {
+            return Err(ProtoError::Malformed("bad PES start code".to_string()));
+        }
+        if buf[7] & 0x80 == 0 {
+            return Err(ProtoError::Protocol("PES without PTS".to_string()));
+        }
+        let header_len = buf[8] as usize;
+        let pts = (((buf[9] >> 1) as u64 & 0x07) << 30)
+            | ((buf[10] as u64) << 22)
+            | (((buf[11] >> 1) as u64) << 15)
+            | ((buf[12] as u64) << 7)
+            | ((buf[13] >> 1) as u64);
+        let pts_ms = (pts / 90) as u32;
+        let data_start = 9 + header_len;
+        if buf.len() < data_start {
+            return Err(ProtoError::Truncated);
+        }
+        let data = buf[data_start..].to_vec();
+        Ok(match pid {
+            PID_VIDEO => TsUnit::Video { pts_ms, data },
+            _ => TsUnit::Audio { pts_ms, data },
+        })
+    }
+}
+
+/// Unit lists with strictly distinct PTS values (video at even offsets,
+/// audio at odd), so the PTS sort fully determines order and equivalence
+/// is exact.
+fn arb_unit_list(g: &mut Gen) -> Vec<TsUnit> {
+    let n = g.usize(1..20);
+    let mut units = Vec::new();
+    for i in 0..n {
+        let pts = i as u32 * 40;
+        if g.bool() {
+            let f = FramePayload {
+                kind: if i == 0 { FrameKind::I } else { arb_kind(g) },
+                qp: 30,
+                width: 320,
+                height: 568,
+                pts_ms: pts,
+                ntp_s: None,
+                size: g.usize(pscp_media::bitstream::HEADER_LEN..2500),
+            };
+            units.push(TsUnit::Video { pts_ms: pts, data: f.encode() });
+        } else {
+            units.push(TsUnit::Audio { pts_ms: pts + 1, data: g.bytes(1..400) });
+        }
+    }
+    units
+}
+
+#[test]
+fn ts_muxer_matches_reference_bytes() {
+    check(
+        "ts_muxer_matches_reference_bytes",
+        |g: &mut Gen| (arb_unit_list(g), arb_unit_list(g)),
+        |(first, second)| {
+            // Two segments from the same muxer: continuity counters carry
+            // across segments in both implementations.
+            let mut mux = TsMuxer::new();
+            let mut reference = ts_reference::RefMuxer::new();
+            ensure_eq!(mux.mux_segment(first), reference.mux_segment(first));
+            ensure_eq!(mux.mux_segment(second), reference.mux_segment(second));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ts_demuxer_matches_reference_units() {
+    check(
+        "ts_demuxer_matches_reference_units",
+        |g: &mut Gen| {
+            let units = arb_unit_list(g);
+            // Push granularity in whole packets: 1..=5 per push.
+            let pkts_per_push = g.usize(1..=5);
+            (units, pkts_per_push)
+        },
+        |(units, pkts_per_push)| {
+            use pscp_media::ts::{TsDemuxer, TS_PACKET};
+            let seg = TsMuxer::new().mux_segment(units);
+            let expected =
+                ts_reference::ref_demux_segment(&seg).map_err(|e| format!("ref: {e:?}"))?;
+            // Incremental push through the streaming demuxer.
+            let mut demux = TsDemuxer::new();
+            for piece in seg.chunks(pkts_per_push * TS_PACKET) {
+                demux.push(piece).map_err(|e| format!("push: {e:?}"))?;
+            }
+            demux.finish().map_err(|e| format!("finish: {e:?}"))?;
+            let got: Vec<TsUnit> = demux.units().map(|u| u.to_unit()).collect();
+            ensure_eq!(got, expected);
+            // And the one-shot wrapper agrees.
+            let oneshot = demux_segment(&seg).map_err(|e| format!("demux: {e:?}"))?;
+            ensure_eq!(oneshot, expected);
+            Ok(())
+        },
+    );
+}

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 mod causal;
 mod event;
 pub mod export;

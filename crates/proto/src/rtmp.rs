@@ -15,6 +15,13 @@
 //! The viewer-side capture analysis (`pscp-media`) de-chunks these exact
 //! bytes to reconstruct the elementary streams, mirroring the paper's use of
 //! the wireshark RTMP dissector.
+//!
+//! The chunk layer is zero-copy on both sides: [`Chunker::write_ref`]
+//! serializes a borrowed payload straight into a caller-provided buffer, and
+//! [`Dechunker::next_view`] yields reassembled messages as [`MessageView`]s
+//! borrowing an internal arena, so the per-packet hot loop allocates
+//! nothing in steady state. The owned [`Message`]/`pop` API remains for
+//! callers that need to retain messages.
 
 use crate::ProtoError;
 
@@ -24,6 +31,11 @@ pub const RTMP_VERSION: u8 = 3;
 pub const HANDSHAKE_SIZE: usize = 1536;
 /// Default maximum chunk payload size until a SetChunkSize message.
 pub const DEFAULT_CHUNK_SIZE: usize = 128;
+
+/// Number of addressable basic-header chunk streams (ids 0..=63; only
+/// 2..=63 are valid on the wire, which lets per-stream state live in flat
+/// arrays instead of hash maps).
+const MAX_CHUNK_STREAMS: usize = 64;
 
 /// RTMP message types used by the Periscope data path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -128,7 +140,52 @@ impl Message {
             payload,
         }
     }
+
+    /// Borrowed view of this message for zero-copy chunking.
+    pub fn as_ref(&self) -> MessageRef<'_> {
+        MessageRef {
+            chunk_stream_id: self.chunk_stream_id,
+            timestamp: self.timestamp,
+            kind: self.kind,
+            stream_id: self.stream_id,
+            payload: &self.payload,
+        }
+    }
 }
+
+/// A borrowed RTMP message: header fields by value, payload by reference.
+/// The zero-copy input to [`Chunker::write_ref`] and output of
+/// [`Dechunker::next_view`] (there called [`MessageView`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageRef<'a> {
+    /// Chunk stream the message travels on (2..=63 supported here).
+    pub chunk_stream_id: u8,
+    /// Message timestamp in milliseconds.
+    pub timestamp: u32,
+    /// Message type.
+    pub kind: MessageType,
+    /// Message stream id.
+    pub stream_id: u32,
+    /// Borrowed payload bytes.
+    pub payload: &'a [u8],
+}
+
+impl MessageRef<'_> {
+    /// Copies the view into an owned [`Message`].
+    pub fn to_message(&self) -> Message {
+        Message {
+            chunk_stream_id: self.chunk_stream_id,
+            timestamp: self.timestamp,
+            kind: self.kind,
+            stream_id: self.stream_id,
+            payload: self.payload.to_vec(),
+        }
+    }
+}
+
+/// A reassembled message borrowed from the dechunker's arena; valid until
+/// the next `feed`.
+pub type MessageView<'a> = MessageRef<'a>;
 
 /// Generates the client handshake bytes C0+C1.
 pub fn handshake_c0c1(epoch_ms: u32, fill: u8) -> Vec<u8> {
@@ -173,7 +230,7 @@ pub fn handshake_c2(s0s1s2: &[u8], c1: &[u8]) -> Result<Vec<u8>, ProtoError> {
 }
 
 /// Per-chunk-stream state remembered between chunks.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Copy, Default)]
 struct CsState {
     timestamp: u32,
     length: usize,
@@ -185,7 +242,7 @@ struct CsState {
 #[derive(Debug)]
 pub struct Chunker {
     chunk_size: usize,
-    state: std::collections::HashMap<u8, CsState>,
+    state: [CsState; MAX_CHUNK_STREAMS],
 }
 
 impl Default for Chunker {
@@ -197,7 +254,7 @@ impl Default for Chunker {
 impl Chunker {
     /// Creates a chunker with the default 128-byte chunk size.
     pub fn new() -> Self {
-        Chunker { chunk_size: DEFAULT_CHUNK_SIZE, state: std::collections::HashMap::new() }
+        Chunker { chunk_size: DEFAULT_CHUNK_SIZE, state: [CsState::default(); MAX_CHUNK_STREAMS] }
     }
 
     /// Current outgoing chunk size.
@@ -209,11 +266,17 @@ impl Chunker {
     /// message also updates the chunker's own size for subsequent messages,
     /// as the spec requires.
     pub fn write(&mut self, msg: &Message, out: &mut Vec<u8>) {
+        self.write_ref(msg.as_ref(), out);
+    }
+
+    /// Zero-copy variant of [`Chunker::write`]: chunks a borrowed payload
+    /// into the caller-provided buffer without owning the message.
+    pub fn write_ref(&mut self, msg: MessageRef<'_>, out: &mut Vec<u8>) {
         assert!(
             (2..=63).contains(&msg.chunk_stream_id),
             "only basic-header chunk stream ids 2..=63 are supported"
         );
-        let cs = self.state.entry(msg.chunk_stream_id).or_default();
+        let cs = &mut self.state[msg.chunk_stream_id as usize];
         // Decide header format: fmt1 when only type/len/timestamp-delta
         // change on the same stream id, fmt0 otherwise. (fmt2/fmt3 encoding
         // is a compression nicety; fmt0/fmt1 keep the encoder simple and any
@@ -221,6 +284,7 @@ impl Chunker {
         let use_fmt1 =
             cs.kind.is_some() && cs.stream_id == msg.stream_id && msg.timestamp >= cs.timestamp;
         let ext_ts = msg.timestamp >= 0xFF_FFFF;
+        out.reserve(12 + msg.payload.len() + msg.payload.len() / self.chunk_size);
         if use_fmt1 {
             let delta = msg.timestamp - cs.timestamp;
             let ext = delta >= 0xFF_FFFF;
@@ -241,10 +305,12 @@ impl Chunker {
                 out.extend_from_slice(&msg.timestamp.to_be_bytes());
             }
         }
-        cs.timestamp = msg.timestamp;
-        cs.length = msg.payload.len();
-        cs.kind = Some(msg.kind);
-        cs.stream_id = msg.stream_id;
+        *cs = CsState {
+            timestamp: msg.timestamp,
+            length: msg.payload.len(),
+            kind: Some(msg.kind),
+            stream_id: msg.stream_id,
+        };
         // Payload, split at chunk_size with fmt3 continuation headers.
         let mut off = 0;
         let mut first = true;
@@ -273,15 +339,39 @@ impl Chunker {
     }
 }
 
+/// Location of a reassembled message inside the dechunker's ready arena.
+#[derive(Debug, Clone, Copy)]
+struct ReadyMeta {
+    chunk_stream_id: u8,
+    timestamp: u32,
+    kind: MessageType,
+    stream_id: u32,
+    start: usize,
+    end: usize,
+}
+
 /// Reassembles an RTMP chunk byte stream into messages. Incremental: feed
-/// bytes as they arrive, pop complete messages.
+/// bytes as they arrive, pop complete messages (owned) or iterate
+/// [`Dechunker::next_view`] for zero-copy borrowed views.
+///
+/// Internally all per-chunk-stream state lives in flat arrays indexed by
+/// chunk stream id, reassembly buffers are reused across messages, and
+/// completed payloads land in one append-only arena that is recycled once
+/// drained — steady-state feeding allocates nothing.
 #[derive(Debug)]
 pub struct Dechunker {
     chunk_size: usize,
+    /// Bytes held over from a previous feed that did not end on a chunk
+    /// boundary. Usually empty: the common path parses the caller's slice
+    /// directly.
     buf: Vec<u8>,
-    state: std::collections::HashMap<u8, CsState>,
-    partial: std::collections::HashMap<u8, Vec<u8>>,
-    ready: std::collections::VecDeque<Message>,
+    state: [CsState; MAX_CHUNK_STREAMS],
+    /// Per-chunk-stream reassembly buffers for messages spanning chunks;
+    /// cleared (capacity kept) when their message completes.
+    partial: Vec<Vec<u8>>,
+    /// Arena of completed payloads, recycled when all messages are drained.
+    ready_data: Vec<u8>,
+    ready: std::collections::VecDeque<ReadyMeta>,
 }
 
 impl Default for Dechunker {
@@ -296,39 +386,87 @@ impl Dechunker {
         Dechunker {
             chunk_size: DEFAULT_CHUNK_SIZE,
             buf: Vec::new(),
-            state: std::collections::HashMap::new(),
-            partial: std::collections::HashMap::new(),
+            state: [CsState::default(); MAX_CHUNK_STREAMS],
+            partial: (0..MAX_CHUNK_STREAMS).map(|_| Vec::new()).collect(),
+            ready_data: Vec::new(),
             ready: std::collections::VecDeque::new(),
         }
     }
 
     /// Feeds incoming bytes; complete messages become poppable.
     pub fn feed(&mut self, bytes: &[u8]) -> Result<(), ProtoError> {
-        self.buf.extend_from_slice(bytes);
-        loop {
-            match self.try_parse_chunk()? {
-                Some(consumed) => {
-                    self.buf.drain(..consumed);
-                }
-                None => return Ok(()),
-            }
+        if self.ready.is_empty() {
+            // All previously completed messages were drained; recycle the
+            // arena so it never grows beyond one feed's worth of payload.
+            self.ready_data.clear();
         }
+        if self.buf.is_empty() {
+            // Fast path: parse straight out of the caller's slice; only the
+            // unconsumed tail (if any) is copied into the holdover buffer.
+            let mut pos = 0;
+            while pos < bytes.len() {
+                match self.parse_one(&bytes[pos..])? {
+                    Some(n) => pos += n,
+                    None => break,
+                }
+            }
+            if pos < bytes.len() {
+                self.buf.extend_from_slice(&bytes[pos..]);
+            }
+            return Ok(());
+        }
+        // Holdover path: append, parse, then compact the remainder to the
+        // front with one memmove (instead of draining per chunk).
+        self.buf.extend_from_slice(bytes);
+        let held = std::mem::take(&mut self.buf);
+        let mut pos = 0;
+        let res = loop {
+            match self.parse_one(&held[pos..]) {
+                Ok(Some(n)) => pos += n,
+                Ok(None) => break Ok(()),
+                Err(e) => break Err(e),
+            }
+        };
+        self.buf = held;
+        if pos > 0 {
+            self.buf.copy_within(pos.., 0);
+            let rest = self.buf.len() - pos;
+            self.buf.truncate(rest);
+        }
+        res
     }
 
-    /// Pops the next fully reassembled message.
+    /// Pops the next fully reassembled message as an owned [`Message`].
     pub fn pop(&mut self) -> Option<Message> {
-        self.ready.pop_front()
+        self.next_view().map(|v| v.to_message())
     }
 
     /// Drains all ready messages.
     pub fn pop_all(&mut self) -> Vec<Message> {
-        self.ready.drain(..).collect()
+        let mut out = Vec::with_capacity(self.ready.len());
+        while let Some(m) = self.pop() {
+            out.push(m);
+        }
+        out
     }
 
-    /// Attempts to parse one chunk from the buffer front. Returns bytes
+    /// Pops the next fully reassembled message as a borrowed view into the
+    /// dechunker's arena — the zero-copy counterpart of [`Dechunker::pop`].
+    /// The view is valid until the next call to [`Dechunker::feed`].
+    pub fn next_view(&mut self) -> Option<MessageView<'_>> {
+        let m = self.ready.pop_front()?;
+        Some(MessageView {
+            chunk_stream_id: m.chunk_stream_id,
+            timestamp: m.timestamp,
+            kind: m.kind,
+            stream_id: m.stream_id,
+            payload: &self.ready_data[m.start..m.end],
+        })
+    }
+
+    /// Attempts to parse one chunk from the front of `buf`. Returns bytes
     /// consumed, or None if more data is needed.
-    fn try_parse_chunk(&mut self) -> Result<Option<usize>, ProtoError> {
-        let buf = &self.buf;
+    fn parse_one(&mut self, buf: &[u8]) -> Result<Option<usize>, ProtoError> {
         if buf.is_empty() {
             return Ok(None);
         }
@@ -340,8 +478,8 @@ impl Dechunker {
             ));
         }
         let mut pos = 1;
-        let need = |n: usize, pos: usize, buf: &Vec<u8>| buf.len() >= pos + n;
-        let prev = self.state.get(&csid).cloned().unwrap_or_default();
+        let need = |n: usize, pos: usize, buf: &[u8]| buf.len() >= pos + n;
+        let prev = self.state[csid as usize];
         let (ts, length, kind, stream_id, header_len) = match fmt {
             0 => {
                 if !need(11, pos, buf) {
@@ -383,8 +521,6 @@ impl Dechunker {
                 } else {
                     delta
                 };
-                let kind_prev = prev.kind;
-                let _ = kind_prev;
                 (prev.timestamp.wrapping_add(delta), length, kind, prev.stream_id, pos)
             }
             2 => {
@@ -407,30 +543,43 @@ impl Dechunker {
             _ => unreachable!("2-bit fmt"),
         };
         // How many payload bytes belong to this chunk?
-        let already = self.partial.get(&csid).map(|p| p.len()).unwrap_or(0);
+        let already = self.partial[csid as usize].len();
         let remaining = length.saturating_sub(already);
         let take = remaining.min(self.chunk_size);
         if buf.len() < header_len + take {
             return Ok(None);
         }
-        let payload_part = buf[header_len..header_len + take].to_vec();
-        let part = self.partial.entry(csid).or_default();
-        part.extend_from_slice(&payload_part);
+        let chunk = &buf[header_len..header_len + take];
         // Update per-stream state.
-        self.state.insert(csid, CsState { timestamp: ts, length, kind: Some(kind), stream_id });
-        if part.len() >= length {
-            let payload = std::mem::take(part);
-            if kind == MessageType::SetChunkSize && payload.len() >= 4 {
-                let size = u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+        self.state[csid as usize] = CsState { timestamp: ts, length, kind: Some(kind), stream_id };
+        if already + take >= length {
+            // Message complete: payload lands in the ready arena. A message
+            // contained in a single chunk is copied wire→arena directly;
+            // a spanning one drains its reassembly buffer first.
+            let start = self.ready_data.len();
+            let part = &mut self.partial[csid as usize];
+            if !part.is_empty() {
+                self.ready_data.extend_from_slice(part);
+                part.clear();
+            }
+            self.ready_data.extend_from_slice(chunk);
+            let end = self.ready_data.len();
+            if kind == MessageType::SetChunkSize && end - start >= 4 {
+                let size =
+                    u32::from_be_bytes(self.ready_data[start..start + 4].try_into().expect("4"))
+                        as usize;
                 self.chunk_size = size.max(1);
             }
-            self.ready.push_back(Message {
+            self.ready.push_back(ReadyMeta {
                 chunk_stream_id: csid,
                 timestamp: ts,
                 kind,
                 stream_id,
-                payload,
+                start,
+                end,
             });
+        } else {
+            self.partial[csid as usize].extend_from_slice(chunk);
         }
         Ok(Some(header_len + take))
     }
@@ -642,5 +791,57 @@ mod tests {
             d.feed(chunk).unwrap();
         }
         assert_eq!(d.pop_all(), msgs);
+    }
+
+    #[test]
+    fn write_ref_matches_write() {
+        let msgs = vec![
+            Message::video(0, vec![1; 300]),
+            Message::audio(5, vec![2; 50]),
+            Message::video(33, vec![3; 300]),
+        ];
+        let mut a = Chunker::new();
+        let mut b = Chunker::new();
+        let mut wire_a = Vec::new();
+        let mut wire_b = Vec::new();
+        for m in &msgs {
+            a.write(m, &mut wire_a);
+            b.write_ref(m.as_ref(), &mut wire_b);
+        }
+        assert_eq!(wire_a, wire_b);
+    }
+
+    #[test]
+    fn next_view_yields_borrowed_payloads() {
+        let msgs = vec![Message::video(0, vec![7; 500]), Message::audio(5, vec![8; 40])];
+        let mut chunker = Chunker::new();
+        let bytes = chunker.encode_all(&msgs);
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        let mut got = Vec::new();
+        while let Some(v) = d.next_view() {
+            got.push(v.to_message());
+        }
+        assert_eq!(got, msgs);
+        // Arena is recycled on the next feed once drained.
+        d.feed(&[]).unwrap();
+        assert!(d.next_view().is_none());
+    }
+
+    #[test]
+    fn mixed_pop_and_view_interleave() {
+        let msgs: Vec<Message> =
+            (0..6).map(|i| Message::video(i * 33, vec![i as u8; 200])).collect();
+        let mut chunker = Chunker::new();
+        let bytes = chunker.encode_all(&msgs);
+        let mut d = Dechunker::new();
+        d.feed(&bytes).unwrap();
+        for (i, m) in msgs.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(&d.pop().unwrap(), m);
+            } else {
+                assert_eq!(&d.next_view().unwrap().to_message(), m);
+            }
+        }
     }
 }

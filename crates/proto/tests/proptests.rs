@@ -336,3 +336,300 @@ fn http_decoder_never_panics() {
         },
     );
 }
+
+// ------------------------------------------- RTMP zero-copy ≡ reference
+//
+// The shipping chunker/dechunker (rtmp.rs) write into caller buffers and
+// reassemble into a recycled arena. These tests pin them, byte for byte and
+// message for message, to a retained copy of the original owned-Vec
+// implementation — the straightforward one whose correctness is obvious —
+// across arbitrary message mixes, chunk-size renegotiations and feed split
+// points.
+
+mod rtmp_reference {
+    use pscp_proto::rtmp::{Message, MessageType, DEFAULT_CHUNK_SIZE};
+    use pscp_proto::ProtoError;
+    use std::collections::{HashMap, VecDeque};
+
+    fn push_u24(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&[(v >> 16) as u8, (v >> 8) as u8, v as u8]);
+    }
+
+    fn read_u24(b: &[u8]) -> u32 {
+        ((b[0] as u32) << 16) | ((b[1] as u32) << 8) | b[2] as u32
+    }
+
+    #[derive(Debug, Clone, Default)]
+    struct CsState {
+        timestamp: u32,
+        length: usize,
+        kind: Option<MessageType>,
+        stream_id: u32,
+    }
+
+    /// The pre-zero-copy chunker: HashMap state, per-message emission.
+    pub struct RefChunker {
+        chunk_size: usize,
+        state: HashMap<u8, CsState>,
+    }
+
+    impl RefChunker {
+        pub fn new() -> Self {
+            RefChunker { chunk_size: DEFAULT_CHUNK_SIZE, state: HashMap::new() }
+        }
+
+        pub fn write(&mut self, msg: &Message, out: &mut Vec<u8>) {
+            assert!((2..=63).contains(&msg.chunk_stream_id));
+            let cs = self.state.entry(msg.chunk_stream_id).or_default();
+            let use_fmt1 =
+                cs.kind.is_some() && cs.stream_id == msg.stream_id && msg.timestamp >= cs.timestamp;
+            let ext_ts = msg.timestamp >= 0xFF_FFFF;
+            if use_fmt1 {
+                let delta = msg.timestamp - cs.timestamp;
+                let ext = delta >= 0xFF_FFFF;
+                out.push((1 << 6) | msg.chunk_stream_id);
+                push_u24(out, if ext { 0xFF_FFFF } else { delta });
+                push_u24(out, msg.payload.len() as u32);
+                out.push(msg.kind.id());
+                if ext {
+                    out.extend_from_slice(&delta.to_be_bytes());
+                }
+            } else {
+                out.push(msg.chunk_stream_id);
+                push_u24(out, if ext_ts { 0xFF_FFFF } else { msg.timestamp });
+                push_u24(out, msg.payload.len() as u32);
+                out.push(msg.kind.id());
+                out.extend_from_slice(&msg.stream_id.to_le_bytes());
+                if ext_ts {
+                    out.extend_from_slice(&msg.timestamp.to_be_bytes());
+                }
+            }
+            cs.timestamp = msg.timestamp;
+            cs.length = msg.payload.len();
+            cs.kind = Some(msg.kind);
+            cs.stream_id = msg.stream_id;
+            let mut off = 0;
+            let mut first = true;
+            while off < msg.payload.len() || (first && msg.payload.is_empty()) {
+                if !first {
+                    out.push((3 << 6) | msg.chunk_stream_id);
+                }
+                let take = (msg.payload.len() - off).min(self.chunk_size);
+                out.extend_from_slice(&msg.payload[off..off + take]);
+                off += take;
+                first = false;
+            }
+            if msg.kind == MessageType::SetChunkSize && msg.payload.len() >= 4 {
+                let size =
+                    u32::from_be_bytes(msg.payload[..4].try_into().expect("4 bytes")) as usize;
+                self.chunk_size = size.max(1);
+            }
+        }
+    }
+
+    /// The pre-zero-copy dechunker: per-csid HashMaps, owned payload Vecs,
+    /// front-drain consume.
+    pub struct RefDechunker {
+        chunk_size: usize,
+        buf: Vec<u8>,
+        state: HashMap<u8, CsState>,
+        partial: HashMap<u8, Vec<u8>>,
+        ready: VecDeque<Message>,
+    }
+
+    impl RefDechunker {
+        pub fn new() -> Self {
+            RefDechunker {
+                chunk_size: DEFAULT_CHUNK_SIZE,
+                buf: Vec::new(),
+                state: HashMap::new(),
+                partial: HashMap::new(),
+                ready: VecDeque::new(),
+            }
+        }
+
+        pub fn feed(&mut self, bytes: &[u8]) -> Result<(), ProtoError> {
+            self.buf.extend_from_slice(bytes);
+            while let Some(consumed) = self.try_parse_chunk()? {
+                self.buf.drain(..consumed);
+            }
+            Ok(())
+        }
+
+        pub fn pop_all(&mut self) -> Vec<Message> {
+            self.ready.drain(..).collect()
+        }
+
+        fn try_parse_chunk(&mut self) -> Result<Option<usize>, ProtoError> {
+            let buf = &self.buf;
+            if buf.is_empty() {
+                return Ok(None);
+            }
+            let fmt = buf[0] >> 6;
+            let csid = buf[0] & 0x3F;
+            if csid < 2 {
+                return Err(ProtoError::Malformed(
+                    "extended chunk stream ids are not supported".to_string(),
+                ));
+            }
+            let mut pos = 1;
+            let need = |n: usize, pos: usize, buf: &[u8]| buf.len() >= pos + n;
+            let prev = self.state.get(&csid).cloned().unwrap_or_default();
+            let (ts, length, kind, stream_id, header_len) = match fmt {
+                0 => {
+                    if !need(11, pos, buf) {
+                        return Ok(None);
+                    }
+                    let ts = read_u24(&buf[pos..]);
+                    let length = read_u24(&buf[pos + 3..]) as usize;
+                    let kind = MessageType::from_id(buf[pos + 6])?;
+                    let stream_id =
+                        u32::from_le_bytes(buf[pos + 7..pos + 11].try_into().expect("4 bytes"));
+                    pos += 11;
+                    let ts = if ts == 0xFF_FFFF {
+                        if !need(4, pos, buf) {
+                            return Ok(None);
+                        }
+                        let t = u32::from_be_bytes(buf[pos..pos + 4].try_into().expect("4"));
+                        pos += 4;
+                        t
+                    } else {
+                        ts
+                    };
+                    (ts, length, kind, stream_id, pos)
+                }
+                1 => {
+                    if !need(7, pos, buf) {
+                        return Ok(None);
+                    }
+                    let delta = read_u24(&buf[pos..]);
+                    let length = read_u24(&buf[pos + 3..]) as usize;
+                    let kind = MessageType::from_id(buf[pos + 6])?;
+                    pos += 7;
+                    let delta = if delta == 0xFF_FFFF {
+                        if !need(4, pos, buf) {
+                            return Ok(None);
+                        }
+                        let d = u32::from_be_bytes(buf[pos..pos + 4].try_into().expect("4"));
+                        pos += 4;
+                        d
+                    } else {
+                        delta
+                    };
+                    (prev.timestamp.wrapping_add(delta), length, kind, prev.stream_id, pos)
+                }
+                2 => {
+                    if !need(3, pos, buf) {
+                        return Ok(None);
+                    }
+                    let delta = read_u24(&buf[pos..]);
+                    pos += 3;
+                    let kind = prev.kind.ok_or_else(|| {
+                        ProtoError::Protocol("fmt2 chunk with no prior state".to_string())
+                    })?;
+                    (prev.timestamp.wrapping_add(delta), prev.length, kind, prev.stream_id, pos)
+                }
+                3 => {
+                    let kind = prev.kind.ok_or_else(|| {
+                        ProtoError::Protocol("fmt3 chunk with no prior state".to_string())
+                    })?;
+                    (prev.timestamp, prev.length, kind, prev.stream_id, pos)
+                }
+                _ => unreachable!("2-bit fmt"),
+            };
+            let already = self.partial.get(&csid).map(|p| p.len()).unwrap_or(0);
+            let remaining = length.saturating_sub(already);
+            let take = remaining.min(self.chunk_size);
+            if buf.len() < header_len + take {
+                return Ok(None);
+            }
+            let payload_part = buf[header_len..header_len + take].to_vec();
+            let part = self.partial.entry(csid).or_default();
+            part.extend_from_slice(&payload_part);
+            self.state.insert(csid, CsState { timestamp: ts, length, kind: Some(kind), stream_id });
+            if part.len() >= length {
+                let payload = std::mem::take(part);
+                if kind == MessageType::SetChunkSize && payload.len() >= 4 {
+                    let size =
+                        u32::from_be_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+                    self.chunk_size = size.max(1);
+                }
+                self.ready.push_back(Message {
+                    chunk_stream_id: csid,
+                    timestamp: ts,
+                    kind,
+                    stream_id,
+                    payload,
+                });
+            }
+            Ok(Some(header_len + take))
+        }
+    }
+}
+
+/// A message mix that also renegotiates the chunk size mid-stream, so the
+/// equivalence covers every chunk-size regime, message-spanning chunks and
+/// fmt3 continuations.
+fn arb_message_with_resize(g: &mut Gen) -> Message {
+    if g.choice(8) == 0 {
+        Message::set_chunk_size(g.u32(1..512))
+    } else {
+        arb_message(g)
+    }
+}
+
+#[test]
+fn rtmp_chunker_matches_reference_bytes() {
+    check_with(
+        Config::with_cases(64),
+        "rtmp_chunker_matches_reference_bytes",
+        |g: &mut Gen| g.vec(1..24, arb_message_with_resize),
+        |msgs| {
+            let mut zero_copy = Chunker::new();
+            let mut wire = Vec::new();
+            for m in msgs {
+                zero_copy.write_ref(m.as_ref(), &mut wire);
+            }
+            let mut reference = rtmp_reference::RefChunker::new();
+            let mut ref_wire = Vec::new();
+            for m in msgs {
+                reference.write(m, &mut ref_wire);
+            }
+            ensure_eq!(wire, ref_wire);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn rtmp_dechunker_matches_reference_messages() {
+    check_with(
+        Config::with_cases(64),
+        "rtmp_dechunker_matches_reference_messages",
+        |g: &mut Gen| {
+            let msgs = g.vec(1..24, arb_message_with_resize);
+            // Arbitrary feed split size forces partial-read resume at every
+            // possible point in headers, extended timestamps and payloads.
+            let piece = g.usize(1..=33);
+            (msgs, piece)
+        },
+        |(msgs, piece)| {
+            let mut chunker = Chunker::new();
+            let wire = chunker.encode_all(msgs);
+            let mut zero_copy = Dechunker::new();
+            let mut reference = rtmp_reference::RefDechunker::new();
+            let mut popped = Vec::new();
+            for part in wire.chunks(*piece) {
+                zero_copy.feed(part).map_err(|e| format!("feed: {e:?}"))?;
+                reference.feed(part).map_err(|e| format!("ref feed: {e:?}"))?;
+                // Drain mid-stream too: views must already match while
+                // later messages are still partial.
+                while let Some(view) = zero_copy.next_view() {
+                    popped.push(view.to_message());
+                }
+            }
+            ensure_eq!(popped, reference.pop_all());
+            Ok(())
+        },
+    );
+}

@@ -30,6 +30,7 @@ pub mod fault;
 pub mod geo;
 pub mod link;
 pub mod par;
+pub mod pool;
 pub mod rng;
 pub mod shaper;
 pub mod tcp;
@@ -40,6 +41,7 @@ pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultRng};
 pub use geo::{GeoPoint, GeoRect};
 pub use link::Link;
+pub use pool::{BufPool, PooledBuf};
 pub use rng::{CounterRng, Rng, RngFactory};
 pub use shaper::TokenBucket;
 pub use tcp::TcpModel;

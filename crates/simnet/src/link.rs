@@ -105,6 +105,44 @@ impl Link {
         Delivery::At(done + self.propagation)
     }
 
+    /// Offers a batch of packets, all arriving at `now`, calling `deliver`
+    /// once per packet with its outcome.
+    ///
+    /// Semantically identical to calling [`Link::enqueue`] once per size, in
+    /// order — but the queue aging runs once and the transmitter/queue
+    /// bookkeeping stays in locals for the whole batch, which is what lets a
+    /// packetized send (one message → many MTU chunks) pump packets at
+    /// memcpy-like cost.
+    pub fn enqueue_batch(
+        &mut self,
+        now: SimTime,
+        sizes: impl IntoIterator<Item = usize>,
+        mut deliver: impl FnMut(Delivery),
+    ) {
+        self.expire(now);
+        let mut busy = self.busy_until.max(now);
+        let mut queued = self.queued_bytes;
+        let mut sent = 0u64;
+        let mut dropped = 0u64;
+        for bytes in sizes {
+            if queued.saturating_add(bytes) > self.queue_capacity {
+                dropped += bytes as u64;
+                deliver(Delivery::Dropped);
+                continue;
+            }
+            let done = busy + self.serialization(bytes);
+            busy = done;
+            queued += bytes;
+            self.inflight.push_back((done, bytes));
+            sent += bytes as u64;
+            deliver(Delivery::At(done + self.propagation));
+        }
+        self.busy_until = busy;
+        self.queued_bytes = queued;
+        self.bytes_sent += sent;
+        self.bytes_dropped += dropped;
+    }
+
     /// Sends a burst of `total` bytes as MTU packets; returns per-packet
     /// arrival times (drops omitted).
     pub fn enqueue_burst(&mut self, now: SimTime, total: usize) -> Vec<SimTime> {
@@ -217,6 +255,36 @@ mod tests {
         assert_eq!(l.backlog(SimTime::ZERO), 2000);
         assert_eq!(l.backlog(SimTime::from_millis(1)), 1000);
         assert_eq!(l.backlog(SimTime::from_millis(2)), 0);
+    }
+
+    #[test]
+    fn batch_matches_per_packet_enqueue() {
+        let sizes = [1000usize, 1448, 64, 1448, 900, 1448, 1448, 32];
+        let mut a = Link::new(mbps(4.0), SimDuration::from_millis(7), 4000);
+        let mut b = a.clone();
+        // Pre-load some state so the batch starts mid-stream.
+        a.enqueue(SimTime::ZERO, 1200);
+        b.enqueue(SimTime::ZERO, 1200);
+        let now = SimTime::from_millis(2);
+        let per_packet: Vec<Delivery> = sizes.iter().map(|&s| a.enqueue(now, s)).collect();
+        let mut batched = Vec::new();
+        b.enqueue_batch(now, sizes.iter().copied(), |d| batched.push(d));
+        assert_eq!(per_packet, batched);
+        assert_eq!(a.busy_until(), b.busy_until());
+        assert_eq!(a.bytes_sent, b.bytes_sent);
+        assert_eq!(a.bytes_dropped, b.bytes_dropped);
+        assert_eq!(a.backlog(now), b.backlog(now));
+    }
+
+    #[test]
+    fn batch_drops_when_queue_fills() {
+        let mut l = Link::new(mbps(8.0), SimDuration::ZERO, 2500);
+        let mut out = Vec::new();
+        l.enqueue_batch(SimTime::ZERO, [1000, 1000, 1000], |d| out.push(d));
+        assert!(matches!(out[0], Delivery::At(_)));
+        assert!(matches!(out[1], Delivery::At(_)));
+        assert_eq!(out[2], Delivery::Dropped);
+        assert_eq!(l.bytes_dropped, 1000);
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! Recycling byte-buffer pool for allocation-free hot loops.
+//!
+//! The media byte pump (RTMP chunking, TS packetization, packet capture)
+//! runs millions of times per simulated session; allocating a fresh
+//! `Vec<u8>` per packet dominates its profile. [`BufPool`] keeps a small
+//! free list of previously used buffers: [`BufPool::take`] hands out a
+//! cleared buffer (retaining its capacity, so steady state never touches
+//! the allocator), and dropping the [`PooledBuf`] handle returns it.
+//!
+//! Discipline: buffers are recycled with `clear()` — length reset, capacity
+//! kept, **no zero fill**. Callers must therefore treat a fresh buffer as
+//! empty and only read bytes they wrote, which `Vec`'s length tracking
+//! already enforces. Capacity requests go through `reserve`, which only
+//! allocates on first growth past the high-water mark.
+//!
+//! Sessions are single-threaded (parallelism is across sessions, via
+//! `par::indexed_map`), so the pool is deliberately `Rc`-based and `!Send`.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+
+/// Default number of buffers a pool retains on its free list.
+pub const DEFAULT_POOL_RETAIN: usize = 8;
+
+#[derive(Debug)]
+struct PoolInner {
+    free: Vec<Vec<u8>>,
+    max_retained: usize,
+}
+
+/// A fixed-capacity recycling pool of byte buffers.
+///
+/// Cloning the pool is cheap and yields a handle to the same free list.
+#[derive(Debug, Clone)]
+pub struct BufPool {
+    inner: Rc<RefCell<PoolInner>>,
+}
+
+impl Default for BufPool {
+    fn default() -> Self {
+        Self::new(DEFAULT_POOL_RETAIN)
+    }
+}
+
+impl BufPool {
+    /// Creates a pool that retains at most `max_retained` free buffers;
+    /// buffers returned beyond that are simply dropped.
+    pub fn new(max_retained: usize) -> Self {
+        BufPool {
+            inner: Rc::new(RefCell::new(PoolInner {
+                free: Vec::with_capacity(max_retained),
+                max_retained,
+            })),
+        }
+    }
+
+    /// Takes a cleared buffer with at least `min_capacity` bytes of
+    /// capacity. Reuses a pooled buffer when one is available (growing it
+    /// if needed); allocates only when the free list is empty.
+    pub fn take(&self, min_capacity: usize) -> PooledBuf {
+        let mut buf = self.inner.borrow_mut().free.pop().unwrap_or_default();
+        debug_assert!(buf.is_empty(), "pooled buffers are stored cleared");
+        if buf.capacity() < min_capacity {
+            buf.reserve(min_capacity);
+        }
+        PooledBuf { buf, pool: Rc::clone(&self.inner) }
+    }
+
+    /// Number of buffers currently on the free list (diagnostics/tests).
+    pub fn free_count(&self) -> usize {
+        self.inner.borrow().free.len()
+    }
+}
+
+/// A byte buffer borrowed from a [`BufPool`]; derefs to `Vec<u8>` and
+/// returns to the pool (cleared, capacity kept) on drop.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+    pool: Rc<RefCell<PoolInner>>,
+}
+
+impl PooledBuf {
+    /// Detaches the buffer from the pool, keeping its contents.
+    pub fn into_vec(mut self) -> Vec<u8> {
+        std::mem::take(&mut self.buf)
+    }
+}
+
+impl Deref for PooledBuf {
+    type Target = Vec<u8>;
+    fn deref(&self) -> &Vec<u8> {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let mut inner = self.pool.borrow_mut();
+        if inner.free.len() < inner.max_retained && self.buf.capacity() > 0 {
+            self.buf.clear();
+            inner.free.push(std::mem::take(&mut self.buf));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_drop_recycles_capacity() {
+        let pool = BufPool::new(4);
+        let ptr;
+        {
+            let mut b = pool.take(1024);
+            b.extend_from_slice(&[1, 2, 3]);
+            ptr = b.as_ptr();
+            assert!(b.capacity() >= 1024);
+        }
+        assert_eq!(pool.free_count(), 1);
+        let b2 = pool.take(16);
+        // Same allocation comes back, cleared but with capacity intact.
+        assert_eq!(b2.as_ptr(), ptr);
+        assert!(b2.is_empty());
+        assert!(b2.capacity() >= 1024);
+    }
+
+    #[test]
+    fn retain_limit_is_enforced() {
+        let pool = BufPool::new(2);
+        let bufs: Vec<PooledBuf> = (0..5).map(|_| pool.take(8)).collect();
+        drop(bufs);
+        assert_eq!(pool.free_count(), 2);
+    }
+
+    #[test]
+    fn into_vec_detaches() {
+        let pool = BufPool::new(2);
+        let mut b = pool.take(8);
+        b.push(42);
+        let v = b.into_vec();
+        assert_eq!(v, vec![42]);
+        // Detached buffers do not return to the pool.
+        assert_eq!(pool.free_count(), 0);
+    }
+
+    #[test]
+    fn steady_state_take_does_not_allocate_new_storage() {
+        let pool = BufPool::new(1);
+        drop(pool.take(4096));
+        for _ in 0..100 {
+            let b = pool.take(4096);
+            assert!(b.capacity() >= 4096);
+            drop(b);
+        }
+        assert_eq!(pool.free_count(), 1);
+    }
+}
