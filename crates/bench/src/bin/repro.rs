@@ -22,6 +22,9 @@
 //! repro explain session/3         # one session's causal join span tree
 //! repro bench-diff <old> <new>    # regression gate over two BENCH_*.json files
 //! repro chaos                     # fault-intensity sweep → CHAOS_sweep.json
+//! repro watch                     # live SLO monitor → SLO_live.jsonl + SLO_live.prom
+//! repro watch --once              # single snapshot batch (CI smoke)
+//! repro watch --batches 10 --batch-sessions 100
 //! ```
 //!
 //! `trace`, `metrics`, `slo` and `explain` share one traced simulation:
@@ -92,6 +95,31 @@ fn main() {
     }
     if targets.iter().any(|t| t == "chaos") {
         chaos_sweep(&scale, seed);
+        return;
+    }
+    if targets.iter().any(|t| t == "watch") {
+        let mut i = 0;
+        while i < targets.len() {
+            match targets[i].as_str() {
+                "watch" | "--once" => i += 1,
+                "--batches" | "--batch-sessions" => i += 2,
+                other => usage(&format!("unknown watch argument '{other}'")),
+            }
+        }
+        let flag =
+            |name: &str| {
+                targets.iter().position(|t| t == name).and_then(|p| targets.get(p + 1)).map(|v| {
+                    v.parse::<usize>().unwrap_or_else(|_| usage(&format!("bad {name} value")))
+                })
+            };
+        let defaults = pscp_bench::watch::WatchConfig::default();
+        let batches = if targets.iter().any(|t| t == "--once") {
+            1
+        } else {
+            flag("--batches").unwrap_or(defaults.batches)
+        };
+        let batch_sessions = flag("--batch-sessions").unwrap_or(defaults.batch_sessions);
+        watch_live(&scale, seed, batches, batch_sessions);
         return;
     }
     if let Some(pos) = targets.iter().position(|t| t == "bench-diff") {
@@ -240,6 +268,10 @@ fn main() {
             "{:<16} {:<18} fault-intensity sweep: QoE vs loss (CHAOS_sweep.json)",
             "chaos", "DESIGN.md §8"
         );
+        println!(
+            "{:<16} {:<18} live SLO monitor: batched sketch snapshots (SLO_live.jsonl, SLO_live.prom)",
+            "watch", "DESIGN.md §11"
+        );
         return;
     }
     let config = pscp_bench::lab_config(&scale, seed).unwrap_or_else(|e| usage(&e));
@@ -379,6 +411,37 @@ fn chaos_sweep(scale: &str, seed: u64) {
     println!("\nwrote CHAOS_sweep.json ({} points)", sweep.points.len());
 }
 
+/// Runs the live SLO monitor: batched session runs folded into streaming
+/// sketches, one cumulative snapshot line per batch. Writes
+/// `SLO_live.jsonl` (snapshots) and `SLO_live.prom` (merged metrics with
+/// sketch quantile gauges). Deterministic at any thread count;
+/// `PSCP_WATCH_SYS=1` adds wall-clock RSS/alloc facts to each line.
+fn watch_live(scale: &str, seed: u64, batches: usize, batch_sessions: usize) {
+    let lab_cfg = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
+    let include_sys =
+        std::env::var("PSCP_WATCH_SYS").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
+    println!(
+        "watch: scale {scale}, seed {seed} — {batches} batch(es) × {batch_sessions} sessions\
+         {}",
+        if include_sys { " (+system facts)" } else { "" }
+    );
+    let out = pscp_bench::watch::run_watch(
+        lab_cfg,
+        &pscp_bench::watch::WatchConfig { batches, batch_sessions, include_sys },
+    );
+    for line in out.jsonl.lines() {
+        println!("{line}");
+    }
+    std::fs::write("SLO_live.jsonl", &out.jsonl).expect("write SLO_live.jsonl");
+    std::fs::write("SLO_live.prom", &out.prom).expect("write SLO_live.prom");
+    println!(
+        "wrote SLO_live.jsonl ({} snapshots) + SLO_live.prom — {} sessions, {} sketch bytes",
+        batches,
+        out.telemetry.n_sessions(),
+        out.telemetry.memory_bytes()
+    );
+}
+
 /// Builds a trace-enabled lab and runs the standard traced workload:
 /// the QoE dataset (unlimited block + bandwidth sweep), one deep crawl,
 /// and the Fig 7 energy scenarios. One such lab backs all of
@@ -476,7 +539,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--scale small|medium|paper] [--seed N] \
          <ids...|all|list|bench|bench-components|bench-figures|bench-ablations|\
-         bench-diff <old> <new>|trace|metrics|slo|explain <unit>|chaos>\n\
+         bench-diff <old> <new>|trace|metrics|slo|explain <unit>|chaos|\
+         watch [--once|--batches N] [--batch-sessions N]>\n\
          trace/metrics/slo/explain share one traced run when requested together"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -6,11 +6,13 @@
 //! `ablation-*` subcommands, quantifying the design decisions the paper
 //! speculates about (player buffer sizing, map visibility, picture
 //! caching), the [`micro`] module backs its `bench-*` micro-benchmark
-//! subcommands, and the [`diff`] module backs the `bench-diff`
-//! regression gate.
+//! subcommands, the [`diff`] module backs the `bench-diff`
+//! regression gate, and the [`watch`] module backs the `watch` live SLO
+//! monitor (DESIGN.md §11).
 
 pub mod diff;
 pub mod micro;
+pub mod watch;
 
 use pscp_client::player::PlayerConfig;
 use pscp_client::session::SessionConfig;

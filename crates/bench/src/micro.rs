@@ -52,6 +52,7 @@ pub struct MicroBench {
     target_secs: f64,
     observer: Observer,
     results: Vec<BenchResult>,
+    facts: Vec<(String, u64)>,
 }
 
 impl MicroBench {
@@ -66,7 +67,15 @@ impl MicroBench {
             target_secs,
             observer: Observer::profile_only(),
             results: Vec::new(),
+            facts: Vec::new(),
         }
+    }
+
+    /// Records a suite-level numeric fact (e.g. a memory footprint) in the
+    /// artifact's `facts` object. The `bench-diff` gate only reads timings,
+    /// so facts ride along without affecting the regression check.
+    pub fn fact(&mut self, key: &str, value: u64) {
+        self.facts.push((key.to_string(), value));
     }
 
     /// Times `f` (which must return a value derived from its work, to keep
@@ -149,8 +158,15 @@ impl MicroBench {
                 )
             })
             .collect();
+        let facts = if self.facts.is_empty() {
+            String::new()
+        } else {
+            let entries: Vec<String> =
+                self.facts.iter().map(|(k, v)| format!("\"{k}\":{v}")).collect();
+            format!("  \"facts\": {{{}}},\n", entries.join(","))
+        };
         format!(
-            "{{\n  \"suite\": \"{}\",\n  \"seed\": {},\n  \"target_secs\": {},\n  \
+            "{{\n  \"suite\": \"{}\",\n  \"seed\": {},\n  \"target_secs\": {},\n{facts}  \
              \"results\": [\n{}\n  ],\n  \"phases\": {}\n}}\n",
             self.suite,
             self.seed,
@@ -292,6 +308,42 @@ pub fn bench_components(seed: u64) -> String {
     suite.run("stats/welch t-test 2x5k", None, || {
         welch_t_test(a, b).expect("welch").p_value.to_bits()
     });
+
+    {
+        use pscp_stats::sketch::QuantileSketch;
+        // Constant-memory telemetry vs the full-sample path it replaces at
+        // scale: fold synthetic join times (integer µs, lognormal like the
+        // real distribution) into a sketch, against building the exact ECDF
+        // over the same samples (DESIGN.md §11).
+        let mut rng = RngFactory::new(3).stream("sketch-bench");
+        let join_us: Vec<u64> = (0..100_000)
+            .map(|_| (pscp_simnet::dist::lognormal(&mut rng, 0.0, 1.0) * 1e6) as u64)
+            .collect();
+        for n in [10_000usize, 100_000] {
+            let slice = &join_us[..n];
+            suite.run(&format!("stats/sketch fold {}k sessions", n / 1000), None, || {
+                let mut s = QuantileSketch::new();
+                for &v in slice {
+                    s.observe(v);
+                }
+                s.quantile(0.9).unwrap_or(0)
+            });
+        }
+        let secs: Vec<f64> = join_us.iter().map(|&v| v as f64 / 1e6).collect();
+        suite.run("stats/ecdf build 100k samples", None, || {
+            Ecdf::new(&secs).expect("ecdf").len() as u64
+        });
+        let mut full = QuantileSketch::new();
+        for &v in &join_us {
+            full.observe(v);
+        }
+        suite.fact("sketch_bytes_per_metric_100k_sessions", full.memory_bytes() as u64);
+        suite.fact("sketch_bytes_empty", QuantileSketch::new().memory_bytes() as u64);
+        // A QoeTelemetry accumulator carries four quantile sketches (join,
+        // stall, RTMP latency, join breakdown); moments and top-k add a few
+        // hundred bytes more. This bounds the watch loop's QoE state.
+        suite.fact("sketch_bytes_telemetry_100k_sessions", 4 * full.memory_bytes() as u64);
+    }
 
     {
         use pscp_proto::tls::TlsChannel;

@@ -1,0 +1,151 @@
+//! `repro watch` — a live SLO monitor over batched simulation runs.
+//!
+//! Each batch runs a fresh block of viewing sessions under its own
+//! `watch-{i}` RNG namespace and a local tracing observer, folds the
+//! outcomes and span breakdowns into one cumulative
+//! [`QoeTelemetry`] accumulator, and emits one `SLO_live.jsonl` line: a
+//! constant-memory snapshot of the QoE state so far (join p50/p90, stall
+//! ratio, per-phase attribution, sketch footprint). The deterministic
+//! fields are a pure function of the plan, so the JSONL stream is
+//! byte-identical at any `PSCP_THREADS`. Wall-clock facts — RSS and
+//! allocation counts — are *off* by default and only appear when
+//! `PSCP_WATCH_SYS` asks for them, keeping the default artifact stable.
+//!
+//! The merged metrics registries of every batch are also rendered to
+//! `SLO_live.prom` (Prometheus text, including the sketch quantile
+//! gauges from `pscp_obs::export`).
+
+use std::fmt::Write as _;
+
+use pscp_client::{Teleport, TeleportConfig};
+use pscp_core::{Lab, LabConfig};
+use pscp_obs::{MetricsRegistry, Observer};
+use pscp_qoe::slo::fold_breakdowns;
+use pscp_qoe::QoeTelemetry;
+
+/// Watch-loop shape: how many batches, how big, how parallel.
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Snapshot batches to run (1 for `--once`).
+    pub batches: usize,
+    /// Viewing sessions per batch.
+    pub batch_sessions: usize,
+    /// Include wall-clock system facts (RSS, allocation count) in each
+    /// snapshot line. Non-deterministic; gated behind `PSCP_WATCH_SYS`.
+    pub include_sys: bool,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig { batches: 5, batch_sessions: 40, include_sys: false }
+    }
+}
+
+/// Everything one watch run produces.
+#[derive(Debug)]
+pub struct WatchOutput {
+    /// One JSON line per batch (`SLO_live.jsonl`).
+    pub jsonl: String,
+    /// Prometheus rendering of the merged batch metrics (`SLO_live.prom`).
+    pub prom: String,
+    /// The final cumulative telemetry.
+    pub telemetry: QoeTelemetry,
+}
+
+/// Resident set size in bytes from `/proc/self/statm`, if readable.
+pub fn rss_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * 4096)
+}
+
+/// Runs the watch loop over a lab built from `lab_cfg`. Tracing is
+/// forced on (the breakdown fold needs spans); the caller's thread
+/// setting is preserved — snapshots are byte-identical regardless.
+pub fn run_watch(mut lab_cfg: LabConfig, cfg: &WatchConfig) -> WatchOutput {
+    lab_cfg.trace = true;
+    let threads = lab_cfg.threads;
+    let mut lab = Lab::new(lab_cfg);
+    let rngs = *lab.rngs();
+    let svc = lab.service();
+
+    let mut telemetry = QoeTelemetry::new();
+    let mut registry = MetricsRegistry::new();
+    let mut jsonl = String::with_capacity(cfg.batches * 512);
+    for i in 0..cfg.batches {
+        let local = Observer::with_flags(true, false);
+        let tp = Teleport::new(svc, rngs.child(&format!("watch-{i}")));
+        let outcomes = tp.run_dataset_observed(
+            &TeleportConfig { sessions: cfg.batch_sessions, threads, ..Default::default() },
+            &local,
+        );
+        for o in &outcomes {
+            telemetry.fold_outcome(o);
+        }
+        for b in fold_breakdowns(&local.spans()) {
+            telemetry.fold_breakdown(&b);
+        }
+        registry.merge(&local.metrics());
+
+        let _ = write!(jsonl, "{{\"batch\":{i},\"sessions_total\":{}", telemetry.n_sessions());
+        if cfg.include_sys {
+            let _ = write!(
+                jsonl,
+                ",\"rss_bytes\":{},\"alloc_count\":{}",
+                rss_bytes().unwrap_or(0),
+                pscp_obs::alloc_count::current()
+            );
+        }
+        let _ = writeln!(jsonl, ",\"telemetry\":{}}}", telemetry.snapshot_json());
+    }
+    WatchOutput { jsonl, prom: pscp_obs::prometheus_text(&registry), telemetry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WatchConfig {
+        WatchConfig { batches: 2, batch_sessions: 4, include_sys: false }
+    }
+
+    fn lab_cfg(threads: usize) -> LabConfig {
+        let mut c = LabConfig::small(2016);
+        c.threads = threads;
+        c
+    }
+
+    #[test]
+    fn snapshots_are_byte_identical_across_thread_counts() {
+        let serial = run_watch(lab_cfg(1), &cfg());
+        for threads in [2, 8] {
+            let parallel = run_watch(lab_cfg(threads), &cfg());
+            assert_eq!(parallel.jsonl, serial.jsonl, "JSONL differs at {threads} threads");
+            assert_eq!(parallel.prom, serial.prom, "prom differs at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn each_batch_emits_one_cumulative_line() {
+        let out = run_watch(lab_cfg(1), &cfg());
+        let lines: Vec<&str> = out.jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"batch\":0,\"sessions_total\":4,"));
+        assert!(lines[1].starts_with("{\"batch\":1,\"sessions_total\":8,"));
+        assert!(lines[1].contains("\"join_p90_s\":"));
+        assert!(lines[1].contains("\"sketch_bytes\":"));
+        assert!(!lines[0].contains("rss_bytes"), "sys facts are off by default");
+        assert_eq!(out.telemetry.n_sessions(), 8);
+        assert!(out.prom.contains("pscp_sketch_quantile"), "sketch gauges exported:\n{}", out.prom);
+    }
+
+    #[test]
+    fn sys_facts_appear_only_when_asked() {
+        let mut c = cfg();
+        c.batches = 1;
+        c.include_sys = true;
+        let out = run_watch(lab_cfg(1), &c);
+        assert!(out.jsonl.contains("\"rss_bytes\":"));
+        assert!(out.jsonl.contains("\"alloc_count\":"));
+    }
+}

@@ -239,6 +239,15 @@ impl<'a> Teleport<'a> {
         if let Some(j) = outcome.player.join_time {
             trace.span_end(root, (join_at + j).as_micros());
         }
+        // Constant-memory QoE telemetry: fold the headline per-session
+        // numbers into the trace's mergeable sketches (DESIGN.md §11). A
+        // never-joined session charges its whole watch budget as join wait.
+        let join_us = match outcome.player.join_time {
+            Some(j) => j.as_micros(),
+            None => config.watch.as_micros(),
+        };
+        trace.sketch("player", "join_time_us", join_us);
+        trace.sketch("player", "stall_ppm", (outcome.stall_ratio() * 1e6).round() as u64);
         outcome
     }
 
@@ -279,6 +288,10 @@ impl<'a> Teleport<'a> {
             avg_stall_time_s: None,
             playback_latency_s: None,
         };
+        // Dead sessions still count in the streaming telemetry: the whole
+        // watch budget was spent waiting and playback stalled throughout.
+        trace.sketch("player", "join_time_us", config.watch.as_micros());
+        trace.sketch("player", "stall_ppm", (log.stall_ratio() * 1e6).round() as u64);
         SessionOutcome {
             broadcast_id: broadcast.id,
             protocol,

@@ -146,6 +146,28 @@ pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
         let _ = writeln!(out, "pscp_histogram_sum{{{labels}}} {}", h.sum);
         let _ = writeln!(out, "pscp_histogram_count{{{labels}}} {}", h.total);
     }
+    out.push_str(
+        "# HELP pscp_sketch_quantile Quantile estimates from mergeable streaming sketches.\n",
+    );
+    out.push_str("# TYPE pscp_sketch_quantile gauge\n");
+    // Quantile gauges first (grouped per metric name as the exposition
+    // format prefers), then sum/count in a second pass under their own
+    // HELP/TYPE headers.
+    for (sub, name, sketch) in metrics.sketches() {
+        let labels = format!("subsystem=\"{}\",name=\"{}\"", escape_label(sub), escape_label(name));
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            if let Some(v) = sketch.quantile(q) {
+                let _ = writeln!(out, "pscp_sketch_quantile{{{labels},quantile=\"{label}\"}} {v}");
+            }
+        }
+    }
+    out.push_str("# HELP pscp_sketch Observation totals behind the sketch quantiles.\n");
+    out.push_str("# TYPE pscp_sketch summary\n");
+    for (sub, name, sketch) in metrics.sketches() {
+        let labels = format!("subsystem=\"{}\",name=\"{}\"", escape_label(sub), escape_label(name));
+        let _ = writeln!(out, "pscp_sketch_sum{{{labels}}} {}", sketch.sum());
+        let _ = writeln!(out, "pscp_sketch_count{{{labels}}} {}", sketch.count());
+    }
     out
 }
 
@@ -221,6 +243,51 @@ mod tests {
         assert!(
             text.contains("pscp_histogram_count{subsystem=\"player\",name=\"join_time_ms\"} 2\n")
         );
+    }
+
+    #[test]
+    fn prometheus_sketch_quantiles_with_sum_count_consistency() {
+        let mut m = MetricsRegistry::new();
+        for v in 1..=100u64 {
+            m.sketch_observe("player", "join_time_us", v * 1_000);
+        }
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE pscp_sketch_quantile gauge\n"));
+        for q in ["0.5", "0.9", "0.99"] {
+            assert!(
+                text.contains(&format!(
+                    "pscp_sketch_quantile{{subsystem=\"player\",name=\"join_time_us\",\
+                     quantile=\"{q}\"}} "
+                )),
+                "missing quantile {q} gauge in:\n{text}"
+            );
+        }
+        // _sum/_count must agree with the registry's own sketch totals.
+        let sketch = m.sketch("player", "join_time_us").unwrap();
+        assert!(text.contains(&format!(
+            "pscp_sketch_sum{{subsystem=\"player\",name=\"join_time_us\"}} {}\n",
+            sketch.sum()
+        )));
+        assert!(text.contains(&format!(
+            "pscp_sketch_count{{subsystem=\"player\",name=\"join_time_us\"}} {}\n",
+            sketch.count()
+        )));
+        assert_eq!(sketch.count(), 100);
+        assert_eq!(sketch.sum(), (1..=100u64).map(|v| v * 1_000).sum::<u64>());
+    }
+
+    #[test]
+    fn prometheus_sketch_labels_are_escaped() {
+        let mut m = MetricsRegistry::new();
+        m.sketch_observe("play\"er", "join\\time\nus", 7);
+        let text = prometheus_text(&m);
+        assert!(text.contains(
+            "pscp_sketch_quantile{subsystem=\"play\\\"er\",name=\"join\\\\time\\nus\",\
+             quantile=\"0.5\"} 7\n"
+        ));
+        assert!(text.contains(
+            "pscp_sketch_count{subsystem=\"play\\\"er\",name=\"join\\\\time\\nus\"} 1\n"
+        ));
     }
 
     #[test]

@@ -1,14 +1,19 @@
-//! Counters and fixed-bucket histograms with stable-ordered snapshots.
+//! Counters, fixed-bucket histograms and quantile sketches with
+//! stable-ordered snapshots.
 //!
 //! Everything here is integer-valued on purpose: u64 sums are associative
 //! and commutative, so merging per-worker registries in *any* order yields
 //! the same totals — the registry can never leak thread-scheduling noise
 //! into a snapshot. Keys are `(subsystem, name)` pairs of `&'static str`
 //! in `BTreeMap`s, so iteration (and therefore every rendered report) is
-//! lexicographically ordered regardless of recording order.
+//! lexicographically ordered regardless of recording order. The sketch
+//! instrument ([`pscp_stats::QuantileSketch`]) extends the same guarantee
+//! to streaming quantiles: its merge is pure u64 bucket addition.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+use pscp_stats::QuantileSketch;
 
 /// Fixed bucket edges for a histogram family.
 ///
@@ -85,17 +90,23 @@ impl Histogram {
     }
 }
 
-/// Named counters and histograms keyed by `(subsystem, name)`.
+/// Named counters, histograms and quantile sketches keyed by
+/// `(subsystem, name)`.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MetricsRegistry {
     counters: BTreeMap<(&'static str, &'static str), u64>,
     histograms: BTreeMap<(&'static str, &'static str), Histogram>,
+    sketches: BTreeMap<(&'static str, &'static str), QuantileSketch>,
 }
 
 impl MetricsRegistry {
     /// An empty registry (usable in `const`/`static` contexts).
     pub const fn new() -> Self {
-        MetricsRegistry { counters: BTreeMap::new(), histograms: BTreeMap::new() }
+        MetricsRegistry {
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            sketches: BTreeMap::new(),
+        }
     }
 
     /// Adds `by` to the `(subsystem, name)` counter.
@@ -117,6 +128,14 @@ impl MetricsRegistry {
             .observe(value);
     }
 
+    /// Records one observation into the `(subsystem, name)` quantile
+    /// sketch — the constant-memory instrument for integer-domain values
+    /// (microseconds, ppm, bytes) whose quantiles matter, not just their
+    /// bucketed shape.
+    pub fn sketch_observe(&mut self, subsystem: &'static str, name: &'static str, value: u64) {
+        self.sketches.entry((subsystem, name)).or_default().observe(value);
+    }
+
     /// Folds another registry into this one. Order-independent: merging
     /// `a` into `b` or `b` into `a` yields identical totals.
     pub fn merge(&mut self, other: &MetricsRegistry) {
@@ -131,6 +150,9 @@ impl MetricsRegistry {
                 }
             }
         }
+        for (&k, s) in &other.sketches {
+            self.sketches.entry(k).or_default().merge(s);
+        }
     }
 
     /// Current value of a counter (0 if never touched).
@@ -143,15 +165,25 @@ impl MetricsRegistry {
         self.histograms.iter().find(|&(&(s, n), _)| s == subsystem && n == name).map(|(_, h)| h)
     }
 
+    /// A sketch by key, if recorded.
+    pub fn sketch(&self, subsystem: &str, name: &str) -> Option<&QuantileSketch> {
+        self.sketches.iter().find(|&(&(s, n), _)| s == subsystem && n == name).map(|(_, s)| s)
+    }
+
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty()
+        self.counters.is_empty() && self.histograms.is_empty() && self.sketches.is_empty()
     }
 
     /// Sorted, de-duplicated list of subsystems with at least one metric.
     pub fn subsystems(&self) -> Vec<&'static str> {
-        let mut subs: Vec<&'static str> =
-            self.counters.keys().chain(self.histograms.keys()).map(|&(sub, _)| sub).collect();
+        let mut subs: Vec<&'static str> = self
+            .counters
+            .keys()
+            .chain(self.histograms.keys())
+            .chain(self.sketches.keys())
+            .map(|&(sub, _)| sub)
+            .collect();
         subs.sort_unstable();
         subs.dedup();
         subs
@@ -167,6 +199,13 @@ impl MetricsRegistry {
         &self,
     ) -> impl Iterator<Item = (&'static str, &'static str, &Histogram)> + '_ {
         self.histograms.iter().map(|(&(sub, name), h)| (sub, name, h))
+    }
+
+    /// All quantile sketches in key order.
+    pub fn sketches(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &'static str, &QuantileSketch)> + '_ {
+        self.sketches.iter().map(|(&(sub, name), s)| (sub, name, s))
     }
 
     /// Renders a stable-ordered plain-text report.
@@ -193,6 +232,23 @@ impl MetricsRegistry {
             }
             if !buckets.is_empty() {
                 let _ = writeln!(out, "  {:<10} {:<28}{}", "", "", buckets);
+            }
+        }
+        if !self.sketches.is_empty() {
+            out.push_str("sketches:\n");
+            for (sub, name, s) in self.sketches() {
+                let q = |p: f64| s.quantile(p).unwrap_or(0);
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:<28} n={:<8} p50={} p90={} p99={} max={}",
+                    sub,
+                    name,
+                    s.count(),
+                    q(0.50),
+                    q(0.90),
+                    q(0.99),
+                    s.max().unwrap_or(0)
+                );
             }
         }
         out
@@ -228,6 +284,25 @@ impl MetricsRegistry {
                 let _ = write!(out, "{c}");
             }
             let _ = write!(out, "],\"total\":{},\"sum\":{}}}", h.total, h.sum);
+        }
+        out.push_str("},\"sketches\":{");
+        for (i, (sub, name, s)) in self.sketches().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let q = |p: f64| s.quantile(p).unwrap_or(0);
+            let _ = write!(
+                out,
+                "\"{sub}/{name}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{},\"p90\":{},\"p99\":{}}}",
+                s.count(),
+                s.sum(),
+                s.min().unwrap_or(0),
+                s.max().unwrap_or(0),
+                q(0.50),
+                q(0.90),
+                q(0.99)
+            );
         }
         out.push_str("}}");
         out
@@ -312,6 +387,41 @@ mod tests {
         m.count("player", "stalls", 1);
         m.observe("player", "stall_ms", &MS_BUCKETS, 10);
         m.count("hls", "segments_fetched", 1);
-        assert_eq!(m.subsystems(), vec!["hls", "player"]);
+        m.sketch_observe("api", "latency_us", 1234);
+        assert_eq!(m.subsystems(), vec!["api", "hls", "player"]);
+    }
+
+    #[test]
+    fn sketch_instrument_records_and_merges_order_independently() {
+        let build = |values: &[u64]| {
+            let mut m = MetricsRegistry::new();
+            for &v in values {
+                m.sketch_observe("player", "join_time_us", v);
+            }
+            m
+        };
+        let a = build(&[1_000_000, 2_500_000]);
+        let b = build(&[9_000_000]);
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba, "sketch merge is exactly order-independent");
+        let s = ab.sketch("player", "join_time_us").unwrap();
+        assert_eq!(s.count(), 3);
+        assert!(!ab.is_empty());
+        assert_eq!(ab.snapshot_json(), ba.snapshot_json());
+        assert!(ab.snapshot_json().contains("\"player/join_time_us\":{\"count\":3"));
+        assert!(ab.snapshot_text().contains("sketches:"));
+    }
+
+    #[test]
+    fn sketch_free_registry_renders_empty_sketch_object() {
+        let mut m = MetricsRegistry::new();
+        m.count("tcp", "transfers", 1);
+        assert!(m.snapshot_json().ends_with("\"sketches\":{}}"));
+        assert!(!m.snapshot_text().contains("sketches:"));
     }
 }

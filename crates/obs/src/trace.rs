@@ -146,6 +146,16 @@ impl Trace {
         self.metrics.observe(subsystem, name, spec, value);
     }
 
+    /// Records one observation into a quantile sketch — the constant-
+    /// memory instrument for values whose quantiles matter (join times,
+    /// stall ratios). Like every recorder, a no-op when disabled.
+    pub fn sketch(&mut self, subsystem: &'static str, name: &'static str, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.sketch_observe(subsystem, name, value);
+    }
+
     /// Appends another trace's events (preserving their order) and folds
     /// in its metrics. The other trace's span ids (and parent links) are
     /// offset past this trace's so ids stay unique per unit; its open
@@ -225,6 +235,7 @@ mod tests {
         t.event(1, "player", "player.stall", vec![]);
         t.count("player", "stalls", 1);
         t.observe("player", "stall_ms", &crate::MS_BUCKETS, 42);
+        t.sketch("player", "join_time_us", 1_000_000);
         let id = t.span_start(0, "session", "session.join");
         assert_eq!(id, SpanId::NONE);
         t.span_end(id, 10);
@@ -298,9 +309,12 @@ mod tests {
         let mut b = Trace::new(true);
         b.event(7, "crawler", "crawler.rate_limited", vec![]);
         b.count("crawler", "map_queries", 2);
+        a.sketch("api", "latency_us", 100);
+        b.sketch("api", "latency_us", 9_000);
         a.absorb(b);
         assert_eq!(a.events().len(), 2);
         assert_eq!(a.metrics().counter("crawler", "map_queries"), 3);
+        assert_eq!(a.metrics().sketch("api", "latency_us").unwrap().count(), 2);
     }
 
     #[test]

@@ -10,13 +10,18 @@
 //! [`export`] dumps per-session/per-broadcast CSVs for external plotting;
 //! [`slo`] folds causal span trees into per-session phase breakdowns,
 //! evaluates declarative SLOs against the paper's headline numbers, and
-//! flags MAD-outlier sessions with their dominant phase.
+//! flags MAD-outlier sessions with their dominant phase; [`telemetry`]
+//! is the constant-memory streaming counterpart — mergeable sketches
+//! that the large-scale and live-monitoring paths fold incrementally
+//! (DESIGN.md §11).
 
 pub mod compare;
 pub mod dataset;
 pub mod delivery;
 pub mod export;
 pub mod slo;
+pub mod telemetry;
 
 pub use dataset::SessionDataset;
-pub use slo::{SloReport, SloSpec};
+pub use slo::{EvalMode, SloReport, SloSpec, SKETCH_SESSION_THRESHOLD};
+pub use telemetry::QoeTelemetry;

@@ -17,6 +17,7 @@ use pscp_service::select::Protocol;
 use pscp_stats::quantile::{median, quantile};
 
 use crate::dataset::SessionDataset;
+use crate::telemetry::QoeTelemetry;
 
 /// One session's join time decomposed into its causal phases.
 #[derive(Debug, Clone)]
@@ -306,9 +307,60 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Session count at which [`evaluate`] switches from exact full-sample
+/// quantiles to constant-memory streaming sketches (DESIGN.md §11).
+/// Paper scale (~4k sessions) stays below it, so the golden
+/// `SLO_report.json` and figures are computed on the exact path,
+/// byte-for-byte as before.
+pub const SKETCH_SESSION_THRESHOLD: usize = 10_000;
+
+/// Which evaluation path [`evaluate_with_mode`] takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvalMode {
+    /// Exact below [`SKETCH_SESSION_THRESHOLD`] sessions, sketched at or
+    /// above it.
+    Auto,
+    /// Always the exact full-sample path.
+    Exact,
+    /// Always the streaming-sketch path (tests and the live monitor).
+    Sketched,
+}
+
 /// Evaluates `spec` over the dataset's scalar QoE metrics and the span
-/// trees' phase breakdowns.
+/// trees' phase breakdowns, picking the exact or sketched path by
+/// dataset size (see [`SKETCH_SESSION_THRESHOLD`]).
 pub fn evaluate(
+    spec: &SloSpec,
+    dataset: &SessionDataset,
+    spans: &[(String, Span)],
+    label: &str,
+) -> SloReport {
+    evaluate_with_mode(spec, dataset, spans, label, EvalMode::Auto)
+}
+
+/// [`evaluate`] with an explicit path choice.
+pub fn evaluate_with_mode(
+    spec: &SloSpec,
+    dataset: &SessionDataset,
+    spans: &[(String, Span)],
+    label: &str,
+    mode: EvalMode,
+) -> SloReport {
+    let sketched = match mode {
+        EvalMode::Auto => dataset.len() >= SKETCH_SESSION_THRESHOLD,
+        EvalMode::Exact => false,
+        EvalMode::Sketched => true,
+    };
+    if sketched {
+        evaluate_sketched(spec, dataset, spans, label)
+    } else {
+        evaluate_exact(spec, dataset, spans, label)
+    }
+}
+
+/// The exact full-sample evaluation: materialises metric vectors and
+/// sorts for quantiles. Source of truth for golden artifacts.
+fn evaluate_exact(
     spec: &SloSpec,
     dataset: &SessionDataset,
     spans: &[(String, Span)],
@@ -393,6 +445,127 @@ pub fn evaluate(
         if let Ok(mad) = median(&deviations) {
             // 1.4826 rescales MAD to the stdev of a normal distribution.
             let scale = 1.4826 * mad;
+            if scale > 1e-9 {
+                for b in &breakdowns {
+                    let score = (b.join_s - med) / scale;
+                    if score > spec.mad_k {
+                        let (dominant_phase, dominant_s) = b
+                            .dominant_phase()
+                            .map(|(n, s)| (n.to_string(), s))
+                            .unwrap_or_else(|| ("unknown".to_string(), 0.0));
+                        outliers.push(OutlierSession {
+                            unit: b.unit.clone(),
+                            join_s: b.join_s,
+                            mad_score: score,
+                            dominant_phase,
+                            dominant_s,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    outliers.sort_by(|a, b| {
+        b.mad_score.partial_cmp(&a.mad_score).expect("finite").then(a.unit.cmp(&b.unit))
+    });
+
+    SloReport {
+        label: label.to_string(),
+        n_sessions: dataset.len(),
+        n_breakdowns: breakdowns.len(),
+        objectives,
+        decomposition,
+        outliers,
+    }
+}
+
+/// The streaming evaluation: folds outcomes and breakdowns into
+/// [`QoeTelemetry`] sketches, then reads the objectives off the sketch
+/// quantiles. Holds no sample vectors — memory is O(1) in session count
+/// (quantiles carry the sketch's ≤ 1/128 relative rank-bucket error).
+/// MAD outliers use the sketch median plus one extra streaming pass for
+/// the deviation median.
+fn evaluate_sketched(
+    spec: &SloSpec,
+    dataset: &SessionDataset,
+    spans: &[(String, Span)],
+    label: &str,
+) -> SloReport {
+    let breakdowns = fold_breakdowns(spans);
+    let mut tele = QoeTelemetry::from_dataset(dataset);
+    for b in &breakdowns {
+        tele.fold_breakdown(b);
+    }
+
+    let mut objectives = Vec::new();
+    if let Some(p90) = tele.join_us.quantile(0.90) {
+        let measured = p90 as f64 / 1e6;
+        objectives.push(SloObjective {
+            name: "join_time_p90_s",
+            measured,
+            threshold: spec.join_p90_max_s,
+            op: "<=",
+            pass: measured <= spec.join_p90_max_s,
+        });
+    }
+    if let Some(p90) = tele.stall_ppm.quantile(0.90) {
+        let measured = p90 as f64 / 1e6;
+        objectives.push(SloObjective {
+            name: "stall_ratio_p90",
+            measured,
+            threshold: spec.stall_ratio_p90_max,
+            op: "<=",
+            pass: measured <= spec.stall_ratio_p90_max,
+        });
+    }
+    if let Some(p75) = tele.rtmp_latency_us.quantile(0.75) {
+        let measured = p75 as f64 / 1e6;
+        objectives.push(SloObjective {
+            name: "rtmp_latency_p75_s",
+            measured,
+            threshold: spec.rtmp_latency_p75_max_s,
+            op: "<=",
+            pass: measured <= spec.rtmp_latency_p75_max_s,
+        });
+    }
+    if !tele.hls_latency_s.is_empty() {
+        let mean = tele.hls_latency_s.mean();
+        objectives.push(SloObjective {
+            name: "hls_latency_mean_s",
+            measured: mean,
+            threshold: spec.hls_latency_mean_min_s,
+            op: ">=",
+            pass: mean >= spec.hls_latency_mean_min_s,
+        });
+    }
+
+    let decomposition = [Protocol::Rtmp, Protocol::Hls]
+        .into_iter()
+        .filter_map(|proto| {
+            let n = tele.breakdown_count(proto) as usize;
+            if n == 0 {
+                return None;
+            }
+            Some(ProtocolDecomposition {
+                protocol: proto,
+                n,
+                join_mean_s: tele.join_mean_s(proto),
+                phase_means: tele.phase_means(proto),
+            })
+        })
+        .collect();
+
+    // MAD outliers: median from the breakdown-join sketch, deviation
+    // median from one more constant-memory pass, then per-item flagging.
+    let mut outliers = Vec::new();
+    if let Some(med_us) = tele.join_bd_us.quantile(0.5) {
+        let med = med_us as f64 / 1e6;
+        let mut deviations = pscp_stats::QuantileSketch::new();
+        for b in &breakdowns {
+            deviations.observe(((b.join_s - med).abs() * 1e6).round() as u64);
+        }
+        if let Some(mad_us) = deviations.quantile(0.5) {
+            let scale = 1.4826 * (mad_us as f64 / 1e6);
             if scale > 1e-9 {
                 for b in &breakdowns {
                     let score = (b.join_s - med) / scale;
@@ -548,6 +721,38 @@ mod tests {
         assert!(json.contains("\"dominant_phase\":\"hls.segments\""));
         assert!(!json.contains("NaN"), "report must never print NaN");
         assert_eq!(report.to_json(), json, "rendering is stable");
+    }
+
+    #[test]
+    fn sketched_mode_agrees_with_exact_on_breakdown_outputs() {
+        let mut spans = sample_spans();
+        for i in 3..10 {
+            let j = 3.0 + i as f64 * 0.1;
+            spans.push((format!("session/{i}"), span(0, None, 0.0, j, "session", "session.join")));
+            spans
+                .push((format!("session/{i}"), span(1, Some(0), 0.0, j, "rtmp", "rtmp.buffering")));
+        }
+        spans.push(("session/99".into(), span(0, None, 0.0, 55.0, "session", "session.join")));
+        spans.push(("session/99".into(), span(1, Some(0), 0.0, 55.0, "hls", "hls.segments")));
+        let dataset = SessionDataset::new(Vec::new());
+        let exact = evaluate_with_mode(&SloSpec::paper(), &dataset, &spans, "t", EvalMode::Exact);
+        let sk = evaluate_with_mode(&SloSpec::paper(), &dataset, &spans, "t", EvalMode::Sketched);
+        assert_eq!(sk.n_breakdowns, exact.n_breakdowns);
+        assert_eq!(sk.decomposition.len(), exact.decomposition.len());
+        for (a, b) in sk.decomposition.iter().zip(exact.decomposition.iter()) {
+            assert_eq!(a.n, b.n);
+            assert!((a.join_mean_s - b.join_mean_s).abs() < 1e-9);
+            assert_eq!(a.phase_means.len(), b.phase_means.len());
+            for ((na, ma), (nb, mb)) in a.phase_means.iter().zip(b.phase_means.iter()) {
+                assert_eq!(na, nb);
+                assert!((ma - mb).abs() < 1e-9);
+            }
+        }
+        // The outlier *set* must match; scores may differ within the
+        // sketch's median bucket width.
+        let units = |r: &SloReport| r.outliers.iter().map(|o| o.unit.clone()).collect::<Vec<_>>();
+        assert_eq!(units(&sk), units(&exact));
+        assert_eq!(units(&sk), vec!["session/99".to_string(), "session/1".to_string()]);
     }
 
     #[test]

@@ -51,28 +51,40 @@ impl Ecdf {
         &self.sorted
     }
 
-    /// Emits `(x, F(x))` plot points: one per distinct sample value, with F
-    /// evaluated after all duplicates of that value.
-    pub fn steps(&self) -> Vec<(f64, f64)> {
+    /// Iterates the `(x, F(x))` plot points without allocating: one per
+    /// distinct sample value, with F evaluated after all duplicates of
+    /// that value. Callers that only walk the curve (renderers, KS-style
+    /// scans) should prefer this over [`Ecdf::steps`].
+    pub fn steps_iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
         let n = self.sorted.len() as f64;
-        let mut out = Vec::new();
         let mut i = 0;
-        while i < self.sorted.len() {
+        std::iter::from_fn(move || {
+            if i >= self.sorted.len() {
+                return None;
+            }
             let v = self.sorted[i];
             let mut j = i;
             while j < self.sorted.len() && self.sorted[j] == v {
                 j += 1;
             }
-            out.push((v, j as f64 / n));
             i = j;
-        }
-        out
+            Some((v, j as f64 / n))
+        })
+    }
+
+    /// Emits `(x, F(x))` plot points as a vector; see [`Ecdf::steps_iter`]
+    /// for the allocation-free variant.
+    pub fn steps(&self) -> Vec<(f64, f64)> {
+        self.steps_iter().collect()
     }
 
     /// Resamples the curve at `k` evenly spaced probabilities in (0, 1], which
     /// is what the figure renderer uses to print a fixed-size series.
+    ///
+    /// Edge cases: `k = 0` yields an empty series (nothing to plot, not a
+    /// panic); `k ≥ len` simply repeats sample values across adjacent
+    /// probabilities — with a single sample every point is that sample.
     pub fn sampled(&self, k: usize) -> Vec<(f64, f64)> {
-        assert!(k >= 1);
         (1..=k)
             .map(|i| {
                 let p = i as f64 / k as f64;
@@ -145,6 +157,27 @@ mod tests {
             assert!(w[1].1 > w[0].1);
         }
         assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn sampled_edge_cases() {
+        let single = ecdf(&[42.0]);
+        assert_eq!(single.sampled(0), vec![], "k=0 is an empty series, not a panic");
+        assert_eq!(single.sampled(1), vec![(42.0, 1.0)]);
+        assert_eq!(single.sampled(3), vec![(42.0, 1.0 / 3.0), (42.0, 2.0 / 3.0), (42.0, 1.0)]);
+        let e = ecdf(&[1.0, 2.0]);
+        let over = e.sampled(5); // k >= len: values repeat, probabilities advance
+        assert_eq!(over.len(), 5);
+        assert_eq!(over.first().unwrap().0, 1.0);
+        assert_eq!(over.last().unwrap(), &(2.0, 1.0));
+    }
+
+    #[test]
+    fn steps_iter_matches_steps_without_allocating_points() {
+        let e = ecdf(&[3.0, 1.0, 1.0, 2.0, 3.0, 3.0]);
+        let collected: Vec<(f64, f64)> = e.steps_iter().collect();
+        assert_eq!(collected, e.steps());
+        assert_eq!(e.steps_iter().count(), 3, "one step per distinct value");
     }
 
     #[test]

@@ -19,6 +19,7 @@ pub mod histogram;
 pub mod kstest;
 pub mod quantile;
 pub mod regression;
+pub mod sketch;
 pub mod special;
 pub mod table;
 pub mod ttest;
@@ -29,7 +30,8 @@ pub use ecdf::Ecdf;
 pub use histogram::Histogram;
 pub use kstest::{kendall_tau, ks_test, KsResult};
 pub use quantile::{median, quantile};
-pub use ttest::{welch_t_test, WelchResult};
+pub use sketch::{Moments, QuantileSketch, TopK};
+pub use ttest::{welch_t_test, welch_t_test_moments, WelchResult};
 
 /// Error type for statistical computations.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -6,9 +6,10 @@ use pscp_stats::boxplot::BoxplotSummary;
 use pscp_stats::describe::{Accumulator, Description};
 use pscp_stats::ecdf::Ecdf;
 use pscp_stats::histogram::{Binning, Histogram};
-use pscp_stats::quantile::{median, quantile};
+use pscp_stats::quantile::{median, quantile, quantile_sorted};
 use pscp_stats::regression::{linear_fit, pearson, spearman};
-use pscp_stats::ttest::welch_t_test;
+use pscp_stats::sketch::{Moments, QuantileSketch};
+use pscp_stats::ttest::{welch_t_test, welch_t_test_moments};
 
 fn arb_data(g: &mut Gen) -> Vec<f64> {
     g.vec(1..200, |g| g.f64(-1e6..1e6))
@@ -207,4 +208,120 @@ fn median_is_half_quantile() {
         ensure_eq!(m, q);
         Ok(())
     });
+}
+
+/// Microsecond-magnitude values spanning the sketch's exact region and
+/// several log-linear octaves.
+fn arb_us(g: &mut Gen) -> Vec<u64> {
+    g.vec(1..300, |g| g.u64(0..=10_000_000))
+}
+
+#[test]
+fn sketch_merge_is_plan_order_associative() {
+    // The deterministic-parallel contract: folding per-unit sketches in
+    // plan order must give the same state no matter how the plan was
+    // chunked across workers — serial, binary-tree, or per-element merges
+    // all land on identical sketches (dense buckets make merge exactly
+    // commutative and associative, so even reversed order agrees).
+    check(
+        "sketch_merge_is_plan_order_associative",
+        |g: &mut Gen| (arb_us(g), g.usize(1..8)),
+        |(values, chunks)| {
+            let mut serial = QuantileSketch::new();
+            for &v in values {
+                serial.observe(v);
+            }
+            let chunk_len = values.len().div_ceil(*chunks);
+            let mut chunked = QuantileSketch::new();
+            for chunk in values.chunks(chunk_len.max(1)) {
+                let mut part = QuantileSketch::new();
+                for &v in chunk {
+                    part.observe(v);
+                }
+                chunked.merge(&part);
+            }
+            let mut reversed = QuantileSketch::new();
+            for &v in values.iter().rev() {
+                let mut one = QuantileSketch::new();
+                one.observe(v);
+                reversed.merge(&one);
+            }
+            ensure!(serial == chunked, "chunked merge diverged from serial fold");
+            ensure!(serial == reversed, "reversed per-element merge diverged");
+            ensure_eq!(serial.quantile(0.5), chunked.quantile(0.5));
+            // Footprint stays bounded by the bucket policy, not by n
+            // (capacity, not contents, so only an upper bound is stable).
+            ensure!(serial.memory_bytes() < 64 * 1024, "sketch footprint not O(1)");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn sketch_quantile_rank_error_vs_quantile_sorted() {
+    // The estimate must sit within one rank of the exact quantile, modulo
+    // one log-linear bucket width (<= value/128 + 1 at 7 sub-bucket bits).
+    check(
+        "sketch_quantile_rank_error_vs_quantile_sorted",
+        |g: &mut Gen| (arb_us(g), g.f64(0.0..=1.0)),
+        |(values, p)| {
+            let mut sketch = QuantileSketch::new();
+            let mut sorted: Vec<f64> = Vec::with_capacity(values.len());
+            for &v in values {
+                sketch.observe(v);
+                sorted.push(v as f64);
+            }
+            sorted.sort_by(f64::total_cmp);
+            let est = sketch.quantile(*p).ok_or("non-empty sketch returned None")? as f64;
+            let n = sorted.len() as f64;
+            let exact_lo = quantile_sorted(&sorted, (p - 1.0 / n).max(0.0));
+            let exact_hi = quantile_sorted(&sorted, (p + 1.0 / n).min(1.0));
+            let lo_bound = exact_lo - exact_lo / 128.0 - 1.0;
+            let hi_bound = exact_hi + exact_hi / 128.0 + 1.0;
+            ensure!(
+                (lo_bound..=hi_bound).contains(&est),
+                "quantile({p}) = {est} outside [{lo_bound}, {hi_bound}] (n = {})",
+                sorted.len()
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn moments_merge_matches_batch_welch() {
+    // Streaming Welford moments merged across arbitrary splits must agree
+    // with the batch t-test on the concatenated samples.
+    check(
+        "moments_merge_matches_batch_welch",
+        |g: &mut Gen| {
+            (
+                g.vec(2..60, |g| g.f64(-100.0..100.0)),
+                g.vec(2..60, |g| g.f64(-100.0..100.0)),
+                g.usize(0..60),
+            )
+        },
+        |(a, b, split)| {
+            let fold = |xs: &[f64]| {
+                let cut = (*split).min(xs.len());
+                let mut left = Moments::new();
+                let mut right = Moments::new();
+                for &x in &xs[..cut] {
+                    left.observe(x);
+                }
+                for &x in &xs[cut..] {
+                    right.observe(x);
+                }
+                left.merge(&right);
+                left
+            };
+            let (ma, mb) = (fold(a), fold(b));
+            let streamed = welch_t_test_moments(&ma, &mb).map_err(|e| format!("{e:?}"))?;
+            let batch = welch_t_test(a, b).map_err(|e| format!("{e:?}"))?;
+            ensure!((streamed.t - batch.t).abs() < 1e-6, "t diverged");
+            ensure!((streamed.p_value - batch.p_value).abs() < 1e-6, "p diverged");
+            ensure_eq!(ma.count(), a.len() as u64);
+            Ok(())
+        },
+    );
 }
