@@ -21,7 +21,8 @@
 //! repro slo                       # traced run → SLO_report.json (paper-derived SLOs)
 //! repro explain session/3         # one session's causal join span tree
 //! repro bench-diff <old> <new>    # regression gate over two BENCH_*.json files
-//! repro chaos                     # fault-intensity sweep → CHAOS_sweep.json
+//! repro chaos                     # three-way transport loss sweep → CHAOS_sweep.json
+//! repro chaos --sessions 16 --transports rtmp,srt
 //! repro watch                     # live SLO monitor → SLO_live.jsonl + SLO_live.prom
 //! repro watch --once              # single snapshot batch (CI smoke)
 //! repro watch --batches 10 --batch-sessions 100
@@ -94,7 +95,29 @@ fn main() {
         return;
     }
     if targets.iter().any(|t| t == "chaos") {
-        chaos_sweep(&scale, seed);
+        // Strict argument validation, matching `repro watch`: unknown
+        // flags are an error, not silently ignored experiment ids.
+        let mut i = 0;
+        while i < targets.len() {
+            match targets[i].as_str() {
+                "chaos" => i += 1,
+                "--sessions" | "--transports" => i += 2,
+                other => usage(&format!("unknown chaos argument '{other}'")),
+            }
+        }
+        let flag =
+            |name: &str| targets.iter().position(|t| t == name).and_then(|p| targets.get(p + 1));
+        let mut cfg = pscp_core::ChaosConfig::small(seed);
+        if let Some(v) = flag("--sessions") {
+            cfg.sessions = match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => usage(&format!("bad --sessions value '{v}'")),
+            };
+        }
+        if let Some(v) = flag("--transports") {
+            cfg.transports = pscp_core::chaos::parse_transports(v).unwrap_or_else(|e| usage(&e));
+        }
+        chaos_sweep(&scale, seed, &cfg);
         return;
     }
     if targets.iter().any(|t| t == "watch") {
@@ -102,7 +125,7 @@ fn main() {
         while i < targets.len() {
             match targets[i].as_str() {
                 "watch" | "--once" => i += 1,
-                "--batches" | "--batch-sessions" => i += 2,
+                "--batches" | "--batch-sessions" | "--transport" => i += 2,
                 other => usage(&format!("unknown watch argument '{other}'")),
             }
         }
@@ -119,7 +142,18 @@ fn main() {
             flag("--batches").unwrap_or(defaults.batches)
         };
         let batch_sessions = flag("--batch-sessions").unwrap_or(defaults.batch_sessions);
-        watch_live(&scale, seed, batches, batch_sessions);
+        let transport = targets
+            .iter()
+            .position(|t| t == "--transport")
+            .map(|p| {
+                let v = targets.get(p + 1).cloned().unwrap_or_default();
+                match pscp_core::chaos::parse_transports(&v).as_deref() {
+                    Ok([one]) => *one,
+                    _ => usage(&format!("bad --transport value '{v}' — one of rtmp|hls|srt|auto")),
+                }
+            })
+            .unwrap_or(None);
+        watch_live(&scale, seed, batches, batch_sessions, transport);
         return;
     }
     if let Some(pos) = targets.iter().position(|t| t == "bench-diff") {
@@ -265,8 +299,8 @@ fn main() {
             "bench-diff", "perf"
         );
         println!(
-            "{:<16} {:<18} fault-intensity sweep: QoE vs loss (CHAOS_sweep.json)",
-            "chaos", "DESIGN.md §8"
+            "{:<16} {:<18} three-way RTMP/HLS/SRT loss sweep (CHAOS_sweep.json)",
+            "chaos", "DESIGN.md §8+§12"
         );
         println!(
             "{:<16} {:<18} live SLO monitor: batched sketch snapshots (SLO_live.jsonl, SLO_live.prom)",
@@ -391,24 +425,35 @@ fn bench_diff(old_path: &str, new_path: &str) {
     }
 }
 
-/// Runs the DESIGN.md §8 chaos sweep: the same planned sessions under the
-/// chaos fault preset at increasing loss intensity, reporting stall-ratio
-/// and join-time ECDFs plus per-class fault/recovery counters, and writing
-/// the machine-readable sweep to `CHAOS_sweep.json`.
-fn chaos_sweep(scale: &str, seed: u64) {
+/// Runs the DESIGN.md §8/§12 three-way transport chaos sweep: the same
+/// planned sessions per transport arm under the chaos fault preset at
+/// increasing loss intensity, reporting stall-ratio and join-time ECDFs,
+/// per-transport mean tables and fault/recovery counters plus one SLO
+/// report per arm, and writing the machine-readable sweep to
+/// `CHAOS_sweep.json`.
+fn chaos_sweep(scale: &str, seed: u64, cfg: &pscp_core::ChaosConfig) {
     let config = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
     let mut lab = Lab::new(config);
-    let cfg = pscp_core::ChaosConfig::small(seed);
+    let arms: Vec<&str> =
+        cfg.transports.iter().map(|&t| pscp_core::chaos::transport_name(t)).collect();
     println!(
-        "chaos sweep: scale {scale}, seed {seed}, {} sessions/point, loss scales {:?}",
+        "chaos sweep: scale {scale}, seed {seed}, {} sessions/point, loss scales {:?}, \
+         transports {arms:?}",
         cfg.sessions, cfg.loss_scales
     );
-    let sweep = pscp_core::run_chaos(&mut lab, &cfg);
+    let sweep = pscp_core::run_chaos(&mut lab, cfg);
     for fig in sweep.figures() {
         println!("\n{}", fig.render());
     }
+    for arm in &sweep.slo {
+        println!("\n{}", arm.report.table());
+    }
     std::fs::write("CHAOS_sweep.json", sweep.sweep_json()).expect("write CHAOS_sweep.json");
-    println!("\nwrote CHAOS_sweep.json ({} points)", sweep.points.len());
+    println!(
+        "\nwrote CHAOS_sweep.json ({} points, {} SLO arms)",
+        sweep.points.len(),
+        sweep.slo.len()
+    );
 }
 
 /// Runs the live SLO monitor: batched session runs folded into streaming
@@ -416,18 +461,25 @@ fn chaos_sweep(scale: &str, seed: u64) {
 /// `SLO_live.jsonl` (snapshots) and `SLO_live.prom` (merged metrics with
 /// sketch quantile gauges). Deterministic at any thread count;
 /// `PSCP_WATCH_SYS=1` adds wall-clock RSS/alloc facts to each line.
-fn watch_live(scale: &str, seed: u64, batches: usize, batch_sessions: usize) {
+fn watch_live(
+    scale: &str,
+    seed: u64,
+    batches: usize,
+    batch_sessions: usize,
+    transport: Option<pscp_service::select::Protocol>,
+) {
     let lab_cfg = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
     let include_sys =
         std::env::var("PSCP_WATCH_SYS").map(|v| !v.is_empty() && v != "0").unwrap_or(false);
     println!(
         "watch: scale {scale}, seed {seed} — {batches} batch(es) × {batch_sessions} sessions\
-         {}",
-        if include_sys { " (+system facts)" } else { "" }
+         {}{}",
+        if include_sys { " (+system facts)" } else { "" },
+        transport.map(|t| format!(" (transport {})", t.name())).unwrap_or_default()
     );
     let out = pscp_bench::watch::run_watch(
         lab_cfg,
-        &pscp_bench::watch::WatchConfig { batches, batch_sessions, include_sys },
+        &pscp_bench::watch::WatchConfig { batches, batch_sessions, include_sys, transport },
     );
     for line in out.jsonl.lines() {
         println!("{line}");
@@ -503,6 +555,8 @@ fn write_experiments_md(lab: &mut Lab, scale: &str, seed: u64) {
     }
     println!("## Known deviations and their causes\n");
     println!("{}", KNOWN_DEVIATIONS.trim());
+    println!("\n## Chaos artifact — `CHAOS_sweep.json`\n");
+    println!("{}", CHAOS_SCHEMA.trim());
 }
 
 /// Documented gaps between the paper's numbers and the reproduction.
@@ -526,6 +580,35 @@ const KNOWN_DEVIATIONS: &str = r#"
   direction (HLS stalls rarer than RTMP) matches §5.1.
 "#;
 
+/// Schema of the three-way chaos artifact, rendered into EXPERIMENTS.md.
+const CHAOS_SCHEMA: &str = r#"
+`repro chaos [--sessions N] [--transports rtmp,hls,srt,auto]` runs the
+three-way transport chaos study (DESIGN.md §12) and writes
+`CHAOS_sweep.json` alongside the rendered figures. Schema:
+
+* `seed` — fault-schedule seed (independent of the lab world seed).
+* `transports` — arm names in sweep order (`"RTMP"`, `"HLS"`, `"SRT"`;
+  `"auto"` = the paper's viewer-count selection policy).
+* `points` — one object per (transport × loss scale), transport-major:
+  * `transport`, `loss_scale` — the arm and the Gilbert–Elliott loss
+    multiplier (`0` = loss off, other chaos fault classes still active);
+  * `sessions`, `never_joined` — sessions run / sessions that never
+    started playback;
+  * `mean_stall_ratio` — mean over all sessions (never-joined count 1.0);
+  * `mean_join_s` — mean join time over joined sessions (`-1` if none);
+  * `counters` — every `fault/*`, `recovery/*` and `srt/*` counter the
+    point's sessions emitted (e.g. `srt/nak_sent`, `srt/retransmits`,
+    `srt/late_drops`, `srt/conceals`, `fault/lost_packets`).
+* `slo` — one entry per transport arm, evaluated at the loss scale
+  closest to ×1: `transport`, `loss_scale`, `pass`, and `failed` (names
+  of violated objectives; empty when `pass` is true).
+
+All arms replan the identical sessions from the same RNG namespace
+(common random numbers), so any cross-arm difference is the transport
+discipline, not sampling noise; the artifact is byte-identical at any
+`PSCP_THREADS`.
+"#;
+
 fn banner(id: &str, title: &str) {
     println!("\n{}", "=".repeat(78));
     println!("== {id}: {title}");
@@ -539,8 +622,9 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: repro [--scale small|medium|paper] [--seed N] \
          <ids...|all|list|bench|bench-components|bench-figures|bench-ablations|\
-         bench-diff <old> <new>|trace|metrics|slo|explain <unit>|chaos|\
-         watch [--once|--batches N] [--batch-sessions N]>\n\
+         bench-diff <old> <new>|trace|metrics|slo|explain <unit>|\
+         chaos [--sessions N] [--transports rtmp,hls,srt,auto]|\
+         watch [--once|--batches N] [--batch-sessions N] [--transport rtmp|hls|srt|auto]>\n\
          trace/metrics/slo/explain share one traced run when requested together"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -397,6 +397,28 @@ pub fn bench_components(seed: u64) -> String {
                 .capture
                 .total_bytes() as u64
         });
+
+        // The SRT twin of the RTMP bench (DESIGN.md §12): same broadcast,
+        // same seeds (common random numbers), so the per-iteration delta
+        // between the two benches is the transport machinery itself —
+        // handshake, per-packet datagram accounting, ARQ bookkeeping.
+        use pscp_client::srt_session;
+        let srt_nominal_bytes = srt_session::run(
+            &broadcast,
+            SimTime::from_secs(400),
+            &SessionConfig::default(),
+            &RngFactory::new(1).child("bench-session"),
+        )
+        .capture
+        .total_bytes() as u64;
+        let mut j = 0u64;
+        suite.run("session/srt 60s end-to-end", Some(srt_nominal_bytes), || {
+            j += 1;
+            let rngs = RngFactory::new(j).child("bench-session");
+            srt_session::run(&broadcast, SimTime::from_secs(400), &SessionConfig::default(), &rngs)
+                .capture
+                .total_bytes() as u64
+        });
     }
 
     suite.finish()

@@ -17,11 +17,13 @@
 
 use std::fmt::Write as _;
 
+use pscp_client::session::SessionConfig;
 use pscp_client::{Teleport, TeleportConfig};
 use pscp_core::{Lab, LabConfig};
 use pscp_obs::{MetricsRegistry, Observer};
 use pscp_qoe::slo::fold_breakdowns;
 use pscp_qoe::QoeTelemetry;
+use pscp_service::select::Protocol;
 
 /// Watch-loop shape: how many batches, how big, how parallel.
 #[derive(Debug, Clone)]
@@ -33,11 +35,18 @@ pub struct WatchConfig {
     /// Include wall-clock system facts (RSS, allocation count) in each
     /// snapshot line. Non-deterministic; gated behind `PSCP_WATCH_SYS`.
     pub include_sys: bool,
+    /// Force every session onto one transport (`repro watch --transport`).
+    /// `None` — the default, and the only golden-artifact configuration —
+    /// runs the paper's selection policy. `Some(Srt)` makes the monitor
+    /// surface SRT health: the `srt/retx_queue_pkts` and
+    /// `srt/late_drop_ppm` sketch quantiles land in `SLO_live.prom` and
+    /// the `srt` join phases in the snapshot attribution.
+    pub transport: Option<Protocol>,
 }
 
 impl Default for WatchConfig {
     fn default() -> Self {
-        WatchConfig { batches: 5, batch_sessions: 40, include_sys: false }
+        WatchConfig { batches: 5, batch_sessions: 40, include_sys: false, transport: None }
     }
 }
 
@@ -76,7 +85,12 @@ pub fn run_watch(mut lab_cfg: LabConfig, cfg: &WatchConfig) -> WatchOutput {
         let local = Observer::with_flags(true, false);
         let tp = Teleport::new(svc, rngs.child(&format!("watch-{i}")));
         let outcomes = tp.run_dataset_observed(
-            &TeleportConfig { sessions: cfg.batch_sessions, threads, ..Default::default() },
+            &TeleportConfig {
+                sessions: cfg.batch_sessions,
+                threads,
+                session: SessionConfig { transport: cfg.transport, ..Default::default() },
+                ..Default::default()
+            },
             &local,
         );
         for o in &outcomes {
@@ -106,7 +120,7 @@ mod tests {
     use super::*;
 
     fn cfg() -> WatchConfig {
-        WatchConfig { batches: 2, batch_sessions: 4, include_sys: false }
+        WatchConfig { batches: 2, batch_sessions: 4, include_sys: false, transport: None }
     }
 
     fn lab_cfg(threads: usize) -> LabConfig {
@@ -137,6 +151,27 @@ mod tests {
         assert!(!lines[0].contains("rss_bytes"), "sys facts are off by default");
         assert_eq!(out.telemetry.n_sessions(), 8);
         assert!(out.prom.contains("pscp_sketch_quantile"), "sketch gauges exported:\n{}", out.prom);
+    }
+
+    #[test]
+    fn srt_watch_surfaces_transport_health_sketches() {
+        let mut c = cfg();
+        c.transport = Some(Protocol::Srt);
+        let out = run_watch(lab_cfg(1), &c);
+        // The SRT ARQ health sketches (DESIGN.md §12) must reach the
+        // Prometheus artifact so a live monitor can alert on them.
+        for name in ["retx_queue_pkts", "late_drop_ppm"] {
+            assert!(
+                out.prom.contains(&format!("subsystem=\"srt\",name=\"{name}\"")),
+                "srt/{name} sketch missing from SLO_live.prom:\n{}",
+                out.prom
+            );
+        }
+        // And the default (selection-policy) watch must NOT know SRT
+        // exists — its artifacts stay byte-identical to a pre-SRT build.
+        let default_out = run_watch(lab_cfg(1), &cfg());
+        assert!(!default_out.prom.contains("subsystem=\"srt\""));
+        assert!(!default_out.jsonl.contains("\"srt\""));
     }
 
     #[test]

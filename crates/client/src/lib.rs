@@ -15,6 +15,9 @@
 //!   make even unthrottled viewers stall occasionally (Fig 3a);
 //! * [`rtmp_session`] / [`hls_session`] — end-to-end session simulation
 //!   producing wire-accurate captures;
+//! * [`srt_session`] — the what-if unreliable-transport study: SRT-style
+//!   NAK/ARQ ingest with a latency window (DESIGN.md §12), selected only by
+//!   [`SessionConfig::transport`](session::SessionConfig::transport);
 //! * [`replay_session`] — VOD playback of recorded broadcasts (§5.3's
 //!   "Video on (not live)" scenario);
 //! * [`chat_client`] — chat-on traffic: WebSocket messages plus uncached
@@ -31,6 +34,7 @@ pub mod replay_session;
 pub mod retry;
 pub mod rtmp_session;
 pub mod session;
+pub mod srt_session;
 pub mod teleport;
 pub mod uplink;
 

@@ -37,6 +37,13 @@ impl PlayerConfig {
     pub fn hls() -> Self {
         PlayerConfig { initial_buffer_s: 6.0, resume_buffer_s: 3.6 }
     }
+
+    /// The SRT player: same thresholds as RTMP, so the three-way chaos
+    /// sweep compares transports, not buffer tuning — any stall-ratio gap
+    /// between the two is loss-recovery behaviour alone.
+    pub fn srt() -> Self {
+        PlayerConfig::rtmp()
+    }
 }
 
 /// One media arrival: at wall instant `at`, the contiguous buffered media

@@ -32,6 +32,13 @@ pub struct SessionConfig {
     pub player_rtmp: PlayerConfig,
     /// HLS player thresholds.
     pub player_hls: PlayerConfig,
+    /// SRT player thresholds (used only when `transport` forces SRT).
+    pub player_srt: PlayerConfig,
+    /// Forces the delivery transport instead of letting the service's
+    /// viewer-count policy choose. `None` (the default) keeps the paper's
+    /// RTMP/HLS selection and leaves the SRT subsystem completely untouched,
+    /// so default runs stay byte-identical to a build without it.
+    pub transport: Option<Protocol>,
     /// Fault injection (DESIGN.md §8). Default all-off: the session draws
     /// no fault variate and its capture is byte-identical to a fault-free
     /// build.
@@ -49,6 +56,8 @@ impl Default for SessionConfig {
             uplink: UplinkConfig::default(),
             player_rtmp: PlayerConfig::rtmp(),
             player_hls: PlayerConfig::hls(),
+            player_srt: PlayerConfig::srt(),
+            transport: None,
             faults: pscp_simnet::fault::FaultConfig::default(),
         }
     }

@@ -35,7 +35,7 @@ use crate::device::ViewerDevice;
 use crate::player::run_playback;
 use crate::retry::{classify, RetryClass, RetryPolicy};
 use crate::session::{PlaybackMetaReport, SessionConfig, SessionOutcome};
-use crate::{hls_session, rtmp_session};
+use crate::{hls_session, rtmp_session, srt_session};
 use pscp_obs::{Observer, PhaseSpan, Trace};
 use pscp_service::select::Protocol;
 use pscp_service::PeriscopeService;
@@ -187,8 +187,46 @@ impl<'a> Teleport<'a> {
         // RTMP → HLS failover on persistent ingest-server outage; brief
         // outages are ridden out as a delayed join (reconnect). Outage
         // membership is keyed on the fault seed alone, so every session
-        // agrees on when each ingest server was down.
-        let mut protocol = access.protocol;
+        // agrees on when each ingest server was down. `config.transport`
+        // (the chaos sweep's three-way switch) overrides the service's
+        // viewer-count policy; `None` is the paper-faithful default.
+        let mut protocol = config.transport.unwrap_or(access.protocol);
+        if protocol == Protocol::Srt && faults.ingest_outage.is_active() {
+            // The SRT gateway is its own outage unit (`srt-{host}`): it can
+            // be down while plain RTMP ingest on the same host is up, which
+            // is exactly the situation the SRT → RTMP fallback exists for.
+            // The gateway host comes straight from ingest assignment — the
+            // same pure function the SRT session uses — because a forced
+            // transport may override an HLS access that carries no
+            // `rtmp_server`.
+            let server = pscp_service::ingest::assign_server(&broadcast.location, broadcast.id.0);
+            let unit = format!("srt-{}", server.hostname());
+            if faults.ingest_outage.in_outage(faults.seed, &unit, join_eff) {
+                trace.count("fault", "ingest_outages", 1);
+                let up = faults.ingest_outage.outage_end(faults.seed, &unit, join_eff);
+                if up.saturating_since(join_eff) > FAILOVER_PATIENCE {
+                    trace.count("recovery", "srt_fallbacks", 1);
+                    trace.span(
+                        join_eff.as_micros(),
+                        join_eff.as_micros(),
+                        "recovery",
+                        "recovery.failover",
+                        Some(root),
+                    );
+                    protocol = Protocol::Rtmp;
+                } else {
+                    trace.count("recovery", "ingest_reconnects", 1);
+                    trace.span(
+                        join_eff.as_micros(),
+                        up.as_micros(),
+                        "recovery",
+                        "recovery.reconnect",
+                        Some(root),
+                    );
+                    join_eff = up;
+                }
+            }
+        }
         if protocol == Protocol::Rtmp && faults.ingest_outage.is_active() {
             if let Some(server) = &access.rtmp_server {
                 let host = server.hostname();
@@ -226,6 +264,7 @@ impl<'a> Teleport<'a> {
         let mut outcome = match protocol {
             Protocol::Rtmp => rtmp_session::run_traced(broadcast, join_eff, config, &rngs, trace),
             Protocol::Hls => hls_session::run_traced(broadcast, join_eff, config, &rngs, trace),
+            Protocol::Srt => srt_session::run_traced(broadcast, join_eff, config, &rngs, trace),
         };
         if delay > SimDuration::ZERO {
             // The retries happened before the stream view opened; the user's
@@ -265,6 +304,7 @@ impl<'a> Teleport<'a> {
         let (proto_name, player_cfg) = match protocol {
             Protocol::Rtmp => ("rtmp", config.player_rtmp),
             Protocol::Hls => ("hls", config.player_hls),
+            Protocol::Srt => ("srt", config.player_srt),
         };
         crate::session::trace_session_start(
             trace,
@@ -366,7 +406,10 @@ impl<'a> Teleport<'a> {
                 session.device =
                     if i % 2 == 0 { ViewerDevice::GalaxyS4 } else { ViewerDevice::GalaxyS3 };
             }
-            let protocol = selection.choose(broadcast, join_at);
+            // Capture retention is bucketed by the protocol the session will
+            // actually use, so a forced-transport sweep still caps correctly.
+            let protocol =
+                config.session.transport.unwrap_or_else(|| selection.choose(broadcast, join_at));
             let slot = kept.entry(protocol).or_insert(0);
             let keep_capture = *slot < config.keep_captures_per_protocol;
             if keep_capture {

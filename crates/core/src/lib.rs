@@ -26,6 +26,6 @@ pub mod experiments;
 pub mod figures;
 pub mod lab;
 
-pub use chaos::{run_chaos, ChaosConfig, ChaosSweep};
+pub use chaos::{run_chaos, ChaosConfig, ChaosPoint, ChaosSlo, ChaosSweep};
 pub use figures::FigureData;
 pub use lab::{Lab, LabConfig, Scale};

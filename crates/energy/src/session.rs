@@ -15,7 +15,8 @@ use pscp_service::select::Protocol;
 /// aggregate traffic rate and the session's protocol/chat settings.
 pub fn session_workload(outcome: &SessionOutcome, chat_on: bool) -> Workload {
     let base = match (outcome.protocol, chat_on) {
-        (Protocol::Rtmp, _) => scenario_workload(Scenario::VideoRtmpChatOff),
+        // SRT is push-delivered like RTMP: same radio/decode duty cycle.
+        (Protocol::Rtmp | Protocol::Srt, _) => scenario_workload(Scenario::VideoRtmpChatOff),
         (Protocol::Hls, false) => scenario_workload(Scenario::VideoHlsChatOff),
         (Protocol::Hls, true) => scenario_workload(Scenario::VideoHlsChatOn),
     };

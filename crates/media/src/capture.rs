@@ -38,6 +38,9 @@ pub enum FlowKind {
     /// App bootstrap traffic at join: thumbnails, chat backlog, rankings —
     /// the transfers that make joining slow on a throttled link (Fig 4a).
     AppMisc,
+    /// SRT datagrams from an ingest-side gateway (the what-if transport
+    /// study, DESIGN.md §12). Payloads are per-datagram, not a TCP stream.
+    Srt,
 }
 
 /// Per-packet metadata; payload bytes live in the flow's arena, ending at

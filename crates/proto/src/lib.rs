@@ -16,6 +16,9 @@
 //! * [`rtmp`] — RTMP handshake and chunk-stream (de)multiplexing;
 //! * [`hls`] — M3U8 media playlist generation and parsing;
 //! * [`ws`] — WebSocket frame encode/decode for the chat channel;
+//! * [`srt`] — SRT-flavoured unreliable ingest: handshake with cookie
+//!   exchange, wrapping sequence numbers, compressed-range NAKs, bounded
+//!   retransmit queue, latency-window drop (DESIGN.md §12);
 //! * [`tls`] — the record-layer model behind RTMPS/HTTPS for private
 //!   broadcasts and the API (sizes, overhead, and opacity — not crypto).
 //!
@@ -28,6 +31,7 @@ pub mod hls;
 pub mod http;
 pub mod json;
 pub mod rtmp;
+pub mod srt;
 pub mod tls;
 pub mod ws;
 

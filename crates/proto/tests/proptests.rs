@@ -3,7 +3,7 @@
 //! arbitrary bytes. Ported from proptest to the in-tree `pscp-check`
 //! harness: generators are plain `Fn(&mut Gen) -> T` closures.
 
-use pscp_check::{check, check_with, ensure_eq, Config, Gen};
+use pscp_check::{check, check_with, ensure, ensure_eq, Config, Gen};
 use pscp_proto::amf::Amf0;
 use pscp_proto::hls::{MediaPlaylist, SegmentEntry};
 use pscp_proto::http::{Request, Response};
@@ -596,6 +596,171 @@ fn rtmp_chunker_matches_reference_bytes() {
                 reference.write(m, &mut ref_wire);
             }
             ensure_eq!(wire, ref_wire);
+            Ok(())
+        },
+    );
+}
+
+// -------------------------------------------------------------------- SRT
+//
+// Serial sequence arithmetic and the compressed-range NAK lists are the
+// parts of the SRT layer where an off-by-one at the 2^32 wrap corrupts loss
+// recovery silently, so they get property coverage across the boundary:
+// starts are biased to land within a few packets of `u32::MAX`.
+
+use pscp_proto::srt::{
+    compress_ranges, decode_packet, encode_packet, expand_ranges, seq_add, seq_cmp, seq_distance,
+    ControlPacket, DataPacket, Packet, MAX_NAK_RANGE,
+};
+
+/// A sequence-space start point, biased to straddle the wrap boundary half
+/// of the time so every property is exercised across `u32::MAX → 0`.
+fn arb_seq_start(g: &mut Gen) -> u32 {
+    if g.bool() {
+        g.u32(u32::MAX - 64..=u32::MAX)
+    } else {
+        g.u32(..)
+    }
+}
+
+#[test]
+fn srt_seq_arithmetic_is_serial() {
+    check(
+        "srt_seq_arithmetic_is_serial",
+        |g: &mut Gen| {
+            // Forward offsets stay inside one half-space (2^31), where the
+            // serial order is defined; the latency window keeps real traffic
+            // far inside it.
+            (arb_seq_start(g), g.u32(0..0x8000_0000))
+        },
+        |&(a, n)| {
+            let b = seq_add(a, n);
+            // add/distance are inverses through the wrap.
+            ensure_eq!(seq_distance(a, b), n);
+            ensure_eq!(seq_add(a, 0), a);
+            // seq_cmp agrees with the forward distance.
+            let expect = 0u32.cmp(&n);
+            ensure_eq!(seq_cmp(a, b), expect);
+            // Antisymmetry: b compares back the opposite way (strict offsets
+            // only; n == 0 is equality).
+            ensure_eq!(seq_cmp(b, a), expect.reverse());
+            Ok(())
+        },
+    );
+}
+
+/// Generates a strictly increasing (wrap-forward) run of lost sequence
+/// numbers: consecutive stretches with occasional gaps, as a real receiver's
+/// loss tracker would report them.
+fn arb_loss_run(g: &mut Gen) -> Vec<u32> {
+    let mut seq = arb_seq_start(g);
+    let steps = g.vec(0..40, |g| if g.choice(3) == 0 { g.u32(2..200) } else { 1 });
+    let mut out = Vec::with_capacity(steps.len());
+    for step in steps {
+        out.push(seq);
+        seq = seq_add(seq, step);
+    }
+    out
+}
+
+#[test]
+fn srt_nak_ranges_roundtrip_across_wrap() {
+    check("srt_nak_ranges_roundtrip_across_wrap", arb_loss_run, |seqs| {
+        let ranges = compress_ranges(seqs);
+        // Compression is canonical: no two adjacent ranges are mergeable.
+        for w in ranges.windows(2) {
+            ensure!(
+                seq_add(w[0].1, 1) != w[1].0,
+                "adjacent ranges {:?} and {:?} should have merged",
+                w[0],
+                w[1]
+            );
+        }
+        // Every range is wrap-forward and within the decoder's bound.
+        for &(first, last) in &ranges {
+            ensure!(seq_distance(first, last) < MAX_NAK_RANGE);
+        }
+        // Round-trip through expansion is the identity.
+        let back = expand_ranges(&ranges).map_err(|e| format!("expand failed: {e:?}"))?;
+        ensure_eq!(&back, seqs);
+        Ok(())
+    });
+}
+
+#[test]
+fn srt_expand_rejects_hostile_ranges() {
+    check(
+        "srt_expand_rejects_hostile_ranges",
+        |g: &mut Gen| (arb_seq_start(g), g.u32(MAX_NAK_RANGE..0x8000_0000)),
+        |&(first, width)| {
+            let hostile = [(first, seq_add(first, width))];
+            ensure!(
+                expand_ranges(&hostile).is_err(),
+                "range of width {width} must be rejected, not expanded"
+            );
+            Ok(())
+        },
+    );
+}
+
+fn arb_srt_packet(g: &mut Gen) -> Packet {
+    match g.choice(8) {
+        0 => Packet::Data(DataPacket {
+            seq: arb_seq_start(g),
+            origin_ts_us: g.u32(..),
+            msg: g.u32(..),
+            payload: g.bytes(0..1400),
+        }),
+        1 => Packet::Control(ControlPacket::Induction {
+            version: g.u32(0..10),
+            caller_id: g.u32(..),
+        }),
+        2 => Packet::Control(ControlPacket::Cookie { cookie: g.u32(..) }),
+        3 => Packet::Control(ControlPacket::Conclusion {
+            cookie: g.u32(..),
+            caller_id: g.u32(..),
+            initial_seq: arb_seq_start(g),
+            latency_ms: g.u32(0..10_000),
+        }),
+        4 => Packet::Control(ControlPacket::Agreement {
+            initial_seq: arb_seq_start(g),
+            latency_ms: g.u32(0..10_000),
+        }),
+        5 => Packet::Control(ControlPacket::Ack { ack_seq: arb_seq_start(g) }),
+        6 => Packet::Control(ControlPacket::Nak {
+            ranges: {
+                let mut seq = arb_seq_start(g);
+                g.vec(0..8, |g| {
+                    let first = seq;
+                    let last = seq_add(first, g.u32(0..MAX_NAK_RANGE));
+                    seq = seq_add(last, g.u32(2..100));
+                    (first, last)
+                })
+            },
+        }),
+        _ => Packet::Control(ControlPacket::Shutdown),
+    }
+}
+
+#[test]
+fn srt_packet_roundtrip() {
+    check("srt_packet_roundtrip", arb_srt_packet, |p| {
+        let mut wire = Vec::new();
+        encode_packet(p, &mut wire);
+        let (back, used) = decode_packet(&wire).map_err(|e| format!("decode failed: {e:?}"))?;
+        ensure_eq!(used, wire.len());
+        ensure_eq!(&back, p);
+        Ok(())
+    });
+}
+
+#[test]
+fn srt_decoder_never_panics() {
+    check(
+        "srt_decoder_never_panics",
+        |g: &mut Gen| g.bytes(0..256),
+        |bytes| {
+            let _ = decode_packet(bytes);
             Ok(())
         },
     );

@@ -182,6 +182,7 @@ mod tests {
             server: match protocol {
                 Protocol::Rtmp => "vidman-eu-central-1-01.periscope.tv".to_string(),
                 Protocol::Hls => "fastly-eu.periscope.tv".to_string(),
+                Protocol::Srt => "srt-vidman-eu-central-1-01.periscope.tv".to_string(),
             },
         }
     }

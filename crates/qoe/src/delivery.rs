@@ -44,6 +44,10 @@ pub fn analyze_session(outcome: &SessionOutcome) -> Option<StreamReport> {
             let flow = outcome.capture.flow_of_kind(FlowKind::HlsHttp)?;
             analyze_hls_flow(flow).ok()
         }
+        // SRT captures are datagram payloads, not a TCP byte stream; the
+        // flow dissectors here don't apply. Delivery latency for SRT comes
+        // from the player's capture→render samples instead.
+        Protocol::Srt => None,
     }
 }
 

@@ -74,6 +74,7 @@ pub fn fold_breakdowns(spans: &[(String, Span)]) -> Vec<PhaseBreakdown> {
             protocol = protocol.or(match s.subsystem {
                 "rtmp" => Some(Protocol::Rtmp),
                 "hls" | "tcp" => Some(Protocol::Hls),
+                "srt" => Some(Protocol::Srt),
                 _ => None,
             });
         }
@@ -300,12 +301,21 @@ fn protocol_name(p: Protocol) -> &'static str {
     match p {
         Protocol::Rtmp => "rtmp",
         Protocol::Hls => "hls",
+        Protocol::Srt => "srt",
     }
 }
 
 fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
+
+/// Fewest samples a per-protocol latency quantile objective needs before
+/// it is reported at all. Forcing a transport arm (the chaos sweep's
+/// three-way study) can leave another protocol with one or two stray
+/// sessions — e.g. SRT→RTMP handshake fallbacks — and a "p75" over such a
+/// sliver is noise, not an objective. The paper-scale workloads are far
+/// above this floor, so the golden `SLO_report.json` is unaffected.
+pub const MIN_QUANTILE_SAMPLES: usize = 4;
 
 /// Session count at which [`evaluate`] switches from exact full-sample
 /// quantiles to constant-memory streaming sketches (DESIGN.md §11).
@@ -371,6 +381,7 @@ fn evaluate_exact(
 
     let mut unlimited: Vec<&pscp_client::SessionOutcome> = dataset.unlimited(Protocol::Rtmp);
     unlimited.extend(dataset.unlimited(Protocol::Hls));
+    unlimited.extend(dataset.unlimited(Protocol::Srt));
     let joins = SessionDataset::join_times_s(&unlimited);
     if let Ok(p90) = quantile(&joins, 0.90) {
         objectives.push(SloObjective {
@@ -392,14 +403,16 @@ fn evaluate_exact(
         });
     }
     let rtmp_lat = SessionDataset::playback_latencies_s(&dataset.unlimited(Protocol::Rtmp));
-    if let Ok(p75) = quantile(&rtmp_lat, 0.75) {
-        objectives.push(SloObjective {
-            name: "rtmp_latency_p75_s",
-            measured: p75,
-            threshold: spec.rtmp_latency_p75_max_s,
-            op: "<=",
-            pass: p75 <= spec.rtmp_latency_p75_max_s,
-        });
+    if rtmp_lat.len() >= MIN_QUANTILE_SAMPLES {
+        if let Ok(p75) = quantile(&rtmp_lat, 0.75) {
+            objectives.push(SloObjective {
+                name: "rtmp_latency_p75_s",
+                measured: p75,
+                threshold: spec.rtmp_latency_p75_max_s,
+                op: "<=",
+                pass: p75 <= spec.rtmp_latency_p75_max_s,
+            });
+        }
     }
     let hls_lat: Vec<f64> =
         dataset.unlimited(Protocol::Hls).iter().filter_map(|s| s.player.mean_latency_s()).collect();
@@ -414,7 +427,7 @@ fn evaluate_exact(
         });
     }
 
-    let decomposition = [Protocol::Rtmp, Protocol::Hls]
+    let decomposition = [Protocol::Rtmp, Protocol::Hls, Protocol::Srt]
         .into_iter()
         .filter_map(|proto| {
             let group: Vec<&PhaseBreakdown> =
@@ -518,15 +531,17 @@ fn evaluate_sketched(
             pass: measured <= spec.stall_ratio_p90_max,
         });
     }
-    if let Some(p75) = tele.rtmp_latency_us.quantile(0.75) {
-        let measured = p75 as f64 / 1e6;
-        objectives.push(SloObjective {
-            name: "rtmp_latency_p75_s",
-            measured,
-            threshold: spec.rtmp_latency_p75_max_s,
-            op: "<=",
-            pass: measured <= spec.rtmp_latency_p75_max_s,
-        });
+    if tele.rtmp_latency_us.count() >= MIN_QUANTILE_SAMPLES as u64 {
+        if let Some(p75) = tele.rtmp_latency_us.quantile(0.75) {
+            let measured = p75 as f64 / 1e6;
+            objectives.push(SloObjective {
+                name: "rtmp_latency_p75_s",
+                measured,
+                threshold: spec.rtmp_latency_p75_max_s,
+                op: "<=",
+                pass: measured <= spec.rtmp_latency_p75_max_s,
+            });
+        }
     }
     if !tele.hls_latency_s.is_empty() {
         let mean = tele.hls_latency_s.mean();
@@ -539,7 +554,7 @@ fn evaluate_sketched(
         });
     }
 
-    let decomposition = [Protocol::Rtmp, Protocol::Hls]
+    let decomposition = [Protocol::Rtmp, Protocol::Hls, Protocol::Srt]
         .into_iter()
         .filter_map(|proto| {
             let n = tele.breakdown_count(proto) as usize;

@@ -26,10 +26,14 @@ use crate::slo::PhaseBreakdown;
 /// How many dominant phases the attribution top-K tracks.
 const DOMINANT_K: usize = 8;
 
+/// Per-protocol accumulator slots (RTMP, HLS, SRT).
+const N_PROTOCOLS: usize = 3;
+
 fn pidx(p: Protocol) -> usize {
     match p {
         Protocol::Rtmp => 0,
         Protocol::Hls => 1,
+        Protocol::Srt => 2,
     }
 }
 
@@ -54,10 +58,10 @@ pub struct QoeTelemetry {
     pub hls_latency_s: Moments,
     /// Breakdown join times (µs), all protocols — the MAD-outlier base.
     pub join_bd_us: QuantileSketch,
-    /// Per-protocol join-time moments over breakdowns (RTMP, HLS).
-    join_bd: [Moments; 2],
+    /// Per-protocol join-time moments over breakdowns (RTMP, HLS, SRT).
+    join_bd: [Moments; N_PROTOCOLS],
     /// Per-phase duration moments, keyed by phase name, per protocol.
-    phases: BTreeMap<String, [Moments; 2]>,
+    phases: BTreeMap<String, [Moments; N_PROTOCOLS]>,
     /// Dominant-phase counts over breakdowns.
     pub dominant: TopK,
 }
@@ -78,7 +82,7 @@ impl QoeTelemetry {
             rtmp_latency_us: QuantileSketch::new(),
             hls_latency_s: Moments::new(),
             join_bd_us: QuantileSketch::new(),
-            join_bd: [Moments::new(); 2],
+            join_bd: [Moments::new(); N_PROTOCOLS],
             phases: BTreeMap::new(),
             dominant: TopK::new(DOMINANT_K),
         }
@@ -104,6 +108,9 @@ impl QoeTelemetry {
                     self.hls_latency_s.observe(lat);
                 }
             }
+            // SRT sessions feed the protocol-agnostic join/stall sketches
+            // above; neither per-protocol latency objective applies.
+            Protocol::Srt => {}
         }
     }
 
@@ -113,7 +120,7 @@ impl QoeTelemetry {
         self.join_bd_us.observe(us(b.join_s));
         self.join_bd[p].observe(b.join_s);
         for (name, secs) in &b.phases {
-            let entry = self.phases.entry(name.clone()).or_insert([Moments::new(); 2]);
+            let entry = self.phases.entry(name.clone()).or_insert([Moments::new(); N_PROTOCOLS]);
             entry[p].observe(*secs);
         }
         if let Some((name, _)) = b.dominant_phase() {
@@ -140,12 +147,12 @@ impl QoeTelemetry {
         self.rtmp_latency_us.merge(&other.rtmp_latency_us);
         self.hls_latency_s.merge(&other.hls_latency_s);
         self.join_bd_us.merge(&other.join_bd_us);
-        for p in 0..2 {
+        for p in 0..N_PROTOCOLS {
             self.join_bd[p].merge(&other.join_bd[p]);
         }
         for (name, theirs) in &other.phases {
-            let entry = self.phases.entry(name.clone()).or_insert([Moments::new(); 2]);
-            for p in 0..2 {
+            let entry = self.phases.entry(name.clone()).or_insert([Moments::new(); N_PROTOCOLS]);
+            for p in 0..N_PROTOCOLS {
                 entry[p].merge(&theirs[p]);
             }
         }
@@ -194,7 +201,7 @@ impl QoeTelemetry {
             + self
                 .phases
                 .keys()
-                .map(|k| k.len() + std::mem::size_of::<[Moments; 2]>())
+                .map(|k| k.len() + std::mem::size_of::<[Moments; N_PROTOCOLS]>())
                 .sum::<usize>()
             + self.dominant.memory_bytes()
     }
@@ -218,18 +225,17 @@ impl QoeTelemetry {
             let _ = write!(s, ",\"hls_latency_mean_s\":{:.6}", self.hls_latency_s.mean());
         }
         s.push_str(",\"phase_means_s\":{");
-        for (i, proto) in [Protocol::Rtmp, Protocol::Hls].into_iter().enumerate() {
+        // The `srt` key appears only once SRT breakdowns exist, so default
+        // (SRT-unselected) snapshots keep their pre-SRT bytes exactly.
+        let mut protos = vec![(Protocol::Rtmp, "rtmp"), (Protocol::Hls, "hls")];
+        if self.breakdown_count(Protocol::Srt) > 0 {
+            protos.push((Protocol::Srt, "srt"));
+        }
+        for (i, (proto, label)) in protos.into_iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
-            let _ = write!(
-                s,
-                "\"{}\":{{",
-                match proto {
-                    Protocol::Rtmp => "rtmp",
-                    Protocol::Hls => "hls",
-                }
-            );
+            let _ = write!(s, "\"{label}\":{{");
             for (j, (name, mean)) in self.phase_means(proto).iter().enumerate() {
                 if j > 0 {
                     s.push(',');

@@ -10,13 +10,19 @@
 use pscp_simnet::SimTime;
 use pscp_workload::broadcast::Broadcast;
 
-/// The two delivery protocols (§3).
+/// The delivery protocols: the paper's two (§3) plus the SRT-style
+/// unreliable ingest this reproduction adds for the transport chaos study
+/// (DESIGN.md §12). The selection policy never chooses SRT on its own — a
+/// session opts in explicitly — so the paper-faithful pipeline is
+/// untouched unless an experiment forces the transport.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Protocol {
     /// Real Time Messaging Protocol over port 80, pushed from EC2 ingest.
     Rtmp,
     /// HTTP Live Streaming via the Fastly CDN.
     Hls,
+    /// SRT-flavoured datagram ingest with NAK/ARQ loss recovery.
+    Srt,
 }
 
 impl Protocol {
@@ -25,6 +31,7 @@ impl Protocol {
         match self {
             Protocol::Rtmp => "RTMP",
             Protocol::Hls => "HLS",
+            Protocol::Srt => "SRT",
         }
     }
 }

@@ -251,6 +251,13 @@ impl PeriscopeService {
                     b.id.0 ^ (now.as_micros() / 60_000_000),
                 )),
             },
+            // The selection policy never chooses SRT (it is opt-in per
+            // session); an SRT gateway rides the same ingest host.
+            Protocol::Srt => VideoAccess {
+                protocol,
+                rtmp_server: Some(assign_server(&b.location, b.id.0)),
+                cdn_pop: None,
+            },
         })
     }
 

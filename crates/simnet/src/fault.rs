@@ -271,6 +271,26 @@ impl LinkFaults {
         }
         extra
     }
+
+    /// Fate of the next packet on an *unreliable* link: `(lost, extra)`.
+    /// There is no transport below to retransmit, so a loss is a hole, not
+    /// a delay; spikes still surface as delay. Consumes exactly the same
+    /// three variates as [`LinkFaults::packet_extra`], so the two
+    /// disciplines share loss schedules — the same chain at a scaled
+    /// [`LossConfig`] loses a superset of packets either way.
+    pub fn datagram_fate(&mut self) -> (bool, SimDuration) {
+        let lost = self.ge.next_lost();
+        let spiked = self.spike_rng.chance(self.spike.p_spike);
+        if lost {
+            self.lost += 1;
+        }
+        let mut extra = SimDuration::ZERO;
+        if spiked {
+            self.spiked += 1;
+            extra += SimDuration::from_millis(self.spike.spike_ms);
+        }
+        (lost, extra)
+    }
 }
 
 /// Deterministic drop windows over `[from, to)`: each minute-aligned slot

@@ -24,6 +24,7 @@
 //! delivery-latency measurements.
 
 pub mod clock;
+pub mod datagram;
 pub mod dist;
 pub mod event;
 pub mod fault;
@@ -37,6 +38,7 @@ pub mod tcp;
 pub mod time;
 
 pub use clock::WallClock;
+pub use datagram::{DatagramLink, DgramDelivery};
 pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultRng};
 pub use geo::{GeoPoint, GeoRect};

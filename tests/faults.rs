@@ -188,29 +188,175 @@ fn outage_schedule_is_globally_consistent() {
     assert!(diverged, "different units must get different schedules");
 }
 
-/// Acceptance: the chaos sweep's mean stall ratio is monotonically
-/// non-decreasing in the injected loss scale, heavy loss visibly hurts,
-/// and the sweep artifact carries per-class fault counters.
+// --------------------------------------------------------- datagram links
+//
+// The SRT ingest path rides the unreliable datagram transport, whose fault
+// layer reuses the reliable path's Gilbert–Elliott chain. These two tests
+// pin the integration-level contract the chaos sweep depends on: the loss
+// schedule is a pure function of (config, seed), and a disabled config
+// attaches no fault state at all — the datagram link is then byte-identical
+// to a bare `Link`.
+
+#[test]
+fn datagram_ge_loss_is_bit_reproducible() {
+    use periscope_repro::simnet::{DatagramLink, SimDuration};
+    let fates = |seed: u64| {
+        let mut dg = DatagramLink::unbounded(8e6, SimDuration::from_millis(10)).with_faults(
+            &FaultConfig::chaos(5, 1.0),
+            seed,
+            "srt/link",
+        );
+        (0..2000u64).map(|i| dg.send(SimTime::from_millis(i), 500)).collect::<Vec<_>>()
+    };
+    assert_eq!(fates(7), fates(7), "datagram loss schedule must be deterministic");
+    assert_ne!(fates(7), fates(8), "the unit seed must key the schedule");
+    assert!(
+        fates(7).iter().any(|f| f.time().is_none()),
+        "chaos preset at 1x must lose at least one of 2000 datagrams"
+    );
+}
+
+#[test]
+fn datagram_faults_are_inert_when_disabled() {
+    use periscope_repro::simnet::{DatagramLink, Link, SimDuration};
+    let mut dg = DatagramLink::unbounded(8e6, SimDuration::from_millis(10)).with_faults(
+        &FaultConfig::default(),
+        0xDEAD_BEEF,
+        "srt/link",
+    );
+    let mut bare = Link::unbounded(8e6, SimDuration::from_millis(10));
+    assert!(dg.fault_counts().is_none(), "disabled config must attach no fault state");
+    for i in 0..500u64 {
+        let now = SimTime::from_millis(i * 2);
+        assert_eq!(
+            dg.send(now, 700).time(),
+            bare.enqueue(now, 700).time(),
+            "faultless datagram link must be byte-identical to a bare link"
+        );
+    }
+    assert_eq!(dg.lost_wire, 0);
+}
+
+// ------------------------------------------------------- three-way chaos
+//
+// The chaos sweep is a paired comparison: every (transport × intensity)
+// point replans the identical sessions (same RNG namespace), so arm
+// differences measure the transport discipline, not sampling luck.
+
+/// Runs one forced-transport Teleport arm under the chaos preset. Every
+/// call reuses the same lab seed and RNG child, so arms are paired session
+/// by session (common random numbers).
+fn run_transport_arm(
+    lab_seed: u64,
+    faults: FaultConfig,
+    transport: Protocol,
+    sessions: usize,
+) -> Vec<SessionOutcome> {
+    let mut lab = Lab::new(LabConfig::small(lab_seed));
+    let rngs = *lab.rngs();
+    let svc = lab.service();
+    let obs = Observer::with_flags(true, false);
+    let tp = Teleport::new(svc, rngs.child("faults-test"));
+    let tcfg = TeleportConfig {
+        sessions,
+        session: SessionConfig { faults, transport: Some(transport), ..Default::default() },
+        alternate_devices: true,
+        keep_captures_per_protocol: 0,
+        threads: 0,
+    };
+    tp.run_dataset_observed(&tcfg, &obs)
+}
+
+/// Acceptance (tentpole): at ≥2× chaos loss (marginal Gilbert–Elliott loss
+/// ≈ 4.8%, disconnect windows active) the SRT arm's total stall time is
+/// strictly below the RTMP arm's over the same planned sessions. The win is
+/// the loss-recovery discipline: SRT conceals too-late packets inside its
+/// latency window and shrugs off the connection-oriented disconnect windows
+/// that force RTMP sessions to stall and reconnect.
+#[test]
+fn srt_arm_beats_rtmp_arm_at_double_loss() {
+    let faults = FaultConfig::chaos(2016, 2.0);
+    let rtmp = run_transport_arm(38, faults, Protocol::Rtmp, 16);
+    let srt = run_transport_arm(38, faults, Protocol::Srt, 16);
+    assert_eq!(rtmp.len(), srt.len(), "paired arms must plan the same sessions");
+    let total = |arm: &[SessionOutcome]| arm.iter().map(|o| o.stall_ratio()).sum::<f64>();
+    let (rtmp_total, srt_total) = (total(&rtmp), total(&srt));
+    assert!(
+        srt_total < rtmp_total,
+        "SRT stall sum {srt_total:.4} should strictly beat RTMP {rtmp_total:.4} at 2x loss"
+    );
+}
+
+/// Acceptance: in the three-way sweep the RTMP arm's QoE degrades
+/// monotonically with the injected loss scale — as join-time growth, since
+/// the TCP flow floor turns Gilbert–Elliott loss into a bounded one-time
+/// latency shift rather than mid-stream stalls — the per-arm loss counters
+/// obey the Gilbert–Elliott superset property, and the artifact carries
+/// every (transport × scale) point plus one SLO verdict per arm.
 #[test]
 fn chaos_sweep_stall_ratio_is_monotone_in_loss() {
     let mut lab = Lab::new(LabConfig::small(37));
-    let cfg =
-        ChaosConfig { seed: 2016, sessions: 16, loss_scales: vec![0.0, 1.0, 4.0], threads: 0 };
+    let cfg = ChaosConfig {
+        seed: 2016,
+        sessions: 16,
+        loss_scales: vec![0.0, 1.0, 4.0],
+        transports: vec![Some(Protocol::Rtmp), Some(Protocol::Hls), Some(Protocol::Srt)],
+        threads: 0,
+    };
     let sweep = run_chaos(&mut lab, &cfg);
-    assert_eq!(sweep.points.len(), 3);
-    let means: Vec<f64> = sweep.points.iter().map(|p| p.mean_stall_ratio()).collect();
-    for w in means.windows(2) {
-        assert!(w[1] >= w[0] - 1e-9, "stall ratio not monotone in loss scale: {means:?}");
+    assert_eq!(sweep.points.len(), 9, "3 transports x 3 scales");
+    let rtmp = sweep.arm(Some(Protocol::Rtmp));
+    let joins: Vec<f64> = rtmp.iter().map(|p| p.mean_join_s()).collect();
+    for w in joins.windows(2) {
+        assert!(w[1] >= w[0] - 1e-9, "RTMP join time not monotone in loss scale: {joins:?}");
     }
-    assert!(means[2] > means[0], "4x loss should visibly hurt QoE over no loss: {means:?}");
+    assert!(joins[2] > joins[0], "4x loss should visibly delay RTMP joins: {joins:?}");
     // Loss counters only exist once loss is on, and grow with the scale
-    // (the Gilbert–Elliott superset property).
-    let lost = |i: usize| sweep.points[i].counter("fault", "lost_packets");
-    assert_eq!(lost(0), 0, "scale 0 must lose nothing");
-    assert!(lost(2) >= lost(1), "superset property violated: {} < {}", lost(2), lost(1));
-    assert!(lost(2) > 0);
+    // (the Gilbert–Elliott superset property) on every arm that draws them.
+    for transport in [Protocol::Rtmp, Protocol::Hls, Protocol::Srt] {
+        let arm = sweep.arm(Some(transport));
+        let lost = |i: usize| arm[i].counter("fault", "lost_packets");
+        assert_eq!(lost(0), 0, "{transport:?}: scale 0 must lose nothing");
+        assert!(
+            lost(2) >= lost(1),
+            "{transport:?}: superset property violated: {} < {}",
+            lost(2),
+            lost(1)
+        );
+    }
+    assert!(rtmp.last().expect("rtmp arm").counter("fault", "lost_packets") > 0);
+    // The SRT arm actually exercises the ARQ loop once loss is on: NAKs go
+    // out, retransmits come back, and too-late packets are concealed (not
+    // stalled on) — all strictly increasing in the loss scale.
+    let srt = sweep.arm(Some(Protocol::Srt));
+    assert!(srt[2].counter("srt", "nak_sent") > srt[0].counter("srt", "nak_sent"));
+    assert!(srt[2].counter("srt", "retransmits") > srt[0].counter("srt", "retransmits"));
+    // One SLO verdict per arm, at the nominal x1 intensity.
+    assert_eq!(sweep.slo.len(), 3);
+    assert!(sweep.slo.iter().all(|s| s.loss_scale == 1.0));
     // The artifact parses as JSON and names every sweep point.
     let json = sweep.sweep_json();
     let parsed = periscope_repro::proto::json::parse(&json).expect("CHAOS_sweep.json parses");
-    assert_eq!(parsed.get("points").and_then(|p| p.as_array()).map(|a| a.len()), Some(3));
+    assert_eq!(parsed.get("points").and_then(|p| p.as_array()).map(|a| a.len()), Some(9));
+    assert_eq!(parsed.get("slo").and_then(|p| p.as_array()).map(|a| a.len()), Some(3));
+}
+
+/// Acceptance: the full three-way artifact is byte-identical at 1, 2 and 8
+/// worker threads — the sweep's parallelism must not touch a single draw.
+#[test]
+fn chaos_sweep_is_thread_invariant_three_way() {
+    let sweep_at = |threads: usize| {
+        let mut lab = Lab::new(LabConfig::small(37));
+        let cfg = ChaosConfig {
+            seed: 2016,
+            sessions: 8,
+            loss_scales: vec![0.0, 2.0],
+            transports: vec![Some(Protocol::Rtmp), Some(Protocol::Hls), Some(Protocol::Srt)],
+            threads,
+        };
+        run_chaos(&mut lab, &cfg).sweep_json()
+    };
+    let one = sweep_at(1);
+    assert_eq!(one, sweep_at(2), "chaos sweep diverged at 2 threads");
+    assert_eq!(one, sweep_at(8), "chaos sweep diverged at 8 threads");
 }
