@@ -12,6 +12,7 @@
 
 pub mod diff;
 pub mod micro;
+pub mod scale;
 pub mod watch;
 
 use pscp_client::player::PlayerConfig;
@@ -30,7 +31,8 @@ pub fn lab_config(scale: &str, seed: u64) -> Result<LabConfig, String> {
         "small" => Ok(LabConfig::small(seed)),
         "medium" => Ok(LabConfig::medium(seed)),
         "paper" => Ok(LabConfig::paper(seed)),
-        other => Err(format!("unknown scale '{other}' (small|medium|paper)")),
+        "planet" => Ok(LabConfig::planet(seed)),
+        other => Err(format!("unknown scale '{other}' (small|medium|paper|planet)")),
     }
 }
 

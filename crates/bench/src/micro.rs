@@ -346,6 +346,39 @@ pub fn bench_components(seed: u64) -> String {
     }
 
     {
+        use pscp_core::shard::{ShardPlan, ShardStats};
+        use pscp_simnet::rng::Rng as _;
+        use pscp_workload::population::{Population, PopulationConfig};
+        // The sharded engine's bookkeeping overhead (DESIGN.md §13): build
+        // the 16-cell quadtree plan over a medium world and fold 16
+        // per-shard roll-ups into one — everything `run_scale` does beyond
+        // running the sessions themselves.
+        let pop =
+            Population::generate(PopulationConfig::medium(), &RngFactory::new(4).child("world"));
+        let mut leaves: Vec<ShardStats> = Vec::new();
+        let mut rng = RngFactory::new(4).stream("shard-bench");
+        for _ in 0..16 {
+            let mut st = ShardStats::new();
+            for _ in 0..500 {
+                st.sessions += 1;
+                st.join_us.observe((pscp_simnet::dist::lognormal(&mut rng, 0.0, 1.0) * 1e6) as u64);
+                st.stall_ppm.observe((rng.gen::<f64>() * 1e5) as u64);
+            }
+            leaves.push(st);
+        }
+        suite.run("shard/plan+fold 16 cells medium world", None, || {
+            let plan = ShardPlan::build(&pop, 16);
+            let mut acc = ShardStats::new();
+            for leaf in &leaves {
+                acc.merge(leaf);
+            }
+            plan.discoverable_broadcast_minutes() + acc.join_us.count()
+        });
+        let plan = ShardPlan::build(&pop, 16);
+        suite.fact("shard_plan_bytes_medium_world", plan.memory_bytes() as u64);
+    }
+
+    {
         use pscp_proto::tls::TlsChannel;
         let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
         suite.run("tls/seal+open 100kB", Some(payload.len() as u64), || {

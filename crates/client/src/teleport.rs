@@ -67,6 +67,13 @@ pub struct TeleportConfig {
     /// the machine's parallelism, `1` = the serial path). Output is
     /// byte-identical at every setting.
     pub threads: usize,
+    /// Geo shards for the execute phase: a power of four (1, 4, 16, …).
+    /// Above 1, planned sessions are grouped by the quadtree cell of their
+    /// broadcast and each cell's group runs as a shard-local unit; results
+    /// are scattered back to plan order, so the dataset is byte-identical
+    /// at every shard count (each session depends only on its own plan
+    /// entry, never on which shard executed it — DESIGN.md §13).
+    pub shards: usize,
 }
 
 impl Default for TeleportConfig {
@@ -77,6 +84,7 @@ impl Default for TeleportConfig {
             alternate_devices: true,
             keep_captures_per_protocol: usize::MAX,
             threads: 0,
+            shards: 1,
         }
     }
 }
@@ -91,6 +99,12 @@ impl<'a> Teleport<'a> {
     /// Creates a driver against a service.
     pub fn new(service: &'a PeriscopeService, rngs: RngFactory) -> Self {
         Teleport { service, rngs: rngs.child("teleport") }
+    }
+
+    /// The driver's RNG namespace, for callers that must key extra draws
+    /// (e.g. shard migrations) consistently with the sessions themselves.
+    pub fn rngs(&self) -> &RngFactory {
+        &self.rngs
     }
 
     /// Picks a random live broadcast at `now`, weighted by current viewers
@@ -442,7 +456,46 @@ impl<'a> Teleport<'a> {
             }
             (outcome, trace)
         };
-        let results: Vec<(SessionOutcome, Trace)> = if obs.profiling() {
+        let results: Vec<(SessionOutcome, Trace)> = if config.shards > 1 {
+            // Sharded execute: group plan entries by the quadtree cell of
+            // their broadcast, run cells as shard-local units, scatter the
+            // results back to plan positions. Outcomes are pure functions
+            // of their plan entry, so the reassembled dataset is
+            // byte-identical to the unsharded path.
+            let depth = pscp_simnet::geo::quad_depth_for(config.shards)
+                .expect("shards must be a power of four (1, 4, 16, ...)");
+            let mut groups: Vec<Vec<usize>> = vec![Vec::new(); config.shards];
+            for (pi, p) in plan.iter().enumerate() {
+                let cell = pscp_simnet::GeoRect::quad_cell(&p.broadcast.location, depth);
+                groups[cell as usize].push(pi);
+            }
+            let shard_work = |_: usize, group: &Vec<usize>| {
+                group.iter().map(|&pi| work(pi, &plan[pi])).collect::<Vec<_>>()
+            };
+            let started = std::time::Instant::now();
+            let per_shard = pscp_simnet::par::indexed_map(&groups, config.threads, shard_work);
+            if obs.profiling() {
+                let wall = started.elapsed().as_secs_f64();
+                obs.record_phase(PhaseSpan {
+                    name: "dataset.execute".into(),
+                    wall_secs: wall,
+                    workers: pscp_simnet::par::resolve_threads(config.threads),
+                    items: plan.len(),
+                    busy_secs: wall,
+                });
+            }
+            let mut slots: Vec<Option<(SessionOutcome, Trace)>> =
+                (0..plan.len()).map(|_| None).collect();
+            for (group, results) in groups.iter().zip(per_shard) {
+                for (&pi, r) in group.iter().zip(results) {
+                    slots[pi] = Some(r);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every planned session lands in exactly one shard"))
+                .collect()
+        } else if obs.profiling() {
             let (results, profile) =
                 pscp_simnet::par::indexed_map_timed(&plan, config.threads, work);
             obs.record_phase(PhaseSpan {

@@ -20,6 +20,9 @@ pub enum Scale {
     Small,
     /// Paper-sized datasets (minutes of wall time to generate).
     Paper,
+    /// Planet-sized worlds (~1M broadcasts) for the sharded `repro scale`
+    /// experiment; only feasible through the sketch-bounded shard engine.
+    Planet,
 }
 
 /// Lab configuration.
@@ -52,6 +55,11 @@ pub struct LabConfig {
     /// Record wall-clock phase spans (plan/execute/sweep/crawl/analysis)
     /// even when `trace` is off. Implied by `trace`.
     pub profile: bool,
+    /// Quadtree shards for dataset execution (a power of four; `1` = the
+    /// classic unsharded path). Sessions are grouped by the broadcast's
+    /// [`pscp_simnet::GeoRect::quad_cell`] and scattered back in plan
+    /// order, so every artifact is byte-identical at every shard count.
+    pub shards: usize,
 }
 
 impl LabConfig {
@@ -68,6 +76,7 @@ impl LabConfig {
             threads: 0,
             trace: false,
             profile: false,
+            shards: 1,
         }
     }
 
@@ -86,6 +95,7 @@ impl LabConfig {
             threads: 0,
             trace: false,
             profile: false,
+            shards: 1,
         }
     }
 
@@ -102,6 +112,26 @@ impl LabConfig {
             threads: 0,
             trace: false,
             profile: false,
+            shards: 1,
+        }
+    }
+
+    /// Planet-scale configuration: a ~1M-broadcast world for the sharded
+    /// scale engine ([`crate::shard::run_scale`]). The classic dataset
+    /// pipeline is not meant to run at this scale — use `repro scale`.
+    pub fn planet(seed: u64) -> LabConfig {
+        LabConfig {
+            seed,
+            scale: Scale::Planet,
+            population: PopulationConfig::planet(),
+            service: ServiceConfig::default(),
+            sessions_unlimited: 0,
+            sessions_per_limit: 0,
+            limits_mbps: Vec::new(),
+            threads: 0,
+            trace: false,
+            profile: false,
+            shards: 16,
         }
     }
 }
@@ -208,6 +238,25 @@ impl Lab {
         PeriscopeService::new(population, self.config.service.clone())
     }
 
+    /// Like [`Lab::service_at_hour`], but the world is pruned to the
+    /// broadcasts a crawler can observe (public, location visible). Crawls
+    /// only see the world through the HTTP API — map queries return
+    /// public-and-located broadcasts, and `getBroadcasts` only re-describes
+    /// already-discovered ids — so crawl results are byte-identical on the
+    /// pruned world while every in-flight crawl holds ~17% fewer
+    /// broadcasts. The filter runs *after* each broadcast's draws with the
+    /// same `world-at-{h}` RNG label, so retained broadcasts are
+    /// field-identical to the full world's.
+    pub fn crawl_service_at_hour(&self, utc_start_hour: f64) -> PeriscopeService {
+        let mut cfg = self.config.population.clone();
+        cfg.utc_start_hour = utc_start_hour;
+        let label = format!("world-at-{utc_start_hour}");
+        let population = Population::generate_filtered(cfg, &self.rngs.child(&label), |b| {
+            !b.private && b.location_public
+        });
+        PeriscopeService::new(population, self.config.service.clone())
+    }
+
     /// Runs a quick batch of unlimited-bandwidth viewing sessions.
     pub fn run_viewing_sessions(&mut self, n: usize) -> SessionReport {
         let rngs = self.rngs;
@@ -233,6 +282,7 @@ impl Lab {
         let threads = self.config.threads;
         let sessions_unlimited = self.config.sessions_unlimited;
         let sessions_per_limit = self.config.sessions_per_limit;
+        let shards = self.config.shards;
         let limits = self.config.limits_mbps.clone();
         self.service();
         let svc: &PeriscopeService = self.service.as_ref().expect("just built");
@@ -246,6 +296,7 @@ impl Lab {
                 // paper scale.
                 keep_captures_per_protocol: 320,
                 threads,
+                shards: self.config.shards,
                 ..Default::default()
             },
             obs,
@@ -266,6 +317,7 @@ impl Lab {
                 alternate_devices: true,
                 keep_captures_per_protocol: 8,
                 threads: 1,
+                shards,
             };
             let outcomes = tp.run_dataset_observed(&cfg, &local);
             (outcomes, local)
@@ -303,7 +355,7 @@ impl Lab {
     /// stays on the returned crawl. Used by the parallel plural methods,
     /// which absorb traces serially in hour order.
     fn deep_crawl_raw(&self, utc_start_hour: f64) -> DeepCrawl {
-        let mut svc = self.service_at_hour(utc_start_hour);
+        let mut svc = self.crawl_service_at_hour(utc_start_hour);
         DeepCrawl::run(&mut svc, &self.deep_config(), SimTime::from_secs(120))
     }
 
@@ -321,12 +373,13 @@ impl Lab {
     /// builds its own `world-at-{h}` service, so crawls share nothing and
     /// results match [`Lab::deep_crawl_at`] called hour by hour.
     ///
-    /// Memory note: every in-flight crawl holds a full [`Population`], so
-    /// peak memory is `min(threads, hours.len())` populations instead of
-    /// the serial loop's one. The paper uses four crawl hours and a
-    /// population is a few MB of plain structs (no captures), so the
-    /// worst case is tens of MB; set [`LabConfig::threads`] to `1` if
-    /// even that is too much.
+    /// Memory note: every in-flight crawl holds its own [`Population`],
+    /// so peak memory is `min(threads, hours.len())` populations instead
+    /// of the serial loop's one — but each is the crawler-visible view
+    /// from [`Lab::crawl_service_at_hour`] (public, located broadcasts
+    /// only, ~17% lighter), so the scale tiers don't multiply full-world
+    /// peak RSS. Set [`LabConfig::threads`] to `1` if even that is too
+    /// much.
     pub fn deep_crawls_at(&self, hours: &[f64]) -> Vec<DeepCrawl> {
         let mut crawls = self.par_phase("crawl.deep", hours, |_, &h| self.deep_crawl_raw(h));
         if self.obs.tracing() {
@@ -339,8 +392,8 @@ impl Lab {
 
     /// Runs one targeted crawl (preceded by its deep crawl) per UTC start
     /// hour, in parallel; results match [`Lab::targeted_crawl_at`]. Same
-    /// memory profile as [`Lab::deep_crawls_at`]: one full [`Population`]
-    /// per in-flight crawl.
+    /// memory profile as [`Lab::deep_crawls_at`]: one crawler-visible
+    /// [`Population`] view per in-flight crawl.
     pub fn targeted_crawls_at(&self, hours: &[f64]) -> Vec<TargetedCrawl> {
         let mut crawls =
             self.par_phase("crawl.targeted", hours, |_, &h| self.targeted_crawl_raw(h));
@@ -355,7 +408,7 @@ impl Lab {
     /// Runs a deep crawl followed by a targeted crawl on the same world,
     /// keeping the combined trace on the returned crawl.
     fn targeted_crawl_raw(&self, utc_start_hour: f64) -> TargetedCrawl {
-        let mut svc = self.service_at_hour(utc_start_hour);
+        let mut svc = self.crawl_service_at_hour(utc_start_hour);
         let mut deep = DeepCrawl::run(&mut svc, &self.deep_config(), SimTime::from_secs(120));
         let tc_config = self.targeted_config();
         let areas = TargetedCrawl::select_areas(&deep, &tc_config);
@@ -382,7 +435,7 @@ impl Lab {
     pub fn targeted_config(&self) -> TargetedCrawlConfig {
         let margin = SimDuration::from_secs(match self.config.scale {
             Scale::Small => 300,
-            Scale::Paper => 1200,
+            Scale::Paper | Scale::Planet => 1200,
         });
         let duration =
             self.config.population.window.saturating_sub(margin).max(SimDuration::from_secs(600));

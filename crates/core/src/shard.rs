@@ -1,0 +1,757 @@
+//! Quadtree sharding of the service world (DESIGN.md §13).
+//!
+//! [`ShardPlan`] partitions an **already generated** [`Population`] into
+//! geo quadtree cells: the cell of a broadcast is a pure function of its
+//! location ([`GeoRect::quad_cell`]), so the partition itself never draws
+//! randomness and never depends on shard count. [`run_scale`] then runs
+//! one shard-local event loop per cell on the [`pscp_simnet::par`] engine,
+//! minute by minute: each minute every cell executes its own viewer
+//! sessions against the shared immutable world, and cross-shard traffic —
+//! viewer migrations, chat fan-in — is exchanged as message batches at the
+//! minute boundary, routed serially in plan (cell) order.
+//!
+//! # Determinism argument
+//!
+//! Output is byte-identical at any shard count and any thread count
+//! because three invariants hold by construction:
+//!
+//! 1. **Work is shard-invariant.** Whether a broadcast-minute spawns a
+//!    session, when the session joins, and every draw the session makes
+//!    are keyed on `(broadcast id, minute)` hashes and per-session RNG
+//!    streams — never on the cell that executes them or on any
+//!    shard-local interleaving. Regrouping cells into fewer or more
+//!    shards changes *scheduling*, never *draws*.
+//! 2. **Messages are shard-invariant.** A migration's destination is
+//!    sampled from the global population with an RNG stream keyed by the
+//!    originating session alone; chat batches carry counts derived from
+//!    the session hash. The multiset of messages exchanged at a boundary
+//!    is therefore identical at every shard count — only their grouping
+//!    into per-cell batches differs.
+//! 3. **Folds are exactly commutative.** Everything that crosses a shard
+//!    boundary lands in `u64` counters or [`QuantileSketch`] bucket
+//!    counts, whose merge is integer addition — exactly associative and
+//!    commutative — so the fold tree (one accumulator at 1 shard, sixteen
+//!    at 16) cannot change a single byte of the rolled-up result.
+//!    Cross-cell rates in [`ShardStats`] (migration/chat "cross-cell")
+//!    are measured at the fixed [`REF_DEPTH`] so the *metric* does not
+//!    move with the shard count either.
+//!
+//! Per-session state never outlives its session: outcomes fold straight
+//! into the per-cell [`ShardStats`] and [`QoeTelemetry`] sketches, so
+//! memory stays O(cells), not O(sessions) — the property that makes the
+//! 1M-broadcast tier of `repro scale` feasible.
+
+use pscp_client::session::SessionConfig;
+use pscp_client::Teleport;
+use pscp_qoe::QoeTelemetry;
+use pscp_service::PeriscopeService;
+use pscp_simnet::{GeoPoint, GeoRect, RngFactory, SimTime};
+use pscp_stats::QuantileSketch;
+use pscp_workload::broadcast::BroadcastId;
+use pscp_workload::cities::CITIES;
+use pscp_workload::population::Population;
+use std::fmt::Write as _;
+
+/// Fixed quadtree depth at which cross-cell metrics and the census are
+/// reported, independent of the shard count in force (16 cells).
+pub const REF_DEPTH: u8 = 2;
+
+/// One quadtree cell at a given depth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellId {
+    /// Levels below the world rectangle (0 = the whole world).
+    pub depth: u8,
+    /// Two bits per level, most significant level first
+    /// (see [`GeoRect::quad_cell`]).
+    pub key: u16,
+}
+
+impl CellId {
+    /// The cell containing `p` at `depth`.
+    pub fn of(p: &GeoPoint, depth: u8) -> CellId {
+        CellId { depth, key: GeoRect::quad_cell(p, depth) }
+    }
+
+    /// The cell's rectangle.
+    pub fn rect(&self) -> GeoRect {
+        GeoRect::quad_rect(self.key, self.depth)
+    }
+
+    /// The cell as a quadkey string, one digit (quadrant index) per level;
+    /// empty at depth 0.
+    pub fn quadkey(&self) -> String {
+        (0..self.depth)
+            .rev()
+            .map(|level| char::from(b'0' + ((self.key >> (2 * level)) & 3) as u8))
+            .collect()
+    }
+}
+
+/// One shard of the plan: a cell plus its local slice of the world.
+#[derive(Debug)]
+pub struct ShardCell {
+    /// The cell this shard owns.
+    pub id: CellId,
+    /// Indices into `Population::broadcasts` of the members, ascending —
+    /// global broadcast order restricted to the cell.
+    pub members: Vec<u32>,
+    /// Per-minute index of *discoverable* members (public, location
+    /// visible) live at some point within the minute, in member order.
+    minute_disc: Vec<Vec<u32>>,
+}
+
+impl ShardCell {
+    /// Discoverable members live within minute `m`.
+    pub fn discoverable_at_minute(&self, m: usize) -> &[u32] {
+        self.minute_disc.get(m).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// The shard plan: a total, disjoint partition of a population's
+/// broadcasts into the `4^depth` quadtree cells of one level.
+#[derive(Debug)]
+pub struct ShardPlan {
+    /// Quadtree depth of the partition.
+    pub depth: u8,
+    /// Simulated minutes (the population window plus the index margin).
+    pub minutes: usize,
+    /// All cells of the level in quadkey order, empty cells included, so
+    /// plan order is stable across populations.
+    pub cells: Vec<ShardCell>,
+    disc_broadcast_minutes: u64,
+}
+
+impl ShardPlan {
+    /// Builds the plan for `shards` cells (a power of four: 1, 4, 16, …).
+    pub fn build(pop: &Population, shards: usize) -> ShardPlan {
+        let depth = pscp_simnet::geo::quad_depth_for(shards)
+            .expect("shard count must be a power of four (1, 4, 16, ...)");
+        let minutes = (pop.config.window.as_secs_f64() / 60.0).ceil() as usize + 1;
+        let mut cells: Vec<ShardCell> = (0..shards)
+            .map(|k| ShardCell {
+                id: CellId { depth, key: k as u16 },
+                members: Vec::new(),
+                minute_disc: vec![Vec::new(); minutes],
+            })
+            .collect();
+        let mut disc_broadcast_minutes = 0u64;
+        for (i, b) in pop.broadcasts.iter().enumerate() {
+            let ci = GeoRect::quad_cell(&b.location, depth) as usize;
+            cells[ci].members.push(i as u32);
+            if b.private || !b.location_public {
+                continue;
+            }
+            let first = (b.start.as_micros() / 60_000_000) as usize;
+            let last = ((b.end().as_micros() / 60_000_000) as usize).min(minutes - 1);
+            for m in first..=last.max(first) {
+                cells[ci].minute_disc[m].push(i as u32);
+                disc_broadcast_minutes += 1;
+            }
+        }
+        ShardPlan { depth, minutes, cells, disc_broadcast_minutes }
+    }
+
+    /// Number of shards (cells) in the plan.
+    pub fn shards(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The plan-order index of the cell containing `p`.
+    pub fn cell_index(&self, p: &GeoPoint) -> usize {
+        GeoRect::quad_cell(p, self.depth) as usize
+    }
+
+    /// Total discoverable broadcast-minutes — the arrival-sampling domain.
+    pub fn discoverable_broadcast_minutes(&self) -> u64 {
+        self.disc_broadcast_minutes
+    }
+
+    /// Bytes held by the plan's index vectors (measured over lengths, not
+    /// allocator capacities, so equal plans report equal footprints — see
+    /// `QuantileSketch::memory_bytes`). Note the footprint legitimately
+    /// depends on the configured shard count: a 16-cell plan carries more
+    /// index structure than a 1-cell plan.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<ShardPlan>()
+            + self
+                .cells
+                .iter()
+                .map(|c| {
+                    std::mem::size_of::<ShardCell>()
+                        + c.members.len() * 4
+                        + c.minute_disc.iter().map(|v| 24 + v.len() * 4).sum::<usize>()
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Exactly mergeable per-shard roll-up: `u64` counters and quantile
+/// sketches only, so merging is integer addition in any order — the byte
+/// identity across shard counts rests on this (see the module docs).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// Sessions executed (primary + migrated).
+    pub sessions: u64,
+    /// Primary (arrival-spawned) sessions executed.
+    pub primary: u64,
+    /// Migrated-in sessions executed.
+    pub migrated_in: u64,
+    /// Sessions that never rendered a frame.
+    pub never_joined: u64,
+    /// Arrivals whose broadcast had no joinable instant left this minute.
+    pub skipped: u64,
+    /// Join times, µs (never-joined counts its full watch, like
+    /// [`QoeTelemetry`]).
+    pub join_us: QuantileSketch,
+    /// Stall ratios, parts per million.
+    pub stall_ppm: QuantileSketch,
+    /// Total watch time, µs.
+    pub watch_us: u64,
+    /// Migrations emitted at minute boundaries.
+    pub migrations_out: u64,
+    /// Of those, destination in a different [`REF_DEPTH`] cell.
+    pub migrations_cross: u64,
+    /// Migrations whose pick found nothing live, or whose destination had
+    /// ended by delivery time.
+    pub migrations_dropped: u64,
+    /// Chat messages posted by this shard's viewers.
+    pub chat_out: u64,
+    /// Chat messages delivered into this shard's broadcasts.
+    pub chat_in: u64,
+    /// Of those, posted from a different [`REF_DEPTH`] cell.
+    pub chat_cross: u64,
+}
+
+impl Default for ShardStats {
+    fn default() -> Self {
+        ShardStats::new()
+    }
+}
+
+impl ShardStats {
+    /// An empty accumulator.
+    pub fn new() -> ShardStats {
+        ShardStats {
+            sessions: 0,
+            primary: 0,
+            migrated_in: 0,
+            never_joined: 0,
+            skipped: 0,
+            join_us: QuantileSketch::new(),
+            stall_ppm: QuantileSketch::new(),
+            watch_us: 0,
+            migrations_out: 0,
+            migrations_cross: 0,
+            migrations_dropped: 0,
+            chat_out: 0,
+            chat_in: 0,
+            chat_cross: 0,
+        }
+    }
+
+    /// Merges another accumulator in (exact: integer addition only).
+    pub fn merge(&mut self, other: &ShardStats) {
+        self.sessions += other.sessions;
+        self.primary += other.primary;
+        self.migrated_in += other.migrated_in;
+        self.never_joined += other.never_joined;
+        self.skipped += other.skipped;
+        self.join_us.merge(&other.join_us);
+        self.stall_ppm.merge(&other.stall_ppm);
+        self.watch_us += other.watch_us;
+        self.migrations_out += other.migrations_out;
+        self.migrations_cross += other.migrations_cross;
+        self.migrations_dropped += other.migrations_dropped;
+        self.chat_out += other.chat_out;
+        self.chat_in += other.chat_in;
+        self.chat_cross += other.chat_cross;
+    }
+
+    /// Bytes held by the sketch state.
+    pub fn memory_bytes(&self) -> usize {
+        std::mem::size_of::<ShardStats>()
+            + self.join_us.memory_bytes()
+            + self.stall_ppm.memory_bytes()
+    }
+
+    /// Stable JSON object: fixed key order, integers and exact-integer
+    /// derived floats only, so equal stats render equal bytes.
+    pub fn json(&self) -> String {
+        fn q_s(sk: &QuantileSketch, p: f64) -> String {
+            sk.quantile(p).map(|u| format!("{:.6}", u as f64 / 1e6)).unwrap_or("null".into())
+        }
+        fn q_u(sk: &QuantileSketch, p: f64) -> String {
+            sk.quantile(p).map(|u| u.to_string()).unwrap_or("null".into())
+        }
+        let mut s = String::with_capacity(512);
+        let _ = write!(
+            s,
+            "{{\"sessions\":{},\"primary\":{},\"migrated_in\":{},\"never_joined\":{},\"skipped\":{}",
+            self.sessions, self.primary, self.migrated_in, self.never_joined, self.skipped
+        );
+        let mean_join = if self.join_us.count() > 0 {
+            format!("{:.6}", self.join_us.sum() as f64 / self.join_us.count() as f64 / 1e6)
+        } else {
+            "null".into()
+        };
+        let _ = write!(
+            s,
+            ",\"join_s\":{{\"p50\":{},\"p90\":{},\"p99\":{},\"mean\":{}}}",
+            q_s(&self.join_us, 0.50),
+            q_s(&self.join_us, 0.90),
+            q_s(&self.join_us, 0.99),
+            mean_join
+        );
+        let _ = write!(
+            s,
+            ",\"stall_ppm\":{{\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            q_u(&self.stall_ppm, 0.50),
+            q_u(&self.stall_ppm, 0.90),
+            q_u(&self.stall_ppm, 0.99)
+        );
+        let _ = write!(s, ",\"watch_hours\":{:.3}", self.watch_us as f64 / 3.6e9);
+        let _ = write!(
+            s,
+            ",\"migrations\":{{\"out\":{},\"cross_cell\":{},\"dropped\":{}}}",
+            self.migrations_out, self.migrations_cross, self.migrations_dropped
+        );
+        let _ = write!(
+            s,
+            ",\"chat\":{{\"out\":{},\"in\":{},\"cross_cell\":{}}}}}",
+            self.chat_out, self.chat_in, self.chat_cross
+        );
+        s
+    }
+}
+
+/// A viewer migration: emitted by the origin shard when a finished session
+/// teleports onward, delivered to the destination shard at the next minute
+/// boundary.
+#[derive(Debug, Clone)]
+pub struct Migration {
+    /// RNG/session key of the follow-on session.
+    pub session_key: u64,
+    /// Destination broadcast.
+    pub broadcast: BroadcastId,
+    /// Plan-order index of the destination cell.
+    pub to_cell: u32,
+    /// Whether origin and destination differ at [`REF_DEPTH`].
+    pub cross: bool,
+}
+
+/// A chat fan-in batch: messages posted by viewers homed in `from_cell`
+/// into a broadcast owned by `to_cell`, delivered at the minute boundary.
+#[derive(Debug, Clone)]
+pub struct ChatBatch {
+    /// Plan-order index of the posting viewers' home cell.
+    pub from_cell: u32,
+    /// Plan-order index of the broadcast's cell.
+    pub to_cell: u32,
+    /// Messages in the batch.
+    pub messages: u64,
+    /// Whether home and broadcast differ at [`REF_DEPTH`].
+    pub cross: bool,
+}
+
+/// Scale-run settings.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Shard count (a power of four).
+    pub shards: usize,
+    /// Worker threads (`0` = auto, like [`pscp_simnet::par`]).
+    pub threads: usize,
+    /// Expected primary sessions across the whole run; the per
+    /// broadcast-minute spawn probability is derived from this and the
+    /// plan's discoverable broadcast-minutes, so it is shard-invariant.
+    pub target_sessions: usize,
+    /// Probability a finished primary session teleports onward (one hop).
+    pub migrate_prob: f64,
+    /// Expected chat messages per watched minute.
+    pub chat_per_watch_min: f64,
+    /// Per-session configuration (network, watch budget, players).
+    pub session: SessionConfig,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            shards: 16,
+            threads: 0,
+            target_sessions: 1000,
+            migrate_prob: 0.25,
+            chat_per_watch_min: 3.0,
+            session: SessionConfig::default(),
+        }
+    }
+}
+
+/// One row of the fixed-depth population census.
+#[derive(Debug, Clone)]
+pub struct CensusRow {
+    /// Quadkey of the cell at [`REF_DEPTH`].
+    pub quadkey: String,
+    /// Broadcasts located in the cell.
+    pub broadcasts: u64,
+    /// Peak discoverable broadcasts in any one minute.
+    pub peak_discoverable: u64,
+}
+
+/// Result of a sharded scale run.
+#[derive(Debug)]
+pub struct ScaleRun {
+    /// Broadcasts in the world.
+    pub broadcasts: usize,
+    /// Shards the run used.
+    pub shards: usize,
+    /// Minutes simulated.
+    pub minutes: usize,
+    /// Merged exactly-mergeable roll-up.
+    pub stats: ShardStats,
+    /// Merged QoE telemetry (DESIGN.md §11 instruments).
+    pub telemetry: QoeTelemetry,
+    /// Population census at [`REF_DEPTH`] (non-empty cells, quadkey order).
+    pub census: Vec<CensusRow>,
+    /// Bytes held by the shard plan's indexes.
+    pub plan_bytes: usize,
+}
+
+/// Per-minute output of one shard's event loop.
+struct MinuteOut {
+    stats: ShardStats,
+    telemetry: QoeTelemetry,
+    migrations: Vec<Migration>,
+    chat: Vec<ChatBatch>,
+}
+
+/// Accumulated per-shard state across minutes.
+struct CellState {
+    stats: ShardStats,
+    telemetry: QoeTelemetry,
+}
+
+/// SplitMix64 finalizer — the engine's only ad-hoc hash. All scale-run
+/// coin flips key on it so they are pure functions of (seed, broadcast,
+/// minute) or (seed, session), never of shard or thread scheduling.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform [0, 1) from a hash.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Microseconds from seconds, saturating at zero.
+fn us(secs: f64) -> u64 {
+    (secs * 1e6).round().max(0.0) as u64
+}
+
+/// The deterministic home location of a session's viewer: a city drawn
+/// from the global activity weights by the session hash. Chat posted by
+/// the viewer fans in from this cell to the broadcast's cell.
+fn viewer_home(key: u64) -> GeoPoint {
+    let total: f64 = CITIES.iter().map(|c| c.weight).sum();
+    let mut u = unit(mix(key ^ 0xc4a7_0001)) * total;
+    for city in CITIES {
+        u -= city.weight;
+        if u <= 0.0 {
+            return city.point();
+        }
+    }
+    CITIES[CITIES.len() - 1].point()
+}
+
+/// The population census at [`REF_DEPTH`]: broadcasts and peak
+/// discoverable-per-minute per cell. A pure function of the population, so
+/// it is identical at every shard count by construction.
+pub fn census(pop: &Population) -> Vec<CensusRow> {
+    let ref_plan = ShardPlan::build(pop, 1usize << (2 * REF_DEPTH as usize));
+    ref_plan
+        .cells
+        .iter()
+        .filter(|c| !c.members.is_empty())
+        .map(|c| CensusRow {
+            quadkey: c.id.quadkey(),
+            broadcasts: c.members.len() as u64,
+            peak_discoverable: c.minute_disc.iter().map(|v| v.len() as u64).max().unwrap_or(0),
+        })
+        .collect()
+}
+
+/// Runs the sharded scale workload: one event loop per quadtree cell,
+/// minute-boundary message batches, plan-order folds. See the module docs
+/// for the determinism argument.
+pub fn run_scale(service: &PeriscopeService, rngs: &RngFactory, cfg: &ScaleConfig) -> ScaleRun {
+    let pop = &service.population;
+    let plan = ShardPlan::build(pop, cfg.shards);
+    let scale_rngs = rngs.child("scale");
+    let tp = Teleport::new(service, scale_rngs);
+    let seed = scale_rngs.seed();
+    let rate =
+        (cfg.target_sessions as f64 / plan.discoverable_broadcast_minutes().max(1) as f64).min(1.0);
+
+    let mut states: Vec<CellState> = (0..plan.shards())
+        .map(|_| CellState { stats: ShardStats::new(), telemetry: QoeTelemetry::new() })
+        .collect();
+    let mut inboxes: Vec<Vec<Migration>> = vec![Vec::new(); plan.shards()];
+    for m in 0..plan.minutes {
+        // One shard-local event loop per cell; workers share the immutable
+        // world and read only their own inbox.
+        let inbox_ref = &inboxes;
+        let outs = pscp_simnet::par::indexed_map(&plan.cells, cfg.threads, |ci, cell| {
+            run_cell_minute(&tp, pop, &plan, cell, ci, m, &inbox_ref[ci], rate, seed, cfg)
+        });
+        // Minute boundary: fold each cell's delta and route its outgoing
+        // batches, serially in plan (cell) order.
+        let mut next: Vec<Vec<Migration>> = vec![Vec::new(); plan.shards()];
+        for (ci, out) in outs.into_iter().enumerate() {
+            states[ci].stats.merge(&out.stats);
+            states[ci].telemetry.merge(&out.telemetry);
+            for mig in out.migrations {
+                states[ci].stats.migrations_out += 1;
+                if mig.cross {
+                    states[ci].stats.migrations_cross += 1;
+                }
+                next[mig.to_cell as usize].push(mig);
+            }
+            for batch in out.chat {
+                states[batch.from_cell as usize].stats.chat_out += batch.messages;
+                states[batch.to_cell as usize].stats.chat_in += batch.messages;
+                if batch.cross {
+                    states[batch.to_cell as usize].stats.chat_cross += batch.messages;
+                }
+            }
+        }
+        inboxes = next;
+    }
+
+    // Final roll-up in plan order (exact merges, so any order would do).
+    let mut stats = ShardStats::new();
+    let mut telemetry = QoeTelemetry::new();
+    for st in &states {
+        stats.merge(&st.stats);
+        telemetry.merge(&st.telemetry);
+    }
+    ScaleRun {
+        broadcasts: pop.broadcasts.len(),
+        shards: plan.shards(),
+        minutes: plan.minutes,
+        stats,
+        telemetry,
+        census: census(pop),
+        plan_bytes: plan.memory_bytes(),
+    }
+}
+
+/// One cell, one minute: migrated-in sessions from the boundary batch,
+/// then primary arrivals over the cell's discoverable broadcast-minutes.
+#[allow(clippy::too_many_arguments)]
+fn run_cell_minute(
+    tp: &Teleport<'_>,
+    pop: &Population,
+    plan: &ShardPlan,
+    cell: &ShardCell,
+    ci: usize,
+    m: usize,
+    inbox: &[Migration],
+    rate: f64,
+    seed: u64,
+    cfg: &ScaleConfig,
+) -> MinuteOut {
+    let mut out = MinuteOut {
+        stats: ShardStats::new(),
+        telemetry: QoeTelemetry::new(),
+        migrations: Vec::new(),
+        chat: Vec::new(),
+    };
+    for mig in inbox {
+        let Some(b) = pop.by_id(mig.broadcast) else { continue };
+        run_scale_session(tp, pop, plan, &mut out, b, ci, m, mig.session_key, true, cfg);
+    }
+    for &bi in cell.discoverable_at_minute(m) {
+        let b = &pop.broadcasts[bi as usize];
+        let h = mix(seed ^ b.id.0 ^ (m as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+        if unit(h) >= rate {
+            continue;
+        }
+        run_scale_session(tp, pop, plan, &mut out, b, ci, m, mix(h ^ 0x5e55_1011), false, cfg);
+    }
+    out
+}
+
+/// Executes one session of the scale run and folds its outcome; may emit a
+/// migration and a chat batch for the next minute boundary.
+#[allow(clippy::too_many_arguments)]
+fn run_scale_session(
+    tp: &Teleport<'_>,
+    pop: &Population,
+    plan: &ShardPlan,
+    out: &mut MinuteOut,
+    b: &pscp_workload::broadcast::Broadcast,
+    ci: usize,
+    m: usize,
+    key: u64,
+    migrated: bool,
+    cfg: &ScaleConfig,
+) {
+    // Join somewhere in this minute while the broadcast is still live
+    // (with a second to spare). A migrated-in viewer whose destination
+    // ended during the boundary latency is a dropped migration.
+    let minute_start = SimTime::from_secs(m as u64 * 60);
+    let minute_end = SimTime::from_secs(m as u64 * 60 + 60);
+    let lo = b.start.max(minute_start);
+    let hi = SimTime::from_micros(b.end().as_micros().saturating_sub(1_000_000)).min(minute_end);
+    if hi < lo {
+        if migrated {
+            out.stats.migrations_dropped += 1;
+        } else {
+            out.stats.skipped += 1;
+        }
+        return;
+    }
+    let span_us = hi.as_micros() - lo.as_micros();
+    let join_at = SimTime::from_micros(
+        lo.as_micros() + (span_us as f64 * unit(mix(key ^ 0x0010_ca7e))) as u64,
+    );
+    let outcome = tp.run_one(b, join_at, &cfg.session, key);
+
+    out.stats.sessions += 1;
+    if migrated {
+        out.stats.migrated_in += 1;
+    } else {
+        out.stats.primary += 1;
+    }
+    match outcome.join_time_s() {
+        Some(join) => out.stats.join_us.observe(us(join)),
+        None => {
+            out.stats.never_joined += 1;
+            out.stats.join_us.observe(us(outcome.player.session_s));
+        }
+    }
+    out.stats.stall_ppm.observe((outcome.stall_ratio() * 1e6).round() as u64);
+    out.stats.watch_us += us(outcome.player.session_s);
+    out.telemetry.fold_outcome(&outcome);
+
+    // Chat fan-in: the viewer posts from their home cell into the
+    // broadcast's room, at the configured rate with stochastic rounding.
+    let watch_min = outcome.player.session_s / 60.0;
+    let messages =
+        (cfg.chat_per_watch_min * watch_min + unit(mix(key ^ 0xc4a7_0002))).floor() as u64;
+    if messages > 0 {
+        let home = viewer_home(key);
+        out.chat.push(ChatBatch {
+            from_cell: plan.cell_index(&home) as u32,
+            to_cell: ci as u32,
+            messages,
+            cross: GeoRect::quad_cell(&home, REF_DEPTH)
+                != GeoRect::quad_cell(&b.location, REF_DEPTH),
+        });
+    }
+
+    // Onward teleport (primary sessions only; one hop bounds the cascade).
+    // The destination is sampled from the global population at the next
+    // minute boundary with a stream keyed by this session alone, so the
+    // migration — content and existence — is shard-invariant.
+    if !migrated && m + 1 < plan.minutes && unit(mix(key ^ 0x3141_5926)) < cfg.migrate_prob {
+        let t_next = SimTime::from_secs((m as u64 + 1) * 60);
+        let mut rng = tp.rngs().stream(&format!("scale/mig/{key:016x}"));
+        match pop.sample_live_weighted(t_next, &mut rng) {
+            Some(dest) => out.migrations.push(Migration {
+                session_key: mix(key ^ 0x6d19_0001),
+                broadcast: dest.id,
+                to_cell: plan.cell_index(&dest.location) as u32,
+                cross: GeoRect::quad_cell(&dest.location, REF_DEPTH)
+                    != GeoRect::quad_cell(&b.location, REF_DEPTH),
+            }),
+            None => out.stats.migrations_dropped += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pscp_service::ServiceConfig;
+    use pscp_workload::population::PopulationConfig;
+
+    fn world(seed: u64) -> PeriscopeService {
+        let pop = Population::generate(PopulationConfig::small(), &RngFactory::new(seed));
+        PeriscopeService::new(pop, ServiceConfig::default())
+    }
+
+    #[test]
+    fn plan_partitions_every_broadcast_exactly_once() {
+        let svc = world(11);
+        for shards in [1usize, 4, 16] {
+            let plan = ShardPlan::build(&svc.population, shards);
+            assert_eq!(plan.shards(), shards);
+            let mut seen = vec![0u8; svc.population.broadcasts.len()];
+            for cell in &plan.cells {
+                for &i in &cell.members {
+                    seen[i as usize] += 1;
+                    let b = &svc.population.broadcasts[i as usize];
+                    assert!(cell.id.rect().contains(&b.location));
+                }
+            }
+            assert!(seen.iter().all(|&n| n == 1), "partition must be total and disjoint");
+        }
+    }
+
+    #[test]
+    fn quadkeys_name_cells() {
+        let p = GeoPoint::new(60.17, 24.94); // Helsinki: NE of the world
+        assert_eq!(CellId::of(&p, 0).quadkey(), "");
+        assert_eq!(CellId::of(&p, 1).quadkey(), "3");
+        assert_eq!(CellId::of(&p, 2).quadkey().len(), 2);
+    }
+
+    #[test]
+    fn scale_run_is_shard_invariant() {
+        let svc = world(2016);
+        let rngs = RngFactory::new(2016);
+        let base = ScaleConfig { target_sessions: 60, threads: 1, shards: 1, ..Default::default() };
+        let runs: Vec<ScaleRun> = [1usize, 4, 16]
+            .iter()
+            .map(|&shards| {
+                let cfg = ScaleConfig {
+                    shards,
+                    threads: if shards == 16 { 0 } else { 1 },
+                    ..base.clone()
+                };
+                run_scale(&svc, &rngs, &cfg)
+            })
+            .collect();
+        assert!(runs[0].stats.sessions > 10, "sessions={}", runs[0].stats.sessions);
+        for r in &runs[1..] {
+            assert_eq!(r.stats.json(), runs[0].stats.json());
+            assert_eq!(r.telemetry.snapshot_json(), runs[0].telemetry.snapshot_json());
+        }
+    }
+
+    #[test]
+    fn migrations_and_chat_cross_cells() {
+        let svc = world(7);
+        let rngs = RngFactory::new(7);
+        let cfg = ScaleConfig { target_sessions: 80, ..Default::default() };
+        let run = run_scale(&svc, &rngs, &cfg);
+        assert!(run.stats.migrations_out > 0, "no migrations at all");
+        assert!(run.stats.chat_out > 0, "no chat at all");
+        assert_eq!(run.stats.chat_out, run.stats.chat_in, "chat routing must conserve messages");
+        assert!(run.stats.chat_cross > 0, "no cross-cell chat fan-in");
+        assert_eq!(run.stats.sessions, run.stats.primary + run.stats.migrated_in);
+    }
+
+    #[test]
+    fn census_is_a_pure_population_fact() {
+        let svc = world(5);
+        let rows = census(&svc.population);
+        let total: u64 = rows.iter().map(|r| r.broadcasts).sum();
+        assert_eq!(total, svc.population.broadcasts.len() as u64);
+        for w in rows.windows(2) {
+            assert!(w[0].quadkey < w[1].quadkey, "census must be in quadkey order");
+        }
+    }
+}

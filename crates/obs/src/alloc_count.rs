@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 
 thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static BYTES: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Set the first time the counting allocator services a request — i.e. it
@@ -40,7 +41,7 @@ pub struct CountingAlloc;
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         unsafe { System.alloc(layout) }
     }
 
@@ -49,27 +50,37 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        bump();
+        bump(layout.size());
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        bump();
+        bump(new_size);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 
 #[inline]
-fn bump() {
+fn bump(size: usize) {
     if !INSTALLED.load(Ordering::Relaxed) {
         INSTALLED.store(true, Ordering::Relaxed);
     }
     ALLOCS.with(|c| c.set(c.get() + 1));
+    BYTES.with(|c| c.set(c.get() + size as u64));
 }
 
 /// Allocation events on the current thread since it started.
 pub fn current() -> u64 {
     ALLOCS.with(Cell::get)
+}
+
+/// Bytes requested from the allocator on the current thread since it
+/// started (gross, not net: a realloc counts its full new size, frees
+/// subtract nothing). The right metric for "how much heap did this build
+/// churn through", which allocation *events* hide behind amortized Vec
+/// growth.
+pub fn current_bytes() -> u64 {
+    BYTES.with(Cell::get)
 }
 
 /// Whether [`CountingAlloc`] is actually the global allocator here.
@@ -83,6 +94,14 @@ pub fn counted<R>(f: impl FnOnce() -> R) -> (u64, R) {
     let before = current();
     let out = f();
     (current() - before, out)
+}
+
+/// Runs `f` and returns `(bytes it requested on this thread, its result)`.
+/// Meaningless (always 0) unless [`installed`].
+pub fn counted_bytes<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = current_bytes();
+    let out = f();
+    (current_bytes() - before, out)
 }
 
 #[cfg(test)]

@@ -117,6 +117,53 @@ impl GeoRect {
     pub fn deg_area(&self) -> f64 {
         (self.north - self.south) * (self.east - self.west)
     }
+
+    /// The quadtree cell key of `p` at `depth` levels below the world
+    /// rectangle: two bits per level, the quadrant index of
+    /// [`GeoRect::quadrants`] (SW=0, SE=1, NW=2, NE=3), most significant
+    /// level first. Because `contains` is inclusive on south/west edges,
+    /// exclusive on interior north/east edges and inclusive on the world's
+    /// own rim, the `4^depth` cells of a level partition the world: every
+    /// point — poles and antimeridian included — lands in exactly one cell.
+    pub fn quad_cell(p: &GeoPoint, depth: u8) -> u16 {
+        assert!(depth <= 7, "quad keys carry at most 7 levels in 16 bits");
+        let mut rect = GeoRect::WORLD;
+        let mut key = 0u16;
+        for _ in 0..depth {
+            let quads = rect.quadrants();
+            let qi = quads
+                .iter()
+                .position(|q| q.contains(p))
+                .expect("quadrants partition their parent rectangle");
+            key = (key << 2) | qi as u16;
+            rect = quads[qi];
+        }
+        key
+    }
+
+    /// The rectangle of quadtree cell `key` at `depth` (inverse of
+    /// [`GeoRect::quad_cell`] up to edge conventions).
+    pub fn quad_rect(key: u16, depth: u8) -> GeoRect {
+        assert!(depth <= 7, "quad keys carry at most 7 levels in 16 bits");
+        let mut rect = GeoRect::WORLD;
+        for level in (0..depth).rev() {
+            let qi = ((key >> (2 * level)) & 3) as usize;
+            rect = rect.quadrants()[qi];
+        }
+        rect
+    }
+}
+
+/// Quadtree depth whose cell count equals `shards` (1 → 0, 4 → 1, 16 → 2,
+/// 64 → 3); `None` unless the count is a power of four.
+pub fn quad_depth_for(shards: usize) -> Option<u8> {
+    let mut depth = 0u8;
+    let mut cells = 1usize;
+    while cells < shards && depth < 7 {
+        cells *= 4;
+        depth += 1;
+    }
+    (cells == shards).then_some(depth)
 }
 
 #[cfg(test)]

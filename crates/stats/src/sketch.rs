@@ -185,9 +185,14 @@ impl QuantileSketch {
 
     /// Heap + inline memory footprint in bytes. Bounded by the bucket
     /// policy (≤ ~7.5K buckets over the full `u64` range), independent of
-    /// how many values were observed.
+    /// how many values were observed. Measured over the bucket array's
+    /// *extent* (highest touched index), not the allocator's capacity:
+    /// the extent is a pure function of the observed value set, so equal
+    /// sketches report equal footprints no matter what observe/merge path
+    /// built them — snapshots that embed this number stay byte-identical
+    /// across shard and thread counts.
     pub fn memory_bytes(&self) -> usize {
-        std::mem::size_of::<QuantileSketch>() + self.counts.capacity() * 8
+        std::mem::size_of::<QuantileSketch>() + self.counts.len() * 8
     }
 }
 
@@ -365,13 +370,16 @@ impl TopK {
         self.entries.is_empty()
     }
 
-    /// Approximate heap + inline footprint in bytes.
+    /// Approximate heap + inline footprint in bytes (string *lengths*,
+    /// not capacities, so equal top-k states report equal footprints
+    /// regardless of how they were built — see
+    /// [`QuantileSketch::memory_bytes`]).
     pub fn memory_bytes(&self) -> usize {
         std::mem::size_of::<TopK>()
             + self
                 .entries
                 .iter()
-                .map(|e| std::mem::size_of::<(String, u64, u64)>() + e.0.capacity())
+                .map(|e| std::mem::size_of::<(String, u64, u64)>() + e.0.len())
                 .sum::<usize>()
     }
 }
@@ -486,8 +494,10 @@ mod tests {
     #[test]
     fn memory_is_constant_in_stream_length() {
         let mut s = QuantileSketch::new();
+        // Spread across the whole 60s-of-microseconds domain, so the first
+        // pass establishes the full bucket extent the domain needs.
         for i in 0..100_000u64 {
-            s.observe(i % 60_000_000);
+            s.observe((i * 601) % 60_000_000);
         }
         // 60s-of-microseconds domain: a few thousand buckets at most.
         assert!(s.memory_bytes() < 64 * 1024, "footprint {} too big", s.memory_bytes());

@@ -62,6 +62,14 @@ impl PopulationConfig {
             ..Default::default()
         }
     }
+
+    /// Planet scale: an order of magnitude past the paper's ~40K/day
+    /// service — around one million broadcasts in the four-hour window.
+    /// Built for the sharded `repro scale` path (DESIGN.md §13); the
+    /// classic per-session analyses work but take minutes of wall time.
+    pub fn planet() -> Self {
+        PopulationConfig { arrivals_per_sec: 70.0, ..Default::default() }
+    }
 }
 
 /// The generated population with a time index for live queries.
@@ -85,6 +93,25 @@ pub struct Population {
 impl Population {
     /// Generates a population from a seed factory.
     pub fn generate(config: PopulationConfig, rngs: &RngFactory) -> Population {
+        Self::generate_filtered(config, rngs, |_| true)
+    }
+
+    /// [`Population::generate`] retaining only broadcasts `keep` accepts.
+    ///
+    /// The filter is applied *after* each broadcast's draws, and the id
+    /// counter advances for rejected broadcasts too, so the retained
+    /// broadcasts are field-for-field identical to the corresponding
+    /// subset of the unfiltered world — the full world is simply never
+    /// materialized. Relative broadcast order (and therefore every index
+    /// walk over the minute buckets) is preserved. This is what lets a
+    /// crawler borrow a shard-local view of the world: a service built
+    /// over the crawler-visible subset answers every crawl request with
+    /// the same bytes at a fraction of the resident set (DESIGN.md §13).
+    pub fn generate_filtered(
+        config: PopulationConfig,
+        rngs: &RngFactory,
+        keep: impl Fn(&Broadcast) -> bool,
+    ) -> Population {
         let mut rng = rngs.stream("workload/population");
         let window_s = config.window.as_secs_f64();
         let total_weight: f64 = CITIES.iter().map(|c| c.weight).sum();
@@ -115,7 +142,9 @@ impl Population {
                     &mut rng,
                 );
                 next_id += 1;
-                broadcasts.push(b);
+                if keep(&b) {
+                    broadcasts.push(b);
+                }
             }
         }
         broadcasts.sort_by_key(|b| b.start);
@@ -310,6 +339,24 @@ mod tests {
         // 4h at ~7/s mean (diurnal-modulated): on the order of 100K.
         assert!(p.broadcasts.len() > 40_000, "n={}", p.broadcasts.len());
         assert!(p.broadcasts.len() < 200_000, "n={}", p.broadcasts.len());
+    }
+
+    #[test]
+    fn filtered_generation_is_the_exact_subset() {
+        let cfg = PopulationConfig::small();
+        let rngs = RngFactory::new(9);
+        let full = Population::generate(cfg.clone(), &rngs);
+        let vis = Population::generate_filtered(cfg, &rngs, |b| !b.private && b.location_public);
+        let expect: Vec<&Broadcast> =
+            full.broadcasts.iter().filter(|b| !b.private && b.location_public).collect();
+        assert!(vis.broadcasts.len() < full.broadcasts.len());
+        assert_eq!(vis.broadcasts.len(), expect.len());
+        for (got, want) in vis.broadcasts.iter().zip(expect) {
+            assert_eq!(got.id, want.id);
+            assert_eq!(got.start, want.start);
+            assert_eq!(got.duration, want.duration);
+            assert_eq!(got.viewer_seed, want.viewer_seed);
+        }
     }
 
     #[test]

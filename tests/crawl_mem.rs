@@ -1,0 +1,67 @@
+//! Crawl memory discipline: the plural crawl methods hold one world per
+//! in-flight crawl, so each must borrow the *crawler-visible* view, not a
+//! full population. This suite pins both halves of that fix:
+//!
+//! 1. observational equivalence — a deep crawl over the pruned world
+//!    discovers exactly what it discovers over the full world (crawls only
+//!    see public, located broadcasts through the HTTP API);
+//! 2. an allocation-count regression gate — building the crawl view must
+//!    allocate measurably less than building the full world, so the scale
+//!    tiers can't silently go back to multiplying full-world peak RSS.
+
+use periscope_repro::core::{Lab, LabConfig};
+use periscope_repro::crawler::DeepCrawl;
+use periscope_repro::obs::alloc_count::{self, CountingAlloc};
+use periscope_repro::simnet::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// A crawl's complete observable output, comparable across worlds.
+fn crawl_fingerprint(crawl: &DeepCrawl) -> (usize, Vec<u64>, usize, u32) {
+    let mut ids: Vec<u64> = crawl.discovered.iter().map(|d| d.0).collect();
+    ids.sort_unstable();
+    (crawl.steps.len(), ids, crawl.observations.len(), crawl.rate_limited)
+}
+
+#[test]
+fn pruned_world_crawls_are_observationally_identical() {
+    let lab = Lab::new(LabConfig::small(2016));
+    for hour in [2.0, 14.0] {
+        let mut full = lab.service_at_hour(hour);
+        let mut pruned = lab.crawl_service_at_hour(hour);
+        assert!(
+            pruned.population.broadcasts.len() < full.population.broadcasts.len(),
+            "pruning must actually drop hidden broadcasts"
+        );
+        let cfg = lab.deep_config();
+        let start = SimTime::from_secs(120);
+        let a = DeepCrawl::run(&mut full, &cfg, start);
+        let b = DeepCrawl::run(&mut pruned, &cfg, start);
+        assert_eq!(
+            crawl_fingerprint(&a),
+            crawl_fingerprint(&b),
+            "crawl at hour {hour} diverged between full and pruned worlds"
+        );
+    }
+}
+
+#[test]
+fn crawl_view_allocates_measurably_less_than_full_world() {
+    assert!(alloc_count::installed(), "counting allocator must be this binary's global allocator");
+    let lab = Lab::new(LabConfig::small(7));
+    // Warm any lazy one-time state so the measured runs are steady-state.
+    drop(lab.service_at_hour(8.0));
+    drop(lab.crawl_service_at_hour(8.0));
+    let (full_bytes, full) = alloc_count::counted_bytes(|| lab.service_at_hour(8.0));
+    let (crawl_bytes, pruned) = alloc_count::counted_bytes(|| lab.crawl_service_at_hour(8.0));
+    assert!(pruned.population.broadcasts.len() < full.population.broadcasts.len());
+    // ~18% of broadcasts are private or location-hidden. Allocation
+    // *events* barely move (Vec growth is amortized), so the gate is on
+    // allocated bytes: demand at least a 5% reduction so the crawl view
+    // can't regress into carrying the full world again unnoticed.
+    assert!(
+        crawl_bytes * 100 <= full_bytes * 95,
+        "crawl view heap bytes ({crawl_bytes}) not measurably below full world ({full_bytes})"
+    );
+}

@@ -30,6 +30,7 @@ fn run_with_faults(
         alternate_devices: true,
         keep_captures_per_protocol: usize::MAX,
         threads,
+        shards: 1,
     };
     let outcomes = tp.run_dataset_observed(&tcfg, &obs);
     (outcomes, obs.metrics())
@@ -263,6 +264,7 @@ fn run_transport_arm(
         alternate_devices: true,
         keep_captures_per_protocol: 0,
         threads: 0,
+        shards: 1,
     };
     tp.run_dataset_observed(&tcfg, &obs)
 }

@@ -1,0 +1,114 @@
+//! Shard-invariance suite (DESIGN.md §13): quadtree sharding must be
+//! provably inert. Datasets, figures, the SLO report, the merged QoE
+//! sketch snapshot and the scale engine's roll-ups are byte-identical
+//! across shard counts 1/4/16 and thread counts, and the golden artifacts
+//! of the unsharded seed reproduce exactly under 16 shards.
+//!
+//! Run under the CI thread matrix (`PSCP_THREADS` 1/4/8): every
+//! comparison here also crosses explicit thread counts, so one run of
+//! this binary checks shards × threads.
+
+use periscope_repro::core::shard::{run_scale, ScaleConfig};
+use periscope_repro::core::{experiments, Lab, LabConfig};
+use periscope_repro::qoe::dataset::SessionDataset;
+use periscope_repro::qoe::telemetry::QoeTelemetry;
+use periscope_repro::qoe::{slo, SloSpec};
+use periscope_repro::service::select::Protocol;
+use periscope_repro::stats::quantile::quantiles;
+
+const SEED: u64 = 2016;
+
+fn lab_with(shards: usize, threads: usize) -> Lab {
+    let mut config = LabConfig::small(SEED);
+    config.shards = shards;
+    config.threads = threads;
+    Lab::new(config)
+}
+
+/// Everything an artifact consumer can see of a dataset run: per-session
+/// fingerprints, the SLO report JSON, the merged sketch snapshot, and a
+/// rendered figure.
+fn artifact_bundle(shards: usize, threads: usize) -> (Vec<String>, String, String, String) {
+    let mut lab = lab_with(shards, threads);
+    let dataset = lab.session_dataset();
+    let fingerprints = dataset
+        .sessions
+        .iter()
+        .map(|s| {
+            format!(
+                "{:?}|{:?}|{}|{}|{:?}|{:?}",
+                s.broadcast_id,
+                s.protocol,
+                s.meta.n_stalls,
+                s.capture.total_bytes(),
+                s.join_time_s().map(|j| (j * 1e6) as u64),
+                s.bandwidth_limit_bps,
+            )
+        })
+        .collect();
+    let slo_json = slo::evaluate(&SloSpec::paper(), &dataset, &[], "sharding-suite").to_json();
+    let sketch_snapshot = QoeTelemetry::from_dataset(&dataset).snapshot_json();
+    let mut lab2 = lab_with(shards, threads);
+    let fig = experiments::by_id("fig3a").expect("fig3a exists");
+    let figure = (fig.run)(&mut lab2).render();
+    (fingerprints, slo_json, sketch_snapshot, figure)
+}
+
+#[test]
+fn dataset_figures_slo_and_sketches_invariant_across_shards_and_threads() {
+    let baseline = artifact_bundle(1, 1);
+    assert!(!baseline.0.is_empty());
+    for (shards, threads) in [(4, 1), (16, 1), (1, 8), (16, 8), (4, 0)] {
+        let got = artifact_bundle(shards, threads);
+        assert_eq!(got.0, baseline.0, "dataset diverged at shards={shards} threads={threads}");
+        assert_eq!(got.1, baseline.1, "SLO report diverged at shards={shards} threads={threads}");
+        assert_eq!(got.2, baseline.2, "sketch snapshot diverged at shards={shards}");
+        assert_eq!(got.3, baseline.3, "figure diverged at shards={shards} threads={threads}");
+    }
+}
+
+/// The pinned golden facts of `tests/golden_figures.rs` reproduce exactly
+/// under 16 shards: sharding is provably inert at seed scale. (The golden
+/// suite itself runs at the default `shards: 1`, so together the two
+/// suites pin both sides of the equivalence.)
+#[test]
+fn golden_artifacts_reproduce_under_sixteen_shards() {
+    let mut lab = lab_with(16, 0);
+    let dataset = lab.session_dataset();
+    let rtmp = dataset.unlimited(Protocol::Rtmp);
+    assert_eq!(rtmp.len(), 21, "unlimited RTMP session count changed under sharding");
+    let join = SessionDataset::join_times_s(&rtmp);
+    assert_eq!(
+        quantiles(&join, &[0.25, 0.5, 0.9]).unwrap(),
+        vec![0.524036, 1.757723, 1.787923],
+        "golden join quantiles changed under sharding"
+    );
+}
+
+/// The sharded scale engine: roll-ups byte-identical across shard and
+/// thread counts (the 1M-tier acceptance property, at test size).
+#[test]
+fn scale_engine_rollups_invariant_across_shards_and_threads() {
+    let pop = periscope_repro::workload::population::Population::generate(
+        periscope_repro::workload::population::PopulationConfig::small(),
+        &periscope_repro::simnet::RngFactory::new(SEED).child("world"),
+    );
+    let svc = periscope_repro::service::PeriscopeService::new(
+        pop,
+        periscope_repro::service::ServiceConfig::default(),
+    );
+    let rngs = periscope_repro::simnet::RngFactory::new(SEED);
+    let run_at = |shards: usize, threads: usize| {
+        let cfg = ScaleConfig { shards, threads, target_sessions: 50, ..Default::default() };
+        let run = run_scale(&svc, &rngs, &cfg);
+        (run.stats.json(), run.telemetry.snapshot_json())
+    };
+    let baseline = run_at(1, 1);
+    for (shards, threads) in [(4, 1), (16, 1), (1, 8), (4, 8), (16, 0)] {
+        assert_eq!(
+            run_at(shards, threads),
+            baseline,
+            "scale roll-up diverged at shards={shards} threads={threads}"
+        );
+    }
+}
