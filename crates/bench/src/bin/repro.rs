@@ -26,8 +26,11 @@
 //! repro watch                     # live SLO monitor → SLO_live.jsonl + SLO_live.prom
 //! repro watch --once              # single snapshot batch (CI smoke)
 //! repro watch --batches 10 --batch-sessions 100
+//! repro watch --fail-on-violation # exit 1 on SLO violation / firing alert
 //! repro scale                     # sharded 10K→100K→1M sweep → SCALE_report.json
 //! repro scale --tier 10k --shards 4
+//! repro incidents                 # alert/incident study → INCIDENTS.json
+//! repro incidents --tier 10k --shards 4 --transports hls
 //! ```
 //!
 //! `trace`, `metrics`, `slo` and `explain` share one traced simulation:
@@ -167,11 +170,56 @@ fn main() {
         println!("wrote SCALE_report.json ({} tiers, {} shards)", cfg.tiers.len(), cfg.shards);
         return;
     }
+    if targets.iter().any(|t| t == "incidents") {
+        // Strict argument validation, matching `repro watch`.
+        let mut i = 0;
+        while i < targets.len() {
+            match targets[i].as_str() {
+                "incidents" => i += 1,
+                "--tier" | "--transports" | "--shards" | "--sessions" | "--loss-scale"
+                | "--threads" => i += 2,
+                other => usage(&format!("unknown incidents argument '{other}'")),
+            }
+        }
+        let flag =
+            |name: &str| targets.iter().position(|t| t == name).and_then(|p| targets.get(p + 1));
+        let mut cfg = pscp_core::IncidentConfig::small(seed);
+        let tier = flag("--tier").map(|v| {
+            pscp_bench::scale::tier_by_name(v)
+                .unwrap_or_else(|| usage(&format!("unknown tier '{v}' (10k|100k|1m)")))
+        });
+        if let Some(v) = flag("--transports") {
+            cfg.transports = pscp_core::chaos::parse_transports(v).unwrap_or_else(|e| usage(&e));
+        }
+        if let Some(v) = flag("--shards") {
+            cfg.shards = match v.parse::<usize>() {
+                Ok(n) if pscp_simnet::geo::quad_depth_for(n).is_some() => n,
+                _ => usage(&format!("bad --shards value '{v}' — a power of four (1, 4, 16, ...)")),
+            };
+        }
+        if let Some(v) = flag("--sessions") {
+            cfg.sessions = match v.parse::<usize>() {
+                Ok(n) if n > 0 => n,
+                _ => usage(&format!("bad --sessions value '{v}'")),
+            };
+        }
+        if let Some(v) = flag("--loss-scale") {
+            cfg.loss_scale = match v.parse::<f64>() {
+                Ok(x) if x.is_finite() && x >= 0.0 => x,
+                _ => usage(&format!("bad --loss-scale value '{v}'")),
+            };
+        }
+        if let Some(v) = flag("--threads") {
+            cfg.threads = v.parse::<usize>().unwrap_or_else(|_| usage("bad --threads value"));
+        }
+        incidents_study(&scale, seed, tier, &cfg);
+        return;
+    }
     if targets.iter().any(|t| t == "watch") {
         let mut i = 0;
         while i < targets.len() {
             match targets[i].as_str() {
-                "watch" | "--once" => i += 1,
+                "watch" | "--once" | "--fail-on-violation" => i += 1,
                 "--batches" | "--batch-sessions" | "--transport" => i += 2,
                 other => usage(&format!("unknown watch argument '{other}'")),
             }
@@ -200,7 +248,8 @@ fn main() {
                 }
             })
             .unwrap_or(None);
-        watch_live(&scale, seed, batches, batch_sessions, transport);
+        let fail_on_violation = targets.iter().any(|t| t == "--fail-on-violation");
+        watch_live(&scale, seed, batches, batch_sessions, transport, fail_on_violation);
         return;
     }
     if let Some(pos) = targets.iter().position(|t| t == "bench-diff") {
@@ -247,8 +296,9 @@ fn main() {
             let metrics = obs.metrics();
             std::fs::write("TRACE_metrics.json", metrics.snapshot_json())
                 .expect("write TRACE_metrics.json");
-            std::fs::write("TRACE_metrics.prom", pscp_obs::prometheus_text(&metrics))
-                .expect("write TRACE_metrics.prom");
+            let mut prom = pscp_obs::prometheus_text(&metrics);
+            prom.push_str(&pscp_obs::prometheus_build_info(seed, &scale, 1, 0));
+            std::fs::write("TRACE_metrics.prom", prom).expect("write TRACE_metrics.prom");
             println!("{}", metrics.snapshot_text());
             println!(
                 "wrote TRACE_metrics.json + TRACE_metrics.prom ({} subsystems)",
@@ -356,6 +406,10 @@ fn main() {
         println!(
             "{:<16} {:<18} sharded 10K→100K→1M broadcast sweep (SCALE_report.json)",
             "scale", "DESIGN.md §13"
+        );
+        println!(
+            "{:<16} {:<18} burn-rate alert + ground-truth incident study (INCIDENTS.json)",
+            "incidents", "DESIGN.md §14"
         );
         return;
     }
@@ -518,6 +572,7 @@ fn watch_live(
     batches: usize,
     batch_sessions: usize,
     transport: Option<pscp_service::select::Protocol>,
+    fail_on_violation: bool,
 ) {
     let lab_cfg = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
     let include_sys =
@@ -536,12 +591,67 @@ fn watch_live(
         println!("{line}");
     }
     std::fs::write("SLO_live.jsonl", &out.jsonl).expect("write SLO_live.jsonl");
-    std::fs::write("SLO_live.prom", &out.prom).expect("write SLO_live.prom");
+    let mut prom = out.prom.clone();
+    prom.push_str(&pscp_obs::prometheus_build_info(seed, scale, 1, 0));
+    std::fs::write("SLO_live.prom", &prom).expect("write SLO_live.prom");
     println!(
         "wrote SLO_live.jsonl ({} snapshots) + SLO_live.prom — {} sessions, {} sketch bytes",
         batches,
         out.telemetry.n_sessions(),
         out.telemetry.memory_bytes()
+    );
+    println!(
+        "alerts: {} transition(s), firing now: {:?}, violations: {:?}",
+        out.timeline.transitions.len(),
+        out.firing,
+        out.violations
+    );
+    if fail_on_violation && !out.healthy() {
+        eprintln!("watch: SLO violation or firing alert in the final snapshot");
+        std::process::exit(1);
+    }
+}
+
+/// Runs the incident study (DESIGN.md §14): a fault-free control arm plus
+/// one chaos arm per transport over the same planned sessions, burn-rate
+/// alert timelines per arm, incident correlation, and the ground-truth
+/// detector scorecard. Writes `INCIDENTS.json` and, for the first chaos
+/// arm, `INCIDENTS_trace.json` — a Chrome trace whose alert transitions
+/// appear as instant events over the span tracks.
+fn incidents_study(
+    scale: &str,
+    seed: u64,
+    tier: Option<&'static pscp_bench::scale::ScaleTier>,
+    cfg: &pscp_core::IncidentConfig,
+) {
+    let mut lab_cfg = pscp_bench::lab_config(scale, seed).unwrap_or_else(|e| usage(&e));
+    if let Some(t) = tier {
+        // A scale-sweep world density over the standard four-hour window.
+        lab_cfg.population.window = pscp_simnet::SimDuration::from_secs(4 * 3600);
+        lab_cfg.population.arrivals_per_sec = t.arrivals_per_sec;
+    }
+    let arms: Vec<&str> =
+        cfg.transports.iter().map(|&t| pscp_core::chaos::transport_name(t)).collect();
+    println!(
+        "incidents: scale {}, seed {seed}, {} sessions/arm, loss x{}, {} shard(s), \
+         arms [control + {arms:?}]",
+        tier.map(|t| t.name).unwrap_or(scale),
+        cfg.sessions,
+        cfg.loss_scale,
+        cfg.shards
+    );
+    let mut lab = Lab::new(lab_cfg);
+    let report = pscp_core::run_incidents(&mut lab, cfg);
+    print!("{}", report.table());
+    std::fs::write("INCIDENTS.json", report.to_json()).expect("write INCIDENTS.json");
+    if let Some(arm) = report.arms.iter().find(|a| a.faulted) {
+        let trace = pscp_obs::chrome_trace_with_alerts(&arm.spans, &[], &arm.timeline.transitions);
+        std::fs::write("INCIDENTS_trace.json", trace).expect("write INCIDENTS_trace.json");
+    }
+    println!(
+        "wrote INCIDENTS.json ({} incidents, {} scorecard rows) + INCIDENTS_trace.json",
+        report.incidents.len(),
+        report.scorecard.len()
     );
 }
 
@@ -610,6 +720,10 @@ fn write_experiments_md(lab: &mut Lab, scale: &str, seed: u64) {
     println!("{}", CHAOS_SCHEMA.trim());
     println!("\n## Scale artifact — `SCALE_report.json`\n");
     println!("{}", SCALE_SCHEMA.trim());
+    println!("\n## Live-monitor artifact — `SLO_live.jsonl`\n");
+    println!("{}", SLO_LIVE_SCHEMA.trim());
+    println!("\n## Incident artifact — `INCIDENTS.json`\n");
+    println!("{}", INCIDENTS_SCHEMA.trim());
 }
 
 /// Documented gaps between the paper's numbers and the reproduction.
@@ -703,6 +817,72 @@ and roll-up merge algebra it rests on are property-tested in
 `tests/shard_props.rs`.
 "#;
 
+/// Schema of the live-monitor snapshot stream, rendered into EXPERIMENTS.md.
+const SLO_LIVE_SCHEMA: &str = r#"
+`repro watch [--once|--batches N] [--batch-sessions N]
+[--transport rtmp|hls|srt|auto] [--fail-on-violation]` writes one JSON
+object per line to `SLO_live.jsonl`, cumulative over batches:
+
+* `batch`, `sessions_total` — batch index and sessions folded so far.
+* `rss_bytes`, `alloc_count` — wall-clock system facts, present only
+  under `PSCP_WATCH_SYS=1` (the default artifact stays deterministic).
+* `telemetry` — the constant-memory QoE snapshot (DESIGN.md §11): join
+  quantiles, stall ratio, per-phase attribution, sketch footprint.
+* `alerts` — burn-rate alert state as of the snapshot (DESIGN.md §14):
+  * `transitions` — firing/resolved transitions on the cumulative
+    timeline so far;
+  * `firing` — rules firing at the data horizon (the end boundary of
+    the latest ring window), sorted by name. Empty on every fault-free
+    run.
+
+The companion `SLO_live.prom` renders the merged batch metrics plus one
+`pscp_alert_state{rule,shard}` gauge per rule and a `pscp_build_info`
+gauge (seed/tier/shards/threads labels). `--fail-on-violation` exits 1
+iff the final snapshot violates an SLO objective or an alert is firing.
+Both artifacts are byte-identical at any `PSCP_THREADS`.
+"#;
+
+/// Schema of the incident-study artifact, rendered into EXPERIMENTS.md.
+const INCIDENTS_SCHEMA: &str = r#"
+`repro incidents [--tier 10k|100k|1m] [--transports rtmp,hls,srt,auto]
+[--shards N] [--sessions N] [--loss-scale X] [--threads N]` runs the
+burn-rate alert + ground-truth incident study (DESIGN.md §14): a
+fault-free control arm plus one chaos arm per transport, all replanning
+the identical sessions (common random numbers), and writes
+`INCIDENTS.json`:
+
+* `seed`, `loss_scale`, `sessions`, `shards`, `horizon_us` — study
+  configuration; the horizon is the population window the ground-truth
+  fault timeline is scanned over.
+* `arms` — arm names in run order (`control` first).
+* `incidents` — correlated incidents: per arm, firing intervals that
+  overlap or start within one fast window (5 min) of the group's end
+  are merged. Each carries `arm`, `start_us`, `end_us`, `attribution`
+  (dominant join phase from the span forest), `rules` (contributing
+  rule names, sorted) and `cells` (affected REF_DEPTH quadkeys from the
+  per-cell burn rules, sorted).
+* `scorecard` — one row per (chaos arm × CDN POP) for the
+  `pop_outage/<hostname>` symptom rules, joined against the ground
+  truth derived from the fault seed alone: `truth_windows` (injected),
+  `observed` (windows with ≥ 1 probed minute — an outage no session
+  polled is undetectable by construction), `detected`, `recall`
+  (= 1.0 over observed windows on this instrumented system),
+  `false_alarms` (firing intervals matching no truth window; 0 by
+  construction), `precision`, and `median_detection_latency_s` from
+  fault start to the alert boundary (−1 when nothing was detected).
+  Ingest outages feed incidents but are aggregated across hostnames,
+  so they get no per-unit scorecard row (DESIGN.md §14).
+* `timelines` — the full per-arm alert timelines (rule, time, state,
+  fast/slow burn rates, attribution). The control arm's timeline is
+  empty: no faults, no alerts.
+
+The companion `INCIDENTS_trace.json` is a Chrome trace of the first
+chaos arm whose alert transitions appear as instant events over the
+span tracks (open in Perfetto). `INCIDENTS.json` is byte-identical
+across `PSCP_THREADS` 1/2/8 and `--shards` 1/4/16
+(`tests/observability.rs`).
+"#;
+
 fn banner(id: &str, title: &str) {
     println!("\n{}", "=".repeat(78));
     println!("== {id}: {title}");
@@ -718,8 +898,11 @@ fn usage(err: &str) -> ! {
          <ids...|all|list|bench|bench-components|bench-figures|bench-ablations|\
          bench-diff <old> <new>|trace|metrics|slo|explain <unit>|\
          chaos [--sessions N] [--transports rtmp,hls,srt,auto]|\
-         watch [--once|--batches N] [--batch-sessions N] [--transport rtmp|hls|srt|auto]|\
-         scale [--tier 10k|100k|1m|all] [--shards N] [--sessions N] [--threads N]>\n\
+         watch [--once|--batches N] [--batch-sessions N] [--transport rtmp|hls|srt|auto] \
+         [--fail-on-violation]|\
+         scale [--tier 10k|100k|1m|all] [--shards N] [--sessions N] [--threads N]|\
+         incidents [--tier 10k|100k|1m] [--transports rtmp,hls,srt,auto] [--shards N] \
+         [--sessions N] [--loss-scale X] [--threads N]>\n\
          trace/metrics/slo/explain share one traced run when requested together"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });

@@ -14,15 +14,24 @@
 //! The merged metrics registries of every batch are also rendered to
 //! `SLO_live.prom` (Prometheus text, including the sketch quantile
 //! gauges from `pscp_obs::export`).
+//!
+//! Each batch additionally re-evaluates the burn-rate alert rules
+//! (DESIGN.md §14) over the *cumulative* registry and span forest, so
+//! every JSONL line carries the alert state as of that snapshot —
+//! transition count plus the rules firing at the data horizon — and the
+//! Prometheus artifact gains one `pscp_alert_state` gauge per rule.
+//! `repro watch --fail-on-violation` turns the final snapshot into an
+//! exit code: nonzero when an objective is violated or an alert is still
+//! firing.
 
 use std::fmt::Write as _;
 
 use pscp_client::session::SessionConfig;
 use pscp_client::{Teleport, TeleportConfig};
 use pscp_core::{Lab, LabConfig};
-use pscp_obs::{MetricsRegistry, Observer};
+use pscp_obs::{AlertTimeline, MetricsRegistry, Observer, Span, RING_WINDOW_US};
 use pscp_qoe::slo::fold_breakdowns;
-use pscp_qoe::QoeTelemetry;
+use pscp_qoe::{alert_rules, QoeTelemetry, SloSpec};
 use pscp_service::select::Protocol;
 
 /// Watch-loop shape: how many batches, how big, how parallel.
@@ -55,10 +64,25 @@ impl Default for WatchConfig {
 pub struct WatchOutput {
     /// One JSON line per batch (`SLO_live.jsonl`).
     pub jsonl: String,
-    /// Prometheus rendering of the merged batch metrics (`SLO_live.prom`).
+    /// Prometheus rendering of the merged batch metrics plus the final
+    /// alert-state gauges (`SLO_live.prom`).
     pub prom: String,
     /// The final cumulative telemetry.
     pub telemetry: QoeTelemetry,
+    /// The final cumulative alert timeline.
+    pub timeline: AlertTimeline,
+    /// Rules firing at the final snapshot's data horizon.
+    pub firing: Vec<String>,
+    /// Objectives the final telemetry violates.
+    pub violations: Vec<&'static str>,
+}
+
+impl WatchOutput {
+    /// `--fail-on-violation` verdict: healthy iff the final snapshot
+    /// violates no objective and no alert is firing.
+    pub fn healthy(&self) -> bool {
+        self.firing.is_empty() && self.violations.is_empty()
+    }
 }
 
 /// Resident set size in bytes from `/proc/self/statm`, if readable.
@@ -78,8 +102,13 @@ pub fn run_watch(mut lab_cfg: LabConfig, cfg: &WatchConfig) -> WatchOutput {
     let rngs = *lab.rngs();
     let svc = lab.service();
 
+    let spec = SloSpec::paper();
+    let rules = alert_rules(&spec);
     let mut telemetry = QoeTelemetry::new();
     let mut registry = MetricsRegistry::new();
+    let mut spans: Vec<(String, Span)> = Vec::new();
+    let mut timeline = AlertTimeline::default();
+    let mut firing: Vec<String> = Vec::new();
     let mut jsonl = String::with_capacity(cfg.batches * 512);
     for i in 0..cfg.batches {
         let local = Observer::with_flags(true, false);
@@ -96,10 +125,16 @@ pub fn run_watch(mut lab_cfg: LabConfig, cfg: &WatchConfig) -> WatchOutput {
         for o in &outcomes {
             telemetry.fold_outcome(o);
         }
-        for b in fold_breakdowns(&local.spans()) {
+        let batch_spans = local.spans();
+        for b in fold_breakdowns(&batch_spans) {
             telemetry.fold_breakdown(&b);
         }
+        spans.extend(batch_spans);
         registry.merge(&local.metrics());
+        // Re-evaluating from scratch each batch keeps the state a pure
+        // function of the cumulative registry — no incremental drift.
+        timeline = AlertTimeline::evaluate(&rules, &registry, &spans);
+        firing = timeline.firing_at(ring_horizon_us(&registry));
 
         let _ = write!(jsonl, "{{\"batch\":{i},\"sessions_total\":{}", telemetry.n_sessions());
         if cfg.include_sys {
@@ -110,9 +145,39 @@ pub fn run_watch(mut lab_cfg: LabConfig, cfg: &WatchConfig) -> WatchOutput {
                 pscp_obs::alloc_count::current()
             );
         }
-        let _ = writeln!(jsonl, ",\"telemetry\":{}}}", telemetry.snapshot_json());
+        let _ = write!(jsonl, ",\"telemetry\":{}", telemetry.snapshot_json());
+        let _ = write!(
+            jsonl,
+            ",\"alerts\":{{\"transitions\":{},\"firing\":[",
+            timeline.transitions.len()
+        );
+        for (j, rule) in firing.iter().enumerate() {
+            if j > 0 {
+                jsonl.push(',');
+            }
+            let _ = write!(jsonl, "\"{rule}\"");
+        }
+        jsonl.push_str("]}}\n");
     }
-    WatchOutput { jsonl, prom: pscp_obs::prometheus_text(&registry), telemetry }
+    let mut prom = pscp_obs::prometheus_text(&registry);
+    let states: Vec<(String, String, bool)> = rules
+        .iter()
+        .map(|r| (r.name.clone(), "all".to_string(), firing.contains(&r.name)))
+        .collect();
+    prom.push_str(&pscp_obs::prometheus_alert_state(&states));
+    let violations = telemetry.violations(&spec);
+    WatchOutput { jsonl, prom, telemetry, timeline, firing, violations }
+}
+
+/// The cumulative data horizon: the end boundary of the latest ring
+/// window in the registry (0 when no ring was ever written).
+fn ring_horizon_us(registry: &MetricsRegistry) -> u64 {
+    registry
+        .rings()
+        .filter_map(|(_, _, r)| r.span())
+        .map(|(_, last)| (last + 1) * RING_WINDOW_US)
+        .max()
+        .unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -172,6 +237,28 @@ mod tests {
         let default_out = run_watch(lab_cfg(1), &cfg());
         assert!(!default_out.prom.contains("subsystem=\"srt\""));
         assert!(!default_out.jsonl.contains("\"srt\""));
+    }
+
+    #[test]
+    fn fault_free_watch_is_healthy_and_carries_alert_state() {
+        let out = run_watch(lab_cfg(1), &cfg());
+        for line in out.jsonl.lines() {
+            assert!(line.ends_with("}"), "line is one JSON object: {line}");
+            assert!(line.contains(",\"alerts\":{\"transitions\":"), "alert state on: {line}");
+        }
+        // No faults are injected, so nothing may fire and the snapshot
+        // must be healthy — the `--fail-on-violation` happy path.
+        assert!(out.jsonl.lines().all(|l| l.contains("\"firing\":[]")));
+        assert!(out.timeline.is_empty(), "fault-free watch fired: {:?}", out.timeline);
+        assert!(out.healthy(), "violations: {:?}, firing: {:?}", out.violations, out.firing);
+        // Every rule lands in the prom artifact as a gauge at 0.
+        for rule in ["join_burn", "stall_burn", "ingest_outage"] {
+            assert!(
+                out.prom.contains(&format!("pscp_alert_state{{rule=\"{rule}\",shard=\"all\"}} 0")),
+                "missing {rule} gauge:\n{}",
+                out.prom
+            );
+        }
     }
 
     #[test]

@@ -191,6 +191,10 @@ pub fn run_traced(
     let mut first_fetch_start: Option<SimTime> = None;
     let seg_cfg = SegmenterConfig::default();
     while now < session_end {
+        // Every pass is one playlist-edge probe of this POP: the alerting
+        // layer's coverage signal. Keyed by the POP's static hostname so
+        // per-POP outage rules can be scored against per-POP ground truth.
+        trace.ring("probe", pop.hostname(), now.as_micros(), 1);
         if faults.pop_outage.is_active() && faults.pop_outage.in_outage(faults.seed, &pop_host, now)
         {
             // The POP is down (outage schedules are keyed on the fault seed
@@ -198,6 +202,10 @@ pub fn run_traced(
             // playlist poll fails; the client re-polls until it is back.
             trace.count("fault", "pop_outage_polls", 1);
             trace.count("recovery", "playlist_repolls", 1);
+            // Symptom ring: written only when an injected outage was
+            // actually observed, which is what makes the POP-outage alert
+            // rule provably inert on fault-free runs.
+            trace.ring("outage", pop.hostname(), now.as_micros(), 1);
             if trace.is_enabled() {
                 trace.event(now.as_micros(), "fault", "fault.pop_outage", vec![]);
             }

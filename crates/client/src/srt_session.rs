@@ -626,6 +626,14 @@ pub fn run_traced(
     if let Some((lost, spiked)) = dglink.fault_counts() {
         trace.count("fault", "lost_packets", lost);
         trace.count("fault", "latency_spikes", spiked);
+        // SRT-specific breakdown of the aggregate fault counters, so
+        // datagram loss/reorder activity is visible per transport in
+        // TRACE_metrics like the RTMP/HLS fault counters already are.
+        trace.count("fault", "srt_lost_packets", lost);
+        trace.count("fault", "srt_latency_spikes", spiked);
+    }
+    if dglink.lost_queue > 0 {
+        trace.count("fault", "srt_queue_drops", dglink.lost_queue);
     }
     if let Some(lf) = &app_faults {
         trace.count("fault", "lost_packets", lf.lost);

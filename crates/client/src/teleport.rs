@@ -49,6 +49,17 @@ use pscp_workload::broadcast::Broadcast;
 /// delayed join, longer ones trigger the failover path.
 const FAILOVER_PATIENCE: SimDuration = SimDuration::from_secs(8);
 
+/// Quadtree depth of the per-cell alerting rings — the same reference
+/// depth the shard-occupancy layer reports at (`pscp-core`'s `REF_DEPTH`,
+/// restated here because the dependency points the other way).
+const CELL_DEPTH: u8 = 2;
+/// Depth-2 quadkeys in cell order (digits SW=0, SE=1, NW=2, NE=3, most
+/// significant first), used as static ring keys so per-cell alert rules
+/// can scope incidents to shard cells.
+const CELL_KEYS: [&str; 16] = [
+    "00", "01", "02", "03", "10", "11", "12", "13", "20", "21", "22", "23", "30", "31", "32", "33",
+];
+
 /// Dataset generation settings.
 #[derive(Debug, Clone)]
 pub struct TeleportConfig {
@@ -217,6 +228,10 @@ impl<'a> Teleport<'a> {
             let unit = format!("srt-{}", server.hostname());
             if faults.ingest_outage.in_outage(faults.seed, &unit, join_eff) {
                 trace.count("fault", "ingest_outages", 1);
+                // Ingest hostnames are assignment-dependent strings, so
+                // the symptom ring aggregates all ingest units under one
+                // key (per-unit ground-truth scoring is POP-only).
+                trace.ring("outage", "ingest", join_eff.as_micros(), 1);
                 let up = faults.ingest_outage.outage_end(faults.seed, &unit, join_eff);
                 if up.saturating_since(join_eff) > FAILOVER_PATIENCE {
                     trace.count("recovery", "srt_fallbacks", 1);
@@ -246,6 +261,7 @@ impl<'a> Teleport<'a> {
                 let host = server.hostname();
                 if faults.ingest_outage.in_outage(faults.seed, &host, join_eff) {
                     trace.count("fault", "ingest_outages", 1);
+                    trace.ring("outage", "ingest", join_eff.as_micros(), 1);
                     let up = faults.ingest_outage.outage_end(faults.seed, &host, join_eff);
                     if up.saturating_since(join_eff) > FAILOVER_PATIENCE {
                         trace.count("recovery", "failovers", 1);
@@ -301,6 +317,20 @@ impl<'a> Teleport<'a> {
         };
         trace.sketch("player", "join_time_us", join_us);
         trace.sketch("player", "stall_ppm", (outcome.stall_ratio() * 1e6).round() as u64);
+        // Windowed copies for the alerting layer (DESIGN.md §14): the join
+        // observation lands in the minute the join completed, the stall
+        // observation in the minute the session ended, and the per-cell
+        // ring scopes join burn to the broadcast's shard cell.
+        let join_done_us = join_at.as_micros() + join_us;
+        trace.ring("alert", "join_time_us", join_done_us, join_us);
+        trace.ring(
+            "alert",
+            "stall_ppm",
+            (join_eff + config.watch).as_micros(),
+            (outcome.stall_ratio() * 1e6).round() as u64,
+        );
+        let cell = pscp_simnet::geo::GeoRect::quad_cell(&broadcast.location, CELL_DEPTH);
+        trace.ring("cell", CELL_KEYS[cell as usize], join_done_us, join_us);
         outcome
     }
 
@@ -346,6 +376,11 @@ impl<'a> Teleport<'a> {
         // watch budget was spent waiting and playback stalled throughout.
         trace.sketch("player", "join_time_us", config.watch.as_micros());
         trace.sketch("player", "stall_ppm", (log.stall_ratio() * 1e6).round() as u64);
+        let end_us = (join_at + config.watch).as_micros();
+        trace.ring("alert", "join_time_us", end_us, config.watch.as_micros());
+        trace.ring("alert", "stall_ppm", end_us, (log.stall_ratio() * 1e6).round() as u64);
+        let cell = pscp_simnet::geo::GeoRect::quad_cell(&broadcast.location, CELL_DEPTH);
+        trace.ring("cell", CELL_KEYS[cell as usize], end_us, config.watch.as_micros());
         SessionOutcome {
             broadcast_id: broadcast.id,
             protocol,

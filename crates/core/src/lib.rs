@@ -24,10 +24,12 @@
 pub mod chaos;
 pub mod experiments;
 pub mod figures;
+pub mod incident;
 pub mod lab;
 pub mod shard;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosPoint, ChaosSlo, ChaosSweep};
 pub use figures::FigureData;
+pub use incident::{run_incidents, Incident, IncidentConfig, IncidentReport, RuleScore};
 pub use lab::{Lab, LabConfig, Scale};
 pub use shard::{run_scale, ScaleConfig, ScaleRun, ShardPlan, ShardStats};

@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+use crate::alert::AlertTransition;
 use crate::causal::Span;
 use crate::event::escape;
 use crate::metrics::MetricsRegistry;
@@ -21,6 +22,18 @@ use crate::span::PhaseSpan;
 /// Perfetto / `chrome://tracing`; `ts`/`dur` are sim-microseconds for
 /// spans and wall-microseconds (cumulative) for phases.
 pub fn chrome_trace(spans: &[(String, Span)], phases: &[PhaseSpan]) -> String {
+    chrome_trace_with_alerts(spans, phases, &[])
+}
+
+/// [`chrome_trace`] plus one global instant event (`ph:"i"`, scope `"g"`)
+/// per alert transition, so Perfetto draws firing/resolved markers across
+/// the span tracks. With an empty transition slice the output is
+/// byte-identical to [`chrome_trace`].
+pub fn chrome_trace_with_alerts(
+    spans: &[(String, Span)],
+    phases: &[PhaseSpan],
+    alerts: &[AlertTransition],
+) -> String {
     let mut out = String::with_capacity(64 + spans.len() * 128 + phases.len() * 128);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
@@ -109,8 +122,61 @@ pub fn chrome_trace(spans: &[(String, Span)], phases: &[PhaseSpan]) -> String {
             ts_us += dur_us;
         }
     }
+
+    for tr in alerts {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":{},\"s\":\"g\",\
+                 \"name\":\"{} {}\",\"cat\":\"alert\",\"args\":{{\"rule\":\"{}\",\
+                 \"burn_fast\":{:.6},\"burn_slow\":{:.6},\"attribution\":\"{}\"}}}}",
+                tr.t_us,
+                escape(&tr.rule),
+                if tr.firing { "firing" } else { "resolved" },
+                escape(&tr.rule),
+                tr.burn_fast,
+                tr.burn_slow,
+                escape(&tr.attribution),
+            ),
+        );
+    }
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     out
+}
+
+/// Renders alert states as `pscp_alert_state{rule,shard}` gauges (1 =
+/// firing, 0 = quiet) with HELP/TYPE metadata, in input order — callers
+/// pass states in (rule, shard) sorted order for stable artifacts.
+pub fn prometheus_alert_state(states: &[(String, String, bool)]) -> String {
+    let mut out = String::with_capacity(128 + states.len() * 64);
+    out.push_str(
+        "# HELP pscp_alert_state Burn-rate alert state (1 = firing) per rule and shard.\n",
+    );
+    out.push_str("# TYPE pscp_alert_state gauge\n");
+    for (rule, shard, firing) in states {
+        let _ = writeln!(
+            out,
+            "pscp_alert_state{{rule=\"{}\",shard=\"{}\"}} {}",
+            escape_label(rule),
+            escape_label(shard),
+            u64::from(*firing)
+        );
+    }
+    out
+}
+
+/// Renders the `pscp_build_info` gauge: a constant-1 metric whose labels
+/// identify the run (seed, scale tier, shard count, thread count), per
+/// the Prometheus build-info convention.
+pub fn prometheus_build_info(seed: u64, tier: &str, shards: u32, threads: usize) -> String {
+    format!(
+        "# HELP pscp_build_info Run identity: seed, scale tier, shard and thread counts.\n\
+         # TYPE pscp_build_info gauge\n\
+         pscp_build_info{{seed=\"{seed}\",tier=\"{}\",shards=\"{shards}\",\
+         threads=\"{threads}\"}} 1\n",
+        escape_label(tier)
+    )
 }
 
 /// Renders the registry in Prometheus text exposition format. Metric
@@ -293,5 +359,50 @@ mod tests {
     #[test]
     fn label_values_are_escaped() {
         assert_eq!(escape_label("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+    }
+
+    #[test]
+    fn chrome_trace_with_alerts_adds_global_instants_only_when_present() {
+        let spans = vec![("session/0".to_string(), span(0, None, 5, 9))];
+        assert_eq!(
+            chrome_trace(&spans, &[]),
+            chrome_trace_with_alerts(&spans, &[], &[]),
+            "empty alert slice must not perturb the byte-stable artifact"
+        );
+        let alerts = vec![AlertTransition {
+            rule: "pop_outage/fastly-eu".to_string(),
+            t_us: 120_000_000,
+            firing: true,
+            burn_fast: 2.0,
+            burn_slow: 0.5,
+            attribution: "hls.playlist".to_string(),
+        }];
+        let doc = chrome_trace_with_alerts(&spans, &[], &alerts);
+        assert!(doc.contains("\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":120000000,\"s\":\"g\""));
+        assert!(doc.contains("\"name\":\"pop_outage/fastly-eu firing\""));
+        assert!(doc.contains("\"attribution\":\"hls.playlist\""));
+    }
+
+    #[test]
+    fn alert_state_gauge_renders_and_escapes() {
+        let states = vec![
+            ("join_burn".to_string(), "02".to_string(), true),
+            ("sha\"rd".to_string(), "a\\b".to_string(), false),
+        ];
+        let text = prometheus_alert_state(&states);
+        assert!(text.starts_with("# HELP pscp_alert_state "));
+        assert!(text.contains("# TYPE pscp_alert_state gauge\n"));
+        assert!(text.contains("pscp_alert_state{rule=\"join_burn\",shard=\"02\"} 1\n"));
+        assert!(text.contains("pscp_alert_state{rule=\"sha\\\"rd\",shard=\"a\\\\b\"} 0\n"));
+    }
+
+    #[test]
+    fn build_info_gauge_is_constant_one_with_run_identity_labels() {
+        let text = prometheus_build_info(2016, "10k", 4, 8);
+        assert!(text.contains("# TYPE pscp_build_info gauge\n"));
+        assert!(text.contains(
+            "pscp_build_info{seed=\"2016\",tier=\"10k\",shards=\"4\",threads=\"8\"} 1\n"
+        ));
+        assert!(prometheus_build_info(1, "a\"b", 1, 1).contains("tier=\"a\\\"b\""));
     }
 }

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alert;
 pub mod alloc_count;
 mod causal;
 mod event;
@@ -35,9 +36,16 @@ mod observer;
 mod span;
 mod trace;
 
+pub use alert::{
+    AlertRule, AlertTimeline, AlertTransition, RuleKind, SketchRing, FAST_WINDOWS, RING_WINDOW_US,
+    SLOW_WINDOWS,
+};
 pub use causal::{Span, SpanId};
 pub use event::{Event, Field};
-pub use export::{chrome_trace, prometheus_text};
+pub use export::{
+    chrome_trace, chrome_trace_with_alerts, prometheus_alert_state, prometheus_build_info,
+    prometheus_text,
+};
 pub use metrics::{
     Histogram, HistogramSpec, MetricsRegistry, BYTE_BUCKETS, KBPS_BUCKETS, MILLIWATT_BUCKETS,
     MS_BUCKETS,

@@ -13,6 +13,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+use crate::alert::SketchRing;
 use pscp_stats::QuantileSketch;
 
 /// Fixed bucket edges for a histogram family.
@@ -97,6 +98,7 @@ pub struct MetricsRegistry {
     counters: BTreeMap<(&'static str, &'static str), u64>,
     histograms: BTreeMap<(&'static str, &'static str), Histogram>,
     sketches: BTreeMap<(&'static str, &'static str), QuantileSketch>,
+    rings: BTreeMap<(&'static str, &'static str), SketchRing>,
 }
 
 impl MetricsRegistry {
@@ -106,6 +108,7 @@ impl MetricsRegistry {
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
             sketches: BTreeMap::new(),
+            rings: BTreeMap::new(),
         }
     }
 
@@ -136,6 +139,20 @@ impl MetricsRegistry {
         self.sketches.entry((subsystem, name)).or_default().observe(value);
     }
 
+    /// Records one observation into the `(subsystem, name)` windowed
+    /// sketch ring at sim-time `t_us` — the alerting layer's instrument
+    /// (DESIGN.md §14): same merge algebra as a sketch, plus a sim-minute
+    /// window axis so burn rates can be computed over sliding windows.
+    pub fn ring_observe(
+        &mut self,
+        subsystem: &'static str,
+        name: &'static str,
+        t_us: u64,
+        value: u64,
+    ) {
+        self.rings.entry((subsystem, name)).or_default().observe(t_us, value);
+    }
+
     /// Folds another registry into this one. Order-independent: merging
     /// `a` into `b` or `b` into `a` yields identical totals.
     pub fn merge(&mut self, other: &MetricsRegistry) {
@@ -152,6 +169,9 @@ impl MetricsRegistry {
         }
         for (&k, s) in &other.sketches {
             self.sketches.entry(k).or_default().merge(s);
+        }
+        for (&k, r) in &other.rings {
+            self.rings.entry(k).or_default().merge(r);
         }
     }
 
@@ -170,9 +190,17 @@ impl MetricsRegistry {
         self.sketches.iter().find(|&(&(s, n), _)| s == subsystem && n == name).map(|(_, s)| s)
     }
 
+    /// A windowed sketch ring by key, if recorded.
+    pub fn ring(&self, subsystem: &str, name: &str) -> Option<&SketchRing> {
+        self.rings.iter().find(|&(&(s, n), _)| s == subsystem && n == name).map(|(_, r)| r)
+    }
+
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.histograms.is_empty() && self.sketches.is_empty()
+        self.counters.is_empty()
+            && self.histograms.is_empty()
+            && self.sketches.is_empty()
+            && self.rings.is_empty()
     }
 
     /// Sorted, de-duplicated list of subsystems with at least one metric.
@@ -182,6 +210,7 @@ impl MetricsRegistry {
             .keys()
             .chain(self.histograms.keys())
             .chain(self.sketches.keys())
+            .chain(self.rings.keys())
             .map(|&(sub, _)| sub)
             .collect();
         subs.sort_unstable();
@@ -206,6 +235,11 @@ impl MetricsRegistry {
         &self,
     ) -> impl Iterator<Item = (&'static str, &'static str, &QuantileSketch)> + '_ {
         self.sketches.iter().map(|(&(sub, name), s)| (sub, name, s))
+    }
+
+    /// All windowed sketch rings in key order.
+    pub fn rings(&self) -> impl Iterator<Item = (&'static str, &'static str, &SketchRing)> + '_ {
+        self.rings.iter().map(|(&(sub, name), r)| (sub, name, r))
     }
 
     /// Renders a stable-ordered plain-text report.
@@ -248,6 +282,22 @@ impl MetricsRegistry {
                     q(0.90),
                     q(0.99),
                     s.max().unwrap_or(0)
+                );
+            }
+        }
+        if !self.rings.is_empty() {
+            out.push_str("rings:\n");
+            for (sub, name, r) in self.rings() {
+                let (first, last) = r.span().unwrap_or((0, 0));
+                let _ = writeln!(
+                    out,
+                    "  {:<10} {:<28} n={:<8} windows={} first={} last={}",
+                    sub,
+                    name,
+                    r.count(),
+                    r.len(),
+                    first,
+                    last
                 );
             }
         }
@@ -304,7 +354,28 @@ impl MetricsRegistry {
                 q(0.99)
             );
         }
-        out.push_str("}}");
+        out.push('}');
+        // Rings render only when present: sketch-free registries must
+        // keep ending with `"sketches":{}}` byte-for-byte, and every
+        // pre-alerting artifact stays unchanged.
+        if !self.rings.is_empty() {
+            out.push_str(",\"rings\":{");
+            for (i, (sub, name, r)) in self.rings().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "\"{sub}/{name}\":{{\"count\":{},\"windows\":[", r.count());
+                for (j, (idx, s)) in r.windows().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{},{}]", idx, s.count());
+                }
+                out.push_str("]}");
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 }
@@ -415,6 +486,43 @@ mod tests {
         assert_eq!(ab.snapshot_json(), ba.snapshot_json());
         assert!(ab.snapshot_json().contains("\"player/join_time_us\":{\"count\":3"));
         assert!(ab.snapshot_text().contains("sketches:"));
+    }
+
+    #[test]
+    fn ring_instrument_records_and_merges_order_independently() {
+        let build = |obs: &[(u64, u64)]| {
+            let mut m = MetricsRegistry::new();
+            for &(t, v) in obs {
+                m.ring_observe("alert", "join_time_us", t, v);
+            }
+            m
+        };
+        let a = build(&[(0, 100), (61_000_000, 900)]);
+        let b = build(&[(59_000_000, 400)]);
+        let mut ab = MetricsRegistry::new();
+        ab.merge(&a);
+        ab.merge(&b);
+        let mut ba = MetricsRegistry::new();
+        ba.merge(&b);
+        ba.merge(&a);
+        assert_eq!(ab, ba, "ring merge is exactly order-independent");
+        let r = ab.ring("alert", "join_time_us").unwrap();
+        assert_eq!(r.count(), 3);
+        assert_eq!(r.len(), 2, "minutes 0 and 1");
+        assert!(!ab.is_empty());
+        assert_eq!(ab.snapshot_json(), ba.snapshot_json());
+        assert!(ab.snapshot_json().contains("\"rings\":{\"alert/join_time_us\":{\"count\":3"));
+        assert!(ab.snapshot_text().contains("rings:"));
+        assert_eq!(ab.subsystems(), vec!["alert"]);
+    }
+
+    #[test]
+    fn ring_free_registry_omits_rings_section() {
+        let mut m = MetricsRegistry::new();
+        m.count("tcp", "transfers", 1);
+        assert!(m.snapshot_json().ends_with("\"sketches\":{}}"));
+        assert!(!m.snapshot_json().contains("rings"));
+        assert!(!m.snapshot_text().contains("rings:"));
     }
 
     #[test]

@@ -156,6 +156,16 @@ impl Trace {
         self.metrics.sketch_observe(subsystem, name, value);
     }
 
+    /// Records one observation into a windowed sketch ring at sim-time
+    /// `t_us` — the alerting layer's instrument (DESIGN.md §14). Like
+    /// every recorder, a no-op when disabled.
+    pub fn ring(&mut self, subsystem: &'static str, name: &'static str, t_us: u64, value: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.ring_observe(subsystem, name, t_us, value);
+    }
+
     /// Appends another trace's events (preserving their order) and folds
     /// in its metrics. The other trace's span ids (and parent links) are
     /// offset past this trace's so ids stay unique per unit; its open

@@ -120,6 +120,61 @@ impl SloSpec {
     }
 }
 
+/// Burn-rate alert rules derived from the spec's objectives plus the
+/// fault-symptom Event rules (DESIGN.md §14): a join-time burn and a
+/// stall-ratio burn (bad = observation past the p90 threshold, 10% error
+/// budget — the budget the p90 objectives imply), one POP-outage Event
+/// rule per CDN POP, and the aggregate ingest-outage Event rule. The rule
+/// set is a pure function of the spec, so timelines stay comparable
+/// across runs.
+pub fn alert_rules(spec: &SloSpec) -> Vec<pscp_obs::AlertRule> {
+    let mut rules = vec![
+        pscp_obs::AlertRule::burn(
+            "join_burn",
+            "alert",
+            "join_time_us",
+            (spec.join_p90_max_s * 1e6).round() as u64,
+            0.10,
+        ),
+        pscp_obs::AlertRule::burn(
+            "stall_burn",
+            "alert",
+            "stall_ppm",
+            (spec.stall_ratio_p90_max * 1e6).round() as u64,
+            0.10,
+        ),
+    ];
+    for pop in pscp_service::cdn::CdnPop::ALL {
+        rules.push(pscp_obs::AlertRule::event(
+            &format!("pop_outage/{}", pop.hostname()),
+            "outage",
+            pop.hostname(),
+            1,
+        ));
+    }
+    rules.push(pscp_obs::AlertRule::event("ingest_outage", "outage", "ingest", 1));
+    rules
+}
+
+/// Per-shard-cell join-burn rules at the reference quadtree depth: one
+/// rule per depth-2 quadkey, over the teleport driver's `cell/{key}`
+/// rings. Used by the incident correlator to scope incidents to shard
+/// cells; kept out of [`alert_rules`] so the live watch stays compact.
+pub fn cell_rules(spec: &SloSpec) -> Vec<pscp_obs::AlertRule> {
+    (0u16..16)
+        .map(|key| {
+            let quadkey = format!("{}{}", key >> 2, key & 3);
+            pscp_obs::AlertRule::burn(
+                &format!("join_burn/cell={quadkey}"),
+                "cell",
+                &quadkey,
+                (spec.join_p90_max_s * 1e6).round() as u64,
+                0.10,
+            )
+        })
+        .collect()
+}
+
 /// One evaluated objective.
 #[derive(Debug, Clone)]
 pub struct SloObjective {

@@ -206,6 +206,36 @@ impl QoeTelemetry {
             + self.dominant.memory_bytes()
     }
 
+    /// SLO objectives from `spec` that are measurable *and* violated in
+    /// this snapshot, as stable objective names. Unmeasured objectives
+    /// (too few samples) are not violations — same guards as the sketched
+    /// SLO evaluator — so an empty watch run exits clean.
+    pub fn violations(&self, spec: &crate::slo::SloSpec) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if let Some(p90) = self.join_us.quantile(0.90) {
+            if p90 as f64 / 1e6 > spec.join_p90_max_s {
+                out.push("join_time_p90_s");
+            }
+        }
+        if let Some(p90) = self.stall_ppm.quantile(0.90) {
+            if p90 as f64 / 1e6 > spec.stall_ratio_p90_max {
+                out.push("stall_ratio_p90");
+            }
+        }
+        if self.rtmp_latency_us.count() >= crate::slo::MIN_QUANTILE_SAMPLES as u64 {
+            if let Some(p75) = self.rtmp_latency_us.quantile(0.75) {
+                if p75 as f64 / 1e6 > spec.rtmp_latency_p75_max_s {
+                    out.push("rtmp_latency_p75_s");
+                }
+            }
+        }
+        if !self.hls_latency_s.is_empty() && self.hls_latency_s.mean() < spec.hls_latency_mean_min_s
+        {
+            out.push("hls_latency_mean_s");
+        }
+        out
+    }
+
     /// One stable JSON object (no trailing newline) summarising the
     /// telemetry: the `repro watch` snapshot body. Deterministic: fixed
     /// key order, fixed float precision, `null` for unmeasured values.

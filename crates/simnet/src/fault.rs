@@ -32,8 +32,10 @@ use crate::time::{SimDuration, SimTime};
 /// transport below the media is reliable).
 pub const RETX_DELAY: SimDuration = SimDuration::from_millis(200);
 
-/// Outage schedules are resolved on this time grid.
-const OUTAGE_SLOT_US: u64 = 60_000_000;
+/// Outage schedules are resolved on this time grid (one sim-minute) —
+/// public so the alerting layer can align its ring windows with the fault
+/// grid and the incident correlator can enumerate ground-truth slots.
+pub const OUTAGE_SLOT_US: u64 = 60_000_000;
 /// Upper bound on consecutive outage slots scanned by [`OutageConfig::outage_end`].
 const OUTAGE_SCAN_SLOTS: u64 = 240;
 
@@ -399,6 +401,73 @@ impl FaultConfig {
     }
 }
 
+/// One ground-truth fault window: a maximal run of down minute-slots for
+/// one unit, as exported by [`FaultConfig::ground_truth_log`]. Because
+/// outage schedules are pure functions of `(seed, unit, slot)`, this is
+/// the *labeled truth* the incident correlator scores detectors against —
+/// re-derivable from the fault seed alone, no instrumentation involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroundTruthWindow {
+    /// Fault class: `"pop_outage"` or `"ingest_outage"`.
+    pub class: &'static str,
+    /// The affected unit (POP or ingest hostname).
+    pub unit: String,
+    /// Window start, sim-microseconds (slot-aligned).
+    pub start_us: u64,
+    /// Window end, sim-microseconds (exclusive, slot-aligned).
+    pub end_us: u64,
+}
+
+impl FaultConfig {
+    /// Exports every outage window scheduled over `[0, horizon)` for the
+    /// given ingest and POP units, sorted by `(start, class, unit)`. A
+    /// pure function of `(self.seed, units, horizon)` — the same config
+    /// always exports the same log, which is what lets the incident layer
+    /// compute exact recall/precision for its detectors.
+    pub fn ground_truth_log(
+        &self,
+        ingest_units: &[&str],
+        pop_units: &[&str],
+        horizon: SimTime,
+    ) -> Vec<GroundTruthWindow> {
+        let mut out = Vec::new();
+        let slots = horizon.as_micros().div_ceil(OUTAGE_SLOT_US);
+        let mut scan = |cfg: &OutageConfig, class: &'static str, units: &[&str]| {
+            if !cfg.is_active() {
+                return;
+            }
+            for &unit in units {
+                let mut open: Option<u64> = None;
+                for slot in 0..=slots {
+                    let down = slot < slots && cfg.slot_down(self.seed, unit, slot);
+                    match (down, open) {
+                        (true, None) => open = Some(slot),
+                        (false, Some(start)) => {
+                            out.push(GroundTruthWindow {
+                                class,
+                                unit: unit.to_string(),
+                                start_us: start * OUTAGE_SLOT_US,
+                                end_us: slot * OUTAGE_SLOT_US,
+                            });
+                            open = None;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        };
+        scan(&self.ingest_outage, "ingest_outage", ingest_units);
+        scan(&self.pop_outage, "pop_outage", pop_units);
+        out.sort_by(|a, b| {
+            a.start_us
+                .cmp(&b.start_us)
+                .then_with(|| a.class.cmp(b.class))
+                .then_with(|| a.unit.cmp(&b.unit))
+        });
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +584,39 @@ mod tests {
         let mut lf = LinkFaults::new(&cfg, 4, "rtmp/link");
         assert_eq!(lf.packet_extra(), RETX_DELAY);
         assert_eq!(lf.lost, 1);
+    }
+
+    #[test]
+    fn ground_truth_log_matches_the_live_schedule() {
+        let cfg = FaultConfig::chaos(2016, 2.0);
+        let horizon = SimTime::from_secs(240 * 60);
+        let log = cfg.ground_truth_log(&["vidman-eu-1"], &["pop-a", "pop-b"], horizon);
+        assert_eq!(log, cfg.ground_truth_log(&["vidman-eu-1"], &["pop-a", "pop-b"], horizon));
+        // Every exported window agrees minute-by-minute with in_outage,
+        // and every down minute is covered by some window.
+        for w in &log {
+            let outage = if w.class == "pop_outage" { &cfg.pop_outage } else { &cfg.ingest_outage };
+            assert!(w.start_us < w.end_us && w.end_us % OUTAGE_SLOT_US == 0);
+            for slot in (w.start_us / OUTAGE_SLOT_US)..(w.end_us / OUTAGE_SLOT_US) {
+                let t = SimTime::from_micros(slot * OUTAGE_SLOT_US);
+                assert!(outage.in_outage(cfg.seed, &w.unit, t), "{w:?} up at {t}");
+            }
+        }
+        for slot in 0..240u64 {
+            let t = SimTime::from_micros(slot * OUTAGE_SLOT_US);
+            for pop in ["pop-a", "pop-b"] {
+                let down = cfg.pop_outage.in_outage(cfg.seed, pop, t);
+                let covered = log.iter().any(|w| {
+                    w.class == "pop_outage"
+                        && w.unit == pop
+                        && w.start_us <= t.as_micros()
+                        && t.as_micros() < w.end_us
+                });
+                assert_eq!(down, covered, "slot {slot} {pop}");
+            }
+        }
+        // All-off config exports nothing.
+        assert!(FaultConfig::default().ground_truth_log(&["a"], &["b"], horizon).is_empty());
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod time;
 pub use clock::WallClock;
 pub use datagram::{DatagramLink, DgramDelivery};
 pub use event::EventQueue;
-pub use fault::{FaultConfig, FaultRng};
+pub use fault::{FaultConfig, FaultRng, GroundTruthWindow, OUTAGE_SLOT_US};
 pub use geo::{GeoPoint, GeoRect};
 pub use link::Link;
 pub use pool::{BufPool, PooledBuf};

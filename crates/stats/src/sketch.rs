@@ -183,6 +183,17 @@ impl QuantileSketch {
         bucket_range(bucket_index(value))
     }
 
+    /// Observations strictly greater than `threshold`, by bucket: counts
+    /// every bucket whose whole range lies above `threshold`, so values
+    /// sharing the threshold's bucket are counted as *not* greater
+    /// (under-counting by at most one bucket width, < 1% in value). A pure
+    /// function of the bucket counts, so it merges exactly like the sketch
+    /// itself — the burn-rate evaluator's "bad observation" primitive.
+    pub fn count_gt(&self, threshold: u64) -> u64 {
+        let first_above = bucket_index(threshold) + 1;
+        self.counts.iter().skip(first_above).sum()
+    }
+
     /// Heap + inline memory footprint in bytes. Bounded by the bucket
     /// policy (≤ ~7.5K buckets over the full `u64` range), independent of
     /// how many values were observed. Measured over the bucket array's

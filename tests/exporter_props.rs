@@ -4,7 +4,7 @@
 //! text encoder with every label value properly escaped.
 
 use periscope_repro::obs::{chrome_trace, prometheus_text, MetricsRegistry, Span};
-use periscope_repro::obs::{PhaseSpan, MS_BUCKETS};
+use periscope_repro::obs::{prometheus_alert_state, prometheus_build_info, PhaseSpan, MS_BUCKETS};
 use periscope_repro::proto::json::{parse, Value};
 use pscp_check::{check, ensure, Gen};
 
@@ -207,6 +207,62 @@ fn prometheus_text_escapes_arbitrary_label_values() {
             let expected: Vec<(String, String)> =
                 m.counters().map(|(s, n, _)| (s.to_string(), n.to_string())).collect();
             ensure!(counter_keys == expected, "label values mangled: {counter_keys:?}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn alert_state_gauge_escapes_arbitrary_rule_and_shard_labels() {
+    check(
+        "alert_state_escaping",
+        |g: &mut Gen| {
+            g.vec(0..8, |g| (g.string(NASTY_CHARS, 1..=16), g.string(NASTY_CHARS, 1..=8), g.bool()))
+        },
+        |states| {
+            let text = prometheus_alert_state(states);
+            ensure!(text.starts_with("# HELP pscp_alert_state "), "missing HELP");
+            ensure!(text.contains("# TYPE pscp_alert_state gauge\n"), "missing TYPE");
+            let mut seen: Vec<(String, String, bool)> = Vec::new();
+            for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+                let (metric, labels, value) = parse_prom_line(line)?;
+                ensure!(metric == "pscp_alert_state", "unexpected metric {metric:?}");
+                ensure!(labels.len() == 2, "alert labels: {labels:?}");
+                ensure!(labels[0].0 == "rule" && labels[1].0 == "shard", "{labels:?}");
+                ensure!(value == 0.0 || value == 1.0, "gauge value {value} not 0/1");
+                seen.push((labels[0].1.clone(), labels[1].1.clone(), value == 1.0));
+            }
+            // Rule and shard labels must round-trip exactly, in input order.
+            ensure!(&seen == states, "alert-state labels mangled: {seen:?}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn build_info_gauge_escapes_arbitrary_tier_labels() {
+    check(
+        "build_info_escaping",
+        |g: &mut Gen| {
+            (g.u64(0..u64::MAX), g.string(NASTY_CHARS, 0..=16), g.u64(0..64), g.u64(0..128))
+        },
+        |(seed, tier, shards, threads)| {
+            let text = prometheus_build_info(*seed, tier, *shards as u32, *threads as usize);
+            ensure!(text.starts_with("# HELP pscp_build_info "), "missing HELP");
+            ensure!(text.contains("# TYPE pscp_build_info gauge\n"), "missing TYPE");
+            let line = text
+                .lines()
+                .find(|l| !l.is_empty() && !l.starts_with('#'))
+                .ok_or("no metric line")?;
+            let (metric, labels, value) = parse_prom_line(line)?;
+            ensure!(metric == "pscp_build_info", "unexpected metric {metric:?}");
+            ensure!(value == 1.0, "build info gauge must be constant 1, got {value}");
+            let keys: Vec<&str> = labels.iter().map(|(k, _)| k.as_str()).collect();
+            ensure!(keys == ["seed", "tier", "shards", "threads"], "label keys: {keys:?}");
+            ensure!(labels[0].1 == seed.to_string(), "seed mangled");
+            ensure!(&labels[1].1 == tier, "tier label mangled: {:?}", labels[1].1);
+            ensure!(labels[2].1 == shards.to_string(), "shards mangled");
+            ensure!(labels[3].1 == threads.to_string(), "threads mangled");
             Ok(())
         },
     );
